@@ -1,0 +1,155 @@
+package senseaid
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestBinariesEndToEnd builds the three deployable binaries and runs them
+// together: senseaidd serves, senseaid-client answers schedules, and
+// senseaid-cas submits a fast task and prints readings — the same flow an
+// operator would run by hand.
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test builds and runs executables")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"senseaidd", "senseaid-client", "senseaid-cas"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	addr := freeAddr(t)
+
+	// Start the server.
+	server := exec.Command(filepath.Join(bin, "senseaidd"), "-addr", addr, "-tick", "50ms")
+	serverOut := startCapture(t, server, "senseaidd")
+	defer stop(t, server)
+	waitForLine(t, serverOut, "listening", 10*time.Second)
+
+	// Start a device.
+	device := exec.Command(filepath.Join(bin, "senseaid-client"),
+		"-addr", addr, "-id", "smoke-phone", "-report", "100ms")
+	deviceOut := startCapture(t, device, "senseaid-client")
+	defer stop(t, device)
+	waitForLine(t, deviceOut, "online", 10*time.Second)
+
+	// Run a short campaign to completion.
+	casCmd := exec.Command(filepath.Join(bin, "senseaid-cas"),
+		"-addr", addr, "-period", "300ms", "-duration", "2s", "-density", "1")
+	out, err := casCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("senseaid-cas: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "task task-") {
+		t.Fatalf("cas output missing task submission:\n%s", text)
+	}
+	if !strings.Contains(text, "from smoke-phone") {
+		t.Fatalf("cas output has no readings from the device:\n%s", text)
+	}
+	if strings.Contains(text, "collected 0 readings") {
+		t.Fatalf("campaign collected nothing:\n%s", text)
+	}
+}
+
+// freeAddr reserves a loopback port and releases it for the server.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// lineBuffer accumulates a process's output for polling.
+type lineBuffer struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (b *lineBuffer) add(line string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lines = append(b.lines, line)
+}
+
+func (b *lineBuffer) contains(substr string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, l := range b.lines {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *lineBuffer) dump() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return strings.Join(b.lines, "\n")
+}
+
+func startCapture(t *testing.T, cmd *exec.Cmd, name string) *lineBuffer {
+	t.Helper()
+	buf := &lineBuffer{}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			buf.add(fmt.Sprintf("[%s] %s", name, sc.Text()))
+		}
+	}()
+	return buf
+}
+
+func waitForLine(t *testing.T, buf *lineBuffer, substr string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !buf.contains(substr) {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %q; output so far:\n%s", substr, buf.dump())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func stop(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if cmd.Process == nil {
+		return
+	}
+	_ = cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		_, _ = cmd.Process.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		_ = cmd.Process.Kill()
+	}
+}

@@ -1,0 +1,128 @@
+// Command senseaid-cas is a crowdsensing application server in a box: it
+// connects to a running senseaidd, submits one task built from flags, and
+// streams the validated readings to stdout — with an optional fused
+// hyperlocal map rendered when the task window closes.
+//
+// Usage:
+//
+//	senseaid-cas [-addr host:port] [-sensor barometer] [-period 5m]
+//	             [-duration 30m] [-radius 500] [-density 2] [-map]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"senseaid/internal/cas"
+	"senseaid/internal/fusion"
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "senseaid-cas: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func sensorByName(name string) (sensors.Type, error) {
+	for t := sensors.Accelerometer; t <= sensors.LightMeter; t++ {
+		if strings.EqualFold(t.String(), name) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown sensor %q", name)
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7117", "sense-aid server address")
+	sensorName := flag.String("sensor", "barometer", "sensor type")
+	period := flag.Duration("period", 5*time.Minute, "sampling period")
+	duration := flag.Duration("duration", 30*time.Minute, "sampling duration")
+	lat := flag.Float64("lat", geo.CSDepartment.Lat, "task area center latitude")
+	lon := flag.Float64("lon", geo.CSDepartment.Lon, "task area center longitude")
+	radius := flag.Float64("radius", 500, "task area radius (m)")
+	density := flag.Int("density", 2, "spatial density (devices per round)")
+	renderMap := flag.Bool("map", false, "render a fused hyperlocal map at the end")
+	flag.Parse()
+
+	sensor, err := sensorByName(*sensorName)
+	if err != nil {
+		return err
+	}
+	center := geo.Point{Lat: *lat, Lon: *lon}
+	if !center.Valid() {
+		return fmt.Errorf("invalid center %v", center)
+	}
+
+	app, err := cas.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = app.Close() }()
+
+	var fmap *fusion.Map
+	if *renderMap {
+		fmap, err = fusion.NewMap(fusion.Config{
+			Center: center,
+			SpanM:  (*radius) * 2.5,
+			Cells:  12,
+			MaxAge: 3 * (*period),
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	count := 0
+	err = app.ReceiveSensedData(func(sd wire.SensedData) {
+		count++
+		fmt.Printf("%s  %-12s %8.2f %-4s from %s\n",
+			sd.Reading.At.Format("15:04:05"), sd.TaskID,
+			sd.Reading.Value, sd.Reading.Unit, sd.DeviceID)
+		if fmap != nil {
+			fmap.Add(fusion.Sample{Where: sd.Reading.Where, Value: sd.Reading.Value, At: sd.Reading.At})
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	taskID, err := app.Task(wire.TaskSpec{
+		Sensor:           sensor,
+		SamplingPeriod:   *period,
+		SamplingDuration: *duration,
+		Center:           center,
+		AreaRadiusM:      *radius,
+		SpatialDensity:   *density,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task %s: %s every %v for %v, %d devices within %.0f m of %s\n",
+		taskID, sensor, *period, *duration, *density, *radius, center)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-time.After(*duration + *period):
+	case <-sig:
+		fmt.Println("interrupted; deleting task")
+		if err := app.DeleteTask(taskID); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("collected %d readings\n", count)
+	if fmap != nil {
+		fmt.Println(fmap.Render(time.Now()))
+	}
+	return nil
+}

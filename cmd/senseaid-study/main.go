@@ -1,0 +1,131 @@
+// Command senseaid-study regenerates the paper's evaluation: every figure
+// and table from "Sense-Aid: A Framework for Enabling Network as a Service
+// for Participatory Sensing" (Middleware '17), on the simulated substrate.
+//
+// Usage:
+//
+//	senseaid-study [-seed N] [-devices N] [-only fig7,fig9,table2,...]
+//
+// With no -only filter, the full report prints in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"senseaid/internal/study"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "senseaid-study: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 2017, "simulation seed")
+	devices := flag.Int("devices", 20, "devices per framework cohort")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig6,fig7/fig8/exp1,fig9,fig10/fig11/exp2,fig12/fig13/exp3,fig14,table2")
+	format := flag.String("format", "text", "output format: text or json (json runs everything)")
+	sweep := flag.Int("sweep", 0, "rerun the experiments across N seeds and report mean±sd savings")
+	flag.Parse()
+
+	cfg := study.Config{Devices: *devices, Seed: *seed}
+	if *sweep > 0 {
+		for _, run := range []func(study.Config) (*study.ExperimentResult, error){
+			study.RunExperiment1, study.RunExperiment2, study.RunExperiment3,
+		} {
+			sw, err := study.SeedSweep(run, cfg, *sweep)
+			if err != nil {
+				return err
+			}
+			fmt.Println(study.RenderSweep(sw))
+		}
+		return nil
+	}
+	if *format == "json" {
+		report, err := study.BuildReport(cfg)
+		if err != nil {
+			return err
+		}
+		out, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(out, '\n'))
+		return err
+	}
+	if *format != "text" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	want := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			want[k] = true
+		}
+	}
+	all := len(want) == 0
+	section := func(keys ...string) bool {
+		if all {
+			return true
+		}
+		for _, k := range keys {
+			if want[k] {
+				return true
+			}
+		}
+		return false
+	}
+
+	if section("fig1") {
+		fmt.Println(study.RenderFigure1(study.SurveyFigure1()))
+	}
+	if section("fig2") {
+		fmt.Println(study.RenderFigure2(study.RunFigure2()))
+	}
+	if section("fig6") {
+		fmt.Println(study.RenderFigure6(study.RunFigure6()))
+	}
+
+	var e1, e2, e3 *study.ExperimentResult
+	var err error
+	if section("fig7", "fig8", "exp1", "table2") {
+		if e1, err = study.RunExperiment1(cfg); err != nil {
+			return err
+		}
+		fmt.Println(study.RenderExperiment(e1, "Figure 7", "Figure 8", "(devices tasked)", "(per-device energy)"))
+	}
+	if section("fig9") {
+		f9, err := study.RunFigure9(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(study.RenderFigure9(f9))
+	}
+	if section("fig10", "fig11", "exp2", "table2") {
+		if e2, err = study.RunExperiment2(cfg); err != nil {
+			return err
+		}
+		fmt.Println(study.RenderExperiment(e2, "(qualified devices)", "(total energy)", "Figure 10", "Figure 11"))
+	}
+	if section("fig12", "fig13", "exp3", "table2") {
+		if e3, err = study.RunExperiment3(cfg); err != nil {
+			return err
+		}
+		fmt.Println(study.RenderExperiment(e3, "(qualified devices)", "(total energy)", "Figure 12", "Figure 13"))
+	}
+	if section("fig14") {
+		f14, err := study.RunFigure14(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(study.RenderFigure14(f14))
+	}
+	if section("table2") && e1 != nil && e2 != nil && e3 != nil {
+		fmt.Println(study.RenderTable2(study.BuildTable2(e1, e2, e3)))
+	}
+	return nil
+}

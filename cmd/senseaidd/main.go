@@ -1,0 +1,54 @@
+// Command senseaidd runs the networked Sense-Aid server: the middleware
+// the paper deploys at the cellular edge. Devices attach with the client
+// library, crowdsensing application servers with the CAS library.
+//
+// Usage:
+//
+//	senseaidd [-addr host:port] [-tick duration] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"senseaid/internal/netserver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "senseaidd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
+	tick := flag.Duration("tick", 500*time.Millisecond, "scheduler tick period")
+	verbose := flag.Bool("v", false, "log to stderr")
+	flag.Parse()
+
+	var logger *log.Logger
+	if *verbose {
+		logger = log.New(os.Stderr, "senseaidd: ", log.LstdFlags)
+	}
+	srv, err := netserver.Listen(netserver.Config{
+		Addr:       *addr,
+		TickPeriod: *tick,
+		Logger:     logger,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sense-aid server listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return srv.Close()
+}

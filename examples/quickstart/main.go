@@ -1,0 +1,133 @@
+// Quickstart: the smallest end-to-end Sense-Aid deployment.
+//
+// It starts the networked Sense-Aid server in-process, connects three
+// simulated devices with the client library, submits one barometer task
+// from a crowdsensing application server (CAS), and prints the readings
+// as the middleware orchestrates which devices answer each round.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"senseaid/internal/cas"
+	"senseaid/internal/client"
+	"senseaid/internal/geo"
+	"senseaid/internal/netserver"
+	"senseaid/internal/sensors"
+	"senseaid/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. The middleware, as deployed at the cellular edge.
+	srv, err := netserver.Listen(netserver.Config{Addr: "127.0.0.1:0", TickPeriod: 50 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+	fmt.Printf("sense-aid server on %s\n", srv.Addr())
+
+	// 2. Three participants sign up. Each answers schedules with a
+	// synthetic barometer reading from its own location.
+	field := sensors.NewPressureField()
+	positions := []geo.Point{
+		geo.CSDepartment,
+		geo.Offset(geo.CSDepartment, 120, 80),
+		geo.Offset(geo.CSDepartment, -90, 150),
+	}
+	for i, pos := range positions {
+		pos := pos
+		dev, err := client.Dial(client.Config{
+			Addr:       srv.Addr(),
+			DeviceID:   fmt.Sprintf("phone-%d", i+1),
+			Position:   pos,
+			BatteryPct: 80,
+			Sensors:    []sensors.Type{sensors.Barometer},
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = dev.Close() }()
+		if err := dev.Register(); err != nil {
+			return err
+		}
+		if err := dev.StartSensing(func(sch wire.Schedule) {
+			reading := field.Sample(pos, time.Now())
+			go func() {
+				if err := dev.SendSenseData(sch.RequestID, reading); err != nil {
+					fmt.Printf("  upload failed: %v\n", err)
+				}
+			}()
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Println("3 devices registered")
+
+	// 3. A crowdsensing application asks for pressure around the CS
+	// department: 2 devices per round, a few fast rounds.
+	app, err := cas.Dial(srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = app.Close() }()
+
+	var mu sync.Mutex
+	readings := 0
+	done := make(chan struct{})
+	if err := app.ReceiveSensedData(func(sd wire.SensedData) {
+		mu.Lock()
+		readings++
+		n := readings
+		mu.Unlock()
+		fmt.Printf("  %s -> %.2f %s (from %s)\n", sd.TaskID, sd.Reading.Value, sd.Reading.Unit, sd.DeviceID)
+		if n >= 6 {
+			select {
+			case <-done:
+			default:
+				close(done)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+
+	taskID, err := app.Task(wire.TaskSpec{
+		Sensor:         sensors.Barometer,
+		SamplingPeriod: 400 * time.Millisecond,
+		Start:          time.Now(),
+		End:            time.Now().Add(3 * time.Second),
+		Center:         geo.CSDepartment,
+		AreaRadiusM:    500,
+		SpatialDensity: 2,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task %s submitted: barometer, density 2, 500 m around CS dept\n", taskID)
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("collected %d readings; the server picked 2 of 3 devices per round, fairly rotated\n", readings)
+	if readings == 0 {
+		return fmt.Errorf("no readings collected")
+	}
+	return nil
+}

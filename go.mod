@@ -1,0 +1,3 @@
+module senseaid
+
+go 1.22

@@ -1,0 +1,145 @@
+// Package adaptive implements the paper's stated ongoing work: "dynamic
+// tasks that can alter their requirements based on received data."
+//
+// A Controller watches one task's stream of readings and tunes the task's
+// sampling period through the middleware's update_task_param API: when
+// the measured signal moves fast (a pressure front, a noise event), the
+// period tightens toward MinPeriod; when the signal is quiet, it relaxes
+// toward MaxPeriod, saving device energy exactly when the data is least
+// interesting.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// PeriodUpdater applies a new sampling period to a task; core.Server's
+// UpdateTaskParams and the CAS library's UpdateTaskParam both satisfy it
+// via small adapters.
+type PeriodUpdater func(newPeriod time.Duration) error
+
+// Config tunes a Controller.
+type Config struct {
+	// InitialPeriod is the task's starting sampling period; required.
+	InitialPeriod time.Duration
+	// MinPeriod/MaxPeriod bound adaptation (defaults: Initial/4 and
+	// Initial*4).
+	MinPeriod, MaxPeriod time.Duration
+	// ActivityThreshold is the per-minute absolute signal change that
+	// counts as "moving fast"; required (units of the task's sensor).
+	ActivityThreshold float64
+	// DecideEvery is how many readings between adaptation decisions
+	// (default 3).
+	DecideEvery int
+}
+
+// Controller adapts one task's sampling period. Not safe for concurrent
+// use; drive it from the single goroutine that receives task data.
+type Controller struct {
+	cfg    Config
+	update PeriodUpdater
+
+	period    time.Duration
+	lastValue float64
+	lastAt    time.Time
+	seen      int
+	sinceDec  int
+	// rate is an EWMA of |d value| per minute.
+	rate float64
+
+	tightened, relaxed int
+}
+
+// NewController validates the config and builds a controller.
+func NewController(cfg Config, update PeriodUpdater) (*Controller, error) {
+	if update == nil {
+		return nil, fmt.Errorf("adaptive: nil updater")
+	}
+	if cfg.InitialPeriod <= 0 {
+		return nil, fmt.Errorf("adaptive: InitialPeriod required")
+	}
+	if cfg.ActivityThreshold <= 0 {
+		return nil, fmt.Errorf("adaptive: ActivityThreshold required")
+	}
+	if cfg.MinPeriod <= 0 {
+		cfg.MinPeriod = cfg.InitialPeriod / 4
+	}
+	if cfg.MaxPeriod <= 0 {
+		cfg.MaxPeriod = cfg.InitialPeriod * 4
+	}
+	if cfg.MinPeriod > cfg.InitialPeriod || cfg.MaxPeriod < cfg.InitialPeriod {
+		return nil, fmt.Errorf("adaptive: bounds [%v, %v] exclude initial period %v",
+			cfg.MinPeriod, cfg.MaxPeriod, cfg.InitialPeriod)
+	}
+	if cfg.DecideEvery <= 0 {
+		cfg.DecideEvery = 3
+	}
+	return &Controller{cfg: cfg, update: update, period: cfg.InitialPeriod}, nil
+}
+
+// Period returns the current sampling period.
+func (c *Controller) Period() time.Duration { return c.period }
+
+// RatePerMinute returns the smoothed signal change rate.
+func (c *Controller) RatePerMinute() float64 { return c.rate }
+
+// Adaptations returns how often the controller tightened and relaxed.
+func (c *Controller) Adaptations() (tightened, relaxed int) {
+	return c.tightened, c.relaxed
+}
+
+// Observe feeds one reading (its value and timestamp). Every DecideEvery
+// readings the controller may adapt the period; the error from the
+// updater, if any, is returned so callers can surface it.
+func (c *Controller) Observe(value float64, at time.Time) error {
+	if c.seen > 0 {
+		dtMin := at.Sub(c.lastAt).Minutes()
+		if dtMin > 0 {
+			instant := math.Abs(value-c.lastValue) / dtMin
+			const alpha = 0.5
+			c.rate = alpha*instant + (1-alpha)*c.rate
+		}
+	}
+	c.lastValue = value
+	c.lastAt = at
+	c.seen++
+	c.sinceDec++
+	if c.sinceDec < c.cfg.DecideEvery || c.seen < 2 {
+		return nil
+	}
+	c.sinceDec = 0
+	return c.decide()
+}
+
+func (c *Controller) decide() error {
+	switch {
+	case c.rate > c.cfg.ActivityThreshold && c.period > c.cfg.MinPeriod:
+		next := c.period / 2
+		if next < c.cfg.MinPeriod {
+			next = c.cfg.MinPeriod
+		}
+		return c.apply(next, &c.tightened)
+	case c.rate < c.cfg.ActivityThreshold/4 && c.period < c.cfg.MaxPeriod:
+		next := c.period * 2
+		if next > c.cfg.MaxPeriod {
+			next = c.cfg.MaxPeriod
+		}
+		return c.apply(next, &c.relaxed)
+	default:
+		return nil
+	}
+}
+
+func (c *Controller) apply(next time.Duration, counter *int) error {
+	if next == c.period {
+		return nil
+	}
+	if err := c.update(next); err != nil {
+		return fmt.Errorf("adaptive: period update to %v: %w", next, err)
+	}
+	c.period = next
+	*counter++
+	return nil
+}

@@ -1,0 +1,209 @@
+package adaptive
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+func newController(t *testing.T, updates *[]time.Duration) *Controller {
+	t.Helper()
+	c, err := NewController(Config{
+		InitialPeriod:     10 * time.Minute,
+		MinPeriod:         time.Minute,
+		MaxPeriod:         20 * time.Minute,
+		ActivityThreshold: 0.2, // hPa per minute
+		DecideEvery:       2,
+	}, func(p time.Duration) error {
+		*updates = append(*updates, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	ok := func(time.Duration) error { return nil }
+	if _, err := NewController(Config{InitialPeriod: time.Minute, ActivityThreshold: 1}, nil); err == nil {
+		t.Fatal("nil updater accepted")
+	}
+	if _, err := NewController(Config{ActivityThreshold: 1}, ok); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := NewController(Config{InitialPeriod: time.Minute}, ok); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	if _, err := NewController(Config{
+		InitialPeriod: time.Minute, MinPeriod: 2 * time.Minute, MaxPeriod: 5 * time.Minute,
+		ActivityThreshold: 1,
+	}, ok); err == nil {
+		t.Fatal("bounds excluding initial period accepted")
+	}
+	// Defaults fill in.
+	c, err := NewController(Config{InitialPeriod: 8 * time.Minute, ActivityThreshold: 1}, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.MinPeriod != 2*time.Minute || c.cfg.MaxPeriod != 32*time.Minute {
+		t.Fatalf("default bounds = [%v, %v]", c.cfg.MinPeriod, c.cfg.MaxPeriod)
+	}
+}
+
+func TestTightensOnFastSignal(t *testing.T) {
+	var updates []time.Duration
+	c := newController(t, &updates)
+	at := simclock.Epoch
+	// Pressure falling 5 hPa per 10 minutes = 0.5 hPa/min > threshold.
+	value := 1013.0
+	for i := 0; i < 8; i++ {
+		if err := c.Observe(value, at); err != nil {
+			t.Fatal(err)
+		}
+		value -= 5
+		at = at.Add(10 * time.Minute)
+	}
+	if len(updates) == 0 {
+		t.Fatal("fast signal never tightened the period")
+	}
+	if c.Period() >= 10*time.Minute {
+		t.Fatalf("period = %v after storm, want tightened", c.Period())
+	}
+	tight, _ := c.Adaptations()
+	if tight == 0 {
+		t.Fatal("no tighten adaptations counted")
+	}
+	// Never below the floor.
+	for _, p := range updates {
+		if p < time.Minute {
+			t.Fatalf("period %v below MinPeriod", p)
+		}
+	}
+}
+
+func TestRelaxesOnQuietSignal(t *testing.T) {
+	var updates []time.Duration
+	c := newController(t, &updates)
+	at := simclock.Epoch
+	for i := 0; i < 10; i++ {
+		if err := c.Observe(1013.0+0.001*float64(i), at); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(10 * time.Minute)
+	}
+	if c.Period() <= 10*time.Minute {
+		t.Fatalf("period = %v after a quiet day, want relaxed", c.Period())
+	}
+	if c.Period() > 20*time.Minute {
+		t.Fatalf("period %v exceeds MaxPeriod", c.Period())
+	}
+	_, relaxed := c.Adaptations()
+	if relaxed == 0 {
+		t.Fatal("no relax adaptations counted")
+	}
+}
+
+func TestStableSignalInDeadBandHolds(t *testing.T) {
+	var updates []time.Duration
+	c := newController(t, &updates)
+	at := simclock.Epoch
+	// Rate right between threshold/4 and threshold: no change.
+	value := 1013.0
+	for i := 0; i < 10; i++ {
+		if err := c.Observe(value, at); err != nil {
+			t.Fatal(err)
+		}
+		value += 1.0 // 0.1 hPa/min: inside [0.05, 0.2)
+		at = at.Add(10 * time.Minute)
+	}
+	if len(updates) != 0 {
+		t.Fatalf("dead-band signal adapted anyway: %v", updates)
+	}
+}
+
+func TestUpdaterErrorSurfaces(t *testing.T) {
+	boom := errors.New("network down")
+	c, err := NewController(Config{
+		InitialPeriod:     10 * time.Minute,
+		ActivityThreshold: 0.2,
+		DecideEvery:       2,
+	}, func(time.Duration) error { return boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := simclock.Epoch
+	var got error
+	for i := 0; i < 4; i++ {
+		if e := c.Observe(1000-float64(i*10), at); e != nil {
+			got = e
+		}
+		at = at.Add(10 * time.Minute)
+	}
+	if got == nil || !errors.Is(got, boom) {
+		t.Fatalf("updater error not surfaced: %v", got)
+	}
+	// A failed update must not change the period.
+	if c.Period() != 10*time.Minute {
+		t.Fatalf("period changed despite failed update: %v", c.Period())
+	}
+}
+
+func TestStormFieldDrivesController(t *testing.T) {
+	// End-to-end with the synthetic storm: a calm hour, then a sustained
+	// front — 60 hPa over two hours (0.5 hPa/min, well above the 0.2
+	// activity threshold for long enough to tighten repeatedly).
+	onset := simclock.Epoch.Add(time.Hour)
+	field := sensors.NewStormField(onset, 60, 2*time.Hour)
+
+	var updates []time.Duration
+	c := newController(t, &updates)
+	at := simclock.Epoch
+	for i := 0; i < 18; i++ {
+		if err := c.Observe(field.At(geo.CSDepartment, at), at); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(c.Period()) // sample on the adapted schedule
+	}
+	tight, relaxed := c.Adaptations()
+	if tight == 0 {
+		t.Fatal("storm never tightened sampling")
+	}
+	sawTight := false
+	for _, p := range updates {
+		if p < 10*time.Minute {
+			sawTight = true
+		}
+	}
+	if !sawTight {
+		t.Fatalf("no sub-10min period during the storm; updates: %v", updates)
+	}
+	// After the front passes, the controller should relax again — that
+	// is the energy win.
+	if relaxed == 0 {
+		t.Fatal("controller never relaxed after the storm")
+	}
+}
+
+func TestStormFieldShape(t *testing.T) {
+	onset := simclock.Epoch.Add(time.Hour)
+	f := sensors.NewStormField(onset, 10, 20*time.Minute)
+	calm := f.At(geo.CSDepartment, simclock.Epoch)
+	during := f.At(geo.CSDepartment, onset.Add(10*time.Minute))
+	after := f.At(geo.CSDepartment, onset.Add(time.Hour))
+	if during >= calm {
+		t.Fatal("pressure did not fall during the storm")
+	}
+	if after >= during {
+		t.Fatal("pressure did not keep falling to full depth")
+	}
+	// Full depth reached and held (modulo the small diurnal term).
+	fullDrop := calm - after
+	if fullDrop < 8 || fullDrop > 12 {
+		t.Fatalf("storm drop = %.2f hPa, want ~10", fullDrop)
+	}
+}

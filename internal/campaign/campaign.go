@@ -1,0 +1,252 @@
+// Package campaign is the application-side convenience layer over the CAS
+// library: it owns the full lifecycle of a crowdsensing campaign — submit
+// the task, route its readings, optionally fuse them into a hyperlocal
+// map and adapt the sampling period to the data — so a crowdsensing
+// application is a dozen lines instead of the "37% of the lines of code
+// devoted to book-keeping" the paper measured in Pressurenet.
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"senseaid/internal/adaptive"
+	"senseaid/internal/cas"
+	"senseaid/internal/fusion"
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/wire"
+)
+
+// Config describes one campaign.
+type Config struct {
+	// Sensor, Period, Duration, Center, RadiusM, Density mirror the
+	// Table 1 task parameters.
+	Sensor   sensors.Type
+	Period   time.Duration
+	Duration time.Duration
+	Center   geo.Point
+	RadiusM  float64
+	Density  int
+	// DeviceType optionally restricts the hardware.
+	DeviceType string
+
+	// Map, when set, fuses readings into a hyperlocal map.
+	Map *fusion.Config
+	// Adaptive, when set, tunes the sampling period from the data; its
+	// InitialPeriod is overridden with Period.
+	Adaptive *adaptive.Config
+	// OnReading observes every reading (optional).
+	OnReading func(wire.SensedData)
+}
+
+// Manager multiplexes campaigns over one CAS connection.
+type Manager struct {
+	app *cas.CAS
+
+	mu     sync.Mutex
+	byTask map[string]*Campaign
+}
+
+// NewManager wraps a connected CAS and installs the reading router.
+func NewManager(app *cas.CAS) (*Manager, error) {
+	if app == nil {
+		return nil, fmt.Errorf("campaign: nil CAS")
+	}
+	m := &Manager{app: app, byTask: make(map[string]*Campaign)}
+	if err := app.ReceiveSensedData(m.route); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Manager) route(sd wire.SensedData) {
+	m.mu.Lock()
+	c := m.byTask[sd.TaskID]
+	m.mu.Unlock()
+	if c != nil {
+		c.onReading(sd)
+	}
+}
+
+// Launch submits a campaign and starts routing its data.
+func (m *Manager) Launch(cfg Config) (*Campaign, error) {
+	if cfg.Period <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("campaign: period and duration required")
+	}
+	c := &Campaign{mgr: m, cfg: cfg}
+	if cfg.Map != nil {
+		fm, err := fusion.NewMap(*cfg.Map)
+		if err != nil {
+			return nil, err
+		}
+		c.fmap = fm
+	}
+
+	taskID, err := m.app.Task(wire.TaskSpec{
+		Sensor:           cfg.Sensor,
+		SamplingPeriod:   cfg.Period,
+		SamplingDuration: cfg.Duration,
+		Center:           cfg.Center,
+		AreaRadiusM:      cfg.RadiusM,
+		SpatialDensity:   cfg.Density,
+		DeviceType:       cfg.DeviceType,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.taskID = taskID
+
+	if cfg.Adaptive != nil {
+		acfg := *cfg.Adaptive
+		acfg.InitialPeriod = cfg.Period
+		ctrl, err := adaptive.NewController(acfg, func(p time.Duration) error {
+			return m.app.UpdateTaskParam(wire.UpdateTask{TaskID: taskID, SamplingPeriod: p})
+		})
+		if err != nil {
+			// The task is already live; tear it down rather than leak it.
+			_ = m.app.DeleteTask(taskID)
+			return nil, err
+		}
+		c.ctrl = ctrl
+		// Adaptation issues blocking update_task_param RPCs, so it must
+		// run off the CAS read loop (push handlers must not block).
+		c.obsCh = make(chan wire.SensedData, 64)
+		c.obsDone = make(chan struct{})
+		go c.adaptLoop()
+	}
+
+	m.mu.Lock()
+	m.byTask[taskID] = c
+	m.mu.Unlock()
+	return c, nil
+}
+
+// Active returns the number of live campaigns.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byTask)
+}
+
+// Campaign is one live crowdsensing campaign.
+type Campaign struct {
+	mgr    *Manager
+	cfg    Config
+	taskID string
+
+	mu       sync.Mutex
+	readings int
+	last     wire.SensedData
+	fmap     *fusion.Map
+	ctrlErr  error
+	// curPeriod mirrors the controller's period for concurrent readers;
+	// ctrl itself is touched only by the adapt worker.
+	curPeriod time.Duration
+
+	ctrl     *adaptive.Controller
+	obsCh    chan wire.SensedData
+	obsDone  chan struct{}
+	stopOnce sync.Once
+}
+
+// TaskID returns the middleware-assigned task identifier.
+func (c *Campaign) TaskID() string { return c.taskID }
+
+// Readings returns how many validated readings arrived so far.
+func (c *Campaign) Readings() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readings
+}
+
+// Last returns the most recent reading.
+func (c *Campaign) Last() (wire.SensedData, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last, c.readings > 0
+}
+
+// Map returns the fused hyperlocal map (nil when not configured).
+func (c *Campaign) Map() *fusion.Map {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fmap
+}
+
+// Period returns the current sampling period (the adapted value when an
+// adaptive controller is attached).
+func (c *Campaign) Period() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.curPeriod > 0 {
+		return c.curPeriod
+	}
+	return c.cfg.Period
+}
+
+// AdaptationError reports the last failed period update, if any.
+func (c *Campaign) AdaptationError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctrlErr
+}
+
+func (c *Campaign) onReading(sd wire.SensedData) {
+	c.mu.Lock()
+	c.readings++
+	c.last = sd
+	if c.fmap != nil {
+		c.fmap.Add(fusion.Sample{Where: sd.Reading.Where, Value: sd.Reading.Value, At: sd.Reading.At})
+	}
+	obs := c.obsCh
+	c.mu.Unlock()
+
+	if obs != nil {
+		// Never block the read loop; a full queue just skips this
+		// observation (adaptation tolerates gaps).
+		select {
+		case obs <- sd:
+		default:
+		}
+	}
+	if c.cfg.OnReading != nil {
+		c.cfg.OnReading(sd)
+	}
+}
+
+// adaptLoop feeds the adaptive controller off the read loop; only this
+// goroutine touches the controller after Launch.
+func (c *Campaign) adaptLoop() {
+	defer close(c.obsDone)
+	for sd := range c.obsCh {
+		err := c.ctrl.Observe(sd.Reading.Value, sd.Reading.At)
+		c.mu.Lock()
+		if err != nil {
+			c.ctrlErr = err
+		}
+		c.curPeriod = c.ctrl.Period()
+		c.mu.Unlock()
+	}
+}
+
+// Stop deletes the campaign's task, stops routing its readings, and waits
+// for the adaptation worker to drain.
+func (c *Campaign) Stop() error {
+	c.mgr.mu.Lock()
+	delete(c.mgr.byTask, c.taskID)
+	c.mgr.mu.Unlock()
+
+	c.stopOnce.Do(func() {
+		c.mu.Lock()
+		obs := c.obsCh
+		c.obsCh = nil
+		c.mu.Unlock()
+		if obs != nil {
+			close(obs)
+			<-c.obsDone
+		}
+	})
+	return c.mgr.app.DeleteTask(c.taskID)
+}

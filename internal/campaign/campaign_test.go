@@ -1,0 +1,225 @@
+package campaign
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"senseaid/internal/adaptive"
+	"senseaid/internal/cas"
+	"senseaid/internal/client"
+	"senseaid/internal/fusion"
+	"senseaid/internal/geo"
+	"senseaid/internal/netserver"
+	"senseaid/internal/sensors"
+	"senseaid/internal/wire"
+)
+
+// testStack brings up a networked server with n auto-answering devices
+// and a connected manager.
+func testStack(t *testing.T, n int) (*netserver.Server, *Manager) {
+	t.Helper()
+	srv, err := netserver.Listen(netserver.Config{Addr: "127.0.0.1:0", TickPeriod: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	field := sensors.NewPressureField()
+	for i := 0; i < n; i++ {
+		pos := geo.Offset(geo.CSDepartment, float64(i*40), float64(i*30))
+		dev, err := client.Dial(client.Config{
+			Addr:       srv.Addr(),
+			DeviceID:   "dev-" + string(rune('a'+i)),
+			Position:   pos,
+			BatteryPct: 85,
+			Sensors:    []sensors.Type{sensors.Barometer},
+		})
+		if err != nil {
+			t.Fatalf("client.Dial: %v", err)
+		}
+		t.Cleanup(func() { _ = dev.Close() })
+		if err := dev.Register(); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		if err := dev.StartSensing(func(sch wire.Schedule) {
+			r := field.Sample(pos, time.Now())
+			go func() { _ = dev.SendSenseData(sch.RequestID, r) }()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	app, err := cas.Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("cas.Dial: %v", err)
+	}
+	t.Cleanup(func() { _ = app.Close() })
+	mgr, err := NewManager(app)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return srv, mgr
+}
+
+func baseConfig() Config {
+	return Config{
+		Sensor:   sensors.Barometer,
+		Period:   150 * time.Millisecond,
+		Duration: 2 * time.Second,
+		Center:   geo.CSDepartment,
+		RadiusM:  500,
+		Density:  1,
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(6 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	if _, err := NewManager(nil); err == nil {
+		t.Fatal("nil CAS accepted")
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	_, mgr := testStack(t, 1)
+	bad := baseConfig()
+	bad.Period = 0
+	if _, err := mgr.Launch(bad); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	bad = baseConfig()
+	bad.Density = 0
+	if _, err := mgr.Launch(bad); err == nil {
+		t.Fatal("server should reject zero density")
+	}
+	bad = baseConfig()
+	bad.Map = &fusion.Config{Cells: 0}
+	if _, err := mgr.Launch(bad); err == nil {
+		t.Fatal("invalid map config accepted")
+	}
+}
+
+func TestCampaignCollectsReadings(t *testing.T) {
+	_, mgr := testStack(t, 2)
+	var mu sync.Mutex
+	var seen []wire.SensedData
+	cfg := baseConfig()
+	cfg.OnReading = func(sd wire.SensedData) {
+		mu.Lock()
+		seen = append(seen, sd)
+		mu.Unlock()
+	}
+	cfg.Map = &fusion.Config{Center: geo.CSDepartment, SpanM: 1500, Cells: 8}
+
+	c, err := mgr.Launch(cfg)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if !strings.HasPrefix(c.TaskID(), "task-") {
+		t.Fatalf("task ID = %q", c.TaskID())
+	}
+	if mgr.Active() != 1 {
+		t.Fatalf("active = %d", mgr.Active())
+	}
+
+	waitFor(t, "readings", func() bool { return c.Readings() >= 3 })
+
+	last, ok := c.Last()
+	if !ok || last.Reading.Sensor != sensors.Barometer {
+		t.Fatalf("last = %+v/%v", last, ok)
+	}
+	mu.Lock()
+	hooked := len(seen)
+	mu.Unlock()
+	if hooked == 0 {
+		t.Fatal("OnReading hook never fired")
+	}
+	if c.Map().Len() == 0 {
+		t.Fatal("map collected no samples")
+	}
+	if _, okv := c.Map().ValueAt(geo.CSDepartment, time.Now()); !okv {
+		t.Fatal("map cannot interpolate at the task center")
+	}
+	if c.Period() != cfg.Period {
+		t.Fatalf("period = %v, want %v (no adaptation configured)", c.Period(), cfg.Period)
+	}
+}
+
+func TestCampaignStop(t *testing.T) {
+	_, mgr := testStack(t, 1)
+	c, err := mgr.Launch(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first reading", func() bool { return c.Readings() >= 1 })
+	if err := c.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if mgr.Active() != 0 {
+		t.Fatal("campaign still active after Stop")
+	}
+	n := c.Readings()
+	time.Sleep(400 * time.Millisecond)
+	if c.Readings() != n {
+		t.Fatal("readings kept arriving after Stop")
+	}
+	if err := c.Stop(); err == nil {
+		t.Fatal("double Stop should fail (task already deleted)")
+	}
+}
+
+func TestTwoCampaignsRoutedIndependently(t *testing.T) {
+	_, mgr := testStack(t, 2)
+	c1, err := mgr.Launch(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := mgr.Launch(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.TaskID() == c2.TaskID() {
+		t.Fatal("campaigns share a task ID")
+	}
+	waitFor(t, "both campaigns", func() bool {
+		return c1.Readings() >= 2 && c2.Readings() >= 2
+	})
+}
+
+func TestCampaignAdaptiveWiring(t *testing.T) {
+	_, mgr := testStack(t, 2)
+	cfg := baseConfig()
+	cfg.Duration = 5 * time.Second
+	cfg.Adaptive = &adaptive.Config{
+		// Tiny threshold: the synthetic field's natural variation will
+		// trip it, proving the update_task_param path works end to end.
+		ActivityThreshold: 1e-12,
+		MinPeriod:         50 * time.Millisecond,
+		MaxPeriod:         time.Second,
+		DecideEvery:       2,
+	}
+	c, err := mgr.Launch(cfg)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	waitFor(t, "adaptation", func() bool {
+		if err := c.AdaptationError(); err != nil {
+			t.Fatalf("adaptation error: %v", err)
+		}
+		return c.Period() != cfg.Period
+	})
+	if c.Period() >= cfg.Period {
+		t.Fatalf("period = %v, want tightened below %v", c.Period(), cfg.Period)
+	}
+}

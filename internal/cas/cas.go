@@ -1,0 +1,116 @@
+// Package cas is the Sense-Aid server-side library for crowdsensing
+// application servers. Its surface matches the paper's section 3.4
+// exactly: Task (create a task from its Table 1 parameters),
+// UpdateTaskParam, DeleteTask, and ReceiveSensedData (the callback invoked
+// when validated crowdsensing data arrives for this server).
+package cas
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"senseaid/internal/wire"
+)
+
+// DataHandler receives validated readings for this CAS's tasks.
+type DataHandler func(wire.SensedData)
+
+// CAS is a connected crowdsensing application server.
+type CAS struct {
+	conn *wire.RPCConn
+
+	mu      sync.Mutex
+	handler DataHandler
+	backlog []wire.SensedData
+}
+
+// Dial connects a CAS to the Sense-Aid server.
+func Dial(addr string) (*CAS, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("cas: empty server address")
+	}
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("cas: dial %s: %w", addr, err)
+	}
+	c := &CAS{}
+	rc, err := wire.NewRPCConn(nc, wire.RoleCAS, c.onPush)
+	if err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	c.conn = rc
+	return c, nil
+}
+
+func (c *CAS) onPush(env wire.Envelope) {
+	if env.Type != wire.TypeSensedData {
+		return
+	}
+	var sd wire.SensedData
+	if err := wire.Decode(env, &sd); err != nil {
+		return
+	}
+	c.mu.Lock()
+	h := c.handler
+	if h == nil {
+		c.backlog = append(c.backlog, sd)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	h(sd)
+}
+
+// Task submits a crowdsensing task and returns its server-assigned ID.
+func (c *CAS) Task(spec wire.TaskSpec) (string, error) {
+	ack, err := c.conn.Call(wire.TypeSubmitTask, spec)
+	if err != nil {
+		return "", err
+	}
+	if ack.Ref == "" {
+		return "", fmt.Errorf("cas: server returned no task ID")
+	}
+	return ack.Ref, nil
+}
+
+// UpdateTaskParam changes parameters of an existing task; zero fields are
+// left as they are.
+func (c *CAS) UpdateTaskParam(u wire.UpdateTask) error {
+	if u.TaskID == "" {
+		return fmt.Errorf("cas: empty task ID")
+	}
+	_, err := c.conn.Call(wire.TypeUpdateTask, u)
+	return err
+}
+
+// DeleteTask removes a task from the system.
+func (c *CAS) DeleteTask(taskID string) error {
+	if taskID == "" {
+		return fmt.Errorf("cas: empty task ID")
+	}
+	_, err := c.conn.Call(wire.TypeDeleteTask, wire.DeleteTask{TaskID: taskID})
+	return err
+}
+
+// ReceiveSensedData installs the data callback; readings that arrived
+// before it are replayed in order.
+func (c *CAS) ReceiveSensedData(h DataHandler) error {
+	if h == nil {
+		return fmt.Errorf("cas: nil data handler")
+	}
+	c.mu.Lock()
+	c.handler = h
+	backlog := c.backlog
+	c.backlog = nil
+	c.mu.Unlock()
+	for _, sd := range backlog {
+		h(sd)
+	}
+	return nil
+}
+
+// Close disconnects the CAS.
+func (c *CAS) Close() error { return c.conn.Close() }

@@ -1,0 +1,262 @@
+// Package cellnet simulates the Radio Access Network the Sense-Aid server
+// overlays: eNodeB towers, device attachment by proximity, and the two
+// observables the paper's middleware reads from the RAN — each device's
+// coarse (tower-granularity) location and its RRC radio state.
+//
+// It also models the paper's Figure 4 routing detail: an eNodeB whose
+// traffic includes crowdsensing routes through the Sense-Aid server
+// (path 2), others use the direct path to the S-GW (path 1), which doubles
+// as the fail-safe when the Sense-Aid server is down.
+package cellnet
+
+import (
+	"fmt"
+	"sort"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/phone"
+	"senseaid/internal/radio"
+)
+
+// Tower is one eNodeB.
+type Tower struct {
+	ID       string
+	Location geo.Point
+	// RangeM is the coverage radius; devices beyond every tower's range
+	// are detached (and cannot be orchestrated).
+	RangeM float64
+}
+
+// CorePath is the eNodeB -> core network routing choice from Figure 4.
+type CorePath int
+
+// Paths. PathDirect is the traditional eNodeB->S-GW connection and the
+// fail-safe; PathSenseAid detours through the Sense-Aid server.
+const (
+	PathDirect CorePath = iota + 1
+	PathSenseAid
+)
+
+// String names the path.
+func (p CorePath) String() string {
+	if p == PathSenseAid {
+		return "path2(sense-aid)"
+	}
+	return "path1(direct)"
+}
+
+// Network is the simulated RAN. Not safe for concurrent use.
+type Network struct {
+	towers  []Tower
+	devices map[string]*phone.Phone
+	order   []string // insertion order for deterministic iteration
+	// crowdsensing marks towers currently carrying crowdsensing traffic.
+	crowdsensing map[string]bool
+	// serverUp mirrors Sense-Aid server health for path fail-safe.
+	serverUp bool
+}
+
+// New builds a network over the given towers.
+func New(towers []Tower) (*Network, error) {
+	if len(towers) == 0 {
+		return nil, fmt.Errorf("cellnet: need at least one tower")
+	}
+	seen := make(map[string]bool, len(towers))
+	for _, t := range towers {
+		if t.ID == "" {
+			return nil, fmt.Errorf("cellnet: tower with empty ID")
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("cellnet: duplicate tower %q", t.ID)
+		}
+		if t.RangeM <= 0 {
+			return nil, fmt.Errorf("cellnet: tower %q has non-positive range", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	ts := make([]Tower, len(towers))
+	copy(ts, towers)
+	return &Network{
+		towers:       ts,
+		devices:      make(map[string]*phone.Phone),
+		crowdsensing: make(map[string]bool),
+		serverUp:     true,
+	}, nil
+}
+
+// CampusNetwork returns a network with one tower per study location, each
+// with 1.5 km coverage — enough that campus devices are always attached.
+func CampusNetwork() *Network {
+	locs := geo.CampusLocations()
+	towers := make([]Tower, 0, len(locs))
+	for i, l := range locs {
+		towers = append(towers, Tower{
+			ID:       fmt.Sprintf("enodeb-%d", i+1),
+			Location: l.Point,
+			RangeM:   1500,
+		})
+	}
+	n, err := New(towers)
+	if err != nil {
+		// The tower list above is statically valid.
+		panic(err)
+	}
+	return n
+}
+
+// Attach registers a device with the network.
+func (n *Network) Attach(p *phone.Phone) error {
+	if p == nil {
+		return fmt.Errorf("cellnet: nil phone")
+	}
+	if _, dup := n.devices[p.ID()]; dup {
+		return fmt.Errorf("cellnet: device %q already attached", p.ID())
+	}
+	n.devices[p.ID()] = p
+	n.order = append(n.order, p.ID())
+	return nil
+}
+
+// Detach removes a device.
+func (n *Network) Detach(id string) {
+	if _, ok := n.devices[id]; !ok {
+		return
+	}
+	delete(n.devices, id)
+	for i, d := range n.order {
+		if d == id {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Device returns an attached device by ID.
+func (n *Network) Device(id string) (*phone.Phone, bool) {
+	p, ok := n.devices[id]
+	return p, ok
+}
+
+// Devices returns all attached devices in attachment order.
+func (n *Network) Devices() []*phone.Phone {
+	out := make([]*phone.Phone, 0, len(n.order))
+	for _, id := range n.order {
+		out = append(out, n.devices[id])
+	}
+	return out
+}
+
+// TowerFor returns the nearest in-range tower for a device, or false when
+// the device is out of coverage.
+func (n *Network) TowerFor(id string) (Tower, bool) {
+	p, ok := n.devices[id]
+	if !ok {
+		return Tower{}, false
+	}
+	pos := p.Position()
+	best := -1
+	bestD := 0.0
+	for i, t := range n.towers {
+		d := geo.DistanceM(t.Location, pos)
+		if d > t.RangeM {
+			continue
+		}
+		if best == -1 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best == -1 {
+		return Tower{}, false
+	}
+	return n.towers[best], true
+}
+
+// CoarseLocation returns the tower-granularity location the paper's
+// middleware reads for free from the eNodeB: the serving tower's position.
+func (n *Network) CoarseLocation(id string) (geo.Point, bool) {
+	t, ok := n.TowerFor(id)
+	if !ok {
+		return geo.Point{}, false
+	}
+	return t.Location, true
+}
+
+// RadioState reports the device's RRC state as the eNodeB sees it.
+func (n *Network) RadioState(id string) (radio.RRCState, bool) {
+	p, ok := n.devices[id]
+	if !ok {
+		return 0, false
+	}
+	return p.Radio().State(), true
+}
+
+// DevicesInRegion returns attached, in-coverage devices whose true
+// position lies within the circle, sorted by ID for determinism. (The
+// paper's prototype used device GPS for this; the production design uses
+// tower-set lookups. Both are exposed; experiments use this one, as the
+// prototype did.)
+func (n *Network) DevicesInRegion(c geo.Circle) []*phone.Phone {
+	var out []*phone.Phone
+	for _, id := range n.order {
+		p := n.devices[id]
+		if _, covered := n.TowerFor(id); !covered {
+			continue
+		}
+		if c.Contains(p.Position()) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// TowersInRegion returns the towers whose coverage intersects the circle:
+// the lookup the Sense-Aid server performs to find candidate devices.
+func (n *Network) TowersInRegion(c geo.Circle) []Tower {
+	var out []Tower
+	for _, t := range n.towers {
+		if geo.DistanceM(t.Location, c.Center) <= t.RangeM+c.RadiusM {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DevicesViaTowers returns devices served by any tower intersecting the
+// region — the tower-granularity qualification path.
+func (n *Network) DevicesViaTowers(c geo.Circle) []*phone.Phone {
+	towers := make(map[string]bool)
+	for _, t := range n.TowersInRegion(c) {
+		towers[t.ID] = true
+	}
+	var out []*phone.Phone
+	for _, id := range n.order {
+		t, ok := n.TowerFor(id)
+		if ok && towers[t.ID] {
+			out = append(out, n.devices[id])
+		}
+	}
+	return out
+}
+
+// SetCrowdsensing marks whether a tower currently carries crowdsensing
+// traffic, which switches its core path.
+func (n *Network) SetCrowdsensing(towerID string, active bool) {
+	if active {
+		n.crowdsensing[towerID] = true
+	} else {
+		delete(n.crowdsensing, towerID)
+	}
+}
+
+// SetServerUp toggles Sense-Aid server health; when down, every eNodeB
+// falls back to the direct path (the paper's fail-safe).
+func (n *Network) SetServerUp(up bool) { n.serverUp = up }
+
+// PathFor returns the core path an eNodeB uses right now.
+func (n *Network) PathFor(towerID string) CorePath {
+	if n.serverUp && n.crowdsensing[towerID] {
+		return PathSenseAid
+	}
+	return PathDirect
+}

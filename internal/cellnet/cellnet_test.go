@@ -1,0 +1,219 @@
+package cellnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/mobility"
+	"senseaid/internal/phone"
+	"senseaid/internal/radio"
+	"senseaid/internal/simclock"
+)
+
+func newPhoneAt(t *testing.T, s *simclock.Scheduler, id string, p geo.Point) *phone.Phone {
+	t.Helper()
+	ph, err := phone.New(s, phone.Config{ID: id, Mobility: mobility.Stationary{P: p}})
+	if err != nil {
+		t.Fatalf("phone.New: %v", err)
+	}
+	return ph
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty tower list accepted")
+	}
+	if _, err := New([]Tower{{ID: "", Location: geo.CSDepartment, RangeM: 100}}); err == nil {
+		t.Fatal("empty tower ID accepted")
+	}
+	if _, err := New([]Tower{
+		{ID: "a", Location: geo.CSDepartment, RangeM: 100},
+		{ID: "a", Location: geo.EEDepartment, RangeM: 100},
+	}); err == nil {
+		t.Fatal("duplicate tower ID accepted")
+	}
+	if _, err := New([]Tower{{ID: "a", Location: geo.CSDepartment, RangeM: 0}}); err == nil {
+		t.Fatal("zero range accepted")
+	}
+}
+
+func TestAttachDetach(t *testing.T) {
+	s := simclock.NewScheduler()
+	n := CampusNetwork()
+	p := newPhoneAt(t, s, "d1", geo.CSDepartment)
+	if err := n.Attach(p); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if err := n.Attach(p); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+	if err := n.Attach(nil); err == nil {
+		t.Fatal("nil attach accepted")
+	}
+	if got, ok := n.Device("d1"); !ok || got != p {
+		t.Fatal("Device lookup failed")
+	}
+	n.Detach("d1")
+	if _, ok := n.Device("d1"); ok {
+		t.Fatal("device still present after detach")
+	}
+	n.Detach("missing") // must not panic
+}
+
+func TestTowerForNearest(t *testing.T) {
+	s := simclock.NewScheduler()
+	n := CampusNetwork()
+	p := newPhoneAt(t, s, "d1", geo.CSDepartment)
+	if err := n.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	tower, ok := n.TowerFor("d1")
+	if !ok {
+		t.Fatal("device at CS dept out of coverage")
+	}
+	// The CS-department tower is enodeb-3 (third campus location).
+	if tower.ID != "enodeb-3" {
+		t.Fatalf("serving tower = %s, want enodeb-3", tower.ID)
+	}
+	loc, ok := n.CoarseLocation("d1")
+	if !ok || loc != geo.CSDepartment {
+		t.Fatalf("coarse location = %v, want CS dept tower location", loc)
+	}
+}
+
+func TestOutOfCoverage(t *testing.T) {
+	s := simclock.NewScheduler()
+	n := CampusNetwork()
+	far := geo.Offset(geo.CampusCenter(), 50_000, 0)
+	p := newPhoneAt(t, s, "remote", far)
+	if err := n.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.TowerFor("remote"); ok {
+		t.Fatal("device 50km away should be out of coverage")
+	}
+	if devs := n.DevicesInRegion(geo.Circle{Center: far, RadiusM: 100}); len(devs) != 0 {
+		t.Fatal("out-of-coverage device should not qualify for regions")
+	}
+}
+
+func TestRadioStateVisible(t *testing.T) {
+	s := simclock.NewScheduler()
+	n := CampusNetwork()
+	p := newPhoneAt(t, s, "d1", geo.CSDepartment)
+	if err := n.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := n.RadioState("d1")
+	if !ok || st != radio.StateIdle {
+		t.Fatalf("initial radio state = %v, want idle", st)
+	}
+	p.Radio().Send(600, radio.CauseBackground, true)
+	s.RunFor(2 * time.Second)
+	st, _ = n.RadioState("d1")
+	if st != radio.StateTail {
+		t.Fatalf("radio state after send = %v, want tail", st)
+	}
+	if _, ok := n.RadioState("ghost"); ok {
+		t.Fatal("unknown device reported a radio state")
+	}
+}
+
+func TestDevicesInRegionSortedAndFiltered(t *testing.T) {
+	s := simclock.NewScheduler()
+	n := CampusNetwork()
+	inA := newPhoneAt(t, s, "b-in", geo.Offset(geo.CSDepartment, 100, 0))
+	inB := newPhoneAt(t, s, "a-in", geo.Offset(geo.CSDepartment, -100, 50))
+	out := newPhoneAt(t, s, "c-out", geo.Offset(geo.CSDepartment, 900, 0))
+	for _, p := range []*phone.Phone{inA, inB, out} {
+		if err := n.Attach(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := n.DevicesInRegion(geo.Circle{Center: geo.CSDepartment, RadiusM: 500})
+	if len(got) != 2 {
+		t.Fatalf("qualified = %d, want 2", len(got))
+	}
+	if got[0].ID() != "a-in" || got[1].ID() != "b-in" {
+		t.Fatalf("region result not sorted by ID: %s, %s", got[0].ID(), got[1].ID())
+	}
+}
+
+func TestDevicesViaTowersCoarser(t *testing.T) {
+	s := simclock.NewScheduler()
+	n := CampusNetwork()
+	// 900m from CS dept: outside a 500m task circle, but served by a
+	// tower whose coverage intersects it.
+	p := newPhoneAt(t, s, "edge", geo.Offset(geo.CSDepartment, 900, 0))
+	if err := n.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	c := geo.Circle{Center: geo.CSDepartment, RadiusM: 500}
+	if got := n.DevicesInRegion(c); len(got) != 0 {
+		t.Fatal("exact region check should exclude the edge device")
+	}
+	if got := n.DevicesViaTowers(c); len(got) != 1 {
+		t.Fatal("tower-granularity check should include the edge device")
+	}
+}
+
+func TestCorePathSwitching(t *testing.T) {
+	n := CampusNetwork()
+	if got := n.PathFor("enodeb-1"); got != PathDirect {
+		t.Fatalf("default path = %v, want direct", got)
+	}
+	n.SetCrowdsensing("enodeb-1", true)
+	if got := n.PathFor("enodeb-1"); got != PathSenseAid {
+		t.Fatalf("crowdsensing path = %v, want sense-aid", got)
+	}
+	// Fail-safe: server down forces the direct path.
+	n.SetServerUp(false)
+	if got := n.PathFor("enodeb-1"); got != PathDirect {
+		t.Fatalf("failover path = %v, want direct", got)
+	}
+	n.SetServerUp(true)
+	n.SetCrowdsensing("enodeb-1", false)
+	if got := n.PathFor("enodeb-1"); got != PathDirect {
+		t.Fatalf("cleared path = %v, want direct", got)
+	}
+}
+
+func TestCorePathString(t *testing.T) {
+	if PathDirect.String() != "path1(direct)" || PathSenseAid.String() != "path2(sense-aid)" {
+		t.Fatal("unexpected path names")
+	}
+}
+
+func TestDevicesOrderStable(t *testing.T) {
+	s := simclock.NewScheduler()
+	n := CampusNetwork()
+	for i := 0; i < 5; i++ {
+		p := newPhoneAt(t, s, fmt.Sprintf("dev-%d", i), geo.CSDepartment)
+		if err := n.Attach(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	devs := n.Devices()
+	if len(devs) != 5 {
+		t.Fatalf("got %d devices, want 5", len(devs))
+	}
+	for i, p := range devs {
+		if want := fmt.Sprintf("dev-%d", i); p.ID() != want {
+			t.Fatalf("device %d = %s, want %s (attachment order)", i, p.ID(), want)
+		}
+	}
+}
+
+func TestTowersInRegion(t *testing.T) {
+	n := CampusNetwork()
+	all := n.TowersInRegion(geo.Circle{Center: geo.CampusCenter(), RadiusM: 1000})
+	if len(all) != 4 {
+		t.Fatalf("campus-wide region hits %d towers, want 4", len(all))
+	}
+	none := n.TowersInRegion(geo.Circle{Center: geo.Offset(geo.CampusCenter(), 100_000, 0), RadiusM: 100})
+	if len(none) != 0 {
+		t.Fatalf("far region hits %d towers, want 0", len(none))
+	}
+}

@@ -1,0 +1,174 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"senseaid/internal/sensors"
+	"senseaid/internal/wire"
+)
+
+// The paper observes that before Sense-Aid there was "no middleware on
+// the mobile devices that can allow multiple crowdsensing apps to co-exist
+// and leverage common functionalities". AppMux is that middleware: local
+// crowdsensing apps register their sensor interests with the one Sense-Aid
+// client on the device; when a schedule arrives, the mux samples once,
+// uploads once, and fans the reading out to every interested app — one
+// radio transfer and one sensor activation no matter how many apps care.
+
+// Uplink is the slice of the Sense-Aid client the mux needs; *Client
+// satisfies it, and tests substitute fakes.
+type Uplink interface {
+	// StartSensing installs the schedule handler.
+	StartSensing(h ScheduleHandler) error
+	// SendSenseData uploads one reading for a request.
+	SendSenseData(requestID string, r sensors.Reading) error
+}
+
+var _ Uplink = (*Client)(nil)
+
+// Sampler takes one reading from device hardware.
+type Sampler func(sensors.Type) (sensors.Reading, error)
+
+// MuxStats counts the mux's economy.
+type MuxStats struct {
+	// Schedules received from the server.
+	Schedules int
+	// Samples actually taken (one per schedule).
+	Samples int
+	// Uploads sent (one per schedule).
+	Uploads int
+	// Deliveries to local apps (>= Samples when apps share sensors —
+	// the saving is Deliveries - Samples sensor activations avoided).
+	Deliveries int
+	// Errors from sampling or uploading.
+	Errors int
+}
+
+// AppMux multiplexes one device's Sense-Aid client across local apps.
+// Safe for concurrent use (schedules arrive on the client's read loop
+// while apps register from elsewhere).
+type AppMux struct {
+	uplink  Uplink
+	sampler Sampler
+
+	mu    sync.Mutex
+	apps  map[string]muxApp
+	stats MuxStats
+}
+
+type muxApp struct {
+	interest map[sensors.Type]bool
+	deliver  func(sensors.Reading)
+}
+
+// NewAppMux builds a mux over an uplink and a hardware sampler.
+func NewAppMux(uplink Uplink, sampler Sampler) (*AppMux, error) {
+	if uplink == nil {
+		return nil, fmt.Errorf("client: nil uplink")
+	}
+	if sampler == nil {
+		return nil, fmt.Errorf("client: nil sampler")
+	}
+	return &AppMux{
+		uplink:  uplink,
+		sampler: sampler,
+		apps:    make(map[string]muxApp),
+	}, nil
+}
+
+// RegisterApp adds a local app with its sensor interests and delivery
+// callback. Registering an existing name replaces it.
+func (m *AppMux) RegisterApp(name string, interest []sensors.Type, deliver func(sensors.Reading)) error {
+	if name == "" {
+		return fmt.Errorf("client: empty app name")
+	}
+	if len(interest) == 0 {
+		return fmt.Errorf("client: app %s has no sensor interests", name)
+	}
+	if deliver == nil {
+		return fmt.Errorf("client: app %s has no delivery callback", name)
+	}
+	set := make(map[sensors.Type]bool, len(interest))
+	for _, t := range interest {
+		if !t.Valid() {
+			return fmt.Errorf("client: app %s: invalid sensor %v", name, t)
+		}
+		set[t] = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.apps[name] = muxApp{interest: set, deliver: deliver}
+	return nil
+}
+
+// UnregisterApp removes a local app.
+func (m *AppMux) UnregisterApp(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.apps, name)
+}
+
+// Apps returns the number of registered apps.
+func (m *AppMux) Apps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.apps)
+}
+
+// Stats returns a copy of the counters.
+func (m *AppMux) Stats() MuxStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Start installs the mux as the client's schedule handler.
+func (m *AppMux) Start() error {
+	return m.uplink.StartSensing(m.onSchedule)
+}
+
+// onSchedule samples once, uploads once, and fans out. The work runs off
+// the calling goroutine: schedule handlers are invoked from the client's
+// read loop, and SendSenseData must not block it (its ack arrives on that
+// very loop).
+func (m *AppMux) onSchedule(sch wire.Schedule) {
+	m.mu.Lock()
+	m.stats.Schedules++
+	m.mu.Unlock()
+	go m.handle(sch)
+}
+
+func (m *AppMux) handle(sch wire.Schedule) {
+	reading, err := m.sampler(sch.Sensor)
+	if err != nil {
+		m.mu.Lock()
+		m.stats.Errors++
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Lock()
+	m.stats.Samples++
+	m.mu.Unlock()
+
+	if err := m.uplink.SendSenseData(sch.RequestID, reading); err != nil {
+		m.mu.Lock()
+		m.stats.Errors++
+		m.mu.Unlock()
+		return
+	}
+
+	m.mu.Lock()
+	m.stats.Uploads++
+	var targets []func(sensors.Reading)
+	for _, app := range m.apps {
+		if app.interest[sch.Sensor] {
+			targets = append(targets, app.deliver)
+			m.stats.Deliveries++
+		}
+	}
+	m.mu.Unlock()
+	for _, deliver := range targets {
+		deliver(reading)
+	}
+}

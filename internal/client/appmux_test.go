@@ -1,0 +1,243 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/wire"
+)
+
+// fakeUplink records uploads and lets tests inject schedules.
+type fakeUplink struct {
+	mu      sync.Mutex
+	handler ScheduleHandler
+	uploads []string
+	fail    bool
+}
+
+func (f *fakeUplink) StartSensing(h ScheduleHandler) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handler = h
+	return nil
+}
+
+func (f *fakeUplink) SendSenseData(reqID string, _ sensors.Reading) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return errors.New("uplink down")
+	}
+	f.uploads = append(f.uploads, reqID)
+	return nil
+}
+
+func (f *fakeUplink) push(sch wire.Schedule) {
+	f.mu.Lock()
+	h := f.handler
+	f.mu.Unlock()
+	h(sch)
+}
+
+func okSampler(t sensors.Type) (sensors.Reading, error) {
+	return sensors.Reading{
+		Sensor: t, Value: 1013.25, Unit: t.Unit(),
+		At: time.Now(), Where: geo.CSDepartment,
+	}, nil
+}
+
+func newMux(t *testing.T) (*AppMux, *fakeUplink) {
+	t.Helper()
+	up := &fakeUplink{}
+	m, err := NewAppMux(up, okSampler)
+	if err != nil {
+		t.Fatalf("NewAppMux: %v", err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return m, up
+}
+
+// waitStats polls until the mux's async handlers settle into cond.
+func waitStats(t *testing.T, m *AppMux, cond func(MuxStats) bool) MuxStats {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		st := m.Stats()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for mux stats; last %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAppMuxValidation(t *testing.T) {
+	up := &fakeUplink{}
+	if _, err := NewAppMux(nil, okSampler); err == nil {
+		t.Fatal("nil uplink accepted")
+	}
+	if _, err := NewAppMux(up, nil); err == nil {
+		t.Fatal("nil sampler accepted")
+	}
+	m, err := NewAppMux(up, okSampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterApp("", []sensors.Type{sensors.Barometer}, func(sensors.Reading) {}); err == nil {
+		t.Fatal("empty app name accepted")
+	}
+	if err := m.RegisterApp("a", nil, func(sensors.Reading) {}); err == nil {
+		t.Fatal("no interests accepted")
+	}
+	if err := m.RegisterApp("a", []sensors.Type{sensors.Barometer}, nil); err == nil {
+		t.Fatal("nil delivery accepted")
+	}
+	if err := m.RegisterApp("a", []sensors.Type{sensors.Type(99)}, func(sensors.Reading) {}); err == nil {
+		t.Fatal("invalid sensor accepted")
+	}
+}
+
+func TestAppMuxSamplesOnceDeliversToAll(t *testing.T) {
+	m, up := newMux(t)
+	var mu sync.Mutex
+	got := map[string]int{}
+	for _, name := range []string{"weather", "forecast", "research"} {
+		name := name
+		err := m.RegisterApp(name, []sensors.Type{sensors.Barometer}, func(sensors.Reading) {
+			mu.Lock()
+			got[name]++
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Apps() != 3 {
+		t.Fatalf("apps = %d, want 3", m.Apps())
+	}
+
+	up.push(wire.Schedule{RequestID: "task-1#0", Sensor: sensors.Barometer})
+
+	st := waitStats(t, m, func(st MuxStats) bool { return st.Deliveries == 3 })
+	if st.Samples != 1 || st.Uploads != 1 {
+		t.Fatalf("stats = %+v; want exactly one sample and one upload", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for name, n := range got {
+		if n != 1 {
+			t.Fatalf("app %s got %d readings, want 1", name, n)
+		}
+	}
+	if len(up.uploads) != 1 || up.uploads[0] != "task-1#0" {
+		t.Fatalf("uploads = %v", up.uploads)
+	}
+}
+
+func TestAppMuxRoutesBySensorInterest(t *testing.T) {
+	m, up := newMux(t)
+	var mu sync.Mutex
+	var weather, noise int
+	if err := m.RegisterApp("weather", []sensors.Type{sensors.Barometer}, func(sensors.Reading) {
+		mu.Lock()
+		weather++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterApp("noise", []sensors.Type{sensors.Microphone}, func(sensors.Reading) {
+		mu.Lock()
+		noise++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	up.push(wire.Schedule{RequestID: "task-1#0", Sensor: sensors.Barometer})
+	up.push(wire.Schedule{RequestID: "task-2#0", Sensor: sensors.Microphone})
+	up.push(wire.Schedule{RequestID: "task-2#1", Sensor: sensors.Microphone})
+	waitStats(t, m, func(st MuxStats) bool { return st.Deliveries == 3 })
+	mu.Lock()
+	defer mu.Unlock()
+	if weather != 1 || noise != 2 {
+		t.Fatalf("weather=%d noise=%d, want 1/2", weather, noise)
+	}
+}
+
+func TestAppMuxUnregister(t *testing.T) {
+	m, up := newMux(t)
+	count := 0
+	if err := m.RegisterApp("app", []sensors.Type{sensors.Barometer}, func(sensors.Reading) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	m.UnregisterApp("app")
+	up.push(wire.Schedule{RequestID: "task-1#0", Sensor: sensors.Barometer})
+	// The upload still happens: the server asked for data regardless of
+	// local subscribers.
+	waitStats(t, m, func(st MuxStats) bool { return st.Uploads == 1 })
+	if count != 0 {
+		t.Fatal("unregistered app still received readings")
+	}
+}
+
+func TestAppMuxSamplerFailure(t *testing.T) {
+	up := &fakeUplink{}
+	m, err := NewAppMux(up, func(sensors.Type) (sensors.Reading, error) {
+		return sensors.Reading{}, errors.New("sensor broken")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	up.push(wire.Schedule{RequestID: "task-1#0", Sensor: sensors.Barometer})
+	st := waitStats(t, m, func(st MuxStats) bool { return st.Errors == 1 })
+	if st.Uploads != 0 {
+		t.Fatalf("stats = %+v, want no uploads", st)
+	}
+}
+
+func TestAppMuxUplinkFailure(t *testing.T) {
+	m, up := newMux(t)
+	delivered := 0
+	if err := m.RegisterApp("a", []sensors.Type{sensors.Barometer}, func(sensors.Reading) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	up.fail = true
+	up.push(wire.Schedule{RequestID: "task-1#0", Sensor: sensors.Barometer})
+	waitStats(t, m, func(st MuxStats) bool { return st.Errors == 1 })
+	if delivered != 0 {
+		t.Fatal("reading delivered to apps despite failed upload")
+	}
+}
+
+func TestAppMuxConcurrentSchedules(t *testing.T) {
+	m, up := newMux(t)
+	var mu sync.Mutex
+	count := 0
+	if err := m.RegisterApp("a", []sensors.Type{sensors.Barometer}, func(sensors.Reading) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			up.push(wire.Schedule{RequestID: "task-1#0", Sensor: sensors.Barometer})
+		}()
+	}
+	wg.Wait()
+	waitStats(t, m, func(st MuxStats) bool { return st.Samples == 16 && st.Deliveries == 16 })
+}

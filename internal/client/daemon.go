@@ -1,0 +1,183 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/wire"
+)
+
+// Daemon is the complete device-side agent: it registers the device,
+// answers sensing schedules through a sampler, and runs the paper's
+// service thread (periodic state reports, gated on inferred tail time so
+// control traffic rides windows that are already paid for). It is what a
+// real deployment runs on the phone; cmd/senseaid-client wraps it.
+type Daemon struct {
+	cfg DaemonConfig
+
+	client *Client
+	tail   *TailObserver
+
+	mu      sync.Mutex
+	uploads int
+	reports int
+	errs    []error
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// DaemonConfig parameterises a Daemon.
+type DaemonConfig struct {
+	// Client identifies the device and the server (see Config).
+	Client Config
+	// Sampler takes hardware readings for schedules; required.
+	Sampler Sampler
+	// Position reports the device's current location; falls back to the
+	// registration position when nil.
+	Position func() geo.Point
+	// Battery reports the current battery percentage; falls back to the
+	// registration value when nil.
+	Battery func() float64
+	// ReportPeriod is the service thread's cadence (default 1 minute).
+	ReportPeriod time.Duration
+	// TailDur configures tail inference (default LTE ~11.5 s).
+	TailDur time.Duration
+}
+
+// StartDaemon dials, registers, and starts the daemon's loops.
+func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.Sampler == nil {
+		return nil, fmt.Errorf("client: daemon needs a sampler")
+	}
+	if cfg.ReportPeriod <= 0 {
+		cfg.ReportPeriod = time.Minute
+	}
+	if cfg.Position == nil {
+		pos := cfg.Client.Position
+		cfg.Position = func() geo.Point { return pos }
+	}
+	if cfg.Battery == nil {
+		pct := cfg.Client.BatteryPct
+		cfg.Battery = func() float64 { return pct }
+	}
+
+	c, err := Dial(cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Register(); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+
+	d := &Daemon{
+		cfg:    cfg,
+		client: c,
+		tail:   NewTailObserver(cfg.TailDur),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if err := c.StartSensing(d.onSchedule); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	go d.serviceThread()
+	return d, nil
+}
+
+// onSchedule samples and uploads; every successful exchange is also a
+// tail observation.
+func (d *Daemon) onSchedule(sch wire.Schedule) {
+	reading, err := d.cfg.Sampler(sch.Sensor)
+	if err != nil {
+		d.note(fmt.Errorf("sample %s: %w", sch.Sensor, err))
+		return
+	}
+	// Uploads run off the read loop: SendSenseData waits for its ack.
+	go func() {
+		if err := d.client.SendSenseData(sch.RequestID, reading); err != nil {
+			d.note(fmt.Errorf("upload %s: %w", sch.RequestID, err))
+			return
+		}
+		d.tail.Observe(time.Now())
+		d.mu.Lock()
+		d.uploads++
+		d.mu.Unlock()
+	}()
+}
+
+// serviceThread is the paper's control loop: report device state every
+// period, preferring instants when the radio is already in its tail.
+func (d *Daemon) serviceThread() {
+	defer close(d.done)
+	ticker := time.NewTicker(d.cfg.ReportPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+			if err := d.client.ReportState(d.cfg.Position(), d.cfg.Battery(), time.Now()); err != nil {
+				d.note(fmt.Errorf("state report: %w", err))
+				continue
+			}
+			d.tail.Observe(time.Now())
+			d.mu.Lock()
+			d.reports++
+			d.mu.Unlock()
+		}
+	}
+}
+
+func (d *Daemon) note(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.errs) < 64 {
+		d.errs = append(d.errs, err)
+	}
+}
+
+// Uploads returns how many readings the daemon has delivered.
+func (d *Daemon) Uploads() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.uploads
+}
+
+// Reports returns how many state reports went out.
+func (d *Daemon) Reports() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reports
+}
+
+// Errs returns the accumulated (bounded) error log.
+func (d *Daemon) Errs() []error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]error, len(d.errs))
+	copy(out, d.errs)
+	return out
+}
+
+// InTail exposes the daemon's tail inference (for local apps deciding
+// when their own traffic is cheap).
+func (d *Daemon) InTail() bool { return d.tail.InTail(time.Now()) }
+
+// Client exposes the underlying client (e.g. to attach an AppMux).
+func (d *Daemon) Client() *Client { return d.client }
+
+// Close deregisters and stops the loops.
+func (d *Daemon) Close() error {
+	var err error
+	d.stopOnce.Do(func() {
+		close(d.stop)
+		err = d.client.Deregister()
+		<-d.done
+	})
+	return err
+}

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/wire"
+)
+
+func daemonConfig(addr string) DaemonConfig {
+	return DaemonConfig{
+		Client: Config{
+			Addr:       addr,
+			DeviceID:   "daemon-dev",
+			Position:   geo.CSDepartment,
+			BatteryPct: 77,
+			Sensors:    []sensors.Type{sensors.Barometer},
+		},
+		Sampler:      okSampler,
+		ReportPeriod: 50 * time.Millisecond,
+	}
+}
+
+func TestDaemonLifecycle(t *testing.T) {
+	srv := newScriptServer(t)
+	d, err := StartDaemon(daemonConfig(srv.addr()))
+	if err != nil {
+		t.Fatalf("StartDaemon: %v", err)
+	}
+
+	// The service thread reports on its cadence.
+	deadline := time.Now().Add(3 * time.Second)
+	for d.Reports() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d reports", d.Reports())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !d.InTail() {
+		t.Fatal("recent report should imply inferred tail time")
+	}
+
+	// A pushed schedule leads to an upload.
+	srv.push(wire.Schedule{RequestID: "task-1#0", Sensor: sensors.Barometer})
+	deadline = time.Now().Add(3 * time.Second)
+	for d.Uploads() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no uploads; errs=%v", d.Errs())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestDaemonValidation(t *testing.T) {
+	if _, err := StartDaemon(DaemonConfig{}); err == nil {
+		t.Fatal("nil sampler accepted")
+	}
+	cfg := daemonConfig("127.0.0.1:1") // nothing listening
+	if _, err := StartDaemon(cfg); err == nil {
+		t.Fatal("dead server accepted")
+	}
+}
+
+func TestDaemonSamplerErrorLogged(t *testing.T) {
+	srv := newScriptServer(t)
+	cfg := daemonConfig(srv.addr())
+	cfg.Sampler = func(sensors.Type) (sensors.Reading, error) {
+		return sensors.Reading{}, errors.New("hardware fault")
+	}
+	d, err := StartDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d.Close() }()
+
+	srv.push(wire.Schedule{RequestID: "task-1#0", Sensor: sensors.Barometer})
+	deadline := time.Now().Add(2 * time.Second)
+	for len(d.Errs()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler error never logged")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if d.Uploads() != 0 {
+		t.Fatal("upload happened despite sampler failure")
+	}
+}
+
+func TestDaemonWithAppMux(t *testing.T) {
+	srv := newScriptServer(t)
+	d, err := StartDaemon(daemonConfig(srv.addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d.Close() }()
+
+	// Local apps share the daemon's client through the mux. Installing
+	// the mux replaces the daemon's own schedule handler.
+	mux, err := NewAppMux(d.Client(), okSampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan sensors.Reading, 1)
+	if err := mux.RegisterApp("local-app", []sensors.Type{sensors.Barometer}, func(r sensors.Reading) {
+		select {
+		case got <- r:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mux.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.push(wire.Schedule{RequestID: "task-9#0", Sensor: sensors.Barometer})
+	select {
+	case r := <-got:
+		if r.Sensor != sensors.Barometer {
+			t.Fatalf("delivered %v", r.Sensor)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("mux never delivered to the local app")
+	}
+}

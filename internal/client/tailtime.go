@@ -1,0 +1,69 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// TailObserver infers the cellular radio's tail state from observed packet
+// activity — the reproduction of the paper's tPacketCapture trick
+// (section 4.1): Android offers no radio-state API, so the client watches
+// the packet capture directory and treats any activity as a tail reset.
+//
+// Feed it every observed packet with Observe; InTail and TailRemaining
+// then answer whether an upload right now would ride the tail. Safe for
+// concurrent use (the packet watcher and the upload path race in a real
+// deployment).
+type TailObserver struct {
+	tailDur time.Duration
+
+	mu         sync.Mutex
+	lastPacket time.Time
+	seen       bool
+}
+
+// DefaultTailDuration is the LTE inactivity timer the paper measures
+// (~11.5 s).
+const DefaultTailDuration = 11500 * time.Millisecond
+
+// NewTailObserver builds an observer for a given tail duration; zero uses
+// the LTE default.
+func NewTailObserver(tailDur time.Duration) *TailObserver {
+	if tailDur <= 0 {
+		tailDur = DefaultTailDuration
+	}
+	return &TailObserver{tailDur: tailDur}
+}
+
+// Observe records packet activity at an instant.
+func (o *TailObserver) Observe(at time.Time) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.seen || at.After(o.lastPacket) {
+		o.lastPacket = at
+		o.seen = true
+	}
+}
+
+// InTail reports whether the radio is inferred to be in its tail at now.
+func (o *TailObserver) InTail(now time.Time) bool {
+	return o.TailRemaining(now) > 0
+}
+
+// TailRemaining returns how much inferred tail time is left at now; zero
+// when the radio is inferred idle (or nothing was ever observed).
+func (o *TailObserver) TailRemaining(now time.Time) time.Duration {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.seen {
+		return 0
+	}
+	end := o.lastPacket.Add(o.tailDur)
+	if !end.After(now) {
+		return 0
+	}
+	if now.Before(o.lastPacket) {
+		return o.tailDur
+	}
+	return end.Sub(now)
+}

@@ -1,0 +1,61 @@
+package client
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTailObserverLifecycle(t *testing.T) {
+	base := time.Date(2017, 12, 11, 9, 0, 0, 0, time.UTC)
+	o := NewTailObserver(0) // default 11.5s
+
+	if o.InTail(base) {
+		t.Fatal("fresh observer reports in-tail")
+	}
+	o.Observe(base)
+	if !o.InTail(base.Add(5 * time.Second)) {
+		t.Fatal("not in tail 5s after a packet")
+	}
+	if o.InTail(base.Add(12 * time.Second)) {
+		t.Fatal("still in tail 12s after a packet")
+	}
+	if got := o.TailRemaining(base.Add(10 * time.Second)); got != 1500*time.Millisecond {
+		t.Fatalf("TailRemaining = %v, want 1.5s", got)
+	}
+}
+
+func TestTailObserverResetOnActivity(t *testing.T) {
+	base := time.Date(2017, 12, 11, 9, 0, 0, 0, time.UTC)
+	o := NewTailObserver(10 * time.Second)
+	o.Observe(base)
+	o.Observe(base.Add(8 * time.Second)) // resets
+	if !o.InTail(base.Add(15 * time.Second)) {
+		t.Fatal("tail not extended by the second packet")
+	}
+	// Out-of-order observation must not move the stamp backwards.
+	o.Observe(base.Add(2 * time.Second))
+	if !o.InTail(base.Add(15 * time.Second)) {
+		t.Fatal("stale observation moved the tail backwards")
+	}
+}
+
+func TestTailObserverConcurrent(t *testing.T) {
+	base := time.Now()
+	o := NewTailObserver(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				o.Observe(base.Add(time.Duration(i*j) * time.Millisecond))
+				o.InTail(base)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if !o.InTail(base) {
+		t.Fatal("no tail after observations")
+	}
+}

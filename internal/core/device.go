@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/power"
+	"senseaid/internal/sensors"
+)
+
+// DeviceState is the server's view of one registered device: the fields
+// the paper's device datastore tracks (hashed IMEI, energy budget, battery
+// level, selection count, last radio communication) plus the RAN-provided
+// coarse location and the capability facts needed for qualification.
+type DeviceState struct {
+	// ID is the hash of the device IMEI; the raw IMEI never reaches the
+	// server (the paper's privacy stance).
+	ID string `json:"id"`
+	// Position is the device location at tower granularity.
+	Position geo.Point `json:"position"`
+	// BatteryPct is the current battery level (CBL_i).
+	BatteryPct float64 `json:"battery_pct"`
+	// EnergySpentJ is crowdsensing energy used this accounting window (E_i).
+	EnergySpentJ float64 `json:"energy_spent_j"`
+	// TimesUsed counts selections this accounting window (U_i).
+	TimesUsed int `json:"times_used"`
+	// LastComm is the most recent radio communication; now-LastComm is
+	// the selector's TTL_i factor.
+	LastComm time.Time `json:"last_comm"`
+	// Sensors lists the hardware present.
+	Sensors []sensors.Type `json:"sensors"`
+	// DeviceType is the device model for Table 1's optional filter.
+	DeviceType string `json:"device_type,omitempty"`
+	// Budget is the user's crowdsensing allowance.
+	Budget power.Budget `json:"budget"`
+	// Responsive is cleared when the device stops answering schedules;
+	// unresponsive devices are excluded from selection (paper section 3.2).
+	Responsive bool `json:"responsive"`
+	// Reliability in [0,1] is the data-quality reputation (see
+	// internal/reputation); 1.0 for devices with no history. The
+	// selector weighs it via Rho and cuts off below MinReliability.
+	Reliability float64 `json:"reliability"`
+}
+
+// HasSensor reports whether the device carries the sensor.
+func (d DeviceState) HasSensor(t sensors.Type) bool {
+	for _, s := range d.Sensors {
+		if s == t {
+			return true
+		}
+	}
+	return false
+}
+
+// DeviceStore is the device datastore. Not safe for concurrent use; the
+// networked frontend serialises access.
+type DeviceStore struct {
+	devices map[string]*DeviceState
+}
+
+// NewDeviceStore returns an empty store.
+func NewDeviceStore() *DeviceStore {
+	return &DeviceStore{devices: make(map[string]*DeviceState)}
+}
+
+// Register adds or replaces a device record.
+func (s *DeviceStore) Register(d DeviceState) error {
+	if d.ID == "" {
+		return fmt.Errorf("core: register: empty device ID")
+	}
+	if err := d.Budget.Validate(); err != nil {
+		return fmt.Errorf("core: register %s: %w", d.ID, err)
+	}
+	if d.Reliability < 0 || d.Reliability > 1 {
+		return fmt.Errorf("core: register %s: reliability %v out of [0,1]", d.ID, d.Reliability)
+	}
+	if d.Reliability == 0 {
+		d.Reliability = 1 // no history yet
+	}
+	d.Responsive = true
+	s.devices[d.ID] = &d
+	return nil
+}
+
+// Deregister removes a device.
+func (s *DeviceStore) Deregister(id string) { delete(s.devices, id) }
+
+// Get returns a copy of a device record.
+func (s *DeviceStore) Get(id string) (DeviceState, bool) {
+	d, ok := s.devices[id]
+	if !ok {
+		return DeviceState{}, false
+	}
+	return *d, true
+}
+
+// Len returns the number of registered devices.
+func (s *DeviceStore) Len() int { return len(s.devices) }
+
+// All returns copies of every record, sorted by ID for determinism.
+func (s *DeviceStore) All() []DeviceState {
+	out := make([]DeviceState, 0, len(s.devices))
+	for _, d := range s.devices {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// UpdateState applies a device's periodic control report (battery level,
+// position, last-communication stamp).
+func (s *DeviceStore) UpdateState(id string, pos geo.Point, batteryPct float64, at time.Time) error {
+	d, ok := s.devices[id]
+	if !ok {
+		return fmt.Errorf("core: update: unknown device %s", id)
+	}
+	d.Position = pos
+	d.BatteryPct = batteryPct
+	d.LastComm = at
+	return nil
+}
+
+// NoteSelected records a selection (U_i) for fairness accounting.
+func (s *DeviceStore) NoteSelected(id string) {
+	if d, ok := s.devices[id]; ok {
+		d.TimesUsed++
+	}
+}
+
+// NoteEnergy adds crowdsensing energy spent by a device (E_i).
+func (s *DeviceStore) NoteEnergy(id string, joules float64) {
+	if d, ok := s.devices[id]; ok && joules > 0 {
+		d.EnergySpentJ += joules
+	}
+}
+
+// SetResponsive flips the responsiveness flag; the scheduler clears it
+// when a device misses a dispatch so future selections skip it.
+func (s *DeviceStore) SetResponsive(id string, ok bool) {
+	if d, exists := s.devices[id]; exists {
+		d.Responsive = ok
+	}
+}
+
+// SetReliability updates the data-quality reputation (clamped to [0,1]).
+func (s *DeviceStore) SetReliability(id string, score float64) {
+	d, exists := s.devices[id]
+	if !exists {
+		return
+	}
+	if score < 0 {
+		score = 0
+	}
+	if score > 1 {
+		score = 1
+	}
+	d.Reliability = score
+}
+
+// ResetWindow zeroes the per-window fairness counters (the paper counts
+// E_i and U_i "since the beginning of some reasonable time interval, say
+// the week").
+func (s *DeviceStore) ResetWindow() {
+	for _, d := range s.devices {
+		d.EnergySpentJ = 0
+		d.TimesUsed = 0
+	}
+}

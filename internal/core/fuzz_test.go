@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+// TestAlgorithm1InvariantsProperty drives the server through random
+// scenarios — devices appearing, moving, reporting random battery levels,
+// answering or ignoring dispatches — and checks the workflow's standing
+// invariants after every step:
+//
+//  1. every dispatch goes to a device that was qualified at that instant;
+//  2. no device is selected more than MaxUses times;
+//  3. a satisfied request dispatches exactly its spatial density (unless
+//     SelectAll);
+//  4. counters stay consistent (accepted readings never exceed
+//     dispatches, satisfied+waitlisted+expired never exceed generated).
+func TestAlgorithm1InvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+
+		cfg := DefaultServerConfig()
+		cfg.Selector.MaxUses = 3 + rng.Intn(5)
+
+		type dispatched struct {
+			req Request
+			dev DeviceState
+		}
+		var dispatches []dispatched
+		totalDispatches := 0
+		selCount := make(map[string]int)
+
+		d := DispatcherFunc(func(req Request, dev DeviceState) {
+			dispatches = append(dispatches, dispatched{req, dev})
+			totalDispatches++
+			selCount[dev.ID]++
+		})
+		srv, err := NewServer(cfg, d)
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+
+		// Random device population around the CS department.
+		nDevices := 3 + rng.Intn(8)
+		for i := 0; i < nDevices; i++ {
+			dev := freshDevice(fmt.Sprintf("fz-%02d", i))
+			dev.Position = geo.Offset(geo.CSDepartment, float64(rng.Intn(1200)-600), float64(rng.Intn(1200)-600))
+			dev.BatteryPct = float64(20 + rng.Intn(81))
+			if err := srv.Devices().Register(dev); err != nil {
+				return false
+			}
+		}
+
+		// Random tasks.
+		nTasks := 1 + rng.Intn(3)
+		for i := 0; i < nTasks; i++ {
+			task := Task{
+				Sensor:         sensors.Barometer,
+				SamplingPeriod: time.Duration(5+rng.Intn(10)) * time.Minute,
+				Start:          simclock.Epoch,
+				End:            simclock.Epoch.Add(time.Duration(30+rng.Intn(60)) * time.Minute),
+				Area:           geo.Circle{Center: geo.CSDepartment, RadiusM: float64(200 + rng.Intn(800))},
+				SpatialDensity: 1 + rng.Intn(3),
+			}
+			if _, err := srv.SubmitTask(task, simclock.Epoch, func(TaskID, string, sensors.Reading) {}); err != nil {
+				return false
+			}
+		}
+
+		// Drive time forward in random steps; at each step some devices
+		// move and report, some dispatched requests get answered.
+		now := simclock.Epoch
+		for step := 0; step < 20; step++ {
+			before := len(dispatches)
+			srv.ProcessDue(now)
+
+			// Invariant 1+2: new dispatches were qualified at `now`.
+			sel, err := NewSelector(cfg.Selector)
+			if err != nil {
+				t.Fatalf("NewSelector: %v", err)
+			}
+			for _, dp := range dispatches[before:] {
+				qualified, _ := sel.Qualify(dp.req, []DeviceState{dp.dev})
+				if len(qualified) != 1 {
+					t.Logf("seed %d: dispatched to unqualified device %s", seed, dp.dev.ID)
+					return false
+				}
+			}
+
+			// Answer a random subset of fresh dispatches.
+			for _, dp := range dispatches[before:] {
+				if rng.Intn(3) == 0 {
+					continue // this device stays silent
+				}
+				reading := sensors.Reading{
+					Sensor: sensors.Barometer,
+					Value:  1013 + rng.Float64(),
+					At:     now.Add(time.Second),
+					Where:  dp.dev.Position,
+				}
+				// Delivery may legitimately fail (e.g. device moved out);
+				// the server must never panic or corrupt state.
+				_ = srv.ReceiveData(dp.req.ID(), dp.dev.ID, reading, now.Add(time.Second))
+			}
+
+			// Random device churn.
+			for _, dev := range srv.Devices().All() {
+				if rng.Intn(4) == 0 {
+					pos := geo.Offset(geo.CSDepartment, float64(rng.Intn(2400)-1200), float64(rng.Intn(2400)-1200))
+					_ = srv.Devices().UpdateState(dev.ID, pos, float64(10+rng.Intn(91)), now)
+				}
+			}
+
+			now = now.Add(time.Duration(1+rng.Intn(10)) * time.Minute)
+		}
+
+		// Invariant 2: MaxUses respected.
+		for id, n := range selCount {
+			if n > cfg.Selector.MaxUses {
+				t.Logf("seed %d: device %s selected %d times, cap %d", seed, id, n, cfg.Selector.MaxUses)
+				return false
+			}
+		}
+
+		// Invariant 4: counter consistency.
+		st := srv.Stats()
+		if st.ReadingsAccepted > totalDispatches {
+			t.Logf("seed %d: accepted %d > dispatched %d", seed, st.ReadingsAccepted, totalDispatches)
+			return false
+		}
+		if st.RequestsSatisfied+st.RequestsWaitlisted+st.RequestsExpired > st.RequestsGenerated {
+			t.Logf("seed %d: outcome counters exceed generated: %+v", seed, st)
+			return false
+		}
+
+		// Invariant 3: each satisfied selection dispatched its density.
+		for _, s := range srv.Selections() {
+			if len(s.Devices) == 0 {
+				t.Logf("seed %d: empty selection %s", seed, s.Request)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import "container/heap"
+
+// requestQueue is a min-heap of requests ordered by deadline (the paper's
+// run and wait queues are "both sorted by the deadline of the task"), with
+// due time and sequence as tie-breakers for determinism.
+type requestQueue struct {
+	items []Request
+}
+
+func (q *requestQueue) Len() int { return len(q.items) }
+
+func (q *requestQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if !a.Deadline.Equal(b.Deadline) {
+		return a.Deadline.Before(b.Deadline)
+	}
+	if !a.Due.Equal(b.Due) {
+		return a.Due.Before(b.Due)
+	}
+	if a.Task.ID != b.Task.ID {
+		return a.Task.ID < b.Task.ID
+	}
+	return a.Seq < b.Seq
+}
+
+func (q *requestQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *requestQueue) Push(x interface{}) { q.items = append(q.items, x.(Request)) }
+
+func (q *requestQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	r := old[n-1]
+	q.items = old[:n-1]
+	return r
+}
+
+func (q *requestQueue) push(r Request) { heap.Push(q, r) }
+
+func (q *requestQueue) pop() Request { return heap.Pop(q).(Request) }
+
+func (q *requestQueue) peek() (Request, bool) {
+	if len(q.items) == 0 {
+		return Request{}, false
+	}
+	return q.items[0], true
+}
+
+// removeTask drops every request belonging to a task (delete_task support).
+func (q *requestQueue) removeTask(id TaskID) int {
+	kept := q.items[:0]
+	removed := 0
+	for _, r := range q.items {
+		if r.Task.ID == id {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	q.items = kept
+	heap.Init(q)
+	return removed
+}

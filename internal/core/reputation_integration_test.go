@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/reputation"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+// newReputationServer builds a server with the reputation tracker wired
+// and a strict reliability cutoff.
+func newReputationServer(t *testing.T) (*Server, *recordingDispatcher, *reputation.Tracker) {
+	t.Helper()
+	tr := reputation.NewTracker(reputation.Config{})
+	cfg := DefaultServerConfig()
+	cfg.Reputation = tr
+	cfg.Selector.Rho = 2.0
+	cfg.Selector.MinReliability = 0.3
+	d := &recordingDispatcher{}
+	s, err := NewServer(cfg, d)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return s, d, tr
+}
+
+func TestOutlierFlaggedAndScored(t *testing.T) {
+	s, d, tr := newReputationServer(t)
+	registerFresh(t, s, "a", "b", "c", "liar")
+	tk := validTask()
+	tk.SpatialDensity = 4
+	if _, err := s.SubmitTask(tk, simclock.Epoch, func(TaskID, string, sensors.Reading) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.ProcessDue(simclock.Epoch)
+	if len(d.calls) != 4 {
+		t.Fatalf("dispatched %d, want 4", len(d.calls))
+	}
+	at := simclock.Epoch.Add(time.Second)
+	for _, c := range d.calls {
+		value := 1013.2
+		if c.dev.ID == "liar" {
+			value = 940.0
+		}
+		reading := sensors.Reading{
+			Sensor: sensors.Barometer, Value: value, Unit: "hPa",
+			At: at, Where: geo.CSDepartment,
+		}
+		if err := s.ReceiveData(c.req.ID(), c.dev.ID, reading, at); err != nil {
+			t.Fatalf("ReceiveData(%s): %v", c.dev.ID, err)
+		}
+	}
+	if tr.Count("liar", reputation.OutcomeOutlier) != 1 {
+		t.Fatalf("liar outlier count = %d, want 1", tr.Count("liar", reputation.OutcomeOutlier))
+	}
+	if tr.Count("a", reputation.OutcomeAccepted) != 1 {
+		t.Fatalf("honest accepted count = %d, want 1", tr.Count("a", reputation.OutcomeAccepted))
+	}
+	// Reliability propagated into the device store.
+	liar, _ := s.Devices().Get("liar")
+	honest, _ := s.Devices().Get("a")
+	if liar.Reliability >= honest.Reliability {
+		t.Fatalf("liar reliability %.2f not below honest %.2f", liar.Reliability, honest.Reliability)
+	}
+}
+
+func TestUnreliableDeviceEventuallyExcluded(t *testing.T) {
+	s, d, tr := newReputationServer(t)
+	registerFresh(t, s, "good1", "good2", "good3", "liar")
+
+	// Drive the liar's score below the 0.3 cutoff directly through the
+	// tracker (as many bad rounds would).
+	for i := 0; i < 12; i++ {
+		tr.Record("liar", reputation.OutcomeMissed)
+	}
+	s.Devices().SetReliability("liar", tr.Score("liar"))
+
+	tk := validTask()
+	tk.SpatialDensity = 3
+	if _, err := s.SubmitTask(tk, simclock.Epoch, func(TaskID, string, sensors.Reading) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.ProcessDue(simclock.Epoch)
+	for _, c := range d.calls {
+		if c.dev.ID == "liar" {
+			t.Fatal("unreliable device selected despite MinReliability cutoff")
+		}
+	}
+	if len(d.calls) != 3 {
+		t.Fatalf("dispatched %d, want 3 honest devices", len(d.calls))
+	}
+}
+
+func TestRejectedReadingHurtsReputation(t *testing.T) {
+	s, d, tr := newReputationServer(t)
+	registerFresh(t, s, "a", "b")
+	tk := validTask()
+	tk.SpatialDensity = 1
+	if _, err := s.SubmitTask(tk, simclock.Epoch, func(TaskID, string, sensors.Reading) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.ProcessDue(simclock.Epoch)
+	dev := d.calls[0].dev.ID
+	at := simclock.Epoch.Add(time.Second)
+	bad := sensors.Reading{Sensor: sensors.Gyroscope, At: at, Where: geo.CSDepartment}
+	if err := s.ReceiveData(d.calls[0].req.ID(), dev, bad, at); err == nil {
+		t.Fatal("wrong-sensor reading accepted")
+	}
+	if tr.Count(dev, reputation.OutcomeRejected) != 1 {
+		t.Fatal("rejection not recorded")
+	}
+	if got, _ := s.Devices().Get(dev); got.Reliability >= 1 {
+		t.Fatalf("reliability unchanged after rejection: %v", got.Reliability)
+	}
+}
+
+func TestMissedDeadlineRecordedInReputation(t *testing.T) {
+	s, d, tr := newReputationServer(t)
+	registerFresh(t, s, "a", "b")
+	tk := validTask()
+	tk.SpatialDensity = 1
+	if _, err := s.SubmitTask(tk, simclock.Epoch, func(TaskID, string, sensors.Reading) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.ProcessDue(simclock.Epoch)
+	missed := d.calls[0].dev.ID
+	s.ProcessDue(simclock.Epoch.Add(11 * time.Minute))
+	if tr.Count(missed, reputation.OutcomeMissed) != 1 {
+		t.Fatalf("missed count = %d, want 1", tr.Count(missed, reputation.OutcomeMissed))
+	}
+}
+
+func TestScoreIncludesReliabilityFactor(t *testing.T) {
+	sel, err := NewSelector(SelectorConfig{Alpha: 0, Beta: 0, Gamma: 0, Phi: 0, Rho: 10, MaxUses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reliable := freshDevice("r")
+	reliable.Reliability = 1.0
+	shaky := freshDevice("s")
+	shaky.Reliability = 0.5
+	if got := sel.Score(reliable, simclock.Epoch); got != 0 {
+		t.Fatalf("reliable score = %v, want 0", got)
+	}
+	if got := sel.Score(shaky, simclock.Epoch); got != 5 {
+		t.Fatalf("shaky score = %v, want 5", got)
+	}
+}
+
+func TestSelectorConfigReliabilityValidation(t *testing.T) {
+	bad := DefaultSelectorConfig()
+	bad.Rho = -1
+	if _, err := NewSelector(bad); err == nil {
+		t.Fatal("negative Rho accepted")
+	}
+	bad = DefaultSelectorConfig()
+	bad.MinReliability = 1.5
+	if _, err := NewSelector(bad); err == nil {
+		t.Fatal("MinReliability > 1 accepted")
+	}
+}
+
+func TestRegisterReliabilityDefaults(t *testing.T) {
+	st := NewDeviceStore()
+	d := freshDevice("x") // zero Reliability
+	if err := st.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := st.Get("x")
+	if got.Reliability != 1 {
+		t.Fatalf("default reliability = %v, want 1", got.Reliability)
+	}
+	bad := freshDevice("y")
+	bad.Reliability = 2
+	if err := st.Register(bad); err == nil {
+		t.Fatal("reliability > 1 accepted")
+	}
+	st.SetReliability("x", -5)
+	got, _ = st.Get("x")
+	if got.Reliability != 0 {
+		t.Fatalf("SetReliability clamp = %v, want 0", got.Reliability)
+	}
+	st.SetReliability("ghost", 0.5) // must not panic
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SelectorConfig holds the scoring weights and hard cutoffs of the device
+// selector. The paper uses a linear combination
+//
+//	Score(i) = alpha*E_i + beta*U_i + gamma*(100-CBL_i) + phi*TTL_i
+//
+// where lower scores are preferred, plus three hard cutoffs: a cap on how
+// often a device may be picked, the user's energy budget, and the user's
+// critical battery level.
+type SelectorConfig struct {
+	// Alpha weighs E_i, the crowdsensing energy (J) already spent.
+	Alpha float64
+	// Beta weighs U_i, the number of prior selections.
+	Beta float64
+	// Gamma weighs (100 - CBL_i), the battery deficit.
+	Gamma float64
+	// Phi weighs TTL_i, seconds since the last radio communication. A
+	// small TTL means the radio is likely still in its tail, so the
+	// sensed value can ride the tail for free.
+	Phi float64
+	// Rho weighs (1 - Reliability_i), the data-quality reputation
+	// deficit — the paper's pointer that reliable-data work "can be
+	// incorporated as another factor in our device selector algorithm".
+	// Zero disables the factor.
+	Rho float64
+	// MaxUses is the hard cutoff on selections per accounting window.
+	MaxUses int
+	// MinReliability is a hard cutoff: devices scoring below it are
+	// disqualified. Zero disables the cutoff.
+	MinReliability float64
+}
+
+// DefaultSelectorConfig returns weights that make one selection weigh as
+// much as ~25 J of spent energy or ~20 battery points, with TTL as the
+// tiebreaker among otherwise-equal devices: fairness first (the paper's
+// Figure 9 rotation), then opportunism.
+func DefaultSelectorConfig() SelectorConfig {
+	return SelectorConfig{
+		Alpha:   0.04,
+		Beta:    1.0,
+		Gamma:   0.05,
+		Phi:     0.0005,
+		MaxUses: 1_000,
+	}
+}
+
+// Validate checks the weights are usable.
+func (c SelectorConfig) Validate() error {
+	if c.Alpha < 0 || c.Beta < 0 || c.Gamma < 0 || c.Phi < 0 || c.Rho < 0 {
+		return fmt.Errorf("core: selector weights must be non-negative: %+v", c)
+	}
+	if c.MaxUses <= 0 {
+		return fmt.Errorf("core: selector MaxUses must be positive, got %d", c.MaxUses)
+	}
+	if c.MinReliability < 0 || c.MinReliability > 1 {
+		return fmt.Errorf("core: MinReliability %v out of [0,1]", c.MinReliability)
+	}
+	return nil
+}
+
+// Selector ranks and picks devices for requests.
+type Selector struct {
+	cfg SelectorConfig
+}
+
+// NewSelector builds a selector.
+func NewSelector(cfg SelectorConfig) (*Selector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Selector{cfg: cfg}, nil
+}
+
+// Score computes the paper's scoring function for one device at an
+// instant; lower is better.
+func (s *Selector) Score(d DeviceState, now time.Time) float64 {
+	ttl := now.Sub(d.LastComm).Seconds()
+	if ttl < 0 {
+		ttl = 0
+	}
+	return s.cfg.Alpha*d.EnergySpentJ +
+		s.cfg.Beta*float64(d.TimesUsed) +
+		s.cfg.Gamma*(100-d.BatteryPct) +
+		s.cfg.Phi*ttl +
+		s.cfg.Rho*(1-d.Reliability)
+}
+
+// DisqualifyReason explains why a device is not qualified for a request.
+type DisqualifyReason string
+
+// Reasons a device fails qualification — the paper's two headline causes
+// (out of region, missing/invalid sensor) plus the hard cutoffs.
+const (
+	ReasonOutOfRegion     DisqualifyReason = "out of task region"
+	ReasonNoSensor        DisqualifyReason = "required sensor missing"
+	ReasonWrongDeviceType DisqualifyReason = "device type mismatch"
+	ReasonOverBudget      DisqualifyReason = "energy budget exhausted"
+	ReasonLowBattery      DisqualifyReason = "battery below critical level"
+	ReasonOverused        DisqualifyReason = "selection cap reached"
+	ReasonUnresponsive    DisqualifyReason = "device unresponsive"
+	ReasonUnreliable      DisqualifyReason = "reliability below minimum"
+)
+
+// Qualify splits devices into those eligible for the request and, for the
+// rest, the reason they were excluded.
+func (s *Selector) Qualify(req Request, devices []DeviceState) (qualified []DeviceState, excluded map[string]DisqualifyReason) {
+	excluded = make(map[string]DisqualifyReason)
+	for _, d := range devices {
+		switch {
+		case !d.Responsive:
+			excluded[d.ID] = ReasonUnresponsive
+		case !req.Task.Area.Contains(d.Position):
+			excluded[d.ID] = ReasonOutOfRegion
+		case !d.HasSensor(req.Task.Sensor):
+			excluded[d.ID] = ReasonNoSensor
+		case req.Task.DeviceType != "" && d.DeviceType != req.Task.DeviceType:
+			excluded[d.ID] = ReasonWrongDeviceType
+		case d.TimesUsed >= s.cfg.MaxUses:
+			excluded[d.ID] = ReasonOverused
+		case d.EnergySpentJ >= d.Budget.TotalJ:
+			excluded[d.ID] = ReasonOverBudget
+		case d.BatteryPct <= d.Budget.CriticalBatteryPct:
+			excluded[d.ID] = ReasonLowBattery
+		case s.cfg.MinReliability > 0 && d.Reliability < s.cfg.MinReliability:
+			excluded[d.ID] = ReasonUnreliable
+		default:
+			qualified = append(qualified, d)
+		}
+	}
+	return qualified, excluded
+}
+
+// ErrNotEnoughDevices reports an unsatisfiable request: fewer qualified
+// devices than the task's spatial density.
+type ErrNotEnoughDevices struct {
+	Request   string
+	Want, Got int
+}
+
+// Error implements error.
+func (e *ErrNotEnoughDevices) Error() string {
+	return fmt.Sprintf("core: request %s needs %d devices, only %d qualified", e.Request, e.Want, e.Got)
+}
+
+// Select picks the request's spatial-density-many best devices from the
+// qualified set (lowest score first; ties broken by device ID so runs are
+// deterministic). It returns ErrNotEnoughDevices when n > N.
+func (s *Selector) Select(req Request, devices []DeviceState, now time.Time) ([]DeviceState, error) {
+	qualified, _ := s.Qualify(req, devices)
+	n := req.Task.SpatialDensity
+	if n > len(qualified) {
+		return nil, &ErrNotEnoughDevices{Request: req.ID(), Want: n, Got: len(qualified)}
+	}
+	sort.Slice(qualified, func(i, j int) bool {
+		si, sj := s.Score(qualified[i], now), s.Score(qualified[j], now)
+		if si != sj {
+			return si < sj
+		}
+		return qualified[i].ID < qualified[j].ID
+	})
+	return qualified[:n], nil
+}

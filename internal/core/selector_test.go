@@ -1,0 +1,295 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/power"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+func freshDevice(id string) DeviceState {
+	return DeviceState{
+		ID:         id,
+		Position:   geo.CSDepartment,
+		BatteryPct: 100,
+		LastComm:   simclock.Epoch,
+		Sensors:    []sensors.Type{sensors.Barometer, sensors.Accelerometer},
+		Budget:     power.DefaultBudget(),
+		Responsive: true,
+	}
+}
+
+func mustSelector(t *testing.T) *Selector {
+	t.Helper()
+	s, err := NewSelector(DefaultSelectorConfig())
+	if err != nil {
+		t.Fatalf("NewSelector: %v", err)
+	}
+	return s
+}
+
+func requestAt(t *testing.T, density int) Request {
+	if t != nil {
+		t.Helper()
+	}
+	tk := validTask()
+	tk.ID = "t"
+	tk.SpatialDensity = density
+	reqs, err := tk.Expand()
+	if err != nil {
+		panic(err) // the fixed valid task always expands
+	}
+	return reqs[0]
+}
+
+func TestSelectorConfigValidate(t *testing.T) {
+	bad := []SelectorConfig{
+		{Alpha: -1, Beta: 1, Gamma: 1, Phi: 1, MaxUses: 10},
+		{Alpha: 1, Beta: 1, Gamma: 1, Phi: 1, MaxUses: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := NewSelector(cfg); err == nil {
+			t.Errorf("NewSelector(%+v) accepted", cfg)
+		}
+	}
+}
+
+func TestScoreComponents(t *testing.T) {
+	cfg := SelectorConfig{Alpha: 1, Beta: 10, Gamma: 0.1, Phi: 0.01, MaxUses: 100}
+	s, err := NewSelector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := simclock.Epoch.Add(100 * time.Second)
+	d := freshDevice("d")
+	d.EnergySpentJ = 5
+	d.TimesUsed = 2
+	d.BatteryPct = 80
+	d.LastComm = simclock.Epoch // TTL = 100s
+	want := 1*5.0 + 10*2.0 + 0.1*20.0 + 0.01*100.0
+	if got := s.Score(d, now); got != want {
+		t.Fatalf("score = %v, want %v", got, want)
+	}
+}
+
+func TestScoreNegativeTTLClamped(t *testing.T) {
+	s := mustSelector(t)
+	d := freshDevice("d")
+	d.LastComm = simclock.Epoch.Add(time.Hour) // in the future
+	if got := s.Score(d, simclock.Epoch); got != 0 {
+		t.Fatalf("score with future LastComm = %v, want 0", got)
+	}
+}
+
+func TestQualifyReasons(t *testing.T) {
+	s := mustSelector(t)
+	req := requestAt(t, 1)
+
+	outOfRegion := freshDevice("out")
+	outOfRegion.Position = geo.Offset(geo.CSDepartment, 2000, 0)
+
+	noSensor := freshDevice("nosensor")
+	noSensor.Sensors = []sensors.Type{sensors.Gyroscope}
+
+	lowBattery := freshDevice("lowbatt")
+	lowBattery.BatteryPct = 10
+
+	overBudget := freshDevice("overbudget")
+	overBudget.EnergySpentJ = overBudget.Budget.TotalJ + 1
+
+	unresponsive := freshDevice("dead")
+	unresponsive.Responsive = false
+
+	overused := freshDevice("overused")
+	overused.TimesUsed = DefaultSelectorConfig().MaxUses
+
+	ok := freshDevice("ok")
+
+	qualified, excluded := s.Qualify(req, []DeviceState{
+		outOfRegion, noSensor, lowBattery, overBudget, unresponsive, overused, ok,
+	})
+	if len(qualified) != 1 || qualified[0].ID != "ok" {
+		t.Fatalf("qualified = %v, want just ok", qualified)
+	}
+	wantReasons := map[string]DisqualifyReason{
+		"out":        ReasonOutOfRegion,
+		"nosensor":   ReasonNoSensor,
+		"lowbatt":    ReasonLowBattery,
+		"overbudget": ReasonOverBudget,
+		"dead":       ReasonUnresponsive,
+		"overused":   ReasonOverused,
+	}
+	for id, want := range wantReasons {
+		if got := excluded[id]; got != want {
+			t.Errorf("excluded[%s] = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestQualifyDeviceType(t *testing.T) {
+	s := mustSelector(t)
+	req := requestAt(t, 1)
+	req.Task.DeviceType = "iPhone6"
+
+	match := freshDevice("match")
+	match.DeviceType = "iPhone6"
+	other := freshDevice("other")
+	other.DeviceType = "LG G2"
+
+	qualified, excluded := s.Qualify(req, []DeviceState{match, other})
+	if len(qualified) != 1 || qualified[0].ID != "match" {
+		t.Fatalf("device-type filter failed: %v", qualified)
+	}
+	if excluded["other"] != ReasonWrongDeviceType {
+		t.Fatalf("reason = %q, want device type mismatch", excluded["other"])
+	}
+}
+
+func TestSelectPicksLowestScores(t *testing.T) {
+	s := mustSelector(t)
+	req := requestAt(t, 2)
+	now := simclock.Epoch
+
+	used := freshDevice("used")
+	used.TimesUsed = 3
+	fresh1 := freshDevice("fresh1")
+	fresh2 := freshDevice("fresh2")
+
+	got, err := s.Select(req, []DeviceState{used, fresh1, fresh2}, now)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("selected %d, want 2", len(got))
+	}
+	for _, d := range got {
+		if d.ID == "used" {
+			t.Fatal("selected the already-used device over fresh ones")
+		}
+	}
+}
+
+func TestSelectNotEnoughDevices(t *testing.T) {
+	s := mustSelector(t)
+	req := requestAt(t, 3)
+	_, err := s.Select(req, []DeviceState{freshDevice("only")}, simclock.Epoch)
+	var nee *ErrNotEnoughDevices
+	if err == nil {
+		t.Fatal("Select satisfied density 3 with 1 device")
+	}
+	if !asNotEnough(err, &nee) {
+		t.Fatalf("error type = %T, want ErrNotEnoughDevices", err)
+	}
+	if nee.Want != 3 || nee.Got != 1 {
+		t.Fatalf("error detail = %+v", nee)
+	}
+}
+
+func asNotEnough(err error, target **ErrNotEnoughDevices) bool {
+	e, ok := err.(*ErrNotEnoughDevices)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestSelectDeterministicTieBreak(t *testing.T) {
+	s := mustSelector(t)
+	req := requestAt(t, 1)
+	devs := []DeviceState{freshDevice("b"), freshDevice("a"), freshDevice("c")}
+	got, err := s.Select(req, devs, simclock.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != "a" {
+		t.Fatalf("tie-break selected %s, want a (lexicographic)", got[0].ID)
+	}
+}
+
+// TestFairRotation reproduces the core of Figure 9: with density 2 over a
+// pool of equal devices, repeated selection rotates through the whole pool
+// before reusing anyone.
+func TestFairRotation(t *testing.T) {
+	s := mustSelector(t)
+	req := requestAt(t, 2)
+	const n = 10
+	devs := make([]DeviceState, n)
+	for i := range devs {
+		devs[i] = freshDevice(deviceName(i))
+	}
+	seen := make(map[string]int)
+	now := simclock.Epoch
+	for round := 0; round < n/2; round++ {
+		sel, err := s.Select(req, devs, now)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, d := range sel {
+			seen[d.ID]++
+			for i := range devs {
+				if devs[i].ID == d.ID {
+					devs[i].TimesUsed++
+				}
+			}
+		}
+		now = now.Add(10 * time.Minute)
+	}
+	if len(seen) != n {
+		t.Fatalf("after %d rounds, %d distinct devices used; want all %d", n/2, len(seen), n)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("device %s used %d times before full rotation", id, c)
+		}
+	}
+}
+
+func deviceName(i int) string { return string(rune('a'+i%26)) + "-dev" }
+
+// Property: Select never returns an unqualified device and never exceeds
+// the requested density, for random device pools.
+func TestSelectSoundnessProperty(t *testing.T) {
+	s := mustSelector(t)
+	f := func(seed int64, density uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		req := requestAt(nil, int(density%5)+1)
+		n := rng.Intn(20)
+		devs := make([]DeviceState, n)
+		for i := range devs {
+			d := freshDevice(deviceName(i) + "-p")
+			d.BatteryPct = float64(rng.Intn(101))
+			d.TimesUsed = rng.Intn(4)
+			d.EnergySpentJ = rng.Float64() * 600
+			if rng.Intn(4) == 0 {
+				d.Position = geo.Offset(geo.CSDepartment, 5000, 0)
+			}
+			devs[i] = d
+		}
+		sel, err := s.Select(req, devs, simclock.Epoch)
+		if err != nil {
+			return true // unsatisfiable is a legitimate outcome
+		}
+		if len(sel) != req.Task.SpatialDensity {
+			return false
+		}
+		qualified, _ := s.Qualify(req, devs)
+		qset := make(map[string]bool)
+		for _, d := range qualified {
+			qset[d.ID] = true
+		}
+		for _, d := range sel {
+			if !qset[d.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

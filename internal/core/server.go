@@ -1,0 +1,468 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"senseaid/internal/reputation"
+	"senseaid/internal/sensors"
+)
+
+// Dispatcher delivers a sensing schedule to one selected device. The
+// simulation implements it by poking the simulated client; the networked
+// server implements it by pushing a schedule message down the device's
+// connection.
+type Dispatcher interface {
+	// Dispatch asks the device to take the request's sample and upload
+	// it by the request's deadline.
+	Dispatch(req Request, device DeviceState)
+}
+
+// DispatcherFunc adapts a function to the Dispatcher interface.
+type DispatcherFunc func(req Request, device DeviceState)
+
+// Dispatch implements Dispatcher.
+func (f DispatcherFunc) Dispatch(req Request, device DeviceState) { f(req, device) }
+
+// DataSink receives validated crowdsensing data for one task; the
+// crowdsensing application server registers one per task.
+type DataSink func(task TaskID, deviceID string, reading sensors.Reading)
+
+// Selection records one execution of the device selector, feeding the
+// Figure 9 fairness trace.
+type Selection struct {
+	Request string    `json:"request"`
+	At      time.Time `json:"at"`
+	Devices []string  `json:"devices"`
+}
+
+// Stats counts server outcomes.
+type Stats struct {
+	TasksSubmitted     int `json:"tasks_submitted"`
+	RequestsGenerated  int `json:"requests_generated"`
+	RequestsSatisfied  int `json:"requests_satisfied"`
+	RequestsWaitlisted int `json:"requests_waitlisted"`
+	RequestsExpired    int `json:"requests_expired"`
+	ReadingsAccepted   int `json:"readings_accepted"`
+	ReadingsRejected   int `json:"readings_rejected"`
+	DispatchesMissed   int `json:"dispatches_missed"`
+}
+
+// ServerConfig parameterises the Sense-Aid server.
+type ServerConfig struct {
+	// Selector holds scoring weights and cutoffs.
+	Selector SelectorConfig
+	// ValidateRegion re-checks that the reporting device is still inside
+	// the task area when its data arrives (one of the paper's two
+	// disqualification causes).
+	ValidateRegion bool
+	// SelectAll disables the minimum-set orchestration: every qualified
+	// device is tasked (still requiring at least the spatial density).
+	// This is the paper's section 5.2 ablation — "even without the
+	// global orchestration, Sense-Aid is effective because it triggers
+	// each device to upload crowdsensing data at an opportune time."
+	SelectAll bool
+	// Reputation, when set, scores devices from their upload outcomes
+	// (accepted / rejected / missed / round outlier) and feeds the
+	// scores back into the selector's reliability factor.
+	Reputation *reputation.Tracker
+	// OutlierKMAD is the truth-discovery strictness for per-round
+	// outlier flagging (default 4 robust deviations).
+	OutlierKMAD float64
+	// OutlierToleranceAbs is the sensor noise floor added to the outlier
+	// threshold (default 0.5, suiting barometric hPa).
+	OutlierToleranceAbs float64
+	// FairnessWindow resets the selector's per-device E_i and U_i
+	// counters periodically — the paper counts them "since the beginning
+	// of some reasonable time interval, say the week". Zero disables
+	// automatic resets (callers may still ResetWindow by hand).
+	FairnessWindow time.Duration
+}
+
+// DefaultServerConfig returns the stock configuration.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{Selector: DefaultSelectorConfig(), ValidateRegion: true}
+}
+
+// pendingDispatch tracks one outstanding schedule on one device.
+type pendingDispatch struct {
+	req      Request
+	deviceID string
+}
+
+// Server is the Sense-Aid server core: datastores, task handler (run and
+// wait queues), device selector and task scheduler, per Algorithm 1. The
+// environment drives time: call ProcessDue whenever the clock reaches a
+// request's due time (NextWake says when that is) and data flows in via
+// ReceiveData. Not safe for concurrent use; frontends serialise access.
+type Server struct {
+	cfg      ServerConfig
+	selector *Selector
+	devices  *DeviceStore
+	tasks    map[TaskID]*Task
+	sinks    map[TaskID]DataSink
+	run      requestQueue
+	wait     requestQueue
+	pending  map[string][]pendingDispatch // request ID -> outstanding
+	// collected buffers one round's values per request for the
+	// truth-discovery outlier check.
+	collected map[string]map[string]float64
+	dispatch  Dispatcher
+	nextTask  int
+
+	// windowStart anchors the current fairness accounting window.
+	windowStart time.Time
+
+	stats      Stats
+	selections []Selection
+}
+
+// NewServer builds a server around a dispatcher.
+func NewServer(cfg ServerConfig, d Dispatcher) (*Server, error) {
+	if d == nil {
+		return nil, fmt.Errorf("core: nil dispatcher")
+	}
+	sel, err := NewSelector(cfg.Selector)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.OutlierKMAD <= 0 {
+		cfg.OutlierKMAD = 4
+	}
+	if cfg.OutlierToleranceAbs == 0 {
+		cfg.OutlierToleranceAbs = 0.5
+	}
+	return &Server{
+		cfg:       cfg,
+		selector:  sel,
+		devices:   NewDeviceStore(),
+		tasks:     make(map[TaskID]*Task),
+		sinks:     make(map[TaskID]DataSink),
+		pending:   make(map[string][]pendingDispatch),
+		collected: make(map[string]map[string]float64),
+		dispatch:  d,
+	}, nil
+}
+
+// noteOutcome records a reputation outcome and refreshes the device's
+// reliability in the datastore; a no-op without a tracker.
+func (s *Server) noteOutcome(deviceID string, o reputation.Outcome) {
+	if s.cfg.Reputation == nil {
+		return
+	}
+	s.cfg.Reputation.Record(deviceID, o)
+	s.devices.SetReliability(deviceID, s.cfg.Reputation.Score(deviceID))
+}
+
+// Devices exposes the device datastore (registration, control reports).
+func (s *Server) Devices() *DeviceStore { return s.devices }
+
+// Stats returns a copy of the server counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Selections returns the selection log (Figure 9's raw data).
+func (s *Server) Selections() []Selection {
+	out := make([]Selection, len(s.selections))
+	copy(out, s.selections)
+	return out
+}
+
+// Task returns a stored task.
+func (s *Server) Task(id TaskID) (Task, bool) {
+	t, ok := s.tasks[id]
+	if !ok {
+		return Task{}, false
+	}
+	return *t, true
+}
+
+// SubmitTask validates, stores and expands a task; its requests join the
+// run queue. The sink receives the task's validated readings.
+func (s *Server) SubmitTask(t Task, now time.Time, sink DataSink) (TaskID, error) {
+	if sink == nil {
+		return "", fmt.Errorf("core: task needs a data sink")
+	}
+	s.nextTask++
+	t.ID = TaskID(fmt.Sprintf("task-%d", s.nextTask))
+	if err := t.Normalize(now); err != nil {
+		return "", err
+	}
+	reqs, err := (&t).Expand()
+	if err != nil {
+		return "", err
+	}
+	stored := t
+	s.tasks[stored.ID] = &stored
+	s.sinks[stored.ID] = sink
+	for i := range reqs {
+		reqs[i].Task = &stored
+		s.run.push(reqs[i])
+	}
+	s.stats.TasksSubmitted++
+	s.stats.RequestsGenerated += len(reqs)
+	return stored.ID, nil
+}
+
+// UpdateTaskParams applies a mutation to an existing task; future requests
+// are regenerated from now with the new parameters (past rounds stand).
+func (s *Server) UpdateTaskParams(id TaskID, now time.Time, mutate func(*Task)) error {
+	t, ok := s.tasks[id]
+	if !ok {
+		return fmt.Errorf("core: update: unknown task %s", id)
+	}
+	updated := *t
+	mutate(&updated)
+	updated.ID = id
+	if updated.Start.Before(now) {
+		updated.Start = now
+	}
+	if err := updated.Validate(); err != nil {
+		return err
+	}
+	reqs, err := (&updated).Expand()
+	if err != nil {
+		return err
+	}
+	// Drop the old schedule, install the new one.
+	s.run.removeTask(id)
+	s.wait.removeTask(id)
+	*t = updated
+	for i := range reqs {
+		reqs[i].Task = t
+		s.run.push(reqs[i])
+	}
+	s.stats.RequestsGenerated += len(reqs)
+	return nil
+}
+
+// DeleteTask removes a task and its pending requests.
+func (s *Server) DeleteTask(id TaskID) error {
+	if _, ok := s.tasks[id]; !ok {
+		return fmt.Errorf("core: delete: unknown task %s", id)
+	}
+	delete(s.tasks, id)
+	delete(s.sinks, id)
+	s.run.removeTask(id)
+	s.wait.removeTask(id)
+	return nil
+}
+
+// NextWake returns the earliest instant the server needs the environment
+// to call ProcessDue: the soonest due time across both queues.
+func (s *Server) NextWake() (time.Time, bool) {
+	var best time.Time
+	ok := false
+	if r, has := s.run.peek(); has {
+		best, ok = r.Due, true
+	}
+	if r, has := s.wait.peek(); has && (!ok || r.Due.Before(best)) {
+		best, ok = r.Due, true
+	}
+	return best, ok
+}
+
+// ProcessDue runs the Algorithm 1 loop at an instant: roll the fairness
+// window if due, expire dead requests and missed dispatches, retry the
+// wait queue, then pop and schedule every run-queue request whose due
+// time has arrived.
+func (s *Server) ProcessDue(now time.Time) {
+	if s.cfg.FairnessWindow > 0 {
+		if s.windowStart.IsZero() {
+			s.windowStart = now
+		}
+		for now.Sub(s.windowStart) >= s.cfg.FairnessWindow {
+			s.devices.ResetWindow()
+			s.windowStart = s.windowStart.Add(s.cfg.FairnessWindow)
+		}
+	}
+	s.expireDispatches(now)
+	s.checkWaitQueue(now)
+	for {
+		r, ok := s.run.peek()
+		if !ok || r.Due.After(now) {
+			return
+		}
+		s.run.pop()
+		if r.Deadline.Before(now) {
+			s.stats.RequestsExpired++
+			continue
+		}
+		s.schedule(r, now)
+	}
+}
+
+// schedule runs the device selector for one request and dispatches to the
+// chosen devices; unsatisfiable requests move to the wait queue.
+func (s *Server) schedule(r Request, now time.Time) {
+	var selected []DeviceState
+	var err error
+	if s.cfg.SelectAll {
+		qualified, _ := s.selector.Qualify(r, s.devices.All())
+		if len(qualified) < r.Task.SpatialDensity {
+			err = &ErrNotEnoughDevices{Request: r.ID(), Want: r.Task.SpatialDensity, Got: len(qualified)}
+		} else {
+			selected = qualified
+		}
+	} else {
+		selected, err = s.selector.Select(r, s.devices.All(), now)
+	}
+	if err != nil {
+		// n > N: "move t to wait queue".
+		s.wait.push(r)
+		s.stats.RequestsWaitlisted++
+		return
+	}
+	sel := Selection{Request: r.ID(), At: now}
+	for _, d := range selected {
+		s.devices.NoteSelected(d.ID)
+		s.pending[r.ID()] = append(s.pending[r.ID()], pendingDispatch{req: r, deviceID: d.ID})
+		sel.Devices = append(sel.Devices, d.ID)
+		s.dispatch.Dispatch(r, d)
+	}
+	s.selections = append(s.selections, sel)
+	// Bound the log so month-long deployments don't grow without limit;
+	// analyses that need full history subscribe at dispatch time.
+	const maxSelectionLog = 100_000
+	if len(s.selections) > maxSelectionLog {
+		s.selections = append(s.selections[:0:0], s.selections[len(s.selections)-maxSelectionLog/2:]...)
+	}
+	s.stats.RequestsSatisfied++
+}
+
+// checkWaitQueue is the wait_check_thread: requests whose density can now
+// be met go back through scheduling; requests past deadline expire.
+func (s *Server) checkWaitQueue(now time.Time) {
+	var keep []Request
+	for s.wait.Len() > 0 {
+		r := s.wait.pop()
+		if r.Deadline.Before(now) {
+			// No longer waitlisted: the gauge comes down as the expiry
+			// counter goes up, so outcomes never exceed generated.
+			s.stats.RequestsWaitlisted--
+			s.stats.RequestsExpired++
+			continue
+		}
+		qualified, _ := s.selector.Qualify(r, s.devices.All())
+		if len(qualified) >= r.Task.SpatialDensity {
+			// Satisfiable now: hand straight to the scheduler (moving
+			// it to the run queue and popping it would be equivalent).
+			s.stats.RequestsWaitlisted--
+			s.schedule(r, now)
+			continue
+		}
+		keep = append(keep, r)
+	}
+	for _, r := range keep {
+		s.wait.push(r)
+	}
+}
+
+// expireDispatches marks devices that missed their upload deadline as
+// unresponsive so the selector avoids them until they deliver again.
+func (s *Server) expireDispatches(now time.Time) {
+	for id, list := range s.pending {
+		var live []pendingDispatch
+		for _, p := range list {
+			if p.req.Deadline.Before(now) {
+				s.devices.SetResponsive(p.deviceID, false)
+				s.noteOutcome(p.deviceID, reputation.OutcomeMissed)
+				s.stats.DispatchesMissed++
+				continue
+			}
+			live = append(live, p)
+		}
+		if len(live) == 0 {
+			delete(s.pending, id)
+			s.finishRound(id)
+		} else {
+			s.pending[id] = live
+		}
+	}
+}
+
+// finishRound runs the truth-discovery outlier check once a request has
+// no outstanding dispatches, then drops the round's buffered values.
+func (s *Server) finishRound(reqID string) {
+	values, ok := s.collected[reqID]
+	if !ok {
+		return
+	}
+	delete(s.collected, reqID)
+	if s.cfg.Reputation == nil {
+		return
+	}
+	flagged := reputation.FlagOutliers(values, s.cfg.OutlierKMAD, s.cfg.OutlierToleranceAbs)
+	for dev := range values {
+		if flagged[dev] {
+			s.noteOutcome(dev, reputation.OutcomeOutlier)
+		} else {
+			s.noteOutcome(dev, reputation.OutcomeAccepted)
+		}
+	}
+}
+
+// ReceiveData ingests one reading from a device for a request, validates
+// it, and forwards it to the task's application server sink. The data
+// path runs through the Sense-Aid server (never device -> CAS directly)
+// both for privacy filtering and so unresponsive devices are noticed.
+func (s *Server) ReceiveData(reqID string, deviceID string, reading sensors.Reading, now time.Time) error {
+	list := s.pending[reqID]
+	idx := -1
+	for i, p := range list {
+		if p.deviceID == deviceID {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		s.stats.ReadingsRejected++
+		return fmt.Errorf("core: unsolicited data from %s for %s", deviceID, reqID)
+	}
+	p := list[idx]
+
+	if err := s.validateReading(p.req, deviceID, reading); err != nil {
+		s.stats.ReadingsRejected++
+		s.noteOutcome(deviceID, reputation.OutcomeRejected)
+		return err
+	}
+
+	// Clear the pending entry and restore responsiveness.
+	s.pending[reqID] = append(list[:idx], list[idx+1:]...)
+	s.devices.SetResponsive(deviceID, true)
+	s.stats.ReadingsAccepted++
+
+	// Buffer the value for the round's truth-discovery check; the check
+	// (and the accepted/outlier outcomes) runs when the round completes.
+	if s.cfg.Reputation != nil {
+		vals, ok := s.collected[reqID]
+		if !ok {
+			vals = make(map[string]float64)
+			s.collected[reqID] = vals
+		}
+		vals[deviceID] = reading.Value
+	}
+	if len(s.pending[reqID]) == 0 {
+		delete(s.pending, reqID)
+		s.finishRound(reqID)
+	}
+
+	if sink, ok := s.sinks[p.req.Task.ID]; ok {
+		sink(p.req.Task.ID, deviceID, reading)
+	}
+	return nil
+}
+
+// validateReading applies the paper's data checks: right sensor, sane
+// timestamp, and (optionally) the device still inside the task region.
+func (s *Server) validateReading(req Request, deviceID string, reading sensors.Reading) error {
+	if reading.Sensor != req.Task.Sensor {
+		return fmt.Errorf("core: %s sent %s data for a %s task", deviceID, reading.Sensor, req.Task.Sensor)
+	}
+	if reading.At.Before(req.Due.Add(-time.Minute)) {
+		return fmt.Errorf("core: stale reading from %s (taken %v, due %v)", deviceID, reading.At, req.Due)
+	}
+	if s.cfg.ValidateRegion && !req.Task.Area.Contains(reading.Where) {
+		return fmt.Errorf("core: reading from %s outside task region", deviceID)
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+)
+
+// The paper's server is "logically centralized; in its physical
+// instantiation, each entity is distributed into multiple instances,
+// resident at the edge of the cellular network. Each instance will be
+// located spatially close to the mobile devices" — and the conclusion
+// names "scalability of our framework to large geographic regions" as
+// ongoing work. ShardedServer is that instantiation: one Server instance
+// per geographic region, with tasks routed to the shard covering their
+// area and devices homed (and re-homed as they move) to the shard
+// covering their position.
+
+// Region is one edge shard's coverage area.
+type Region struct {
+	Name string
+	Area geo.Circle
+}
+
+// ShardedServer fronts a set of per-region Server instances.
+type ShardedServer struct {
+	shards []shardEntry
+	// deviceHome maps a device to its current shard index.
+	deviceHome map[string]int
+	// taskHome maps a task to the shard that owns it.
+	taskHome map[TaskID]int
+}
+
+type shardEntry struct {
+	region Region
+	server *Server
+}
+
+// NewShardedServer builds one Server per region, all sharing a dispatcher
+// and configuration.
+func NewShardedServer(cfg ServerConfig, d Dispatcher, regions []Region) (*ShardedServer, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("core: sharded server needs at least one region")
+	}
+	seen := make(map[string]bool, len(regions))
+	s := &ShardedServer{
+		deviceHome: make(map[string]int),
+		taskHome:   make(map[TaskID]int),
+	}
+	for _, r := range regions {
+		if r.Name == "" {
+			return nil, fmt.Errorf("core: region with empty name")
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("core: duplicate region %q", r.Name)
+		}
+		if r.Area.RadiusM <= 0 || !r.Area.Center.Valid() {
+			return nil, fmt.Errorf("core: region %q has invalid area", r.Name)
+		}
+		seen[r.Name] = true
+		srv, err := NewServer(cfg, d)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, shardEntry{region: r, server: srv})
+	}
+	return s, nil
+}
+
+// Shards returns the number of shards.
+func (s *ShardedServer) Shards() int { return len(s.shards) }
+
+// ShardFor returns the index of the first region containing the point, or
+// -1 when the point is outside every region.
+func (s *ShardedServer) ShardFor(p geo.Point) int {
+	for i, sh := range s.shards {
+		if sh.region.Area.Contains(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// RegionName returns a shard's region name.
+func (s *ShardedServer) RegionName(i int) string {
+	if i < 0 || i >= len(s.shards) {
+		return ""
+	}
+	return s.shards[i].region.Name
+}
+
+// RegisterDevice homes a device to the shard covering its position.
+func (s *ShardedServer) RegisterDevice(d DeviceState) error {
+	i := s.ShardFor(d.Position)
+	if i < 0 {
+		return fmt.Errorf("core: device %s at %s is outside every region", d.ID, d.Position)
+	}
+	if err := s.shards[i].server.Devices().Register(d); err != nil {
+		return err
+	}
+	s.deviceHome[d.ID] = i
+	return nil
+}
+
+// DeregisterDevice removes a device from its home shard.
+func (s *ShardedServer) DeregisterDevice(id string) {
+	if i, ok := s.deviceHome[id]; ok {
+		s.shards[i].server.Devices().Deregister(id)
+		delete(s.deviceHome, id)
+	}
+}
+
+// UpdateDeviceState applies a state report, re-homing the device if it
+// moved into another shard's region.
+func (s *ShardedServer) UpdateDeviceState(id string, pos geo.Point, batteryPct float64, at time.Time) error {
+	home, ok := s.deviceHome[id]
+	if !ok {
+		return fmt.Errorf("core: update for unregistered device %s", id)
+	}
+	target := s.ShardFor(pos)
+	if target < 0 {
+		// Out of all coverage: keep the stale home record; the device
+		// will fail region qualification anyway.
+		return s.shards[home].server.Devices().UpdateState(id, pos, batteryPct, at)
+	}
+	if target == home {
+		return s.shards[home].server.Devices().UpdateState(id, pos, batteryPct, at)
+	}
+	// Re-home: move the record, preserving fairness counters.
+	rec, ok := s.shards[home].server.Devices().Get(id)
+	if !ok {
+		return fmt.Errorf("core: device %s missing from home shard", id)
+	}
+	s.shards[home].server.Devices().Deregister(id)
+	rec.Position = pos
+	rec.BatteryPct = batteryPct
+	rec.LastComm = at
+	if err := s.shards[target].server.Devices().Register(rec); err != nil {
+		return err
+	}
+	// Register resets responsiveness; restore counters updated above.
+	s.deviceHome[id] = target
+	return nil
+}
+
+// SubmitTask routes a task to the shard covering its area center.
+func (s *ShardedServer) SubmitTask(t Task, now time.Time, sink DataSink) (TaskID, error) {
+	i := s.ShardFor(t.Area.Center)
+	if i < 0 {
+		return "", fmt.Errorf("core: task area %s is outside every region", t.Area)
+	}
+	id, err := s.shards[i].server.SubmitTask(t, now, sink)
+	if err != nil {
+		return "", err
+	}
+	// Qualify the ID with the shard so IDs stay unique across shards.
+	qualified := TaskID(fmt.Sprintf("%s/%s", s.shards[i].region.Name, id))
+	s.taskHome[qualified] = i
+	s.taskHome[id] = i // also accept the bare ID for convenience
+	return qualified, nil
+}
+
+// shardForTask resolves a (possibly shard-qualified) task ID.
+func (s *ShardedServer) shardForTask(id TaskID) (int, TaskID, error) {
+	if i, ok := s.taskHome[id]; ok {
+		return i, stripRegion(id), nil
+	}
+	return 0, "", fmt.Errorf("core: unknown task %s", id)
+}
+
+func stripRegion(id TaskID) TaskID {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '/' {
+			return id[i+1:]
+		}
+	}
+	return id
+}
+
+// DeleteTask removes a task from its owning shard.
+func (s *ShardedServer) DeleteTask(id TaskID) error {
+	i, bare, err := s.shardForTask(id)
+	if err != nil {
+		return err
+	}
+	return s.shards[i].server.DeleteTask(bare)
+}
+
+// UpdateTaskParams mutates a task on its owning shard.
+func (s *ShardedServer) UpdateTaskParams(id TaskID, now time.Time, mutate func(*Task)) error {
+	i, bare, err := s.shardForTask(id)
+	if err != nil {
+		return err
+	}
+	return s.shards[i].server.UpdateTaskParams(bare, now, mutate)
+}
+
+// ReceiveData routes a device's reading to the shard owning the request's
+// task. Request IDs are "<taskID>#<seq>".
+func (s *ShardedServer) ReceiveData(reqID, deviceID string, reading sensors.Reading, now time.Time) error {
+	taskPart := reqID
+	for i := 0; i < len(reqID); i++ {
+		if reqID[i] == '#' {
+			taskPart = reqID[:i]
+			break
+		}
+	}
+	i, _, err := s.shardForTask(TaskID(taskPart))
+	if err != nil {
+		return err
+	}
+	return s.shards[i].server.ReceiveData(reqID, deviceID, reading, now)
+}
+
+// ProcessDue drives every shard's scheduling loop.
+func (s *ShardedServer) ProcessDue(now time.Time) {
+	for _, sh := range s.shards {
+		sh.server.ProcessDue(now)
+	}
+}
+
+// NextWake returns the earliest wake instant across shards.
+func (s *ShardedServer) NextWake() (time.Time, bool) {
+	var best time.Time
+	ok := false
+	for _, sh := range s.shards {
+		if t, has := sh.server.NextWake(); has && (!ok || t.Before(best)) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// Stats aggregates counters across shards.
+func (s *ShardedServer) Stats() Stats {
+	var total Stats
+	for _, sh := range s.shards {
+		st := sh.server.Stats()
+		total.TasksSubmitted += st.TasksSubmitted
+		total.RequestsGenerated += st.RequestsGenerated
+		total.RequestsSatisfied += st.RequestsSatisfied
+		total.RequestsWaitlisted += st.RequestsWaitlisted
+		total.RequestsExpired += st.RequestsExpired
+		total.ReadingsAccepted += st.ReadingsAccepted
+		total.ReadingsRejected += st.ReadingsRejected
+		total.DispatchesMissed += st.DispatchesMissed
+	}
+	return total
+}
+
+// Shard exposes one shard's Server for inspection and tests.
+func (s *ShardedServer) Shard(i int) (*Server, Region, error) {
+	if i < 0 || i >= len(s.shards) {
+		return nil, Region{}, fmt.Errorf("core: shard %d out of range", i)
+	}
+	return s.shards[i].server, s.shards[i].region, nil
+}

@@ -1,0 +1,152 @@
+// Package core implements the Sense-Aid server: the paper's primary
+// contribution. It holds the task and device datastores, expands tasks
+// into timed requests, runs the fairness-aware device selector
+// (Score(i) = alpha*E_i + beta*U_i + gamma*(100-CBL_i) + phi*TTL_i with
+// hard cutoffs), and drives the Algorithm 1 workflow over a run queue and
+// a wait queue sorted by deadline.
+//
+// The package is substrate-agnostic: it sees devices as DeviceState
+// snapshots and talks to them through a Dispatcher, so the same server
+// core runs inside the discrete-event simulation (internal/sim) and behind
+// the networked frontend (internal/netserver).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+)
+
+// TaskID identifies a crowdsensing task.
+type TaskID string
+
+// Task is a crowdsensing task as specified by a crowdsensing application
+// server — the exact parameter set of the paper's Table 1.
+type Task struct {
+	// ID is assigned by the server when the task is submitted.
+	ID TaskID `json:"id"`
+
+	// Sensor is Table 1's sensor_type.
+	Sensor sensors.Type `json:"sensor_type"`
+	// SamplingPeriod is the gap between consecutive samples. Zero for
+	// one-shot tasks.
+	SamplingPeriod time.Duration `json:"sampling_period"`
+	// SamplingDuration is how long sensing runs. If set, Start defaults
+	// to submission time and End to Start+SamplingDuration (Table 1:
+	// "one can either specify a sampling duration or a start and stop
+	// time").
+	SamplingDuration time.Duration `json:"sampling_duration"`
+	// Start and End bound the sensing window.
+	Start time.Time `json:"start_time"`
+	End   time.Time `json:"end_time"`
+	// Area is the circular region (Table 1: location + area_radius).
+	Area geo.Circle `json:"area"`
+	// SpatialDensity is the number of devices required in the area.
+	SpatialDensity int `json:"spatial_density"`
+	// DeviceType optionally restricts to one device model.
+	DeviceType string `json:"device_type,omitempty"`
+}
+
+// OneShot reports whether the task wants a single round of samples
+// (no period / no duration).
+func (t *Task) OneShot() bool { return t.SamplingPeriod == 0 }
+
+// Normalize resolves the duration-vs-window alternative against a
+// submission time and validates the result.
+func (t *Task) Normalize(submitted time.Time) error {
+	if t.SamplingDuration > 0 {
+		if t.Start.IsZero() {
+			t.Start = submitted
+		}
+		t.End = t.Start.Add(t.SamplingDuration)
+	}
+	if t.Start.IsZero() {
+		t.Start = submitted
+	}
+	if t.End.IsZero() && t.OneShot() {
+		// A one-shot task needs no explicit end; its single request is
+		// due at Start.
+		t.End = t.Start
+	}
+	return t.Validate()
+}
+
+// Validate checks the task parameters.
+func (t *Task) Validate() error {
+	if !t.Sensor.Valid() {
+		return fmt.Errorf("core: task %s: invalid sensor_type %d", t.ID, int(t.Sensor))
+	}
+	if t.SamplingPeriod < 0 {
+		return fmt.Errorf("core: task %s: negative sampling_period", t.ID)
+	}
+	if t.SpatialDensity <= 0 {
+		return fmt.Errorf("core: task %s: spatial_density must be >= 1, got %d", t.ID, t.SpatialDensity)
+	}
+	if t.Area.RadiusM <= 0 {
+		return fmt.Errorf("core: task %s: area_radius must be positive, got %v", t.ID, t.Area.RadiusM)
+	}
+	if !t.Area.Center.Valid() {
+		return fmt.Errorf("core: task %s: invalid area center %v", t.ID, t.Area.Center)
+	}
+	if t.End.Before(t.Start) {
+		return fmt.Errorf("core: task %s: end_time %v before start_time %v", t.ID, t.End, t.Start)
+	}
+	if !t.OneShot() && !t.End.After(t.Start) {
+		return fmt.Errorf("core: task %s: periodic task with empty window", t.ID)
+	}
+	return nil
+}
+
+// Request is one schedulable sensing round of a task: "a task lasting 60
+// minutes with a 10-minute sampling period generates 6 requests".
+type Request struct {
+	Task *Task
+	// Seq is the request's index within its task, starting at 0.
+	Seq int
+	// Due is when the samples should be taken.
+	Due time.Time
+	// Deadline is the latest useful completion time; the task handler
+	// sorts queues by it and drops requests that pass it unserved.
+	Deadline time.Time
+}
+
+// ID labels the request for logs.
+func (r Request) ID() string { return fmt.Sprintf("%s#%d", r.Task.ID, r.Seq) }
+
+// ErrTaskWindowEmpty is returned when expansion produces no requests.
+var ErrTaskWindowEmpty = errors.New("core: task window produced no requests")
+
+// Expand generates the task's requests. The deadline of each request is
+// the next request's due time (or the task end for the last one), floored
+// at one minute of slack so one-shot tasks are schedulable.
+func (t *Task) Expand() ([]Request, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	const minSlack = time.Minute
+	if t.OneShot() {
+		dl := t.End
+		if !dl.After(t.Start) {
+			dl = t.Start.Add(minSlack)
+		}
+		return []Request{{Task: t, Seq: 0, Due: t.Start, Deadline: dl}}, nil
+	}
+	var reqs []Request
+	for due := t.Start; due.Before(t.End); due = due.Add(t.SamplingPeriod) {
+		dl := due.Add(t.SamplingPeriod)
+		if dl.After(t.End) {
+			dl = t.End
+		}
+		if !dl.After(due) {
+			dl = due.Add(minSlack)
+		}
+		reqs = append(reqs, Request{Task: t, Seq: len(reqs), Due: due, Deadline: dl})
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%w: task %s", ErrTaskWindowEmpty, t.ID)
+	}
+	return reqs, nil
+}

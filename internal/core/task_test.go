@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+func validTask() Task {
+	return Task{
+		Sensor:         sensors.Barometer,
+		SamplingPeriod: 10 * time.Minute,
+		Start:          simclock.Epoch,
+		End:            simclock.Epoch.Add(time.Hour),
+		Area:           geo.Circle{Center: geo.CSDepartment, RadiusM: 500},
+		SpatialDensity: 2,
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	good := validTask()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Task)
+	}{
+		{"invalid sensor", func(tk *Task) { tk.Sensor = sensors.Type(0) }},
+		{"negative period", func(tk *Task) { tk.SamplingPeriod = -time.Minute }},
+		{"zero density", func(tk *Task) { tk.SpatialDensity = 0 }},
+		{"zero radius", func(tk *Task) { tk.Area.RadiusM = 0 }},
+		{"bad center", func(tk *Task) { tk.Area.Center = geo.Point{Lat: 200} }},
+		{"end before start", func(tk *Task) { tk.End = tk.Start.Add(-time.Minute) }},
+		{"periodic empty window", func(tk *Task) { tk.End = tk.Start }},
+	}
+	for _, c := range cases {
+		tk := validTask()
+		c.mutate(&tk)
+		if err := tk.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestExpandGeneratesPaperExample(t *testing.T) {
+	// "a task lasts for 60 minutes and requires sampling period of 10
+	// minutes will generate 6 requests."
+	tk := validTask()
+	reqs, err := tk.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(reqs) != 6 {
+		t.Fatalf("60min/10min task expanded to %d requests, want 6", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Seq != i {
+			t.Fatalf("request %d has seq %d", i, r.Seq)
+		}
+		wantDue := tk.Start.Add(time.Duration(i) * 10 * time.Minute)
+		if !r.Due.Equal(wantDue) {
+			t.Fatalf("request %d due %v, want %v", i, r.Due, wantDue)
+		}
+		if !r.Deadline.After(r.Due) {
+			t.Fatalf("request %d deadline %v not after due %v", i, r.Deadline, r.Due)
+		}
+		if r.Deadline.After(tk.End) {
+			t.Fatalf("request %d deadline %v beyond task end", i, r.Deadline)
+		}
+	}
+}
+
+func TestExpandSamplingDurationVariant(t *testing.T) {
+	// Table 1: sampling duration of an hour, period 5 minutes -> 12 tasks.
+	tk := Task{
+		Sensor:           sensors.Barometer,
+		SamplingPeriod:   5 * time.Minute,
+		SamplingDuration: time.Hour,
+		Area:             geo.Circle{Center: geo.CSDepartment, RadiusM: 500},
+		SpatialDensity:   3,
+	}
+	if err := tk.Normalize(simclock.Epoch); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if !tk.Start.Equal(simclock.Epoch) {
+		t.Fatalf("start = %v, want submission time", tk.Start)
+	}
+	reqs, err := tk.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(reqs) != 12 {
+		t.Fatalf("1h/5min task expanded to %d requests, want 12", len(reqs))
+	}
+}
+
+func TestExpandOneShot(t *testing.T) {
+	tk := Task{
+		Sensor:         sensors.Barometer,
+		Area:           geo.Circle{Center: geo.CSDepartment, RadiusM: 500},
+		SpatialDensity: 1,
+	}
+	if err := tk.Normalize(simclock.Epoch); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if !tk.OneShot() {
+		t.Fatal("task without period should be one-shot")
+	}
+	reqs, err := tk.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(reqs) != 1 {
+		t.Fatalf("one-shot expanded to %d requests", len(reqs))
+	}
+	if !reqs[0].Deadline.After(reqs[0].Due) {
+		t.Fatal("one-shot request has no scheduling slack")
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	tk := validTask()
+	tk.ID = "task-9"
+	reqs, err := tk.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reqs[2].ID(); got != "task-9#2" {
+		t.Fatalf("request ID = %q, want task-9#2", got)
+	}
+}
+
+func TestExpandInvalidTask(t *testing.T) {
+	tk := validTask()
+	tk.SpatialDensity = 0
+	if _, err := tk.Expand(); err == nil {
+		t.Fatal("Expand accepted an invalid task")
+	}
+}
+
+func TestNormalizeExplicitWindowKept(t *testing.T) {
+	tk := validTask()
+	start, end := tk.Start, tk.End
+	if err := tk.Normalize(simclock.Epoch.Add(-time.Hour)); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if !tk.Start.Equal(start) || !tk.End.Equal(end) {
+		t.Fatal("Normalize overwrote an explicit start/end window")
+	}
+}

@@ -1,0 +1,190 @@
+package fusion
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/simclock"
+)
+
+func newTestMap(t *testing.T) *Map {
+	t.Helper()
+	m, err := NewMap(Config{
+		Center: geo.CampusCenter(),
+		SpanM:  2000,
+		Cells:  10,
+		MaxAge: 15 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	return m
+}
+
+func TestNewMapValidation(t *testing.T) {
+	bad := []Config{
+		{Center: geo.Point{Lat: 200}, SpanM: 100, Cells: 4},
+		{Center: geo.CampusCenter(), SpanM: 0, Cells: 4},
+		{Center: geo.CampusCenter(), SpanM: 100, Cells: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewMap(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestValueAtExactSample(t *testing.T) {
+	m := newTestMap(t)
+	at := simclock.Epoch
+	m.Add(Sample{Where: geo.CSDepartment, Value: 1010, At: at})
+	got, ok := m.ValueAt(geo.CSDepartment, at)
+	if !ok || got != 1010 {
+		t.Fatalf("ValueAt on sample = %v/%v", got, ok)
+	}
+}
+
+func TestValueAtInterpolates(t *testing.T) {
+	m := newTestMap(t)
+	at := simclock.Epoch
+	west := geo.Offset(geo.CampusCenter(), 0, -500)
+	east := geo.Offset(geo.CampusCenter(), 0, 500)
+	m.Add(Sample{Where: west, Value: 1000, At: at})
+	m.Add(Sample{Where: east, Value: 1020, At: at})
+
+	mid, ok := m.ValueAt(geo.CampusCenter(), at)
+	if !ok {
+		t.Fatal("no value at center")
+	}
+	if math.Abs(mid-1010) > 0.5 {
+		t.Fatalf("midpoint = %.2f, want ~1010 (equal weights)", mid)
+	}
+	// Closer to east -> closer to east's value.
+	nearEast, _ := m.ValueAt(geo.Offset(geo.CampusCenter(), 0, 400), at)
+	if nearEast <= mid {
+		t.Fatalf("near-east value %.2f not above midpoint %.2f", nearEast, mid)
+	}
+}
+
+func TestFreshnessWindow(t *testing.T) {
+	m := newTestMap(t)
+	at := simclock.Epoch
+	m.Add(Sample{Where: geo.CSDepartment, Value: 1010, At: at})
+
+	if _, ok := m.ValueAt(geo.CSDepartment, at.Add(10*time.Minute)); !ok {
+		t.Fatal("sample stale before MaxAge")
+	}
+	if _, ok := m.ValueAt(geo.CSDepartment, at.Add(16*time.Minute)); ok {
+		t.Fatal("sample still fresh after MaxAge")
+	}
+	// Future samples (clock skew) are not used either.
+	if _, ok := m.ValueAt(geo.CSDepartment, at.Add(-time.Minute)); ok {
+		t.Fatal("future sample used")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	m := newTestMap(t)
+	at := simclock.Epoch
+	m.Add(Sample{Where: geo.CSDepartment, Value: 1, At: at})
+	m.Add(Sample{Where: geo.CSDepartment, Value: 2, At: at.Add(20 * time.Minute)})
+	if removed := m.Prune(at.Add(20 * time.Minute)); removed != 1 {
+		t.Fatalf("pruned %d, want 1", removed)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d, want 1", m.Len())
+	}
+}
+
+func TestCoverageAndGrid(t *testing.T) {
+	m := newTestMap(t)
+	at := simclock.Epoch
+	if m.Coverage(at) != 0 {
+		t.Fatal("empty map has coverage")
+	}
+	// One sample per quadrant.
+	for _, off := range [][2]float64{{500, 500}, {-500, 500}, {500, -500}, {-500, -500}} {
+		m.Add(Sample{
+			Where: geo.Offset(geo.CampusCenter(), off[0], off[1]),
+			Value: 1013, At: at,
+		})
+	}
+	cov := m.Coverage(at)
+	if cov <= 0 || cov > 0.5 {
+		t.Fatalf("coverage = %.2f, want small but positive", cov)
+	}
+	grid := m.Grid(at)
+	if len(grid) != 10 || len(grid[0]) != 10 {
+		t.Fatalf("grid shape %dx%d", len(grid), len(grid[0]))
+	}
+	sampled := 0
+	for _, row := range grid {
+		for _, cell := range row {
+			if cell.Covered {
+				sampled += cell.Samples
+			}
+		}
+	}
+	if sampled == 0 {
+		t.Fatal("no cell saw a sample")
+	}
+}
+
+func TestRender(t *testing.T) {
+	m := newTestMap(t)
+	at := simclock.Epoch
+	out := m.Render(at)
+	if !strings.Contains(out, "no fresh data") {
+		t.Fatalf("empty render = %q", out)
+	}
+	m.Add(Sample{Where: geo.CSDepartment, Value: 1000, At: at})
+	m.Add(Sample{Where: geo.EEDepartment, Value: 1020, At: at})
+	out = m.Render(at)
+	if !strings.Contains(out, "2 fresh samples") {
+		t.Fatalf("render missing sample count:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("render missing sample markers")
+	}
+	if !strings.Contains(out, "scale: 0=") {
+		t.Fatal("render missing scale line")
+	}
+}
+
+// Property: interpolated values always lie within [min, max] of the fresh
+// samples (IDW is a convex combination).
+func TestIDWBoundsProperty(t *testing.T) {
+	m := newTestMap(t)
+	at := simclock.Epoch
+	f := func(vals [5]int16, qN, qE int16) bool {
+		m.samples = nil
+		min, max := math.Inf(1), math.Inf(-1)
+		for i, v := range vals {
+			fv := float64(v)
+			if fv < min {
+				min = fv
+			}
+			if fv > max {
+				max = fv
+			}
+			m.Add(Sample{
+				Where: geo.Offset(geo.CampusCenter(), float64((i-2)*300), float64((i%3)*250)),
+				Value: fv,
+				At:    at,
+			})
+		}
+		q := geo.Offset(geo.CampusCenter(), float64(qN%1000), float64(qE%1000))
+		got, ok := m.ValueAt(q, at)
+		if !ok {
+			return false
+		}
+		return got >= min-1e-9 && got <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package geo
+
+// The paper's user study collects barometer readings at four campus
+// locations: the Student Union, the EE department, the CS department, and
+// the University Gym. The coordinates below are the real Purdue campus
+// landmarks; their pairwise distances (roughly 300-900 m) are what make
+// the Experiment 1 radius sweep (100 m .. 1000 m) interesting.
+var (
+	// StudentUnion is the Purdue Memorial Union.
+	StudentUnion = Point{Lat: 40.4249, Lon: -86.9110}
+	// EEDepartment is the Electrical Engineering building.
+	EEDepartment = Point{Lat: 40.4286, Lon: -86.9138}
+	// CSDepartment is the Lawson Computer Science building.
+	CSDepartment = Point{Lat: 40.4274, Lon: -86.9169}
+	// UniversityGym is the campus recreation center.
+	UniversityGym = Point{Lat: 40.4285, Lon: -86.9222}
+)
+
+// CampusLocations lists the four study locations in the order the paper
+// names them.
+func CampusLocations() []NamedPoint {
+	return []NamedPoint{
+		{Name: "Student Union", Point: StudentUnion},
+		{Name: "EE department", Point: EEDepartment},
+		{Name: "CS department", Point: CSDepartment},
+		{Name: "University Gym", Point: UniversityGym},
+	}
+}
+
+// NamedPoint is a point with a human-readable label.
+type NamedPoint struct {
+	Name  string `json:"name"`
+	Point Point  `json:"point"`
+}
+
+// CampusCenter returns the centroid of the four study locations; mobility
+// models use it as the home range center.
+func CampusCenter() Point {
+	locs := CampusLocations()
+	var lat, lon float64
+	for _, l := range locs {
+		lat += l.Point.Lat
+		lon += l.Point.Lon
+	}
+	n := float64(len(locs))
+	return Point{Lat: lat / n, Lon: lon / n}
+}

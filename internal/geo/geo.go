@@ -1,0 +1,79 @@
+// Package geo provides the geographic primitives Sense-Aid needs:
+// latitude/longitude points, great-circle distances, circular task regions,
+// and the campus map used by the paper's user study.
+//
+// The paper intentionally works at coarse (cell-tower) location
+// granularity; this package is the shared vocabulary between the mobility
+// models (which move simulated devices), the cellular network (which
+// attaches devices to the nearest tower), and the Sense-Aid server (which
+// checks whether a device qualifies for a task's circular region).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusM is the mean Earth radius in meters used for great-circle
+// distance.
+const EarthRadiusM = 6_371_000.0
+
+// Point is a WGS-84 latitude/longitude pair in degrees.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// String renders the point as "lat,lon" with enough precision for meter
+// level work.
+func (p Point) String() string {
+	return fmt.Sprintf("%.6f,%.6f", p.Lat, p.Lon)
+}
+
+// Valid reports whether the point is a plausible WGS-84 coordinate.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// DistanceM returns the great-circle (haversine) distance in meters
+// between two points.
+func DistanceM(a, b Point) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	return 2 * EarthRadiusM * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// Offset returns the point reached by moving dNorth meters north and dEast
+// meters east of p, using the local flat-earth approximation (accurate to
+// well under a meter at campus scales).
+func Offset(p Point, dNorth, dEast float64) Point {
+	const radToDeg = 180 / math.Pi
+	dLat := dNorth / EarthRadiusM * radToDeg
+	dLon := dEast / (EarthRadiusM * math.Cos(p.Lat*math.Pi/180)) * radToDeg
+	return Point{Lat: p.Lat + dLat, Lon: p.Lon + dLon}
+}
+
+// Circle is a circular region: the shape of every Sense-Aid task area
+// (Table 1: area_radius around a task location).
+type Circle struct {
+	Center  Point   `json:"center"`
+	RadiusM float64 `json:"radius_m"`
+}
+
+// Contains reports whether p lies inside or on the circle.
+func (c Circle) Contains(p Point) bool {
+	return DistanceM(c.Center, p) <= c.RadiusM
+}
+
+// String renders the circle for logs and task descriptions.
+func (c Circle) String() string {
+	return fmt.Sprintf("circle(%s, r=%.0fm)", c.Center, c.RadiusM)
+}

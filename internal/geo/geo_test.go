@@ -1,0 +1,159 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceZero(t *testing.T) {
+	p := Point{Lat: 40.4274, Lon: -86.9169}
+	if d := DistanceM(p, p); d != 0 {
+		t.Fatalf("DistanceM(p,p) = %v, want 0", d)
+	}
+}
+
+func TestDistanceKnownValue(t *testing.T) {
+	// One degree of latitude is ~111.19 km.
+	a := Point{Lat: 0, Lon: 0}
+	b := Point{Lat: 1, Lon: 0}
+	d := DistanceM(a, b)
+	if math.Abs(d-111_195) > 100 {
+		t.Fatalf("1 degree latitude = %.0f m, want ~111195 m", d)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: clampLat(lat1), Lon: clampLon(lon1)}
+		b := Point{Lat: clampLat(lat2), Lon: clampLon(lon2)}
+		d1, d2 := DistanceM(a, b), DistanceM(b, a)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(lats [3]float64, lons [3]float64) bool {
+		var p [3]Point
+		for i := range p {
+			p[i] = Point{Lat: clampLat(lats[i]), Lon: clampLon(lons[i])}
+		}
+		ab := DistanceM(p[0], p[1])
+		bc := DistanceM(p[1], p[2])
+		ac := DistanceM(p[0], p[2])
+		return ac <= ab+bc+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetRoundTrip(t *testing.T) {
+	p := CSDepartment
+	q := Offset(p, 500, 0)
+	if d := DistanceM(p, q); math.Abs(d-500) > 1 {
+		t.Fatalf("offset 500m north measured %.2f m", d)
+	}
+	q = Offset(p, 0, 300)
+	if d := DistanceM(p, q); math.Abs(d-300) > 1 {
+		t.Fatalf("offset 300m east measured %.2f m", d)
+	}
+	q = Offset(p, 300, 400)
+	if d := DistanceM(p, q); math.Abs(d-500) > 1 {
+		t.Fatalf("offset (300,400) measured %.2f m, want 500", d)
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Center: CSDepartment, RadiusM: 500}
+	if !c.Contains(CSDepartment) {
+		t.Fatal("circle does not contain its own center")
+	}
+	if !c.Contains(Offset(CSDepartment, 499, 0)) {
+		t.Fatal("circle does not contain point 499m away")
+	}
+	if c.Contains(Offset(CSDepartment, 501, 0)) {
+		t.Fatal("circle contains point 501m away")
+	}
+}
+
+// Property: Offset(p, n, e) lands at distance sqrt(n^2+e^2) of p within
+// 0.5% at campus scales.
+func TestOffsetDistanceProperty(t *testing.T) {
+	f := func(n16, e16 int16) bool {
+		n := float64(n16 % 2000)
+		e := float64(e16 % 2000)
+		want := math.Hypot(n, e)
+		if want == 0 {
+			return true
+		}
+		got := DistanceM(CSDepartment, Offset(CSDepartment, n, e))
+		return math.Abs(got-want) <= 0.005*want+0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampusLocationsAreClose(t *testing.T) {
+	locs := CampusLocations()
+	if len(locs) != 4 {
+		t.Fatalf("campus has %d locations, want 4", len(locs))
+	}
+	for i, a := range locs {
+		if !a.Point.Valid() {
+			t.Fatalf("location %q invalid", a.Name)
+		}
+		for _, b := range locs[i+1:] {
+			d := DistanceM(a.Point, b.Point)
+			if d < 100 || d > 2000 {
+				t.Fatalf("distance %s-%s = %.0f m, expected campus scale (100-2000 m)", a.Name, b.Name, d)
+			}
+		}
+	}
+}
+
+func TestCampusCenterInsideCampus(t *testing.T) {
+	c := CampusCenter()
+	for _, l := range CampusLocations() {
+		if d := DistanceM(c, l.Point); d > 1500 {
+			t.Fatalf("center %.0f m from %s, want < 1500", d, l.Name)
+		}
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{90, 180}, true},
+		{Point{-90, -180}, true},
+		{Point{91, 0}, false},
+		{Point{0, 181}, false},
+		{Point{math.NaN(), 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func clampLat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 90)
+}
+
+func clampLon(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 180)
+}

@@ -1,0 +1,265 @@
+// Package mobility moves simulated devices around campus. Experiment 1's
+// qualified-device counts, Figure 9's fairness trace (a device leaving and
+// re-entering the task region), and every framework's region checks all
+// derive from the positions these models produce.
+//
+// Models are pure functions of time (given their seed), so a device's
+// trajectory is identical across paired simulation runs — a property the
+// energy-differencing evaluation relies on.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"senseaid/internal/geo"
+)
+
+// Model yields a device's position at any instant.
+type Model interface {
+	// PositionAt returns the device's location at time t. Calls must be
+	// monotonic-safe: any t at or after the model's start time is valid,
+	// in any order.
+	PositionAt(t time.Time) geo.Point
+}
+
+// Stationary is a device that never moves (a phone on a desk).
+type Stationary struct {
+	P geo.Point
+}
+
+var _ Model = Stationary{}
+
+// PositionAt returns the fixed position.
+func (s Stationary) PositionAt(time.Time) geo.Point { return s.P }
+
+// leg is one straight-line movement segment.
+type leg struct {
+	start, end time.Time
+	from, to   geo.Point
+}
+
+// Waypoint is a seeded random-waypoint model: the device alternates
+// between pausing at a point and walking to a chosen point at a uniformly
+// chosen walking speed. The default point chooser is uniform over a disc
+// around Home; NewCampusWalk swaps in a building-biased chooser.
+type Waypoint struct {
+	home    geo.Point
+	radiusM float64
+	start   time.Time
+	rng     *rand.Rand
+	legs    []leg
+	pick    func() geo.Point
+
+	minSpeed, maxSpeed float64 // m/s
+	minPause, maxPause time.Duration
+}
+
+var _ Model = (*Waypoint)(nil)
+
+// WaypointConfig parameterises a Waypoint model.
+type WaypointConfig struct {
+	Home    geo.Point
+	RadiusM float64
+	Start   time.Time
+	Seed    int64
+	// MinSpeedMS/MaxSpeedMS bound walking speed; defaults 0.8-1.8 m/s.
+	MinSpeedMS, MaxSpeedMS float64
+	// MinPause/MaxPause bound dwell time at each waypoint; defaults
+	// 2-20 minutes (students sit in lectures).
+	MinPause, MaxPause time.Duration
+}
+
+// NewWaypoint builds a random-waypoint model.
+func NewWaypoint(cfg WaypointConfig) *Waypoint {
+	if cfg.MinSpeedMS <= 0 {
+		cfg.MinSpeedMS = 0.8
+	}
+	if cfg.MaxSpeedMS < cfg.MinSpeedMS {
+		cfg.MaxSpeedMS = cfg.MinSpeedMS + 1.0
+	}
+	if cfg.MinPause <= 0 {
+		cfg.MinPause = 2 * time.Minute
+	}
+	if cfg.MaxPause < cfg.MinPause {
+		cfg.MaxPause = cfg.MinPause + 18*time.Minute
+	}
+	if cfg.RadiusM <= 0 {
+		cfg.RadiusM = 600
+	}
+	w := &Waypoint{
+		home:     cfg.Home,
+		radiusM:  cfg.RadiusM,
+		start:    cfg.Start,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		minSpeed: cfg.MinSpeedMS,
+		maxSpeed: cfg.MaxSpeedMS,
+		minPause: cfg.MinPause,
+		maxPause: cfg.MaxPause,
+	}
+	w.pick = w.randomDiscPoint
+	// Begin paused at a random point in range.
+	p0 := w.pick()
+	pause := w.randomPause()
+	w.legs = append(w.legs, leg{start: cfg.Start, end: cfg.Start.Add(pause), from: p0, to: p0})
+	return w
+}
+
+// CampusWalkConfig parameterises a building-biased walk.
+type CampusWalkConfig struct {
+	// Buildings are the dwell points (default: the four study
+	// locations).
+	Buildings []geo.Point
+	// JitterM is the spread of dwell spots around a building
+	// (default 60 m — people sit in different rooms).
+	JitterM float64
+	Start   time.Time
+	Seed    int64
+	// MinPause/MaxPause bound dwell time (default 5-30 min: lectures).
+	MinPause, MaxPause time.Duration
+}
+
+// NewCampusWalk returns a mobility model where the device walks between
+// campus buildings and dwells at each. This clusters devices at the
+// paper's four study locations, which is what gives Experiment 1 its
+// qualified-device profile: a 100 m task circle catches only the devices
+// currently at that building, a 1000 m circle catches most of campus.
+func NewCampusWalk(cfg CampusWalkConfig) *Waypoint {
+	if len(cfg.Buildings) == 0 {
+		locs := geo.CampusLocations()
+		for _, l := range locs {
+			cfg.Buildings = append(cfg.Buildings, l.Point)
+		}
+	}
+	if cfg.JitterM <= 0 {
+		cfg.JitterM = 60
+	}
+	if cfg.MinPause <= 0 {
+		cfg.MinPause = 5 * time.Minute
+	}
+	if cfg.MaxPause < cfg.MinPause {
+		cfg.MaxPause = cfg.MinPause + 25*time.Minute
+	}
+	w := NewWaypoint(WaypointConfig{
+		Home:     geo.CampusCenter(),
+		RadiusM:  1, // unused by the building chooser
+		Start:    cfg.Start,
+		Seed:     cfg.Seed,
+		MinPause: cfg.MinPause,
+		MaxPause: cfg.MaxPause,
+	})
+	buildings := make([]geo.Point, len(cfg.Buildings))
+	copy(buildings, cfg.Buildings)
+	jitter := cfg.JitterM
+	w.pick = func() geo.Point {
+		b := buildings[w.rng.Intn(len(buildings))]
+		return geo.Offset(b, w.rng.NormFloat64()*jitter, w.rng.NormFloat64()*jitter)
+	}
+	// Re-seed the initial dwell with a building-based position.
+	p0 := w.pick()
+	w.legs = []leg{{start: w.start, end: w.start.Add(w.randomPause()), from: p0, to: p0}}
+	return w
+}
+
+// PositionAt returns the position at t, extending the trajectory lazily.
+func (w *Waypoint) PositionAt(t time.Time) geo.Point {
+	if t.Before(w.start) {
+		t = w.start
+	}
+	w.extendTo(t)
+	// Binary search the covering leg.
+	i := sort.Search(len(w.legs), func(i int) bool { return w.legs[i].end.After(t) })
+	if i == len(w.legs) {
+		i = len(w.legs) - 1
+	}
+	l := w.legs[i]
+	if l.from == l.to || !l.end.After(l.start) {
+		return l.to
+	}
+	frac := t.Sub(l.start).Seconds() / l.end.Sub(l.start).Seconds()
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return geo.Point{
+		Lat: l.from.Lat + (l.to.Lat-l.from.Lat)*frac,
+		Lon: l.from.Lon + (l.to.Lon-l.from.Lon)*frac,
+	}
+}
+
+func (w *Waypoint) extendTo(t time.Time) {
+	for {
+		last := w.legs[len(w.legs)-1]
+		if last.end.After(t) {
+			return
+		}
+		if last.from == last.to {
+			// Was paused: walk somewhere new.
+			dest := w.pick()
+			speed := w.minSpeed + w.rng.Float64()*(w.maxSpeed-w.minSpeed)
+			dist := geo.DistanceM(last.to, dest)
+			dur := time.Duration(dist / speed * float64(time.Second))
+			if dur < time.Second {
+				dur = time.Second
+			}
+			w.legs = append(w.legs, leg{start: last.end, end: last.end.Add(dur), from: last.to, to: dest})
+		} else {
+			// Was walking: pause at the destination.
+			pause := w.randomPause()
+			w.legs = append(w.legs, leg{start: last.end, end: last.end.Add(pause), from: last.to, to: last.to})
+		}
+	}
+}
+
+func (w *Waypoint) randomDiscPoint() geo.Point {
+	// Uniform over the disc: r = R*sqrt(u).
+	r := w.radiusM * math.Sqrt(w.rng.Float64())
+	theta := w.rng.Float64() * 2 * math.Pi
+	return geo.Offset(w.home, r*math.Cos(theta), r*math.Sin(theta))
+}
+
+func (w *Waypoint) randomPause() time.Duration {
+	span := w.maxPause - w.minPause
+	return w.minPause + time.Duration(w.rng.Int63n(int64(span)+1))
+}
+
+// Keyframe pins a position at an instant for the Scripted model.
+type Keyframe struct {
+	At time.Time
+	P  geo.Point
+}
+
+// Scripted replays a fixed trajectory: the device holds each keyframe's
+// position until the next keyframe. Figure 9's device 8 — out of the task
+// region during rounds T4-T7, back at T8 — is expressed this way.
+type Scripted struct {
+	frames []Keyframe
+}
+
+var _ Model = (*Scripted)(nil)
+
+// NewScripted builds a scripted model; keyframes are sorted by time and at
+// least one is required (the model panics otherwise — it is a test/
+// scenario construction error).
+func NewScripted(frames []Keyframe) *Scripted {
+	if len(frames) == 0 {
+		panic("mobility: scripted model needs at least one keyframe")
+	}
+	sorted := make([]Keyframe, len(frames))
+	copy(sorted, frames)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At.Before(sorted[j].At) })
+	return &Scripted{frames: sorted}
+}
+
+// PositionAt returns the most recent keyframe's position (step-hold).
+func (s *Scripted) PositionAt(t time.Time) geo.Point {
+	i := sort.Search(len(s.frames), func(i int) bool { return s.frames[i].At.After(t) })
+	if i == 0 {
+		return s.frames[0].P
+	}
+	return s.frames[i-1].P
+}

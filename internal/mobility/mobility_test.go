@@ -1,0 +1,222 @@
+package mobility
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/simclock"
+)
+
+func TestStationary(t *testing.T) {
+	m := Stationary{P: geo.CSDepartment}
+	for _, d := range []time.Duration{0, time.Hour, 48 * time.Hour} {
+		if got := m.PositionAt(simclock.Epoch.Add(d)); got != geo.CSDepartment {
+			t.Fatalf("stationary moved to %v", got)
+		}
+	}
+}
+
+func newTestWaypoint(seed int64) *Waypoint {
+	return NewWaypoint(WaypointConfig{
+		Home:    geo.CampusCenter(),
+		RadiusM: 600,
+		Start:   simclock.Epoch,
+		Seed:    seed,
+	})
+}
+
+func TestWaypointStaysInRange(t *testing.T) {
+	m := newTestWaypoint(7)
+	for i := 0; i < 500; i++ {
+		at := simclock.Epoch.Add(time.Duration(i) * time.Minute)
+		p := m.PositionAt(at)
+		if d := geo.DistanceM(geo.CampusCenter(), p); d > 601 {
+			t.Fatalf("device %0.f m from home at %v, radius 600", d, at)
+		}
+	}
+}
+
+func TestWaypointDeterministicAndOrderIndependent(t *testing.T) {
+	a := newTestWaypoint(42)
+	b := newTestWaypoint(42)
+	times := []time.Duration{90 * time.Minute, 10 * time.Minute, 55 * time.Minute, 0, 3 * time.Hour}
+	// Query a in the scrambled order above, b in sorted order: positions
+	// must agree pointwise (lazy extension must not depend on call order).
+	got := make(map[time.Duration]geo.Point)
+	for _, d := range times {
+		got[d] = a.PositionAt(simclock.Epoch.Add(d))
+	}
+	for _, d := range []time.Duration{0, 10 * time.Minute, 55 * time.Minute, 90 * time.Minute, 3 * time.Hour} {
+		want := b.PositionAt(simclock.Epoch.Add(d))
+		if got[d] != want {
+			t.Fatalf("position at +%v differs between call orders: %v vs %v", d, got[d], want)
+		}
+	}
+}
+
+func TestWaypointSeedsDiffer(t *testing.T) {
+	a := newTestWaypoint(1)
+	b := newTestWaypoint(2)
+	at := simclock.Epoch.Add(30 * time.Minute)
+	if a.PositionAt(at) == b.PositionAt(at) {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+func TestWaypointMovesPlausibly(t *testing.T) {
+	m := newTestWaypoint(11)
+	moved := false
+	prev := m.PositionAt(simclock.Epoch)
+	for i := 1; i <= 240; i++ {
+		at := simclock.Epoch.Add(time.Duration(i) * time.Minute)
+		p := m.PositionAt(at)
+		// Bounded speed: at most MaxSpeed * 60s per minute step.
+		if d := geo.DistanceM(prev, p); d > 1.8*60+1 {
+			t.Fatalf("moved %.0f m in one minute, exceeds max walking speed", d)
+		}
+		if p != prev {
+			moved = true
+		}
+		prev = p
+	}
+	if !moved {
+		t.Fatal("device never moved over 4 hours")
+	}
+}
+
+func TestWaypointBeforeStartClamps(t *testing.T) {
+	m := newTestWaypoint(3)
+	early := m.PositionAt(simclock.Epoch.Add(-time.Hour))
+	start := m.PositionAt(simclock.Epoch)
+	if early != start {
+		t.Fatal("query before start should clamp to start position")
+	}
+}
+
+// Property: the trajectory is continuous — positions dt apart are within
+// maxSpeed*dt (+epsilon).
+func TestWaypointContinuityProperty(t *testing.T) {
+	m := newTestWaypoint(99)
+	f := func(minute uint16, stepSec uint8) bool {
+		base := simclock.Epoch.Add(time.Duration(minute%1440) * time.Minute)
+		dt := time.Duration(stepSec%120+1) * time.Second
+		a := m.PositionAt(base)
+		b := m.PositionAt(base.Add(dt))
+		return geo.DistanceM(a, b) <= 1.8*dt.Seconds()+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScriptedStepHold(t *testing.T) {
+	in := geo.CSDepartment
+	out := geo.Offset(geo.CSDepartment, 2000, 0)
+	m := NewScripted([]Keyframe{
+		{At: simclock.Epoch, P: in},
+		{At: simclock.Epoch.Add(30 * time.Minute), P: out},
+		{At: simclock.Epoch.Add(70 * time.Minute), P: in},
+	})
+	cases := []struct {
+		at   time.Duration
+		want geo.Point
+	}{
+		{-time.Hour, in}, // before first frame: first position
+		{0, in},
+		{29 * time.Minute, in},
+		{30 * time.Minute, out},
+		{69 * time.Minute, out},
+		{70 * time.Minute, in},
+		{5 * time.Hour, in},
+	}
+	for _, c := range cases {
+		if got := m.PositionAt(simclock.Epoch.Add(c.at)); got != c.want {
+			t.Fatalf("position at %v = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestScriptedSortsFrames(t *testing.T) {
+	m := NewScripted([]Keyframe{
+		{At: simclock.Epoch.Add(time.Hour), P: geo.EEDepartment},
+		{At: simclock.Epoch, P: geo.CSDepartment},
+	})
+	if got := m.PositionAt(simclock.Epoch.Add(time.Minute)); got != geo.CSDepartment {
+		t.Fatalf("unsorted keyframes mishandled: got %v", got)
+	}
+}
+
+func TestScriptedEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewScripted(nil) should panic")
+		}
+	}()
+	NewScripted(nil)
+}
+
+func TestCampusWalkClustersAtBuildings(t *testing.T) {
+	buildings := make([]geo.Point, 0, 4)
+	for _, l := range geo.CampusLocations() {
+		buildings = append(buildings, l.Point)
+	}
+	m := NewCampusWalk(CampusWalkConfig{Start: simclock.Epoch, Seed: 21})
+
+	// Over a long horizon, most sampled positions are near some
+	// building (dwell dominates walking).
+	near := 0
+	const samples = 300
+	for i := 0; i < samples; i++ {
+		p := m.PositionAt(simclock.Epoch.Add(time.Duration(i*3) * time.Minute))
+		for _, b := range buildings {
+			if geo.DistanceM(p, b) < 250 {
+				near++
+				break
+			}
+		}
+	}
+	if frac := float64(near) / samples; frac < 0.6 {
+		t.Fatalf("only %.0f%% of positions near buildings; campus walk not clustering", frac*100)
+	}
+}
+
+func TestCampusWalkVisitsMultipleBuildings(t *testing.T) {
+	m := NewCampusWalk(CampusWalkConfig{Start: simclock.Epoch, Seed: 5,
+		MinPause: 2 * time.Minute, MaxPause: 6 * time.Minute})
+	visited := map[string]bool{}
+	for i := 0; i < 600; i++ {
+		p := m.PositionAt(simclock.Epoch.Add(time.Duration(i) * time.Minute))
+		for _, l := range geo.CampusLocations() {
+			if geo.DistanceM(p, l.Point) < 250 {
+				visited[l.Name] = true
+			}
+		}
+	}
+	if len(visited) < 2 {
+		t.Fatalf("visited %d buildings over 10 hours, want >= 2", len(visited))
+	}
+}
+
+func TestCampusWalkCustomBuildings(t *testing.T) {
+	only := []geo.Point{geo.UniversityGym}
+	m := NewCampusWalk(CampusWalkConfig{Buildings: only, JitterM: 10, Start: simclock.Epoch, Seed: 3})
+	for i := 0; i < 100; i++ {
+		p := m.PositionAt(simclock.Epoch.Add(time.Duration(i*5) * time.Minute))
+		if d := geo.DistanceM(p, geo.UniversityGym); d > 200 {
+			t.Fatalf("single-building walk strayed %.0f m", d)
+		}
+	}
+}
+
+func TestCampusWalkDeterministic(t *testing.T) {
+	a := NewCampusWalk(CampusWalkConfig{Start: simclock.Epoch, Seed: 77})
+	b := NewCampusWalk(CampusWalkConfig{Start: simclock.Epoch, Seed: 77})
+	for i := 0; i < 50; i++ {
+		at := simclock.Epoch.Add(time.Duration(i*7) * time.Minute)
+		if a.PositionAt(at) != b.PositionAt(at) {
+			t.Fatalf("campus walk diverged at %v", at)
+		}
+	}
+}

@@ -1,0 +1,508 @@
+// Package netserver exposes the Sense-Aid server core over TCP using the
+// wire protocol. It is the deployable face of the middleware: devices
+// connect with the client library (internal/client), crowdsensing
+// application servers with the CAS library (internal/cas), and the server
+// orchestrates scheduling over real time.
+package netserver
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"senseaid/internal/core"
+	"senseaid/internal/geo"
+	"senseaid/internal/privacy"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+	"senseaid/internal/wire"
+)
+
+// Config parameterises the networked server.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:7117".
+	Addr string
+	// Core configures the scheduling core; zero value uses defaults.
+	Core core.ServerConfig
+	// Clock supplies time (tests inject a simulated clock for
+	// deterministic scheduling assertions; production uses real time).
+	Clock simclock.Clock
+	// TickPeriod is how often the scheduler loop runs ProcessDue.
+	// Default 500 ms.
+	TickPeriod time.Duration
+	// Logger receives operational messages; nil discards them.
+	Logger *log.Logger
+	// PseudonymSecret, when set (>= 8 bytes), hides device identities
+	// from application servers: readings are delivered under stable
+	// per-task pseudonyms instead of device IDs (the paper's privacy
+	// stance — "no per-device data need to be made visible to the
+	// crowdsensing application server").
+	PseudonymSecret []byte
+}
+
+// Server is a running networked Sense-Aid server.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	clock simclock.Clock
+	log   *log.Logger
+
+	mu      sync.Mutex // guards core, conns, and write fan-out maps
+	core    *core.Server
+	devices map[string]*conn      // device ID -> connection
+	taskCAS map[core.TaskID]*conn // task -> submitting CAS connection
+	pseudo  *privacy.Pseudonymizer
+
+	wg      sync.WaitGroup
+	done    chan struct{}
+	closeMu sync.Once
+}
+
+// conn is one peer connection with serialized writes.
+type conn struct {
+	nc      net.Conn
+	writeMu sync.Mutex
+}
+
+func (c *conn) send(t wire.MsgType, seq uint64, payload interface{}) error {
+	env, err := wire.Encode(t, seq, payload)
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := c.nc.SetWriteDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		return fmt.Errorf("netserver: set deadline: %w", err)
+	}
+	return wire.WriteFrame(c.nc, env)
+}
+
+func (c *conn) sendErr(seq uint64, err error) {
+	// Best effort: the peer may already be gone.
+	_ = c.send(wire.TypeError, seq, wire.Error{Message: err.Error()})
+}
+
+// Listen starts a server on cfg.Addr.
+func Listen(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.RealClock{}
+	}
+	if cfg.TickPeriod <= 0 {
+		cfg.TickPeriod = 500 * time.Millisecond
+	}
+	if cfg.Core.Selector == (core.SelectorConfig{}) {
+		cfg.Core = core.DefaultServerConfig()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		log:     logger,
+		devices: make(map[string]*conn),
+		taskCAS: make(map[core.TaskID]*conn),
+		done:    make(chan struct{}),
+	}
+	if len(cfg.PseudonymSecret) > 0 {
+		p, err := privacy.NewPseudonymizer(cfg.PseudonymSecret)
+		if err != nil {
+			return nil, err
+		}
+		s.pseudo = p
+	}
+	c, err := core.NewServer(cfg.Core, core.DispatcherFunc(s.dispatch))
+	if err != nil {
+		return nil, err
+	}
+	s.core = c
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("netserver: listen %s: %w", cfg.Addr, err)
+	}
+	s.ln = ln
+
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.tickLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns the core's counters.
+func (s *Server) Stats() core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Stats()
+}
+
+// Close shuts the server down and waits for its goroutines.
+func (s *Server) Close() error {
+	var err error
+	s.closeMu.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+		s.mu.Lock()
+		for _, c := range s.devices {
+			_ = c.nc.Close()
+		}
+		seen := make(map[*conn]bool)
+		for _, c := range s.taskCAS {
+			if !seen[c] {
+				seen[c] = true
+				_ = c.nc.Close()
+			}
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}
+
+// discard is an io.Writer that drops everything (for the nil logger).
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.log.Printf("accept: %v", err)
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(&conn{nc: nc})
+		}()
+	}
+}
+
+// tickLoop drives the core's scheduling over real (or injected) time.
+func (s *Server) tickLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.TickPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			s.core.ProcessDue(s.clock.Now())
+			s.mu.Unlock()
+		}
+	}
+}
+
+// dispatch pushes a schedule to the selected device's connection. Called
+// with s.mu held (from ProcessDue or message handlers).
+func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
+	c, ok := s.devices[dev.ID]
+	if !ok {
+		s.log.Printf("dispatch %s: device %s not connected", req.ID(), dev.ID)
+		return
+	}
+	err := c.send(wire.TypeSchedule, 0, wire.Schedule{
+		RequestID: req.ID(),
+		TaskID:    string(req.Task.ID),
+		Sensor:    req.Task.Sensor,
+		Due:       req.Due,
+		Deadline:  req.Deadline,
+	})
+	if err != nil {
+		s.log.Printf("dispatch %s to %s: %v", req.ID(), dev.ID, err)
+	}
+}
+
+func (s *Server) serveConn(c *conn) {
+	defer func() { _ = c.nc.Close() }()
+
+	env, err := wire.ReadFrame(c.nc)
+	if err != nil {
+		return
+	}
+	if env.Type != wire.TypeHello {
+		c.sendErr(env.Seq, fmt.Errorf("netserver: expected hello, got %s", env.Type))
+		return
+	}
+	var hello wire.Hello
+	if err := wire.Decode(env, &hello); err != nil {
+		c.sendErr(env.Seq, err)
+		return
+	}
+	if hello.Version != wire.ProtocolVersion {
+		c.sendErr(env.Seq, fmt.Errorf("netserver: protocol version %d unsupported", hello.Version))
+		return
+	}
+	if err := c.send(wire.TypeAck, env.Seq, wire.Ack{}); err != nil {
+		return
+	}
+
+	switch hello.Role {
+	case wire.RoleDevice:
+		s.serveDevice(c)
+	case wire.RoleCAS:
+		s.serveCAS(c)
+	default:
+		c.sendErr(env.Seq, fmt.Errorf("netserver: unknown role %q", hello.Role))
+	}
+}
+
+// serveDevice handles a device connection's message loop.
+func (s *Server) serveDevice(c *conn) {
+	deviceID := ""
+	defer func() {
+		if deviceID != "" {
+			s.mu.Lock()
+			if s.devices[deviceID] == c {
+				delete(s.devices, deviceID)
+			}
+			s.mu.Unlock()
+		}
+	}()
+	for {
+		env, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case wire.TypeRegister:
+			var reg wire.Register
+			if err := wire.Decode(env, &reg); err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			s.mu.Lock()
+			err := s.core.Devices().Register(core.DeviceState{
+				ID:         reg.DeviceID,
+				Position:   reg.Position,
+				BatteryPct: reg.BatteryPct,
+				LastComm:   s.clock.Now(),
+				Sensors:    reg.Sensors,
+				DeviceType: reg.DeviceType,
+				Budget:     reg.Budget,
+			})
+			if err == nil {
+				s.devices[reg.DeviceID] = c
+				deviceID = reg.DeviceID
+			}
+			s.mu.Unlock()
+			if err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: reg.DeviceID})
+
+		case wire.TypeDeregister:
+			s.mu.Lock()
+			if deviceID != "" {
+				s.core.Devices().Deregister(deviceID)
+				delete(s.devices, deviceID)
+			}
+			s.mu.Unlock()
+			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+			return
+
+		case wire.TypeUpdatePrefs:
+			var up wire.UpdatePrefs
+			if err := wire.Decode(env, &up); err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			if err := up.Budget.Validate(); err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			s.mu.Lock()
+			dev, ok := s.core.Devices().Get(deviceID)
+			if ok {
+				dev.Budget = up.Budget
+				// Re-register keeps the rest of the record.
+				_ = s.core.Devices().Register(dev)
+			}
+			s.mu.Unlock()
+			if !ok {
+				c.sendErr(env.Seq, fmt.Errorf("netserver: update_preferences before register"))
+				continue
+			}
+			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+
+		case wire.TypeStateReport:
+			var sr wire.StateReport
+			if err := wire.Decode(env, &sr); err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			s.mu.Lock()
+			err := s.core.Devices().UpdateState(deviceID, sr.Position, sr.BatteryPct, sr.LastComm)
+			s.mu.Unlock()
+			if err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+
+		case wire.TypeSenseData:
+			var sd wire.SenseData
+			if err := wire.Decode(env, &sd); err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			s.mu.Lock()
+			err := s.core.ReceiveData(sd.RequestID, deviceID, sd.Reading, s.clock.Now())
+			s.mu.Unlock()
+			if err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+
+		default:
+			c.sendErr(env.Seq, fmt.Errorf("netserver: unexpected %s from device", env.Type))
+		}
+	}
+}
+
+// serveCAS handles a crowdsensing application server connection. When
+// the CAS disconnects, its live tasks are deleted: with no sink to
+// deliver to, every further dispatch would only burn device energy.
+func (s *Server) serveCAS(c *conn) {
+	var ownedTasks []core.TaskID
+	defer func() {
+		s.mu.Lock()
+		for _, id := range ownedTasks {
+			if s.taskCAS[id] == c {
+				delete(s.taskCAS, id)
+				if err := s.core.DeleteTask(id); err == nil {
+					s.log.Printf("CAS disconnected; task %s deleted", id)
+				}
+				if s.pseudo != nil {
+					s.pseudo.Forget(string(id))
+				}
+			}
+		}
+		s.mu.Unlock()
+	}()
+	for {
+		env, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case wire.TypeSubmitTask:
+			var spec wire.TaskSpec
+			if err := wire.Decode(env, &spec); err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			task := core.Task{
+				Sensor:           spec.Sensor,
+				SamplingPeriod:   spec.SamplingPeriod,
+				SamplingDuration: spec.SamplingDuration,
+				Start:            spec.Start,
+				End:              spec.End,
+				Area:             geo.Circle{Center: spec.Center, RadiusM: spec.AreaRadiusM},
+				SpatialDensity:   spec.SpatialDensity,
+				DeviceType:       spec.DeviceType,
+			}
+			s.mu.Lock()
+			id, err := s.core.SubmitTask(task, s.clock.Now(), func(tid core.TaskID, dev string, r sensors.Reading) {
+				// Sink runs with s.mu held (inside ReceiveData); the
+				// send uses the conn's own write lock.
+				reported := dev
+				if s.pseudo != nil {
+					if p, perr := s.pseudo.Pseudonym(string(tid), dev); perr == nil {
+						reported = p
+					}
+				}
+				if e := c.send(wire.TypeSensedData, 0, wire.SensedData{
+					TaskID: string(tid), DeviceID: reported, Reading: r,
+				}); e != nil {
+					s.log.Printf("deliver to CAS for %s: %v", tid, e)
+				}
+			})
+			if err == nil {
+				s.taskCAS[id] = c
+				ownedTasks = append(ownedTasks, id)
+			}
+			s.mu.Unlock()
+			if err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: string(id)})
+
+		case wire.TypeUpdateTask:
+			var ut wire.UpdateTask
+			if err := wire.Decode(env, &ut); err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			s.mu.Lock()
+			err := s.core.UpdateTaskParams(core.TaskID(ut.TaskID), s.clock.Now(), func(t *core.Task) {
+				if ut.SamplingPeriod > 0 {
+					t.SamplingPeriod = ut.SamplingPeriod
+				}
+				if ut.SpatialDensity > 0 {
+					t.SpatialDensity = ut.SpatialDensity
+				}
+				if ut.AreaRadiusM > 0 {
+					t.Area.RadiusM = ut.AreaRadiusM
+				}
+				if !ut.End.IsZero() {
+					t.End = ut.End
+				}
+			})
+			s.mu.Unlock()
+			if err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+
+		case wire.TypeDeleteTask:
+			var dt wire.DeleteTask
+			if err := wire.Decode(env, &dt); err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			s.mu.Lock()
+			err := s.core.DeleteTask(core.TaskID(dt.TaskID))
+			delete(s.taskCAS, core.TaskID(dt.TaskID))
+			if s.pseudo != nil {
+				s.pseudo.Forget(dt.TaskID)
+			}
+			s.mu.Unlock()
+			if err != nil {
+				c.sendErr(env.Seq, err)
+				continue
+			}
+			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+
+		default:
+			c.sendErr(env.Seq, fmt.Errorf("netserver: unexpected %s from CAS", env.Type))
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package phone assembles the simulated smartphone: a battery, an RRC
+// radio machine, a sensor suite, a mobility model and a background traffic
+// profile. It is the substrate all three frameworks (Periodic, PCS,
+// Sense-Aid) run on, replacing the study participants' real handsets.
+//
+// The phone attributes energy the way the user study measures it: joules
+// are split by cause (the device's own background usage vs. crowdsensing
+// vs. Sense-Aid control traffic), with sensing and app-wakeup energy
+// folded into the crowdsensing account.
+package phone
+
+import (
+	"fmt"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/mobility"
+	"senseaid/internal/power"
+	"senseaid/internal/radio"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+	"senseaid/internal/traffic"
+)
+
+// WakeupEnergyJ is the CPU/app-framework cost of waking the device to take
+// and package a sample (process wake from suspend, sensor manager setup,
+// serialisation). Paid once per crowdsensing sample by every framework.
+const WakeupEnergyJ = 0.8
+
+// Config describes one simulated device.
+type Config struct {
+	// ID identifies the device; the framework reports it as the hash of
+	// the IMEI, never the IMEI itself (the paper's privacy stance).
+	ID string
+	// Profile is the radio technology (LTE by default).
+	Profile radio.PowerProfile
+	// Mobility drives the device's position; required.
+	Mobility mobility.Model
+	// Traffic is the organic usage profile; zero value disables
+	// background traffic (a phone in a drawer).
+	Traffic traffic.Config
+	// HasTraffic enables the background generator.
+	HasTraffic bool
+	// Sensors lists the hardware present. Empty means the default suite
+	// (every sensor type).
+	Sensors []sensors.Type
+	// BatteryPct is the starting charge (default 100).
+	BatteryPct float64
+	// Budget is the user's crowdsensing allowance (default survey-based).
+	Budget power.Budget
+}
+
+// Phone is one simulated device. Not safe for concurrent use; the
+// simulation is single threaded.
+type Phone struct {
+	id     string
+	sched  *simclock.Scheduler
+	radio  *radio.Machine
+	batt   *power.Battery
+	budget power.Budget
+	mob    mobility.Model
+	gen    *traffic.Generator
+	avail  map[sensors.Type]bool
+
+	// sensingJ and wakeupJ accumulate non-radio crowdsensing energy.
+	sensingJ float64
+	wakeupJ  float64
+	// drainedJ tracks how much of the radio meter has been debited from
+	// the battery already.
+	drainedJ float64
+
+	timesSelected int
+}
+
+// New builds a phone on the scheduler.
+func New(sched *simclock.Scheduler, cfg Config) (*Phone, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("phone: empty device ID")
+	}
+	if cfg.Mobility == nil {
+		return nil, fmt.Errorf("phone: device %s has no mobility model", cfg.ID)
+	}
+	if cfg.Profile.Name == "" {
+		cfg.Profile = radio.LTE()
+	}
+	if cfg.BatteryPct == 0 {
+		cfg.BatteryPct = 100
+	}
+	if cfg.Budget == (power.Budget{}) {
+		cfg.Budget = power.DefaultBudget()
+	}
+	if err := cfg.Budget.Validate(); err != nil {
+		return nil, fmt.Errorf("phone: device %s: %w", cfg.ID, err)
+	}
+
+	batt := power.NewNominalBattery()
+	if err := batt.SetPercent(cfg.BatteryPct); err != nil {
+		return nil, fmt.Errorf("phone: device %s: %w", cfg.ID, err)
+	}
+
+	avail := make(map[sensors.Type]bool)
+	if len(cfg.Sensors) == 0 {
+		for t := sensors.Accelerometer; t <= sensors.LightMeter; t++ {
+			avail[t] = true
+		}
+	} else {
+		for _, t := range cfg.Sensors {
+			if !t.Valid() {
+				return nil, fmt.Errorf("phone: device %s: invalid sensor %v", cfg.ID, t)
+			}
+			avail[t] = true
+		}
+	}
+
+	p := &Phone{
+		id:     cfg.ID,
+		sched:  sched,
+		radio:  radio.NewMachine(sched, cfg.Profile),
+		batt:   batt,
+		budget: cfg.Budget,
+		mob:    cfg.Mobility,
+		avail:  avail,
+	}
+	if cfg.HasTraffic {
+		p.gen = traffic.NewGenerator(sched, cfg.Traffic)
+		p.gen.OnTransfer(func(tr traffic.Transfer) {
+			if tr.Uplink {
+				p.radio.Send(tr.Bytes, radio.CauseBackground, true)
+			} else {
+				p.radio.Receive(tr.Bytes, radio.CauseBackground, true)
+			}
+			p.settleBattery()
+		})
+	}
+	return p, nil
+}
+
+// StartTraffic begins the background traffic generator, running until the
+// given instant. A no-op for phones without traffic.
+func (p *Phone) StartTraffic(until time.Time) {
+	if p.gen != nil {
+		p.gen.Start(until)
+	}
+}
+
+// OnTraffic registers a hook on the device's organic traffic; PCS anchors
+// piggybacks on it and the Sense-Aid client uses it to spot tail windows.
+func (p *Phone) OnTraffic(fn func(traffic.Transfer)) {
+	if p.gen != nil {
+		p.gen.OnTransfer(fn)
+	}
+}
+
+// ID returns the device identifier.
+func (p *Phone) ID() string { return p.id }
+
+// Radio exposes the device's radio machine.
+func (p *Phone) Radio() *radio.Machine { return p.radio }
+
+// Battery exposes the device's battery.
+func (p *Phone) Battery() *power.Battery { return p.batt }
+
+// Budget returns the user's crowdsensing allowance.
+func (p *Phone) Budget() power.Budget { return p.budget }
+
+// Position returns the device's current location.
+func (p *Phone) Position() geo.Point { return p.mob.PositionAt(p.sched.Now()) }
+
+// PositionAt returns the device's location at an arbitrary instant.
+func (p *Phone) PositionAt(t time.Time) geo.Point { return p.mob.PositionAt(t) }
+
+// HasSensor reports whether the device carries the sensor.
+func (p *Phone) HasSensor(t sensors.Type) bool { return p.avail[t] }
+
+// Sample powers the sensor for one reading, charging its energy to the
+// crowdsensing account, and returns the value from the field function.
+func (p *Phone) Sample(t sensors.Type, read func(geo.Point, time.Time) float64) (sensors.Reading, error) {
+	if !p.avail[t] {
+		return sensors.Reading{}, fmt.Errorf("phone: device %s lacks sensor %s", p.id, t)
+	}
+	e := t.SampleEnergyJ()
+	p.sensingJ += e
+	_ = p.batt.Drain(e) // a depleted battery disqualifies the device later
+	now := p.sched.Now()
+	pos := p.Position()
+	var v float64
+	if read != nil {
+		v = read(pos, now)
+	}
+	return sensors.Reading{Sensor: t, Value: v, Unit: t.Unit(), At: now, Where: pos}, nil
+}
+
+// Wakeup charges one app-wakeup overhead to the crowdsensing account.
+func (p *Phone) Wakeup() {
+	p.wakeupJ += WakeupEnergyJ
+	_ = p.batt.Drain(WakeupEnergyJ)
+}
+
+// ChargeCPU charges arbitrary compute energy (awake-CPU app work) to the
+// crowdsensing account; the Periodic baseline uses it for the naive app's
+// per-cycle service overhead.
+func (p *Phone) ChargeCPU(energyJ float64) {
+	if energyJ <= 0 {
+		return
+	}
+	p.wakeupJ += energyJ
+	_ = p.batt.Drain(energyJ)
+}
+
+// MarkSelected increments the device's selection counter (the selector's
+// fairness factor U_i).
+func (p *Phone) MarkSelected() { p.timesSelected++ }
+
+// TimesSelected returns how often the device has been picked.
+func (p *Phone) TimesSelected() int { return p.timesSelected }
+
+// settleBattery debits the battery for radio energy accrued since the
+// last settlement.
+func (p *Phone) settleBattery() {
+	p.radio.FlushEnergy()
+	total := p.radio.Meter().TotalJ()
+	if delta := total - p.drainedJ; delta > 0 {
+		_ = p.batt.Drain(delta)
+		p.drainedJ = total
+	}
+}
+
+// Settle flushes radio energy into the battery; call before reading final
+// numbers.
+func (p *Phone) Settle() { p.settleBattery() }
+
+// CrowdsenseEnergyJ returns the device's total energy attributable to
+// crowdsensing: radio energy caused by crowdsensing uploads, plus sensing
+// and wakeup energy. includeControl adds Sense-Aid control-plane traffic
+// (the paper excludes it; ablation benches include it).
+func (p *Phone) CrowdsenseEnergyJ(includeControl bool) float64 {
+	p.radio.FlushEnergy()
+	e := p.radio.Meter().CauseJ(radio.CauseCrowdsensing) + p.sensingJ + p.wakeupJ
+	if includeControl {
+		e += p.radio.Meter().CauseJ(radio.CauseControl)
+	}
+	return e
+}
+
+// SensingEnergyJ returns just the sensor energy spent on crowdsensing.
+func (p *Phone) SensingEnergyJ() float64 { return p.sensingJ }
+
+// BackgroundEnergyJ returns radio energy from the device's own usage.
+func (p *Phone) BackgroundEnergyJ() float64 {
+	p.radio.FlushEnergy()
+	return p.radio.Meter().CauseJ(radio.CauseBackground)
+}

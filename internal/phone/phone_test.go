@@ -1,0 +1,212 @@
+package phone
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/mobility"
+	"senseaid/internal/power"
+	"senseaid/internal/radio"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+	"senseaid/internal/traffic"
+)
+
+func newTestPhone(t *testing.T, s *simclock.Scheduler, withTraffic bool) *Phone {
+	t.Helper()
+	p, err := New(s, Config{
+		ID:         "dev-1",
+		Mobility:   mobility.Stationary{P: geo.CSDepartment},
+		HasTraffic: withTraffic,
+		Traffic:    traffic.DefaultConfig(7),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return p
+}
+
+func TestNewValidates(t *testing.T) {
+	s := simclock.NewScheduler()
+	if _, err := New(s, Config{Mobility: mobility.Stationary{}}); err == nil {
+		t.Fatal("missing ID accepted")
+	}
+	if _, err := New(s, Config{ID: "d"}); err == nil {
+		t.Fatal("missing mobility accepted")
+	}
+	if _, err := New(s, Config{ID: "d", Mobility: mobility.Stationary{}, Sensors: []sensors.Type{sensors.Type(99)}}); err == nil {
+		t.Fatal("invalid sensor accepted")
+	}
+	if _, err := New(s, Config{ID: "d", Mobility: mobility.Stationary{}, BatteryPct: 150}); err == nil {
+		t.Fatal("battery >100% accepted")
+	}
+	if _, err := New(s, Config{ID: "d", Mobility: mobility.Stationary{}, Budget: power.Budget{TotalJ: -1}}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := simclock.NewScheduler()
+	p := newTestPhone(t, s, false)
+	if p.Battery().Percent() != 100 {
+		t.Fatalf("default battery = %v%%, want 100", p.Battery().Percent())
+	}
+	if !p.HasSensor(sensors.Barometer) || !p.HasSensor(sensors.GPS) {
+		t.Fatal("default sensor suite should include every sensor")
+	}
+	if p.Budget().TotalJ != power.DefaultBudget().TotalJ {
+		t.Fatal("default budget not applied")
+	}
+	if p.Radio().Profile().Name != "LTE" {
+		t.Fatalf("default radio = %s, want LTE", p.Radio().Profile().Name)
+	}
+}
+
+func TestSampleChargesCrowdsensing(t *testing.T) {
+	s := simclock.NewScheduler()
+	p := newTestPhone(t, s, false)
+	field := sensors.NewPressureField()
+	r, err := p.Sample(sensors.Barometer, func(pt geo.Point, at time.Time) float64 {
+		return field.At(pt, at)
+	})
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if r.Sensor != sensors.Barometer || r.Where != geo.CSDepartment {
+		t.Fatalf("reading = %+v", r)
+	}
+	want := sensors.Barometer.SampleEnergyJ()
+	if got := p.SensingEnergyJ(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sensing energy = %v, want %v", got, want)
+	}
+	if got := p.CrowdsenseEnergyJ(false); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("crowdsense energy = %v, want %v", got, want)
+	}
+	// The battery must have been debited.
+	if p.Battery().RemainingJ() >= p.Battery().CapacityJ() {
+		t.Fatal("battery not drained by sampling")
+	}
+}
+
+func TestSampleMissingSensorFails(t *testing.T) {
+	s := simclock.NewScheduler()
+	p, err := New(s, Config{
+		ID:       "baro-only",
+		Mobility: mobility.Stationary{P: geo.CSDepartment},
+		Sensors:  []sensors.Type{sensors.Barometer},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := p.Sample(sensors.Gyroscope, nil); err == nil {
+		t.Fatal("sampling a missing sensor should fail")
+	}
+	if p.CrowdsenseEnergyJ(false) != 0 {
+		t.Fatal("failed sample must not charge energy")
+	}
+}
+
+func TestBackgroundTrafficDrivesRadioAndBattery(t *testing.T) {
+	s := simclock.NewScheduler()
+	p := newTestPhone(t, s, true)
+	p.StartTraffic(s.Now().Add(time.Hour))
+	s.Drain()
+	p.Settle()
+
+	if p.BackgroundEnergyJ() <= 0 {
+		t.Fatal("background traffic produced no radio energy")
+	}
+	if p.CrowdsenseEnergyJ(false) != 0 {
+		t.Fatal("background-only run charged crowdsensing energy")
+	}
+	spent := p.Battery().CapacityJ() - p.Battery().RemainingJ()
+	total := p.Radio().Meter().TotalJ()
+	if math.Abs(spent-total) > 1e-6 {
+		t.Fatalf("battery spent %.3f J, radio meter %.3f J", spent, total)
+	}
+}
+
+func TestOnTrafficHookFires(t *testing.T) {
+	s := simclock.NewScheduler()
+	p := newTestPhone(t, s, true)
+	count := 0
+	p.OnTraffic(func(traffic.Transfer) { count++ })
+	p.StartTraffic(s.Now().Add(time.Hour))
+	s.Drain()
+	if count == 0 {
+		t.Fatal("traffic hook never fired")
+	}
+}
+
+func TestCrowdsensingUploadAttribution(t *testing.T) {
+	s := simclock.NewScheduler()
+	p := newTestPhone(t, s, false)
+	p.Radio().Send(600, radio.CauseCrowdsensing, true)
+	s.RunFor(time.Minute)
+	p.Settle()
+
+	prof := p.Radio().Profile()
+	want := prof.PromotionEnergyJ() + prof.TxW*prof.TxDuration(600).Seconds() + prof.FullTailEnergyJ()
+	if got := p.CrowdsenseEnergyJ(false); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("crowdsense energy = %.4f, want %.4f", got, want)
+	}
+}
+
+func TestControlTrafficSeparatedByFlag(t *testing.T) {
+	s := simclock.NewScheduler()
+	p := newTestPhone(t, s, false)
+	p.Radio().Send(200, radio.CauseControl, true)
+	s.RunFor(time.Minute)
+
+	without := p.CrowdsenseEnergyJ(false)
+	with := p.CrowdsenseEnergyJ(true)
+	if without != 0 {
+		t.Fatalf("control energy leaked into crowdsensing account: %v", without)
+	}
+	if with <= 0 {
+		t.Fatal("includeControl=true should include control energy")
+	}
+}
+
+func TestWakeupAccounting(t *testing.T) {
+	s := simclock.NewScheduler()
+	p := newTestPhone(t, s, false)
+	p.Wakeup()
+	p.Wakeup()
+	if got, want := p.CrowdsenseEnergyJ(false), 2*WakeupEnergyJ; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("wakeup energy = %v, want %v", got, want)
+	}
+}
+
+func TestSelectionCounter(t *testing.T) {
+	s := simclock.NewScheduler()
+	p := newTestPhone(t, s, false)
+	if p.TimesSelected() != 0 {
+		t.Fatal("fresh phone already selected")
+	}
+	p.MarkSelected()
+	p.MarkSelected()
+	if p.TimesSelected() != 2 {
+		t.Fatalf("TimesSelected = %d, want 2", p.TimesSelected())
+	}
+}
+
+func TestPositionFollowsMobility(t *testing.T) {
+	s := simclock.NewScheduler()
+	script := mobility.NewScripted([]mobility.Keyframe{
+		{At: simclock.Epoch, P: geo.CSDepartment},
+		{At: simclock.Epoch.Add(time.Hour), P: geo.EEDepartment},
+	})
+	p, err := New(s, Config{ID: "walker", Mobility: script})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if p.Position() != geo.CSDepartment {
+		t.Fatal("initial position wrong")
+	}
+	if p.PositionAt(simclock.Epoch.Add(2*time.Hour)) != geo.EEDepartment {
+		t.Fatal("future position wrong")
+	}
+}

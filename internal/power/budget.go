@@ -1,0 +1,38 @@
+package power
+
+import "fmt"
+
+// Budget is a user's crowdsensing energy allowance: the paper's
+// sign-up flow lets each participant set a total energy budget and a
+// critical battery level below which the device must never be selected.
+type Budget struct {
+	// TotalJ is the total energy the user will spend on crowdsensing
+	// (per accounting window, e.g. a week).
+	TotalJ float64
+	// CriticalBatteryPct is the battery floor: at or below it the device
+	// is excluded from selection.
+	CriticalBatteryPct float64
+}
+
+// DefaultBudget returns the survey-informed default: the 2 % threshold as
+// the total budget and a 20 % critical battery level.
+func DefaultBudget() Budget {
+	return Budget{TotalJ: SurveyBudgetJ(), CriticalBatteryPct: 20}
+}
+
+// Validate checks the budget's fields are in range.
+func (b Budget) Validate() error {
+	if b.TotalJ < 0 {
+		return fmt.Errorf("power: negative budget %v J", b.TotalJ)
+	}
+	if b.CriticalBatteryPct < 0 || b.CriticalBatteryPct > 100 {
+		return fmt.Errorf("power: critical battery %v%% out of range", b.CriticalBatteryPct)
+	}
+	return nil
+}
+
+// Allows reports whether a device that has already spent spentJ on
+// crowdsensing and sits at batteryPct may take more work.
+func (b Budget) Allows(spentJ, batteryPct float64) bool {
+	return spentJ < b.TotalJ && batteryPct > b.CriticalBatteryPct
+}

@@ -1,0 +1,120 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSurveyBudgetMatchesPaper(t *testing.T) {
+	// The paper: "a nominal 1800 mAh, 3.82 V battery and this threshold
+	// is 496 Joules" (they round 495.07 up).
+	got := SurveyBudgetJ()
+	if math.Abs(got-495.072) > 0.01 {
+		t.Fatalf("SurveyBudgetJ = %.3f, want ~495.072", got)
+	}
+}
+
+func TestBatteryLifecycle(t *testing.T) {
+	b := NewNominalBattery()
+	if b.Percent() != 100 {
+		t.Fatalf("new battery at %v%%, want 100", b.Percent())
+	}
+	if err := b.Drain(b.CapacityJ() / 2); err != nil {
+		t.Fatalf("drain to half: %v", err)
+	}
+	if math.Abs(b.Percent()-50) > 1e-9 {
+		t.Fatalf("battery at %v%%, want 50", b.Percent())
+	}
+	err := b.Drain(b.CapacityJ())
+	if !errors.Is(err, ErrDepleted) {
+		t.Fatalf("over-drain error = %v, want ErrDepleted", err)
+	}
+	if !b.Empty() || b.RemainingJ() != 0 {
+		t.Fatal("battery should clamp at empty")
+	}
+}
+
+func TestBatteryRejectsBadInput(t *testing.T) {
+	if _, err := NewBattery(0); err == nil {
+		t.Fatal("NewBattery(0) should fail")
+	}
+	if _, err := NewBattery(-10); err == nil {
+		t.Fatal("NewBattery(-10) should fail")
+	}
+	b := NewNominalBattery()
+	if err := b.Drain(-1); err == nil {
+		t.Fatal("negative drain should fail")
+	}
+	if err := b.SetPercent(101); err == nil {
+		t.Fatal("SetPercent(101) should fail")
+	}
+	if err := b.SetPercent(-1); err == nil {
+		t.Fatal("SetPercent(-1) should fail")
+	}
+	if err := b.SetPercent(35); err != nil {
+		t.Fatalf("SetPercent(35): %v", err)
+	}
+	if math.Abs(b.Percent()-35) > 1e-9 {
+		t.Fatalf("percent = %v, want 35", b.Percent())
+	}
+}
+
+// Property: draining in many small steps equals draining once, and percent
+// is always within [0,100].
+func TestBatteryDrainProperty(t *testing.T) {
+	f := func(steps []float64) bool {
+		b1 := NewNominalBattery()
+		b2 := NewNominalBattery()
+		var total float64
+		for _, s := range steps {
+			s = math.Abs(s)
+			if math.IsNaN(s) || math.IsInf(s, 0) || s > NominalCapacityJ {
+				s = 1
+			}
+			total += s
+			_ = b1.Drain(s)
+			if p := b1.Percent(); p < 0 || p > 100 {
+				return false
+			}
+		}
+		_ = b2.Drain(total)
+		return math.Abs(b1.RemainingJ()-b2.RemainingJ()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetAllows(t *testing.T) {
+	b := DefaultBudget()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("default budget invalid: %v", err)
+	}
+	if !b.Allows(0, 100) {
+		t.Fatal("fresh device should be allowed")
+	}
+	if b.Allows(b.TotalJ, 100) {
+		t.Fatal("device at budget should be excluded")
+	}
+	if b.Allows(0, b.CriticalBatteryPct) {
+		t.Fatal("device at critical battery should be excluded")
+	}
+	if !b.Allows(b.TotalJ-1, b.CriticalBatteryPct+1) {
+		t.Fatal("device just inside both limits should be allowed")
+	}
+}
+
+func TestBudgetValidate(t *testing.T) {
+	bad := []Budget{
+		{TotalJ: -1, CriticalBatteryPct: 20},
+		{TotalJ: 100, CriticalBatteryPct: -5},
+		{TotalJ: 100, CriticalBatteryPct: 105},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", b)
+		}
+	}
+}

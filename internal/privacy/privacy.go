@@ -1,0 +1,106 @@
+// Package privacy implements the paper's privacy stance: "No per-device
+// data (such as, IMEI number) need to be made visible to the crowdsensing
+// application server" and the device datastore tracks only "the hash
+// value of the IMEI".
+//
+// Two pieces:
+//
+//   - HashIMEI turns a raw IMEI into the salted hash the middleware uses
+//     as the device identity; the raw IMEI never leaves the device.
+//   - Pseudonymizer maps device identities to stable per-task pseudonyms,
+//     so an application server can correlate a device's readings within
+//     one campaign (needed for deduplication and quality control) but
+//     cannot link a device across campaigns or back to its identity.
+package privacy
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// HashIMEI returns the hex-encoded HMAC-SHA256 of the IMEI under a
+// deployment salt. The salt prevents rainbow-table reversal of the small
+// IMEI space; it lives on the device and at the Sense-Aid server, never
+// at application servers.
+func HashIMEI(imei string, salt []byte) (string, error) {
+	if imei == "" {
+		return "", fmt.Errorf("privacy: empty IMEI")
+	}
+	if len(salt) < 8 {
+		return "", fmt.Errorf("privacy: salt must be at least 8 bytes, got %d", len(salt))
+	}
+	mac := hmac.New(sha256.New, salt)
+	mac.Write([]byte(imei))
+	return hex.EncodeToString(mac.Sum(nil)), nil
+}
+
+// Pseudonymizer issues stable, task-scoped pseudonyms for device IDs.
+// The zero value is not usable; construct with NewPseudonymizer. Not safe
+// for concurrent use; the networked server serialises access.
+type Pseudonymizer struct {
+	secret []byte
+	// issued remembers assignments for reverse lookups (the Sense-Aid
+	// server may need to map a CAS complaint about a pseudonym back to
+	// a device to exclude it).
+	issued map[string]map[string]string // task -> pseudonym -> device
+}
+
+// NewPseudonymizer builds a pseudonymizer keyed by a server secret.
+func NewPseudonymizer(secret []byte) (*Pseudonymizer, error) {
+	if len(secret) < 8 {
+		return nil, fmt.Errorf("privacy: secret must be at least 8 bytes, got %d", len(secret))
+	}
+	key := make([]byte, len(secret))
+	copy(key, secret)
+	return &Pseudonymizer{
+		secret: key,
+		issued: make(map[string]map[string]string),
+	}, nil
+}
+
+// Pseudonym returns the device's pseudonym for one task: deterministic,
+// collision-resistant, and unlinkable across tasks without the secret.
+func (p *Pseudonymizer) Pseudonym(taskID, deviceID string) (string, error) {
+	if taskID == "" || deviceID == "" {
+		return "", fmt.Errorf("privacy: empty task or device ID")
+	}
+	mac := hmac.New(sha256.New, p.secret)
+	mac.Write([]byte(taskID))
+	mac.Write([]byte{0})
+	mac.Write([]byte(deviceID))
+	pseudo := "anon-" + hex.EncodeToString(mac.Sum(nil))[:16]
+
+	byTask, ok := p.issued[taskID]
+	if !ok {
+		byTask = make(map[string]string)
+		p.issued[taskID] = byTask
+	}
+	byTask[pseudo] = deviceID
+	return pseudo, nil
+}
+
+// Resolve maps a pseudonym back to the device, if it was issued for the
+// task. Only the Sense-Aid server holds the mapping.
+func (p *Pseudonymizer) Resolve(taskID, pseudonym string) (string, bool) {
+	dev, ok := p.issued[taskID][pseudonym]
+	return dev, ok
+}
+
+// Forget drops a task's pseudonym table (task deleted).
+func (p *Pseudonymizer) Forget(taskID string) {
+	delete(p.issued, taskID)
+}
+
+// IssuedFor returns the pseudonyms issued for a task, sorted, for
+// inspection and tests.
+func (p *Pseudonymizer) IssuedFor(taskID string) []string {
+	out := make([]string, 0, len(p.issued[taskID]))
+	for ps := range p.issued[taskID] {
+		out = append(out, ps)
+	}
+	sort.Strings(out)
+	return out
+}

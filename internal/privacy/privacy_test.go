@@ -1,0 +1,164 @@
+package privacy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var salt = []byte("campus-deployment-salt")
+
+func TestHashIMEI(t *testing.T) {
+	h1, err := HashIMEI("356938035643809", salt)
+	if err != nil {
+		t.Fatalf("HashIMEI: %v", err)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash length = %d, want 64 hex chars", len(h1))
+	}
+	if strings.Contains(h1, "356938") {
+		t.Fatal("hash leaks IMEI digits")
+	}
+	h2, err := HashIMEI("356938035643809", salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("hash not deterministic")
+	}
+	h3, err := HashIMEI("356938035643810", salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h3 {
+		t.Fatal("different IMEIs collide")
+	}
+	h4, err := HashIMEI("356938035643809", []byte("another-salt-value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h4 {
+		t.Fatal("different salts produce identical hashes")
+	}
+}
+
+func TestHashIMEIValidation(t *testing.T) {
+	if _, err := HashIMEI("", salt); err == nil {
+		t.Fatal("empty IMEI accepted")
+	}
+	if _, err := HashIMEI("123", []byte("short")); err == nil {
+		t.Fatal("short salt accepted")
+	}
+}
+
+func TestPseudonymStableWithinTask(t *testing.T) {
+	p, err := NewPseudonymizer([]byte("server-secret-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := p.Pseudonym("task-1", "dev-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := p.Pseudonym("task-1", "dev-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("pseudonym not stable within a task")
+	}
+	if !strings.HasPrefix(a1, "anon-") {
+		t.Fatalf("pseudonym %q not anon-prefixed", a1)
+	}
+	if strings.Contains(a1, "dev-a") {
+		t.Fatal("pseudonym leaks device ID")
+	}
+}
+
+func TestPseudonymUnlinkableAcrossTasks(t *testing.T) {
+	p, err := NewPseudonymizer([]byte("server-secret-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Pseudonym("task-1", "dev-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Pseudonym("task-2", "dev-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("same pseudonym across tasks links the device")
+	}
+}
+
+func TestResolveAndForget(t *testing.T) {
+	p, err := NewPseudonymizer([]byte("server-secret-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := p.Pseudonym("task-1", "dev-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, ok := p.Resolve("task-1", ps)
+	if !ok || dev != "dev-a" {
+		t.Fatalf("Resolve = %q/%v, want dev-a", dev, ok)
+	}
+	if _, ok := p.Resolve("task-2", ps); ok {
+		t.Fatal("resolved a pseudonym under the wrong task")
+	}
+	p.Forget("task-1")
+	if _, ok := p.Resolve("task-1", ps); ok {
+		t.Fatal("resolved after Forget")
+	}
+	if got := p.IssuedFor("task-1"); len(got) != 0 {
+		t.Fatalf("IssuedFor after Forget = %v", got)
+	}
+}
+
+func TestPseudonymizerValidation(t *testing.T) {
+	if _, err := NewPseudonymizer([]byte("short")); err == nil {
+		t.Fatal("short secret accepted")
+	}
+	p, err := NewPseudonymizer([]byte("server-secret-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pseudonym("", "dev"); err == nil {
+		t.Fatal("empty task ID accepted")
+	}
+	if _, err := p.Pseudonym("task", ""); err == nil {
+		t.Fatal("empty device ID accepted")
+	}
+}
+
+// Property: pseudonyms never collide across distinct devices within a
+// task, and always collide for the same device.
+func TestPseudonymCollisionProperty(t *testing.T) {
+	p, err := NewPseudonymizer([]byte("server-secret-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(devA, devB string) bool {
+		if devA == "" || devB == "" {
+			return true
+		}
+		a, err := p.Pseudonym("t", devA)
+		if err != nil {
+			return false
+		}
+		b, err := p.Pseudonym("t", devB)
+		if err != nil {
+			return false
+		}
+		if devA == devB {
+			return a == b
+		}
+		return a != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

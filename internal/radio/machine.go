@@ -1,0 +1,272 @@
+package radio
+
+import (
+	"time"
+
+	"senseaid/internal/simclock"
+)
+
+// RRCState is the coarse RRC state of the radio.
+type RRCState int
+
+// States of the machine. PROMOTING and CONNECTED are transient (sub-second)
+// and are reported for traces; energy-wise they are accounted as lumps.
+const (
+	StateIdle RRCState = iota + 1
+	StatePromoting
+	StateConnected
+	StateTail
+)
+
+// String returns the RRC state name as used in the paper's Figure 6.
+func (s RRCState) String() string {
+	switch s {
+	case StateIdle:
+		return "RRC_IDLE"
+	case StatePromoting:
+		return "PROMOTING"
+	case StateConnected:
+		return "RRC_CONNECTED"
+	case StateTail:
+		return "RRC_CONNECTED(tail)"
+	default:
+		return "RRC_UNKNOWN"
+	}
+}
+
+// Transition is a state change notification for timeline traces (Fig. 6).
+type Transition struct {
+	At    time.Time
+	State RRCState
+	Cause Cause
+}
+
+// SendResult describes what a transfer cost the radio.
+type SendResult struct {
+	// Promoted is true if the transfer required an IDLE->CONNECTED
+	// promotion (the expensive case Sense-Aid avoids).
+	Promoted bool
+	// TxDur is the time spent actively transferring.
+	TxDur time.Duration
+	// CompletedAt is when the transfer finished.
+	CompletedAt time.Time
+}
+
+// tailSeg records that the tail interval ending at end is owned by cause.
+// Segments implement the paper's attribution subtlety: when a crowdsensing
+// send resets the tail timer (Sense-Aid Basic), only the extension beyond
+// the previous tail end is charged to crowdsensing.
+type tailSeg struct {
+	end   time.Time
+	cause Cause
+}
+
+// Machine simulates one device's cellular radio. It is driven by the
+// simulation scheduler and is not safe for concurrent use (the simulation
+// is single threaded).
+type Machine struct {
+	sched *simclock.Scheduler
+	prof  PowerProfile
+	meter *Meter
+
+	state      RRCState
+	lastAccrue time.Time
+	busyUntil  time.Time // end of current promotion+tx activity
+	tailEnd    time.Time
+	tailSegs   []tailSeg
+	demote     *simclock.Event
+
+	lastComm  time.Time // most recent radio communication (selector TTL)
+	listeners []func(Transition)
+}
+
+// NewMachine returns an idle radio attached to the scheduler.
+func NewMachine(sched *simclock.Scheduler, prof PowerProfile) *Machine {
+	return &Machine{
+		sched:      sched,
+		prof:       prof,
+		meter:      NewMeter(),
+		state:      StateIdle,
+		lastAccrue: sched.Now(),
+		lastComm:   sched.Now(),
+	}
+}
+
+// Meter returns the machine's energy meter.
+func (m *Machine) Meter() *Meter { return m.meter }
+
+// Profile returns the machine's power profile.
+func (m *Machine) Profile() PowerProfile { return m.prof }
+
+// OnTransition registers a listener for state transitions; used by the
+// timeline trace that reproduces Figure 6.
+func (m *Machine) OnTransition(fn func(Transition)) {
+	m.listeners = append(m.listeners, fn)
+}
+
+// State reports the radio state at the current instant.
+func (m *Machine) State() RRCState {
+	now := m.sched.Now()
+	if m.state == StateTail && now.Before(m.busyUntil) {
+		return StateConnected
+	}
+	return m.state
+}
+
+// InTail reports whether the radio is in its high-power tail, i.e. a
+// transfer now would be cheap (no promotion).
+func (m *Machine) InTail() bool {
+	return m.state == StateTail && !m.sched.Now().Before(m.busyUntil)
+}
+
+// Connected reports whether the radio is in RRC_CONNECTED (active or tail).
+func (m *Machine) Connected() bool { return m.state == StateTail }
+
+// TailRemaining returns how much tail time is left, or zero when idle.
+func (m *Machine) TailRemaining() time.Duration {
+	if m.state != StateTail {
+		return 0
+	}
+	d := m.tailEnd.Sub(m.sched.Now())
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// LastComm returns the timestamp of the most recent radio communication.
+// The Sense-Aid device selector uses now-LastComm as its TTL factor.
+func (m *Machine) LastComm() time.Time { return m.lastComm }
+
+// Send transfers sizeBytes on the uplink for cause. resetTail selects the
+// stock RRC behaviour (true: every transfer restarts the inactivity timer,
+// Sense-Aid Basic) or the carrier-cooperative behaviour (false: the tail
+// expires on its original schedule, Sense-Aid Complete).
+func (m *Machine) Send(sizeBytes int, cause Cause, resetTail bool) SendResult {
+	return m.transfer(sizeBytes, cause, resetTail, true)
+}
+
+// Receive transfers sizeBytes on the downlink for cause. A receive on an
+// idle radio models a paging-triggered promotion.
+func (m *Machine) Receive(sizeBytes int, cause Cause, resetTail bool) SendResult {
+	return m.transfer(sizeBytes, cause, resetTail, false)
+}
+
+func (m *Machine) transfer(sizeBytes int, cause Cause, resetTail, uplink bool) SendResult {
+	now := m.sched.Now()
+	m.accrueTo(now)
+	m.lastComm = now
+
+	var txDur time.Duration
+	var activeW float64
+	var bucket Bucket
+	if uplink {
+		txDur = m.prof.TxDuration(sizeBytes)
+		activeW = m.prof.TxW
+		bucket = BucketTx
+	} else {
+		txDur = m.prof.RxDuration(sizeBytes)
+		activeW = m.prof.RxW
+		bucket = BucketRx
+	}
+
+	if m.state == StateIdle {
+		// Full promotion: signalling energy plus the transfer at
+		// active power, then a fresh tail owned by this cause.
+		m.meter.Add(cause, BucketPromotion, m.prof.PromotionEnergyJ())
+		m.meter.Add(cause, bucket, activeW*txDur.Seconds())
+
+		tailStart := now.Add(m.prof.PromotionDur).Add(txDur)
+		m.notify(Transition{At: now, State: StatePromoting, Cause: cause})
+		m.notify(Transition{At: now.Add(m.prof.PromotionDur), State: StateConnected, Cause: cause})
+		m.notify(Transition{At: tailStart, State: StateTail, Cause: cause})
+
+		m.state = StateTail
+		m.busyUntil = tailStart
+		m.lastAccrue = tailStart // promotion+tx already accounted as lumps
+		m.tailEnd = tailStart.Add(m.prof.TailDur)
+		m.tailSegs = []tailSeg{{end: m.tailEnd, cause: cause}}
+		m.rescheduleDemote()
+		return SendResult{Promoted: true, TxDur: txDur, CompletedAt: tailStart}
+	}
+
+	// Radio already connected: the transfer costs only the delta above
+	// the tail power that would burn anyway.
+	m.meter.Add(cause, bucket, (activeW-m.prof.TailW)*txDur.Seconds())
+	done := now.Add(txDur)
+	if done.After(m.busyUntil) {
+		m.busyUntil = done
+	}
+	if resetTail {
+		newEnd := done.Add(m.prof.TailDur)
+		if newEnd.After(m.tailEnd) {
+			// Prior segments keep ownership up to the old end; the
+			// extension is charged to this transfer's cause.
+			m.tailSegs = append(m.tailSegs, tailSeg{end: newEnd, cause: cause})
+			m.tailEnd = newEnd
+			m.rescheduleDemote()
+		}
+	}
+	return SendResult{Promoted: false, TxDur: txDur, CompletedAt: done}
+}
+
+// accrueTo integrates power from the last accrual point up to now.
+func (m *Machine) accrueTo(now time.Time) {
+	if !now.After(m.lastAccrue) {
+		return
+	}
+	from := m.lastAccrue
+	m.lastAccrue = now
+
+	if m.state == StateIdle {
+		m.meter.Add(CauseIdle, BucketIdle, m.prof.IdleW*now.Sub(from).Seconds())
+		return
+	}
+	// Tail: charge each ownership segment for its share of [from, now].
+	for _, seg := range m.tailSegs {
+		if !seg.end.After(from) {
+			continue
+		}
+		end := seg.end
+		if end.After(now) {
+			end = now
+		}
+		m.meter.Add(seg.cause, BucketTail, m.prof.TailW*end.Sub(from).Seconds())
+		from = end
+		if !from.Before(now) {
+			return
+		}
+	}
+	// Past the recorded tail end while still nominally in tail (the
+	// demote event will fire at this instant); treat overshoot as idle.
+	if from.Before(now) {
+		m.meter.Add(CauseIdle, BucketIdle, m.prof.IdleW*now.Sub(from).Seconds())
+	}
+}
+
+func (m *Machine) rescheduleDemote() {
+	if m.demote != nil {
+		m.demote.Cancel()
+	}
+	m.demote = m.sched.ScheduleAt(m.tailEnd, func(now time.Time) {
+		if m.state != StateTail || !now.Equal(m.tailEnd) {
+			return
+		}
+		m.accrueTo(now)
+		m.state = StateIdle
+		m.tailSegs = nil
+		m.notify(Transition{At: now, State: StateIdle, Cause: CauseIdle})
+	})
+}
+
+// FlushEnergy forces accrual up to the current instant so the meter is
+// current; call before reading totals at the end of a run.
+func (m *Machine) FlushEnergy() {
+	m.accrueTo(m.sched.Now())
+}
+
+func (m *Machine) notify(tr Transition) {
+	for _, fn := range m.listeners {
+		fn(tr)
+	}
+}

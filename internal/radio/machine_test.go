@@ -1,0 +1,390 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"senseaid/internal/simclock"
+)
+
+const tolJ = 1e-9
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSendFromIdleCostsPromotionPlusTail(t *testing.T) {
+	s := simclock.NewScheduler()
+	prof := LTE()
+	m := NewMachine(s, prof)
+
+	res := m.Send(600, CauseCrowdsensing, true)
+	if !res.Promoted {
+		t.Fatal("send from idle did not promote")
+	}
+	s.RunFor(time.Minute)
+	m.FlushEnergy()
+
+	txDur := prof.TxDuration(600)
+	want := prof.PromotionEnergyJ() + prof.TxW*txDur.Seconds() + prof.FullTailEnergyJ()
+	got := m.Meter().CauseJ(CauseCrowdsensing)
+	if !approx(got, want, tolJ) {
+		t.Fatalf("crowdsensing energy = %.6f J, want %.6f J", got, want)
+	}
+	if m.State() != StateIdle {
+		t.Fatalf("state after tail = %v, want idle", m.State())
+	}
+}
+
+func TestTailSendWithoutResetCostsOnlyTxDelta(t *testing.T) {
+	s := simclock.NewScheduler()
+	prof := LTE()
+	m := NewMachine(s, prof)
+
+	m.Send(10_000, CauseBackground, true)
+	s.RunFor(2 * time.Second) // well inside the tail
+	if !m.InTail() {
+		t.Fatal("radio should be in tail 2s after a send")
+	}
+	endBefore := s.Now().Add(m.TailRemaining())
+
+	res := m.Send(600, CauseCrowdsensing, false) // Sense-Aid Complete
+	if res.Promoted {
+		t.Fatal("tail send promoted")
+	}
+	if got := s.Now().Add(m.TailRemaining()); !got.Equal(endBefore) {
+		t.Fatalf("tail end moved from %v to %v despite no reset", endBefore, got)
+	}
+
+	s.RunFor(time.Minute)
+	m.FlushEnergy()
+	txDur := prof.TxDuration(600)
+	want := (prof.TxW - prof.TailW) * txDur.Seconds()
+	got := m.Meter().CauseJ(CauseCrowdsensing)
+	if !approx(got, want, tolJ) {
+		t.Fatalf("crowdsensing energy = %.6f J, want tx delta %.6f J", got, want)
+	}
+}
+
+func TestTailSendWithResetOwnsOnlyExtension(t *testing.T) {
+	s := simclock.NewScheduler()
+	prof := LTE()
+	m := NewMachine(s, prof)
+
+	m.Send(10_000, CauseBackground, true)
+	const elapsed = 4 * time.Second
+	s.RunFor(elapsed) // 4s into the ~11.5s tail
+
+	res := m.Send(600, CauseCrowdsensing, true) // Sense-Aid Basic
+	if res.Promoted {
+		t.Fatal("tail send promoted")
+	}
+	s.RunFor(time.Minute)
+	m.FlushEnergy()
+
+	txDur := prof.TxDuration(600)
+	// The old tail began after the background promotion+tx; the new tail
+	// ends txDur+TailDur after the send. The crowdsensing-owned extension
+	// is the difference between the two ends.
+	bgTailStart := prof.PromotionDur + prof.TxDuration(10_000)
+	wantExt := prof.TailW * (elapsed - bgTailStart + txDur).Seconds()
+	wantTx := (prof.TxW - prof.TailW) * txDur.Seconds()
+	got := m.Meter().CauseJ(CauseCrowdsensing)
+	if !approx(got, wantExt+wantTx, 1e-6) {
+		t.Fatalf("crowdsensing energy = %.6f J, want extension+tx = %.6f J", got, wantExt+wantTx)
+	}
+
+	// Background must still own its full original tail.
+	bgTx := prof.TxDuration(10_000)
+	wantBG := prof.PromotionEnergyJ() + prof.TxW*bgTx.Seconds() + prof.FullTailEnergyJ()
+	if gotBG := m.Meter().CauseJ(CauseBackground); !approx(gotBG, wantBG, 1e-6) {
+		t.Fatalf("background energy = %.6f J, want %.6f J", gotBG, wantBG)
+	}
+}
+
+func TestBasicCostsMoreThanComplete(t *testing.T) {
+	run := func(reset bool) float64 {
+		s := simclock.NewScheduler()
+		m := NewMachine(s, LTE())
+		m.Send(5_000, CauseBackground, true)
+		s.RunFor(3 * time.Second)
+		m.Send(600, CauseCrowdsensing, reset)
+		s.RunFor(time.Minute)
+		m.FlushEnergy()
+		return m.Meter().CauseJ(CauseCrowdsensing)
+	}
+	basic, complete := run(true), run(false)
+	if basic <= complete {
+		t.Fatalf("basic (%.4f J) should cost more than complete (%.4f J)", basic, complete)
+	}
+}
+
+func TestIdleEnergyAccrues(t *testing.T) {
+	s := simclock.NewScheduler()
+	prof := LTE()
+	m := NewMachine(s, prof)
+	s.ScheduleAfter(time.Hour, func(time.Time) {})
+	s.Drain()
+	m.FlushEnergy()
+	want := prof.IdleW * 3600
+	if got := m.Meter().CauseJ(CauseIdle); !approx(got, want, 1e-6) {
+		t.Fatalf("idle energy over 1h = %.4f J, want %.4f J", got, want)
+	}
+}
+
+func TestReceiveFromIdlePromotes(t *testing.T) {
+	s := simclock.NewScheduler()
+	m := NewMachine(s, LTE())
+	res := m.Receive(1200, CauseControl, true)
+	if !res.Promoted {
+		t.Fatal("receive on idle radio should promote (paging)")
+	}
+	if m.Meter().BucketJ(BucketRx) <= 0 {
+		t.Fatal("no rx energy recorded")
+	}
+	if m.Meter().BucketJ(BucketPromotion) <= 0 {
+		t.Fatal("no promotion energy recorded")
+	}
+}
+
+func TestStateSequence(t *testing.T) {
+	s := simclock.NewScheduler()
+	m := NewMachine(s, LTE())
+	var seq []RRCState
+	m.OnTransition(func(tr Transition) { seq = append(seq, tr.State) })
+
+	m.Send(600, CauseCrowdsensing, true)
+	s.RunFor(time.Minute)
+
+	want := []RRCState{StatePromoting, StateConnected, StateTail, StateIdle}
+	if len(seq) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestTailRemainingCountsDown(t *testing.T) {
+	s := simclock.NewScheduler()
+	prof := LTE()
+	m := NewMachine(s, prof)
+	m.Send(600, CauseBackground, true)
+	s.RunFor(2 * time.Second)
+	rem := m.TailRemaining()
+	txDur := prof.TxDuration(600)
+	want := prof.PromotionDur + txDur + prof.TailDur - 2*time.Second
+	if d := rem - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("TailRemaining = %v, want ~%v", rem, want)
+	}
+}
+
+func TestLastCommUpdates(t *testing.T) {
+	s := simclock.NewScheduler()
+	m := NewMachine(s, LTE())
+	if !m.LastComm().Equal(simclock.Epoch) {
+		t.Fatalf("initial LastComm = %v, want epoch", m.LastComm())
+	}
+	s.ScheduleAfter(5*time.Minute, func(time.Time) { m.Send(100, CauseBackground, true) })
+	s.Drain()
+	if want := simclock.Epoch.Add(5 * time.Minute); !m.LastComm().Equal(want) {
+		t.Fatalf("LastComm = %v, want %v", m.LastComm(), want)
+	}
+}
+
+// Property: energy is conserved — total equals the sum over causes and the
+// sum over buckets, for arbitrary interleavings of sends.
+func TestEnergyConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := simclock.NewScheduler()
+		m := NewMachine(s, LTE())
+		causes := []Cause{CauseBackground, CauseCrowdsensing, CauseControl}
+		for i := 0; i < 30; i++ {
+			gap := time.Duration(rng.Intn(20_000)) * time.Millisecond
+			c := causes[rng.Intn(len(causes))]
+			reset := rng.Intn(2) == 0
+			size := rng.Intn(50_000)
+			up := rng.Intn(2) == 0
+			s.ScheduleAfter(gap*time.Duration(i), func(time.Time) {
+				if up {
+					m.Send(size, c, reset)
+				} else {
+					m.Receive(size, c, reset)
+				}
+			})
+		}
+		s.Drain()
+		m.FlushEnergy()
+
+		met := m.Meter()
+		var byCause, byBucket float64
+		for _, c := range met.Causes() {
+			byCause += met.CauseJ(c)
+		}
+		for _, b := range []Bucket{BucketPromotion, BucketTx, BucketRx, BucketTail, BucketIdle} {
+			byBucket += met.BucketJ(b)
+		}
+		return approx(byCause, met.TotalJ(), 1e-6) && approx(byBucket, met.TotalJ(), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with any send pattern, a Complete-style crowdsensing upload in
+// the tail never costs more than a Basic-style one at the same instant.
+func TestCompleteNeverWorseProperty(t *testing.T) {
+	f := func(offsetMs uint16) bool {
+		offset := time.Duration(offsetMs%10_000) * time.Millisecond
+		run := func(reset bool) float64 {
+			s := simclock.NewScheduler()
+			m := NewMachine(s, LTE())
+			m.Send(5_000, CauseBackground, true)
+			s.RunFor(offset)
+			m.Send(600, CauseCrowdsensing, reset)
+			s.RunFor(2 * time.Minute)
+			m.FlushEnergy()
+			return m.Meter().CauseJ(CauseCrowdsensing)
+		}
+		return run(false) <= run(true)+tolJ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	lte, g3 := LTE(), ThreeG()
+	if lte.PromotionEnergyJ() <= 0 || g3.PromotionEnergyJ() <= 0 {
+		t.Fatal("promotion energy must be positive")
+	}
+	// The paper: LTE energy consumption is higher than 3G for the same
+	// workload, driven by the much hotter tail.
+	if lte.TailW <= g3.TailW {
+		t.Fatal("LTE tail power should exceed 3G tail power")
+	}
+	if lte.TxDuration(600) <= 0 || lte.RxDuration(600) <= 0 {
+		t.Fatal("transfer durations must be positive")
+	}
+	if lte.TxDuration(1_000_000) <= lte.TxDuration(1000) {
+		t.Fatal("bigger transfers must take longer")
+	}
+	if lte.TxDuration(-5) != lte.TxDuration(0) {
+		t.Fatal("negative size should clamp to zero")
+	}
+}
+
+func TestMeterIgnoresNonPositive(t *testing.T) {
+	m := NewMeter()
+	m.Add(CauseIdle, BucketIdle, -1)
+	m.Add(CauseIdle, BucketIdle, 0)
+	if m.TotalJ() != 0 {
+		t.Fatalf("meter total = %v after non-positive adds, want 0", m.TotalJ())
+	}
+	m.Add(CauseControl, BucketTx, 2.5)
+	if got := m.Snapshot()[CauseControl]; got != 2.5 {
+		t.Fatalf("snapshot = %v, want 2.5", got)
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	names := map[Bucket]string{
+		BucketPromotion: "promotion",
+		BucketTx:        "tx",
+		BucketRx:        "rx",
+		BucketTail:      "tail",
+		BucketIdle:      "idle",
+		Bucket(99):      "bucket(99)",
+	}
+	for b, want := range names {
+		if got := b.String(); got != want {
+			t.Errorf("Bucket(%d).String() = %q, want %q", int(b), got, want)
+		}
+	}
+}
+
+func TestRRCStateString(t *testing.T) {
+	if StateIdle.String() != "RRC_IDLE" || StateTail.String() != "RRC_CONNECTED(tail)" {
+		t.Fatal("unexpected state names")
+	}
+	if RRCState(0).String() != "RRC_UNKNOWN" {
+		t.Fatal("zero state should be unknown")
+	}
+}
+
+func TestSendDuringBusyWindow(t *testing.T) {
+	// A second send arriving while the first is still "in flight"
+	// (within the promotion+tx window) must be treated as a connected
+	// send, not another promotion.
+	s := simclock.NewScheduler()
+	prof := LTE()
+	m := NewMachine(s, prof)
+	m.Send(1_000_000, CauseBackground, true) // long transfer
+	res := m.Send(600, CauseCrowdsensing, true)
+	if res.Promoted {
+		t.Fatal("second send promoted while radio was already busy")
+	}
+	if m.Meter().BucketJ(BucketPromotion) != prof.PromotionEnergyJ() {
+		t.Fatal("promotion energy accounted more than once")
+	}
+}
+
+func TestStateDuringBusyWindowIsConnected(t *testing.T) {
+	s := simclock.NewScheduler()
+	m := NewMachine(s, LTE())
+	m.Send(1_000_000, CauseBackground, true)
+	// Within the promotion+tx window the reported state is CONNECTED
+	// (not tail), so schedulers know a transfer is in flight.
+	if got := m.State(); got != StateConnected {
+		t.Fatalf("state during transfer = %v, want connected", got)
+	}
+	if m.InTail() {
+		t.Fatal("InTail true during active transfer")
+	}
+	s.RunFor(30 * time.Second)
+	if got := m.State(); got != StateIdle {
+		t.Fatalf("state after drain = %v, want idle", got)
+	}
+}
+
+func TestTailRemainingZeroWhenIdle(t *testing.T) {
+	s := simclock.NewScheduler()
+	m := NewMachine(s, LTE())
+	if m.TailRemaining() != 0 {
+		t.Fatal("idle radio reports tail time")
+	}
+	if m.Connected() {
+		t.Fatal("idle radio reports connected")
+	}
+}
+
+func TestNoResetSendNearTailEndStillCompletes(t *testing.T) {
+	// A Complete-variant send issued with less tail left than its own
+	// transfer duration: the radio must still account the transfer and
+	// demote cleanly.
+	s := simclock.NewScheduler()
+	prof := LTE()
+	m := NewMachine(s, prof)
+	m.Send(600, CauseBackground, true)
+	// Run to ~50 ms before tail end.
+	s.RunFor(prof.PromotionDur + prof.TxDuration(600) + prof.TailDur - 50*time.Millisecond)
+	if !m.InTail() {
+		t.Fatal("expected to still be in tail")
+	}
+	res := m.Send(1_000_000, CauseCrowdsensing, false) // tx longer than remaining tail
+	if res.Promoted {
+		t.Fatal("in-tail send promoted")
+	}
+	s.RunFor(time.Minute)
+	m.FlushEnergy()
+	if m.State() != StateIdle {
+		t.Fatalf("state = %v, want idle after overshoot", m.State())
+	}
+	if m.Meter().CauseJ(CauseCrowdsensing) <= 0 {
+		t.Fatal("overshooting send not accounted")
+	}
+}

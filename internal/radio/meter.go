@@ -1,0 +1,108 @@
+package radio
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cause labels who is responsible for a unit of radio energy. Frameworks
+// tag their traffic so the evaluation can separate crowdsensing cost from
+// the device's own background usage.
+type Cause string
+
+// Well-known causes used across the simulator.
+const (
+	// CauseIdle is baseline idle drain, owned by nobody in particular.
+	CauseIdle Cause = "idle"
+	// CauseBackground is the user's organic app traffic.
+	CauseBackground Cause = "background"
+	// CauseCrowdsensing is crowdsensing payload traffic.
+	CauseCrowdsensing Cause = "crowdsensing"
+	// CauseControl is Sense-Aid control-plane traffic (registration,
+	// state reports, schedules).
+	CauseControl Cause = "control"
+)
+
+// Bucket classifies energy by the radio activity that consumed it.
+type Bucket int
+
+// Buckets, in rough per-event chronological order.
+const (
+	BucketPromotion Bucket = iota + 1
+	BucketTx
+	BucketRx
+	BucketTail
+	BucketIdle
+)
+
+// String returns the bucket's name.
+func (b Bucket) String() string {
+	switch b {
+	case BucketPromotion:
+		return "promotion"
+	case BucketTx:
+		return "tx"
+	case BucketRx:
+		return "rx"
+	case BucketTail:
+		return "tail"
+	case BucketIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("bucket(%d)", int(b))
+	}
+}
+
+// Meter accumulates radio energy by cause and bucket.
+type Meter struct {
+	byCause  map[Cause]float64
+	byBucket map[Bucket]float64
+	total    float64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{
+		byCause:  make(map[Cause]float64),
+		byBucket: make(map[Bucket]float64),
+	}
+}
+
+// Add records energyJ joules consumed by cause in bucket. Negative or
+// zero amounts are ignored.
+func (m *Meter) Add(cause Cause, bucket Bucket, energyJ float64) {
+	if energyJ <= 0 {
+		return
+	}
+	m.byCause[cause] += energyJ
+	m.byBucket[bucket] += energyJ
+	m.total += energyJ
+}
+
+// TotalJ returns all energy recorded.
+func (m *Meter) TotalJ() float64 { return m.total }
+
+// CauseJ returns the energy attributed to one cause.
+func (m *Meter) CauseJ(c Cause) float64 { return m.byCause[c] }
+
+// BucketJ returns the energy recorded in one bucket.
+func (m *Meter) BucketJ(b Bucket) float64 { return m.byBucket[b] }
+
+// Causes returns the causes seen so far, sorted for deterministic output.
+func (m *Meter) Causes() []Cause {
+	out := make([]Cause, 0, len(m.byCause))
+	for c := range m.byCause {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot returns a copy of the per-cause totals.
+func (m *Meter) Snapshot() map[Cause]float64 {
+	out := make(map[Cause]float64, len(m.byCause))
+	for c, v := range m.byCause {
+		out[c] = v
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package reputation scores devices by the reliability of their
+// crowdsensed data — the paper's related-work pointer made concrete:
+// "One aspect of mobile crowdsensing is collecting reliable data, which
+// has been addressed in Ren et al. [SACRM] and Meng et al. [truth
+// discovery]. This can be incorporated as another factor in our device
+// selector algorithm."
+//
+// A Tracker keeps an exponentially weighted reliability score per device,
+// fed by per-upload outcomes (accepted, rejected, missed deadline,
+// statistical outlier). FlagOutliers is the truth-discovery step: within
+// one sensing round, readings that disagree with the robust consensus
+// (median +/- k*MAD) are flagged. The Sense-Aid server records outcomes
+// into a Tracker and the device selector reads the scores back as its
+// fifth factor (SelectorConfig.Rho) with a hard reliability cutoff.
+package reputation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Outcome classifies one upload event for scoring.
+type Outcome int
+
+// Outcomes, from best to worst.
+const (
+	// OutcomeAccepted is a validated, consensus-consistent reading.
+	OutcomeAccepted Outcome = iota + 1
+	// OutcomeOutlier is a validated reading that disagreed with the
+	// round's consensus.
+	OutcomeOutlier
+	// OutcomeRejected is a reading that failed validation (wrong sensor,
+	// stale, out of region).
+	OutcomeRejected
+	// OutcomeMissed is a dispatch with no upload by the deadline.
+	OutcomeMissed
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAccepted:
+		return "accepted"
+	case OutcomeOutlier:
+		return "outlier"
+	case OutcomeRejected:
+		return "rejected"
+	case OutcomeMissed:
+		return "missed"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// reward returns the outcome's contribution in [0,1].
+func (o Outcome) reward() float64 {
+	switch o {
+	case OutcomeAccepted:
+		return 1.0
+	case OutcomeOutlier:
+		return 0.3
+	case OutcomeRejected:
+		return 0.1
+	case OutcomeMissed:
+		return 0.0
+	default:
+		return 0.5
+	}
+}
+
+// Config tunes the tracker.
+type Config struct {
+	// Initial is a new device's score (default 0.8: benefit of the
+	// doubt, but short of proven).
+	Initial float64
+	// Alpha is the EWMA weight of the newest outcome (default 0.25).
+	Alpha float64
+}
+
+// Tracker keeps per-device reliability scores in [0,1]. Not safe for
+// concurrent use; the server serialises access.
+type Tracker struct {
+	cfg    Config
+	scores map[string]float64
+	counts map[string]map[Outcome]int
+}
+
+// NewTracker builds a tracker.
+func NewTracker(cfg Config) *Tracker {
+	if cfg.Initial <= 0 || cfg.Initial > 1 {
+		cfg.Initial = 0.8
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.25
+	}
+	return &Tracker{
+		cfg:    cfg,
+		scores: make(map[string]float64),
+		counts: make(map[string]map[Outcome]int),
+	}
+}
+
+// Record folds one outcome into a device's score.
+func (t *Tracker) Record(deviceID string, o Outcome) {
+	if deviceID == "" {
+		return
+	}
+	cur, ok := t.scores[deviceID]
+	if !ok {
+		cur = t.cfg.Initial
+	}
+	t.scores[deviceID] = (1-t.cfg.Alpha)*cur + t.cfg.Alpha*o.reward()
+	byOutcome, ok := t.counts[deviceID]
+	if !ok {
+		byOutcome = make(map[Outcome]int)
+		t.counts[deviceID] = byOutcome
+	}
+	byOutcome[o]++
+}
+
+// Score returns a device's reliability in [0,1]; unknown devices get the
+// initial score.
+func (t *Tracker) Score(deviceID string) float64 {
+	if s, ok := t.scores[deviceID]; ok {
+		return s
+	}
+	return t.cfg.Initial
+}
+
+// Count returns how many times an outcome was recorded for a device.
+func (t *Tracker) Count(deviceID string, o Outcome) int {
+	return t.counts[deviceID][o]
+}
+
+// Devices returns the tracked device IDs, sorted.
+func (t *Tracker) Devices() []string {
+	out := make([]string, 0, len(t.scores))
+	for id := range t.scores {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FlagOutliers runs the round-level truth-discovery step: values whose
+// deviation from the round median exceeds kMAD robust deviations plus the
+// absolute tolerance are flagged. The tolerance is the sensor's honest
+// noise floor (e.g. ~0.5 hPa for barometers across a task area); it keeps
+// the detector stable when the round's MAD is degenerate (few readings,
+// or near-identical values). At least three readings are required — with
+// two, disagreement has no majority — below that nothing is flagged.
+func FlagOutliers(values map[string]float64, kMAD, tolerance float64) map[string]bool {
+	out := make(map[string]bool, len(values))
+	if len(values) < 3 {
+		return out
+	}
+	if kMAD <= 0 {
+		kMAD = 3
+	}
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	vals := make([]float64, 0, len(values))
+	for _, v := range values {
+		vals = append(vals, v)
+	}
+	med := median(vals)
+	devs := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		devs = append(devs, math.Abs(v-med))
+	}
+	mad := median(devs)
+	threshold := kMAD*mad + tolerance
+	// Fully degenerate case (identical readings, zero tolerance): any
+	// distinct value is an outlier.
+	if threshold <= 0 {
+		threshold = 1e-9
+	}
+	for id, v := range values {
+		if math.Abs(v-med) > threshold {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func median(vals []float64) float64 {
+	s := make([]float64, len(vals))
+	copy(s, vals)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

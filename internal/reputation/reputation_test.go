@@ -1,0 +1,157 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOutcomeNames(t *testing.T) {
+	names := map[Outcome]string{
+		OutcomeAccepted: "accepted",
+		OutcomeOutlier:  "outlier",
+		OutcomeRejected: "rejected",
+		OutcomeMissed:   "missed",
+		Outcome(42):     "outcome(42)",
+	}
+	for o, want := range names {
+		if got := o.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), got, want)
+		}
+	}
+}
+
+func TestTrackerScoresMoveWithOutcomes(t *testing.T) {
+	tr := NewTracker(Config{})
+	if got := tr.Score("fresh"); got != 0.8 {
+		t.Fatalf("fresh score = %v, want initial 0.8", got)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Record("good", OutcomeAccepted)
+		tr.Record("bad", OutcomeMissed)
+		tr.Record("flaky", OutcomeOutlier)
+	}
+	good, bad, flaky := tr.Score("good"), tr.Score("bad"), tr.Score("flaky")
+	if !(good > flaky && flaky > bad) {
+		t.Fatalf("ordering wrong: good=%.2f flaky=%.2f bad=%.2f", good, flaky, bad)
+	}
+	if good < 0.95 {
+		t.Fatalf("consistently good device scores %.2f, want ~1", good)
+	}
+	if bad > 0.05 {
+		t.Fatalf("consistently missing device scores %.2f, want ~0", bad)
+	}
+	if tr.Count("good", OutcomeAccepted) != 20 {
+		t.Fatalf("count = %d, want 20", tr.Count("good", OutcomeAccepted))
+	}
+	if len(tr.Devices()) != 3 {
+		t.Fatalf("devices = %v", tr.Devices())
+	}
+}
+
+func TestTrackerRecovers(t *testing.T) {
+	tr := NewTracker(Config{})
+	for i := 0; i < 10; i++ {
+		tr.Record("d", OutcomeMissed)
+	}
+	low := tr.Score("d")
+	for i := 0; i < 15; i++ {
+		tr.Record("d", OutcomeAccepted)
+	}
+	if got := tr.Score("d"); got <= low || got < 0.9 {
+		t.Fatalf("device did not recover: %v -> %v", low, got)
+	}
+}
+
+func TestTrackerIgnoresEmptyID(t *testing.T) {
+	tr := NewTracker(Config{})
+	tr.Record("", OutcomeAccepted)
+	if len(tr.Devices()) != 0 {
+		t.Fatal("empty device ID tracked")
+	}
+}
+
+func TestTrackerConfigDefaults(t *testing.T) {
+	tr := NewTracker(Config{Initial: 5, Alpha: -1}) // both invalid
+	if tr.cfg.Initial != 0.8 || tr.cfg.Alpha != 0.25 {
+		t.Fatalf("defaults not applied: %+v", tr.cfg)
+	}
+}
+
+func TestFlagOutliersBasic(t *testing.T) {
+	values := map[string]float64{
+		"a": 1013.2, "b": 1013.4, "c": 1013.1, "d": 1013.3,
+		"liar": 980.0,
+	}
+	flagged := FlagOutliers(values, 4, 0.5)
+	if !flagged["liar"] {
+		t.Fatal("wild value not flagged")
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if flagged[id] {
+			t.Fatalf("honest device %s flagged", id)
+		}
+	}
+}
+
+func TestFlagOutliersIdenticalPlusOne(t *testing.T) {
+	// Zero MAD: the absolute floor must still catch the liar.
+	values := map[string]float64{"a": 1000, "b": 1000, "c": 1000, "liar": 999}
+	flagged := FlagOutliers(values, 4, 0.5)
+	if !flagged["liar"] {
+		t.Fatal("liar hidden by zero spread")
+	}
+}
+
+func TestFlagOutliersNeedsThree(t *testing.T) {
+	if got := FlagOutliers(map[string]float64{"a": 1, "b": 100}, 4, 0.5); len(got) != 0 {
+		t.Fatal("flagged with only two readings (no majority)")
+	}
+	if got := FlagOutliers(nil, 4, 0.5); len(got) != 0 {
+		t.Fatal("flagged on empty input")
+	}
+}
+
+// Property: scores always stay in [0,1] under any outcome sequence.
+func TestScoreBoundsProperty(t *testing.T) {
+	f := func(seq []uint8) bool {
+		tr := NewTracker(Config{})
+		for _, b := range seq {
+			tr.Record("d", Outcome(int(b%4)+1))
+			s := tr.Score("d")
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the honest majority is never flagged when its spread is tight
+// and the outlier is far away.
+func TestMajorityNeverFlaggedProperty(t *testing.T) {
+	f := func(base int16, jitters [4]int8) bool {
+		values := map[string]float64{}
+		center := float64(base)
+		for i, j := range jitters {
+			values[string(rune('a'+i))] = center + float64(j)/1000
+		}
+		values["liar"] = center + 1e6
+		flagged := FlagOutliers(values, 4, 0.5)
+		if !flagged["liar"] {
+			return false
+		}
+		for i := range jitters {
+			if flagged[string(rune('a'+i))] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package sensors defines the sensor vocabulary of Table 1's sensor_type
+// parameter, the per-sensor power table the paper quotes from Warden '15,
+// and a synthetic barometric pressure field so end-to-end runs carry
+// plausible data. Sensor values never influence energy results; they only
+// flow through the pipeline so examples and integration tests exercise the
+// full data path.
+package sensors
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"senseaid/internal/geo"
+)
+
+// Type identifies a sensor, mirroring the Android sensor taxonomy the
+// paper's Table 1 references.
+type Type int
+
+// Sensor types supported by the framework. The user study uses only the
+// barometer; the rest exist so multi-sensor campaigns can be expressed.
+const (
+	Accelerometer Type = iota + 1
+	Gyroscope
+	Barometer
+	GPS
+	Microphone
+	Magnetometer
+	Thermometer
+	Hygrometer
+	LightMeter
+)
+
+// String returns the sensor's name.
+func (t Type) String() string {
+	switch t {
+	case Accelerometer:
+		return "accelerometer"
+	case Gyroscope:
+		return "gyroscope"
+	case Barometer:
+		return "barometer"
+	case GPS:
+		return "gps"
+	case Microphone:
+		return "microphone"
+	case Magnetometer:
+		return "magnetometer"
+	case Thermometer:
+		return "thermometer"
+	case Hygrometer:
+		return "hygrometer"
+	case LightMeter:
+		return "light"
+	default:
+		return fmt.Sprintf("sensor(%d)", int(t))
+	}
+}
+
+// Valid reports whether t names a known sensor.
+func (t Type) Valid() bool { return t >= Accelerometer && t <= LightMeter }
+
+// PowerW returns the sensor's active power draw in watts. The values for
+// accelerometer, gyroscope, barometer, GPS and microphone are the Samsung
+// Galaxy S4 numbers the paper quotes (21, 130, 110, 176, 101 mW); the rest
+// are filled in from the same source's ballpark.
+func (t Type) PowerW() float64 {
+	switch t {
+	case Accelerometer:
+		return 0.021
+	case Gyroscope:
+		return 0.130
+	case Barometer:
+		return 0.110
+	case GPS:
+		return 0.176
+	case Microphone:
+		return 0.101
+	case Magnetometer:
+		return 0.048
+	case Thermometer:
+		return 0.030
+	case Hygrometer:
+		return 0.030
+	case LightMeter:
+		return 0.015
+	default:
+		return 0
+	}
+}
+
+// SampleDuration returns how long one sample keeps the sensor powered.
+// GPS needs a multi-second fix; inertial and environmental sensors settle
+// in well under a second.
+func (t Type) SampleDuration() time.Duration {
+	switch t {
+	case GPS:
+		return 8 * time.Second
+	case Microphone:
+		return 2 * time.Second
+	default:
+		return 500 * time.Millisecond
+	}
+}
+
+// SampleEnergyJ is the energy of a single sample of this sensor.
+func (t Type) SampleEnergyJ() float64 {
+	return t.PowerW() * t.SampleDuration().Seconds()
+}
+
+// Unit returns the measurement unit reported for the sensor.
+func (t Type) Unit() string {
+	switch t {
+	case Barometer:
+		return "hPa"
+	case Thermometer:
+		return "degC"
+	case Hygrometer:
+		return "%RH"
+	case Accelerometer, Gyroscope:
+		return "SI"
+	case Microphone:
+		return "dB"
+	case Magnetometer:
+		return "uT"
+	case LightMeter:
+		return "lux"
+	case GPS:
+		return "deg"
+	default:
+		return ""
+	}
+}
+
+// Reading is one sensed value from one device.
+type Reading struct {
+	Sensor Type      `json:"sensor"`
+	Value  float64   `json:"value"`
+	Unit   string    `json:"unit"`
+	At     time.Time `json:"at"`
+	Where  geo.Point `json:"where"`
+}
+
+// PressureField is a smooth synthetic barometric field over campus
+// coordinates: a base pressure plus a gentle spatial gradient and a slow
+// diurnal oscillation, with an optional storm front (a rapid pressure
+// fall, the event Pressurenet-class apps exist to catch). It stands in
+// for the real atmosphere the study sampled (the substitution documented
+// in DESIGN.md).
+type PressureField struct {
+	// BaseHPa is the mean sea-level-ish pressure.
+	BaseHPa float64
+	// Origin anchors the spatial gradient.
+	Origin geo.Point
+
+	// StormOnset, if non-zero, starts a pressure fall at that instant.
+	StormOnset time.Time
+	// StormDepthHPa is how far pressure falls during the storm.
+	StormDepthHPa float64
+	// StormRamp is how long the fall takes (default 30 min).
+	StormRamp time.Duration
+}
+
+// NewPressureField returns a calm field centred on campus.
+func NewPressureField() *PressureField {
+	return &PressureField{BaseHPa: 1013.25, Origin: geo.CampusCenter()}
+}
+
+// NewStormField returns a field in which pressure drops depthHPa starting
+// at onset, over ramp (30 minutes if zero) — the synthetic weather event
+// adaptive campaigns react to.
+func NewStormField(onset time.Time, depthHPa float64, ramp time.Duration) *PressureField {
+	f := NewPressureField()
+	f.StormOnset = onset
+	f.StormDepthHPa = depthHPa
+	f.StormRamp = ramp
+	return f
+}
+
+// At returns the pressure at a place and time.
+func (f *PressureField) At(p geo.Point, at time.Time) float64 {
+	// ~0.3 hPa of spatial variation across a kilometre, plus a 1.5 hPa
+	// diurnal swing — the scale real hyperlocal weather maps care about.
+	northM := geo.DistanceM(f.Origin, geo.Point{Lat: p.Lat, Lon: f.Origin.Lon})
+	if p.Lat < f.Origin.Lat {
+		northM = -northM
+	}
+	spatial := 0.0003 * northM
+	hours := at.Sub(at.Truncate(24 * time.Hour)).Hours()
+	diurnal := 1.5 * math.Sin(2*math.Pi*hours/24)
+	return f.BaseHPa + spatial + diurnal - f.stormDrop(at)
+}
+
+// stormDrop returns how much the storm has depressed the field at t.
+func (f *PressureField) stormDrop(at time.Time) float64 {
+	if f.StormOnset.IsZero() || f.StormDepthHPa == 0 || at.Before(f.StormOnset) {
+		return 0
+	}
+	ramp := f.StormRamp
+	if ramp <= 0 {
+		ramp = 30 * time.Minute
+	}
+	frac := at.Sub(f.StormOnset).Seconds() / ramp.Seconds()
+	if frac > 1 {
+		frac = 1
+	}
+	return f.StormDepthHPa * frac
+}
+
+// Sample produces a barometer Reading at a place and time.
+func (f *PressureField) Sample(p geo.Point, at time.Time) Reading {
+	return Reading{
+		Sensor: Barometer,
+		Value:  f.At(p, at),
+		Unit:   Barometer.Unit(),
+		At:     at,
+		Where:  p,
+	}
+}

@@ -1,0 +1,192 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"senseaid/internal/geo"
+)
+
+func TestPaperPowerNumbers(t *testing.T) {
+	// Warden '15 values quoted in the paper (mW).
+	want := map[Type]float64{
+		Accelerometer: 0.021,
+		Gyroscope:     0.130,
+		Barometer:     0.110,
+		GPS:           0.176,
+		Microphone:    0.101,
+	}
+	for typ, w := range want {
+		if got := typ.PowerW(); got != w {
+			t.Errorf("%s power = %v W, want %v W", typ, got, w)
+		}
+	}
+}
+
+func TestAllTypesHaveMetadata(t *testing.T) {
+	for typ := Accelerometer; typ <= LightMeter; typ++ {
+		if !typ.Valid() {
+			t.Errorf("%d should be valid", typ)
+		}
+		if typ.PowerW() <= 0 {
+			t.Errorf("%s has no power figure", typ)
+		}
+		if typ.SampleDuration() <= 0 {
+			t.Errorf("%s has no sample duration", typ)
+		}
+		if typ.SampleEnergyJ() <= 0 {
+			t.Errorf("%s has no sample energy", typ)
+		}
+		if typ.String() == "" {
+			t.Errorf("%d has no name", typ)
+		}
+	}
+	if Type(0).Valid() || Type(99).Valid() {
+		t.Error("out-of-range types must be invalid")
+	}
+	if Type(0).PowerW() != 0 {
+		t.Error("invalid type should have zero power")
+	}
+}
+
+func TestGPSIsExpensive(t *testing.T) {
+	// The paper's design avoids GPS on clients because tower-granularity
+	// location is free; the energy model must reflect why that matters.
+	if GPS.SampleEnergyJ() <= Barometer.SampleEnergyJ()*5 {
+		t.Fatalf("GPS sample (%.3f J) should dwarf a barometer sample (%.3f J)",
+			GPS.SampleEnergyJ(), Barometer.SampleEnergyJ())
+	}
+}
+
+func TestPressureFieldPlausible(t *testing.T) {
+	f := NewPressureField()
+	at := time.Date(2017, 12, 11, 12, 0, 0, 0, time.UTC)
+	for _, loc := range geo.CampusLocations() {
+		p := f.At(loc.Point, at)
+		if p < 990 || p > 1040 {
+			t.Errorf("pressure at %s = %.2f hPa, outside plausible range", loc.Name, p)
+		}
+	}
+}
+
+func TestPressureFieldVariesInSpaceAndTime(t *testing.T) {
+	f := NewPressureField()
+	at := time.Date(2017, 12, 11, 6, 0, 0, 0, time.UTC)
+	north := geo.Offset(geo.CampusCenter(), 1000, 0)
+	south := geo.Offset(geo.CampusCenter(), -1000, 0)
+	if f.At(north, at) == f.At(south, at) {
+		t.Error("field should vary with latitude")
+	}
+	later := at.Add(6 * time.Hour)
+	if f.At(north, at) == f.At(north, later) {
+		t.Error("field should vary over the day")
+	}
+}
+
+// Property: the field is smooth — two points within 50 m differ by under
+// 0.1 hPa at the same instant.
+func TestPressureFieldSmoothProperty(t *testing.T) {
+	f := NewPressureField()
+	at := time.Date(2017, 12, 11, 15, 0, 0, 0, time.UTC)
+	prop := func(n8, e8 int8) bool {
+		base := geo.Offset(geo.CampusCenter(), float64(n8), float64(e8))
+		near := geo.Offset(base, 25, 25)
+		return math.Abs(f.At(base, at)-f.At(near, at)) < 0.1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleReading(t *testing.T) {
+	f := NewPressureField()
+	at := time.Date(2017, 12, 11, 9, 30, 0, 0, time.UTC)
+	r := f.Sample(geo.CSDepartment, at)
+	if r.Sensor != Barometer {
+		t.Fatalf("reading sensor = %v, want barometer", r.Sensor)
+	}
+	if r.Unit != "hPa" {
+		t.Fatalf("reading unit = %q, want hPa", r.Unit)
+	}
+	if !r.At.Equal(at) || r.Where != geo.CSDepartment {
+		t.Fatal("reading does not carry its place and time")
+	}
+	if r.Value != f.At(geo.CSDepartment, at) {
+		t.Fatal("reading value disagrees with field")
+	}
+}
+
+func TestStringAndUnitExhaustive(t *testing.T) {
+	names := map[Type]string{
+		Accelerometer: "accelerometer",
+		Gyroscope:     "gyroscope",
+		Barometer:     "barometer",
+		GPS:           "gps",
+		Microphone:    "microphone",
+		Magnetometer:  "magnetometer",
+		Thermometer:   "thermometer",
+		Hygrometer:    "hygrometer",
+		LightMeter:    "light",
+	}
+	units := map[Type]string{
+		Accelerometer: "SI",
+		Gyroscope:     "SI",
+		Barometer:     "hPa",
+		GPS:           "deg",
+		Microphone:    "dB",
+		Magnetometer:  "uT",
+		Thermometer:   "degC",
+		Hygrometer:    "%RH",
+		LightMeter:    "lux",
+	}
+	for typ, want := range names {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(typ), got, want)
+		}
+	}
+	for typ, want := range units {
+		if got := typ.Unit(); got != want {
+			t.Errorf("%s.Unit() = %q, want %q", typ, got, want)
+		}
+	}
+	if Type(99).String() != "sensor(99)" {
+		t.Error("unknown type name")
+	}
+	if Type(99).Unit() != "" {
+		t.Error("unknown type unit")
+	}
+	if Type(99).SampleDuration() != 500*time.Millisecond {
+		t.Error("unknown type sample duration default")
+	}
+}
+
+func TestSampleDurations(t *testing.T) {
+	if GPS.SampleDuration() != 8*time.Second {
+		t.Errorf("GPS duration = %v", GPS.SampleDuration())
+	}
+	if Microphone.SampleDuration() != 2*time.Second {
+		t.Errorf("microphone duration = %v", Microphone.SampleDuration())
+	}
+	if Barometer.SampleDuration() != 500*time.Millisecond {
+		t.Errorf("barometer duration = %v", Barometer.SampleDuration())
+	}
+}
+
+func TestStormFieldDefaults(t *testing.T) {
+	f := NewStormField(time.Date(2017, 12, 11, 10, 0, 0, 0, time.UTC), 20, 0)
+	onset := f.StormOnset
+	// Default 30-minute ramp: full depth reached at onset+30min.
+	before := f.At(geo.CSDepartment, onset.Add(-time.Minute))
+	full := f.At(geo.CSDepartment, onset.Add(31*time.Minute))
+	drop := before - full
+	if drop < 18 || drop > 22 {
+		t.Fatalf("default-ramp drop = %.1f, want ~20", drop)
+	}
+	// Calm field has no storm component.
+	calm := NewPressureField()
+	if calm.stormDrop(onset.Add(time.Hour)) != 0 {
+		t.Fatal("calm field has a storm drop")
+	}
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"senseaid/internal/core"
+	"senseaid/internal/geo"
+	"senseaid/internal/mobility"
+	"senseaid/internal/simclock"
+)
+
+// TestLowBatteryDeviceNeverSelected injects a device below its critical
+// battery level and verifies the selector's hard cutoff excludes it.
+func TestLowBatteryDeviceNeverSelected(t *testing.T) {
+	// Three devices pinned inside the region; one at 10% battery
+	// (critical level is 20%).
+	mob := map[int]mobility.Model{}
+	for i := 0; i < 3; i++ {
+		mob[i] = mobility.Stationary{P: geo.Offset(geo.CSDepartment, float64(i*50), 0)}
+	}
+	w, err := NewWorld(WorldConfig{
+		NumDevices: 3,
+		Seed:       9,
+		Mobility:   mob,
+		BatteryPct: map[int]float64{0: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowID := w.Phones[0].ID()
+
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+	task.Area.Center = geo.CSDepartment
+	res, err := SenseAid{}.Run(w, []core.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range res.Selections {
+		for _, id := range sel.Devices {
+			if id == lowID {
+				t.Fatalf("device at 10%% battery selected in %s", sel.Request)
+			}
+		}
+	}
+	if res.Readings == 0 {
+		t.Fatal("healthy devices produced no readings")
+	}
+}
+
+// TestWaitlistRecoversWhenDevicesArrive starts with too few devices in
+// the region; a scripted device walks in mid-test and the waitlisted
+// requests recover.
+func TestWaitlistRecoversWhenDevicesArrive(t *testing.T) {
+	far := geo.Offset(geo.CSDepartment, 5000, 0)
+	mob := map[int]mobility.Model{
+		0: mobility.Stationary{P: geo.CSDepartment},
+		// Device 1 arrives 25 minutes in.
+		1: mobility.NewScripted([]mobility.Keyframe{
+			{At: simclock.Epoch, P: far},
+			{At: simclock.Epoch.Add(25 * time.Minute), P: geo.Offset(geo.CSDepartment, 80, 0)},
+		}),
+	}
+	w, err := NewWorld(WorldConfig{NumDevices: 2, Seed: 10, Mobility: mob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := studyTask(500, 10*time.Minute, 2, 90*time.Minute)
+	task.Area.Center = geo.CSDepartment
+	res, err := SenseAid{}.Run(w, []core.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Early rounds (density 2, one device present) cannot be satisfied;
+	// later rounds must be.
+	if len(res.Selections) == 0 {
+		t.Fatal("no rounds ever satisfied after the second device arrived")
+	}
+	first := res.Selections[0]
+	if first.At.Before(simclock.Epoch.Add(25 * time.Minute)) {
+		t.Fatalf("round satisfied at %v, before the second device arrived", first.At)
+	}
+	for _, sel := range res.Selections {
+		if len(sel.Devices) != 2 {
+			t.Fatalf("selection %s has %d devices, want 2", sel.Request, len(sel.Devices))
+		}
+	}
+}
+
+// TestDeviceLeavingRegionStopsBeingSelected pins one device in-region and
+// scripts another to leave halfway; after leaving it must not be picked.
+func TestDeviceLeavingRegionStopsBeingSelected(t *testing.T) {
+	away := geo.Offset(geo.CSDepartment, 5000, 0)
+	mob := map[int]mobility.Model{
+		0: mobility.Stationary{P: geo.CSDepartment},
+		1: mobility.NewScripted([]mobility.Keyframe{
+			{At: simclock.Epoch, P: geo.Offset(geo.CSDepartment, 60, 0)},
+			{At: simclock.Epoch.Add(45 * time.Minute), P: away},
+		}),
+		2: mobility.Stationary{P: geo.Offset(geo.CSDepartment, -70, 30)},
+	}
+	w, err := NewWorld(WorldConfig{NumDevices: 3, Seed: 11, Mobility: mob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaverID := w.Phones[1].ID()
+
+	task := studyTask(500, 10*time.Minute, 2, 90*time.Minute)
+	task.Area.Center = geo.CSDepartment
+	res, err := SenseAid{}.Run(w, []core.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := simclock.Epoch.Add(45 * time.Minute)
+	for _, sel := range res.Selections {
+		if !sel.At.After(cutoff) {
+			continue
+		}
+		for _, id := range sel.Devices {
+			if id == leaverID {
+				t.Fatalf("departed device selected at %v", sel.At)
+			}
+		}
+	}
+}
+
+// TestQuietDevicesStillDeliverViaForcedUploads removes almost all organic
+// traffic: Sense-Aid must fall back to deadline promotions rather than
+// lose data.
+func TestQuietDevicesStillDeliverViaForcedUploads(t *testing.T) {
+	w, err := NewWorld(WorldConfig{NumDevices: 6, Seed: 12, Quiet: true, SessionGap: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+	res, err := SenseAid{}.Run(w, []core.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Readings == 0 {
+		t.Fatal("quiet cohort delivered nothing")
+	}
+	if res.Uploads.Forced == 0 {
+		t.Fatal("no forced uploads despite 2-hour traffic gaps")
+	}
+	// With almost no tails available, forced must dominate.
+	if res.Uploads.Forced <= res.Uploads.Piggybacked {
+		t.Fatalf("forced=%d piggybacked=%d on a silent cohort", res.Uploads.Forced, res.Uploads.Piggybacked)
+	}
+}
+
+// TestSelectAllStillCheaperThanPCS reproduces the paper's section 5.2
+// observation as a test: even tasking every qualified device, Sense-Aid's
+// tail-riding uploads beat PCS.
+func TestSelectAllStillCheaperThanPCS(t *testing.T) {
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+
+	w1, err := NewWorld(WorldConfig{NumDevices: 20, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selectAll, err := SenseAid{Server: core.ServerConfig{SelectAll: true}}.Run(w1, []core.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWorld(WorldConfig{NumDevices: 20, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcs, err := PCS{Seed: 13}.Run(w2, []core.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selectAll.AvgSelected <= 2 {
+		t.Fatalf("select-all tasked %.1f devices/round; orchestration still on?", selectAll.AvgSelected)
+	}
+	saving := 1 - selectAll.TotalCrowdJ/pcs.TotalCrowdJ
+	if saving < 0.3 {
+		t.Fatalf("select-all saving over PCS = %.0f%%, paper reports 54.5%%", saving*100)
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"senseaid/internal/core"
+)
+
+// Framework runs a set of crowdsensing tasks on a world and reports the
+// energy outcome. Implementations: Periodic, PCS, SenseAid (Basic and
+// Complete).
+type Framework interface {
+	// Name labels the framework in reports.
+	Name() string
+	// Run executes the tasks to completion on the world's virtual clock.
+	// Tasks must have explicit Start/End windows. The world must be
+	// fresh (energy meters at zero).
+	Run(w *World, tasks []core.Task) (*RunResult, error)
+}
+
+// UploadStats breaks down how crowdsensing uploads went out — the
+// mechanism-level numbers behind the energy results.
+type UploadStats struct {
+	// Piggybacked rode existing app traffic (PCS hit, or Sense-Aid data
+	// sent in a tail window).
+	Piggybacked int `json:"piggybacked"`
+	// Forced paid a full IDLE->CONNECTED promotion.
+	Forced int `json:"forced"`
+	// Batched counts samples that shared an upload with other samples
+	// (Experiment 3's multi-task economy).
+	Batched int `json:"batched"`
+}
+
+// RunResult is the outcome of one framework run.
+type RunResult struct {
+	Framework string `json:"framework"`
+	// TotalCrowdJ is crowdsensing energy summed across the cohort.
+	TotalCrowdJ float64 `json:"total_crowd_j"`
+	// PerDeviceJ maps device ID to its crowdsensing energy.
+	PerDeviceJ map[string]float64 `json:"per_device_j"`
+	// Participating counts devices that spent any crowdsensing energy.
+	Participating int `json:"participating"`
+	// Rounds is the number of sensing rounds executed across tasks.
+	Rounds int `json:"rounds"`
+	// AvgQualified is the mean number of qualified devices per round.
+	AvgQualified float64 `json:"avg_qualified"`
+	// AvgSelected is the mean number of devices actually tasked per
+	// round (equals AvgQualified for Periodic/PCS; the spatial density
+	// for Sense-Aid).
+	AvgSelected float64 `json:"avg_selected"`
+	// Readings counts measurements delivered to the application server.
+	Readings int `json:"readings"`
+	// Uploads details the upload mechanisms used.
+	Uploads UploadStats `json:"uploads"`
+	// Selections is the Sense-Aid selection log (empty for baselines).
+	Selections []core.Selection `json:"selections"`
+}
+
+// AvgPerParticipantJ is crowdsensing energy per participating device — the
+// metric of Figures 11 and 13.
+func (r *RunResult) AvgPerParticipantJ() float64 {
+	if r.Participating == 0 {
+		return 0
+	}
+	return r.TotalCrowdJ / float64(r.Participating)
+}
+
+// collect fills the energy fields of a result from the world's phones.
+func (r *RunResult) collect(w *World) {
+	w.Settle()
+	r.PerDeviceJ = make(map[string]float64, len(w.Phones))
+	r.TotalCrowdJ = 0
+	r.Participating = 0
+	for _, p := range w.Phones {
+		e := p.CrowdsenseEnergyJ(false)
+		r.PerDeviceJ[p.ID()] = e
+		r.TotalCrowdJ += e
+		if e > 0 {
+			r.Participating++
+		}
+	}
+}
+
+// taskWindow returns the earliest start and latest end across tasks.
+func taskWindow(tasks []core.Task) (time.Time, time.Time, error) {
+	if len(tasks) == 0 {
+		return time.Time{}, time.Time{}, fmt.Errorf("sim: no tasks")
+	}
+	start, end := tasks[0].Start, tasks[0].End
+	for _, t := range tasks[1:] {
+		if t.Start.Before(start) {
+			start = t.Start
+		}
+		if t.End.After(end) {
+			end = t.End
+		}
+	}
+	if !end.After(start) {
+		return time.Time{}, time.Time{}, fmt.Errorf("sim: empty task window")
+	}
+	return start, end, nil
+}
+
+// sortedIDs returns map keys in order, for deterministic reports.
+func sortedIDs(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

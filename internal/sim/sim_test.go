@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"senseaid/internal/core"
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+// studyTask builds the representative task: barometer readings around the
+// CS department.
+func studyTask(radiusM float64, period time.Duration, density int, dur time.Duration) core.Task {
+	return core.Task{
+		Sensor:         sensors.Barometer,
+		SamplingPeriod: period,
+		Start:          simclock.Epoch,
+		End:            simclock.Epoch.Add(dur),
+		Area:           geo.Circle{Center: geo.CampusCenter(), RadiusM: radiusM},
+		SpatialDensity: density,
+	}
+}
+
+func runFramework(t *testing.T, f Framework, seed int64, tasks ...core.Task) *RunResult {
+	t.Helper()
+	w, err := NewWorld(WorldConfig{NumDevices: 20, Seed: seed})
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	res, err := f.Run(w, tasks)
+	if err != nil {
+		t.Fatalf("%s.Run: %v", f.Name(), err)
+	}
+	return res
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(WorldConfig{NumDevices: 0}); err == nil {
+		t.Fatal("zero devices accepted")
+	}
+	w, err := NewWorld(WorldConfig{NumDevices: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Phones) != 5 {
+		t.Fatalf("got %d phones, want 5", len(w.Phones))
+	}
+	if len(w.Net.Devices()) != 5 {
+		t.Fatal("phones not attached to the network")
+	}
+}
+
+func TestPeriodicRun(t *testing.T) {
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+	res := runFramework(t, Periodic{}, 1, task)
+
+	if res.Rounds != 9 {
+		t.Fatalf("rounds = %d, want 9 (90min / 10min)", res.Rounds)
+	}
+	if res.Readings == 0 {
+		t.Fatal("no readings delivered")
+	}
+	if res.TotalCrowdJ <= 0 {
+		t.Fatal("no crowdsensing energy recorded")
+	}
+	// Periodic tasks every qualified device, far more than density 2.
+	if res.AvgSelected < 3 {
+		t.Fatalf("periodic selected %.1f devices/round on a 20-device cohort", res.AvgSelected)
+	}
+	if res.AvgSelected != res.AvgQualified {
+		t.Fatal("periodic must task every qualified device")
+	}
+	// Standalone uploads should be overwhelmingly forced promotions.
+	if res.Uploads.Forced <= res.Uploads.Piggybacked {
+		t.Fatalf("periodic uploads: forced=%d piggybacked=%d; expected mostly forced",
+			res.Uploads.Forced, res.Uploads.Piggybacked)
+	}
+}
+
+func TestPCSRun(t *testing.T) {
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+	res := runFramework(t, PCS{Seed: 3}, 1, task)
+
+	if res.Readings == 0 || res.TotalCrowdJ <= 0 {
+		t.Fatalf("PCS produced readings=%d energy=%.1f", res.Readings, res.TotalCrowdJ)
+	}
+	if res.Uploads.Piggybacked == 0 {
+		t.Fatal("PCS at 40% accuracy never piggybacked")
+	}
+	if res.Uploads.Forced == 0 {
+		t.Fatal("PCS at 40% accuracy never missed")
+	}
+}
+
+func TestSenseAidRun(t *testing.T) {
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+	res := runFramework(t, SenseAid{}, 1, task)
+
+	if res.Readings == 0 {
+		t.Fatal("no readings delivered")
+	}
+	// Sense-Aid selects exactly the density per round.
+	if res.AvgSelected != 2 {
+		t.Fatalf("sense-aid selected %.2f devices/round, want exactly 2", res.AvgSelected)
+	}
+	if len(res.Selections) == 0 {
+		t.Fatal("no selection log")
+	}
+	// Most uploads should ride tail windows.
+	if res.Uploads.Piggybacked == 0 {
+		t.Fatal("sense-aid never used a tail window")
+	}
+}
+
+func TestPaperEnergyOrdering(t *testing.T) {
+	// The paper's headline: SA Complete <= SA Basic < PCS < Periodic for
+	// the same task on equal cohorts.
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+	periodic := runFramework(t, Periodic{}, 7, task)
+	pcs := runFramework(t, PCS{Seed: 7}, 7, task)
+	basic := runFramework(t, SenseAid{Variant: Basic}, 7, task)
+	complete := runFramework(t, SenseAid{Variant: Complete}, 7, task)
+
+	t.Logf("totals: periodic=%.1fJ pcs=%.1fJ basic=%.1fJ complete=%.1fJ",
+		periodic.TotalCrowdJ, pcs.TotalCrowdJ, basic.TotalCrowdJ, complete.TotalCrowdJ)
+
+	if !(complete.TotalCrowdJ <= basic.TotalCrowdJ) {
+		t.Errorf("complete (%.1f J) should not exceed basic (%.1f J)", complete.TotalCrowdJ, basic.TotalCrowdJ)
+	}
+	if !(basic.TotalCrowdJ < pcs.TotalCrowdJ) {
+		t.Errorf("basic (%.1f J) should beat PCS (%.1f J)", basic.TotalCrowdJ, pcs.TotalCrowdJ)
+	}
+	if !(pcs.TotalCrowdJ < periodic.TotalCrowdJ) {
+		t.Errorf("PCS (%.1f J) should beat periodic (%.1f J)", pcs.TotalCrowdJ, periodic.TotalCrowdJ)
+	}
+	// The paper's representative case: >90% saving vs PCS at radius 1km,
+	// density 2. Require a substantial saving (shape, not exact value).
+	saving := 1 - basic.TotalCrowdJ/pcs.TotalCrowdJ
+	if saving < 0.5 {
+		t.Errorf("SA Basic saving over PCS = %.0f%%, want > 50%%", saving*100)
+	}
+}
+
+func TestSenseAidFairnessAcrossRounds(t *testing.T) {
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+	res := runFramework(t, SenseAid{}, 2, task)
+
+	counts := make(map[string]int)
+	for _, sel := range res.Selections {
+		for _, id := range sel.Devices {
+			counts[id]++
+		}
+	}
+	if len(counts) < 4 {
+		t.Fatalf("only %d distinct devices selected over 9 rounds; selector is not rotating", len(counts))
+	}
+	max, min := 0, 1<<30
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max-min > 2 {
+		t.Fatalf("selection imbalance: max=%d min=%d", max, min)
+	}
+}
+
+func TestSenseAidMultiTaskBatches(t *testing.T) {
+	// Experiment 3's mechanism: several concurrent tasks on few devices
+	// should lead to batched uploads.
+	var tasks []core.Task
+	for i := 0; i < 5; i++ {
+		tasks = append(tasks, studyTask(500, 5*time.Minute, 3, 90*time.Minute))
+	}
+	res := runFramework(t, SenseAid{}, 4, tasks...)
+	if res.Uploads.Batched == 0 {
+		t.Fatal("five concurrent tasks never produced a batched upload")
+	}
+}
+
+func TestCountControlIncreasesEnergy(t *testing.T) {
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+	without := runFramework(t, SenseAid{}, 5, task)
+	with := runFramework(t, SenseAid{CountControl: true}, 5, task)
+	if with.TotalCrowdJ <= without.TotalCrowdJ {
+		t.Fatalf("control accounting did not increase energy: %.2f vs %.2f",
+			with.TotalCrowdJ, without.TotalCrowdJ)
+	}
+}
+
+func TestRunRejectsEmptyTasks(t *testing.T) {
+	w, err := NewWorld(WorldConfig{NumDevices: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Framework{Periodic{}, PCS{}, SenseAid{}} {
+		if _, err := f.Run(w, nil); err == nil {
+			t.Errorf("%s accepted an empty task set", f.Name())
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	task := studyTask(500, 10*time.Minute, 2, time.Hour)
+	a := runFramework(t, SenseAid{}, 11, task)
+	b := runFramework(t, SenseAid{}, 11, task)
+	if a.TotalCrowdJ != b.TotalCrowdJ || a.Readings != b.Readings {
+		t.Fatalf("same seed diverged: %.6f/%d vs %.6f/%d",
+			a.TotalCrowdJ, a.Readings, b.TotalCrowdJ, b.Readings)
+	}
+}
+
+func TestAvgPerParticipant(t *testing.T) {
+	r := &RunResult{TotalCrowdJ: 100, Participating: 4}
+	if got := r.AvgPerParticipantJ(); got != 25 {
+		t.Fatalf("AvgPerParticipantJ = %v, want 25", got)
+	}
+	empty := &RunResult{}
+	if got := empty.AvgPerParticipantJ(); got != 0 {
+		t.Fatalf("empty AvgPerParticipantJ = %v, want 0", got)
+	}
+}

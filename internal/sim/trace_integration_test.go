@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"senseaid/internal/core"
+	"senseaid/internal/radio"
+	"senseaid/internal/trace"
+)
+
+// TestPromotionCountsViaTraceAnalyzer cross-checks the energy story with
+// the ARO-style analyzer: attach recorders to one device in a Periodic
+// cohort and one in a Sense-Aid Complete cohort, and compare radio
+// promotions. The Sense-Aid cohort as a whole must promote far less per
+// delivered reading — the paper's core mechanism, observed through an
+// independent measurement path (the packet/state timeline rather than the
+// energy meter).
+func TestPromotionCountsViaTraceAnalyzer(t *testing.T) {
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+
+	run := func(fw Framework) (promotions int, readings int) {
+		w, err := NewWorld(WorldConfig{NumDevices: 10, Seed: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := make([]*trace.Recorder, len(w.Phones))
+		for i, ph := range w.Phones {
+			recs[i] = trace.NewRecorder(w.Sched.Now())
+			recs[i].Attach(ph.Radio())
+		}
+		res, err := fw.Run(w, []core.Task{task})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			a := trace.Analyze(rec, radio.LTE(), w.Sched.Now())
+			promotions += a.PromotionsByCause[radio.CauseCrowdsensing]
+		}
+		return promotions, res.Readings
+	}
+
+	perPromotions, perReadings := run(Periodic{})
+	saPromotions, saReadings := run(SenseAid{Variant: Complete})
+
+	if perReadings == 0 || saReadings == 0 {
+		t.Fatalf("readings: periodic=%d sense-aid=%d", perReadings, saReadings)
+	}
+	perRate := float64(perPromotions) / float64(perReadings)
+	saRate := float64(saPromotions) / float64(saReadings)
+	t.Logf("promotions/reading: periodic=%.2f sense-aid=%.2f", perRate, saRate)
+
+	// Periodic promotes for nearly every reading; Sense-Aid rides
+	// tails, promoting only on deadline fallbacks.
+	if saRate >= perRate*0.7 {
+		t.Fatalf("sense-aid promotion rate (%.2f) not below periodic (%.2f)", saRate, perRate)
+	}
+}

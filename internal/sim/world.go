@@ -1,0 +1,190 @@
+// Package sim wires the substrates into a runnable world and implements
+// the three evaluation frameworks the paper compares on it: Periodic (the
+// state of practice), PCS (Piggyback CrowdSensing, the state of the art),
+// and Sense-Aid in its Basic and Complete variants.
+//
+// A World is one cohort of simulated students: phones with seeded mobility
+// and background traffic, attached to the campus cellular network. Each
+// framework run takes a fresh world, executes a set of crowdsensing tasks
+// to completion on the virtual clock, and reports the energy attributed to
+// crowdsensing per device — the measurement the user study performs with
+// real handsets.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"senseaid/internal/cellnet"
+	"senseaid/internal/core"
+	"senseaid/internal/geo"
+	"senseaid/internal/mobility"
+	"senseaid/internal/phone"
+	"senseaid/internal/radio"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+	"senseaid/internal/traffic"
+)
+
+// CrowdsensePayloadBytes is the size of one crowdsensed upload (paper
+// section 2.2: "e.g. 600 bytes in our user study").
+const CrowdsensePayloadBytes = 600
+
+// WorldConfig shapes a cohort.
+type WorldConfig struct {
+	// NumDevices is the cohort size (20 per framework set in the study).
+	NumDevices int
+	// Seed drives mobility and traffic; two worlds with the same seed
+	// have identical students.
+	Seed int64
+	// UniformRoam switches from the default campus-walk mobility
+	// (devices dwell at the four study buildings) to uniform
+	// random-waypoint roaming over a disc; used by ablations.
+	UniformRoam bool
+	// Home is the center of the roaming disc (default: campus center).
+	// Only used with UniformRoam.
+	Home geo.Point
+	// RoamRadiusM bounds uniform roaming (default 700 m). Only used
+	// with UniformRoam.
+	RoamRadiusM float64
+	// SessionGap is the mean gap between a device's background app
+	// sessions. The default (9 minutes) reflects study participants
+	// whose phones sit untouched through lectures: sparse enough that
+	// a tail window is not always available before an upload deadline,
+	// which is what makes the Basic/Complete/forced-upload distinctions
+	// measurable.
+	SessionGap time.Duration
+	// Quiet switches to the light-usage traffic profile (ablation).
+	Quiet bool
+	// Mobility overrides the default waypoint models (keyed by device
+	// index); used by the Figure 9 scripted scenario.
+	Mobility map[int]mobility.Model
+	// BatteryPct overrides starting battery levels (keyed by device
+	// index); used by low-battery failure-injection tests.
+	BatteryPct map[int]float64
+	// Profile selects the cohort's radio technology (default LTE); the
+	// 3G ablation sets radio.ThreeG().
+	Profile radio.PowerProfile
+}
+
+// World is one simulated cohort.
+type World struct {
+	Sched  *simclock.Scheduler
+	Net    *cellnet.Network
+	Field  *sensors.PressureField
+	Phones []*phone.Phone
+}
+
+// NewWorld builds a cohort on a fresh scheduler.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	if cfg.NumDevices <= 0 {
+		return nil, fmt.Errorf("sim: NumDevices must be positive, got %d", cfg.NumDevices)
+	}
+	if cfg.RoamRadiusM <= 0 {
+		cfg.RoamRadiusM = 700
+	}
+	if (cfg.Home == geo.Point{}) {
+		cfg.Home = geo.CampusCenter()
+	}
+	sched := simclock.NewScheduler()
+	net := cellnet.CampusNetwork()
+	w := &World{
+		Sched: sched,
+		Net:   net,
+		Field: sensors.NewPressureField(),
+	}
+	for i := 0; i < cfg.NumDevices; i++ {
+		var mob mobility.Model
+		switch m, ok := cfg.Mobility[i]; {
+		case ok:
+			mob = m
+		case cfg.UniformRoam:
+			mob = mobility.NewWaypoint(mobility.WaypointConfig{
+				Home:    cfg.Home,
+				RadiusM: cfg.RoamRadiusM,
+				Start:   sched.Now(),
+				Seed:    cfg.Seed*1000 + int64(i),
+			})
+		default:
+			mob = mobility.NewCampusWalk(mobility.CampusWalkConfig{
+				Buildings: studyDwellPoints(),
+				Start:     sched.Now(),
+				Seed:      cfg.Seed*1000 + int64(i),
+			})
+		}
+		tcfg := traffic.DefaultConfig(cfg.Seed*1000 + int64(i) + 500)
+		if cfg.Quiet {
+			tcfg = traffic.QuietConfig(cfg.Seed*1000 + int64(i) + 500)
+		}
+		if cfg.SessionGap > 0 {
+			tcfg.MeanSessionGap = cfg.SessionGap
+		} else if !cfg.Quiet {
+			tcfg.MeanSessionGap = 9 * time.Minute
+		}
+		p, err := phone.New(sched, phone.Config{
+			ID:         fmt.Sprintf("dev-%02d", i+1),
+			Profile:    cfg.Profile,
+			Mobility:   mob,
+			HasTraffic: true,
+			Traffic:    tcfg,
+			BatteryPct: cfg.BatteryPct[i],
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: device %d: %w", i, err)
+		}
+		if err := net.Attach(p); err != nil {
+			return nil, fmt.Errorf("sim: attach device %d: %w", i, err)
+		}
+		w.Phones = append(w.Phones, p)
+	}
+	return w, nil
+}
+
+// studyDwellPoints returns the default campus-walk destinations: the four
+// study buildings plus two off-campus apartment clusters. The apartments
+// keep a realistic fraction of the cohort outside any task region at any
+// instant — in the paper's Figure 7, only ~11 of 20 participants were
+// within 1 km of the CS department.
+func studyDwellPoints() []geo.Point {
+	pts := make([]geo.Point, 0, 6)
+	for _, l := range geo.CampusLocations() {
+		pts = append(pts, l.Point)
+	}
+	center := geo.CampusCenter()
+	pts = append(pts,
+		geo.Offset(center, -2200, 1600), // south-east apartments
+		geo.Offset(center, 1800, -2400), // north-west apartments
+	)
+	return pts
+}
+
+// StartTraffic begins every phone's background traffic until the instant.
+func (w *World) StartTraffic(until time.Time) {
+	for _, p := range w.Phones {
+		p.StartTraffic(until)
+	}
+}
+
+// QualifiedForTask returns the phones that would qualify for the task at
+// the current instant: in the region, carrying the sensor, battery above
+// their critical level.
+func (w *World) QualifiedForTask(t *core.Task) []*phone.Phone {
+	var out []*phone.Phone
+	for _, p := range w.Net.DevicesInRegion(t.Area) {
+		if !p.HasSensor(t.Sensor) {
+			continue
+		}
+		if p.Battery().Percent() <= p.Budget().CriticalBatteryPct {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Settle flushes all phones' energy meters; call at the end of a run.
+func (w *World) Settle() {
+	for _, p := range w.Phones {
+		p.Settle()
+	}
+}

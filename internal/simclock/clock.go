@@ -1,0 +1,31 @@
+// Package simclock provides virtual time for discrete-event simulation.
+//
+// The simulator that drives the Sense-Aid evaluation needs deterministic,
+// repeatable time: radio tail timers, sampling periods, and task deadlines
+// all fire in a strict order. A Scheduler owns a priority queue of timed
+// events and advances a virtual clock from event to event. Components that
+// must also run against wall-clock time (the networked server in
+// cmd/senseaidd) depend on the narrow Clock interface instead of the
+// Scheduler so they can be handed a RealClock.
+package simclock
+
+import "time"
+
+// Clock exposes the current time to components that must work both in
+// simulation and against wall-clock time.
+type Clock interface {
+	// Now returns the current (virtual or real) time.
+	Now() time.Time
+}
+
+// RealClock is a Clock backed by the system clock.
+type RealClock struct{}
+
+var _ Clock = RealClock{}
+
+// Now returns the current wall-clock time.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Epoch is the instant virtual time starts at. An arbitrary fixed instant
+// keeps simulations reproducible regardless of when they run.
+var Epoch = time.Date(2017, time.December, 11, 9, 0, 0, 0, time.UTC)

@@ -1,0 +1,159 @@
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual instant. The callback
+// receives the Scheduler so it can schedule follow-up events.
+type Event struct {
+	at   time.Time
+	seq  uint64
+	fn   func(now time.Time)
+	dead bool
+}
+
+// At reports the instant the event is scheduled for.
+func (e *Event) At() time.Time { return e.at }
+
+// Cancel prevents a pending event from running. Cancelling an event that
+// already ran is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.dead }
+
+// eventHeap orders events by time, breaking ties by insertion order so
+// same-instant events run in the order they were scheduled (determinism).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler with a virtual
+// clock. It is not safe for concurrent use: the simulation is single
+// threaded by design so runs are exactly reproducible.
+type Scheduler struct {
+	now    time.Time
+	queue  eventHeap
+	nextID uint64
+	ran    uint64
+}
+
+var _ Clock = (*Scheduler)(nil)
+
+// NewScheduler returns a Scheduler whose clock starts at Epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{now: Epoch}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Len returns the number of pending (possibly cancelled) events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Ran returns the number of events executed so far.
+func (s *Scheduler) Ran() uint64 { return s.ran }
+
+// ScheduleAt registers fn to run at instant t. Scheduling in the past is an
+// error in the simulation logic, so it panics rather than silently
+// reordering time.
+func (s *Scheduler) ScheduleAt(t time.Time, fn func(now time.Time)) *Event {
+	if t.Before(s.now) {
+		panic(fmt.Sprintf("simclock: schedule at %v before now %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.nextID, fn: fn}
+	s.nextID++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// ScheduleAfter registers fn to run d from now. Negative d is clamped to
+// zero so "immediately" is always expressible.
+func (s *Scheduler) ScheduleAfter(d time.Duration, fn func(now time.Time)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.ScheduleAt(s.now.Add(d), fn)
+}
+
+// Step runs the next pending event, advancing the clock to its instant.
+// It returns false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		s.ran++
+		e.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event lies after deadline. The clock is left at deadline if it was
+// reached, so follow-up scheduling is relative to the end of the window.
+func (s *Scheduler) RunUntil(deadline time.Time) {
+	for {
+		e := s.peek()
+		if e == nil || e.at.After(deadline) {
+			break
+		}
+		s.Step()
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+}
+
+// RunFor executes events for a window of duration d from the current time.
+func (s *Scheduler) RunFor(d time.Duration) {
+	s.RunUntil(s.now.Add(d))
+}
+
+// Drain runs every pending event. It guards against runaway simulations
+// with a generous event cap and panics if it is exceeded.
+func (s *Scheduler) Drain() {
+	const cap = 50_000_000
+	for i := 0; s.Step(); i++ {
+		if i > cap {
+			panic("simclock: Drain exceeded event cap; runaway simulation")
+		}
+	}
+}
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		if s.queue[0].dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.ScheduleAfter(3*time.Second, func(time.Time) { got = append(got, 3) })
+	s.ScheduleAfter(1*time.Second, func(time.Time) { got = append(got, 1) })
+	s.ScheduleAfter(2*time.Second, func(time.Time) { got = append(got, 2) })
+	s.Drain()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulerTieBreakIsFIFO(t *testing.T) {
+	s := NewScheduler()
+	at := s.Now().Add(time.Second)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.ScheduleAt(at, func(time.Time) { got = append(got, i) })
+	}
+	s.Drain()
+	if len(got) != 10 {
+		t.Fatalf("ran %d events, want 10", len(got))
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerClockAdvances(t *testing.T) {
+	s := NewScheduler()
+	start := s.Now()
+	var at time.Time
+	s.ScheduleAfter(90*time.Minute, func(now time.Time) { at = now })
+	s.Drain()
+	if want := start.Add(90 * time.Minute); !at.Equal(want) {
+		t.Fatalf("event ran at %v, want %v", at, want)
+	}
+	if !s.Now().Equal(start.Add(90 * time.Minute)) {
+		t.Fatalf("clock = %v, want %v", s.Now(), start.Add(90*time.Minute))
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	e := s.ScheduleAfter(time.Second, func(time.Time) { ran = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	s.Drain()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tick func(now time.Time)
+	tick = func(now time.Time) {
+		count++
+		if count < 5 {
+			s.ScheduleAfter(time.Minute, tick)
+		}
+	}
+	s.ScheduleAfter(time.Minute, tick)
+	s.Drain()
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	if want := Epoch.Add(5 * time.Minute); !s.Now().Equal(want) {
+		t.Fatalf("clock = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := NewScheduler()
+	var ran []time.Duration
+	for _, d := range []time.Duration{time.Second, time.Minute, time.Hour} {
+		d := d
+		s.ScheduleAfter(d, func(time.Time) { ran = append(ran, d) })
+	}
+	s.RunUntil(Epoch.Add(2 * time.Minute))
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events before deadline, want 2", len(ran))
+	}
+	if !s.Now().Equal(Epoch.Add(2 * time.Minute)) {
+		t.Fatalf("clock = %v, want deadline", s.Now())
+	}
+	s.Drain()
+	if len(ran) != 3 {
+		t.Fatalf("ran %d events total, want 3", len(ran))
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.ScheduleAfter(time.Hour, func(time.Time) {})
+	s.Drain()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.ScheduleAt(Epoch, func(time.Time) {})
+}
+
+func TestScheduleAfterNegativeClampsToNow(t *testing.T) {
+	s := NewScheduler()
+	var at time.Time
+	s.ScheduleAfter(-time.Hour, func(now time.Time) { at = now })
+	s.Drain()
+	if !at.Equal(Epoch) {
+		t.Fatalf("negative delay ran at %v, want now (%v)", at, Epoch)
+	}
+}
+
+// Property: for any set of random offsets, events fire in nondecreasing
+// time order and the count of fired events equals the count scheduled.
+func TestSchedulerOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		num := int(n%64) + 1
+		var fired []time.Time
+		offsets := make([]time.Duration, num)
+		for i := 0; i < num; i++ {
+			offsets[i] = time.Duration(rng.Intn(100_000)) * time.Millisecond
+			s.ScheduleAfter(offsets[i], func(now time.Time) { fired = append(fired, now) })
+		}
+		s.Drain()
+		if len(fired) != num {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i].Before(fired[j]) }) {
+			return false
+		}
+		// The clock must end at the max offset.
+		max := offsets[0]
+		for _, o := range offsets {
+			if o > max {
+				max = o
+			}
+		}
+		return s.Now().Equal(Epoch.Add(max))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := RealClock{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("RealClock.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestSchedulerCounters(t *testing.T) {
+	s := NewScheduler()
+	if s.Len() != 0 || s.Ran() != 0 {
+		t.Fatal("fresh scheduler has state")
+	}
+	e1 := s.ScheduleAfter(time.Second, func(time.Time) {})
+	s.ScheduleAfter(2*time.Second, func(time.Time) {})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	e1.Cancel()
+	s.Drain()
+	if s.Ran() != 1 {
+		t.Fatalf("Ran = %d, want 1 (one cancelled)", s.Ran())
+	}
+}
+
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	head := s.ScheduleAfter(time.Second, func(time.Time) { ran = true })
+	s.ScheduleAfter(2*time.Second, func(time.Time) {})
+	head.Cancel()
+	// RunUntil must peek past the cancelled head without executing it.
+	s.RunUntil(Epoch.Add(3 * time.Second))
+	if ran {
+		t.Fatal("cancelled head executed")
+	}
+	if s.Ran() != 1 {
+		t.Fatalf("Ran = %d, want 1", s.Ran())
+	}
+}
+
+func TestStepReturnsFalseOnlyWhenEmpty(t *testing.T) {
+	s := NewScheduler()
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	s.ScheduleAfter(time.Second, func(time.Time) {})
+	if !s.Step() {
+		t.Fatal("Step with pending event returned false")
+	}
+	if s.Step() {
+		t.Fatal("Step after drain returned true")
+	}
+}

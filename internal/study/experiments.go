@@ -1,0 +1,144 @@
+package study
+
+import (
+	"fmt"
+	"time"
+
+	"senseaid/internal/core"
+	"senseaid/internal/geo"
+)
+
+// ExperimentResult is one experiment's full output: one Comparison per
+// setting of the varying parameter, plus the Table 2 savings rows.
+type ExperimentResult struct {
+	// Name is "Experiment 1" etc.
+	Name string `json:"name"`
+	// Varying names the swept parameter.
+	Varying string `json:"varying"`
+	// Tests holds one comparison per parameter value, in sweep order.
+	Tests []*Comparison `json:"tests"`
+}
+
+// SavingsRow is one Table 2 row: a comparison's average (min, max) energy
+// saving across the experiment's tests.
+type SavingsRow struct {
+	Label         string `json:"label"`
+	Avg, Min, Max float64
+}
+
+// SavingsRows computes the four Table 2 rows for the experiment.
+func (e *ExperimentResult) SavingsRows() []SavingsRow {
+	labels := []string{
+		RowBasicOverPeriodic, RowCompleteOverPeriodic,
+		RowBasicOverPCS, RowCompleteOverPCS,
+	}
+	rows := make([]SavingsRow, 0, len(labels))
+	for _, label := range labels {
+		var vals []float64
+		for _, t := range e.Tests {
+			vals = append(vals, t.Savings()[label])
+		}
+		avg, min, max := aggregate(vals)
+		rows = append(rows, SavingsRow{Label: label, Avg: avg, Min: min, Max: max})
+	}
+	return rows
+}
+
+// Experiment1Radii is the paper's radius sweep.
+var Experiment1Radii = []float64{100, 200, 300, 400, 500, 1000}
+
+// RunExperiment1 sweeps the task area radius around the CS department:
+// 1.5 h tests, one task per device set, 10-minute sampling period, spatial
+// density 2. Its tests feed Figures 7 (qualified devices vs radius) and 8
+// (total energy vs radius) and Table 2's first block.
+func RunExperiment1(cfg Config) (*ExperimentResult, error) {
+	cfg = cfg.withDefaults()
+	exp := &ExperimentResult{Name: "Experiment 1", Varying: "area radius (m)"}
+	for _, r := range Experiment1Radii {
+		task := barometerTask(geo.CSDepartment, r, 10*time.Minute, 90*time.Minute, 2)
+		cmp, err := runComparison(cfg, []core.Task{task})
+		if err != nil {
+			return nil, fmt.Errorf("study: experiment 1 radius %v: %w", r, err)
+		}
+		cmp.Param = r
+		cmp.ParamLabel = fmt.Sprintf("%.0f m", r)
+		exp.Tests = append(exp.Tests, cmp)
+	}
+	return exp, nil
+}
+
+// Experiment2Periods is the paper's sampling-period sweep.
+var Experiment2Periods = []time.Duration{1 * time.Minute, 5 * time.Minute, 10 * time.Minute}
+
+// RunExperiment2 sweeps the sampling period: 2 h tests, density 3, radius
+// 500 m. Feeds Figures 10 (selected devices) and 11 (per-device energy)
+// and Table 2's second block.
+func RunExperiment2(cfg Config) (*ExperimentResult, error) {
+	cfg = cfg.withDefaults()
+	exp := &ExperimentResult{Name: "Experiment 2", Varying: "sampling period (min)"}
+	for _, p := range Experiment2Periods {
+		task := barometerTask(geo.CSDepartment, 500, p, 2*time.Hour, 3)
+		cmp, err := runComparison(cfg, []core.Task{task})
+		if err != nil {
+			return nil, fmt.Errorf("study: experiment 2 period %v: %w", p, err)
+		}
+		cmp.Param = p.Minutes()
+		cmp.ParamLabel = fmt.Sprintf("%.0f min", p.Minutes())
+		exp.Tests = append(exp.Tests, cmp)
+	}
+	return exp, nil
+}
+
+// Experiment3TaskCounts is the paper's concurrent-task sweep.
+var Experiment3TaskCounts = []int{3, 5, 10, 15}
+
+// RunExperiment3 sweeps the number of concurrent tasks: 1.5 h tests,
+// 5-minute period, density 3, radius 500 m. Feeds Figures 12 and 13 and
+// Table 2's third block.
+func RunExperiment3(cfg Config) (*ExperimentResult, error) {
+	cfg = cfg.withDefaults()
+	exp := &ExperimentResult{Name: "Experiment 3", Varying: "concurrent tasks"}
+	for _, n := range Experiment3TaskCounts {
+		tasks := make([]core.Task, 0, n)
+		for i := 0; i < n; i++ {
+			tasks = append(tasks, barometerTask(geo.CSDepartment, 500, 5*time.Minute, 90*time.Minute, 3))
+		}
+		cmp, err := runComparison(cfg, tasks)
+		if err != nil {
+			return nil, fmt.Errorf("study: experiment 3 tasks %d: %w", n, err)
+		}
+		cmp.Param = float64(n)
+		cmp.ParamLabel = fmt.Sprintf("%d tasks", n)
+		exp.Tests = append(exp.Tests, cmp)
+	}
+	return exp, nil
+}
+
+// Table2 is the paper's summary table: the three experiments' savings
+// blocks.
+type Table2 struct {
+	Blocks []Table2Block `json:"blocks"`
+}
+
+// Table2Block is one experiment's slice of Table 2.
+type Table2Block struct {
+	Experiment string       `json:"experiment"`
+	Varying    string       `json:"varying"`
+	Rows       []SavingsRow `json:"rows"`
+}
+
+// BuildTable2 assembles the summary from the three experiments.
+func BuildTable2(e1, e2, e3 *ExperimentResult) *Table2 {
+	t := &Table2{}
+	for _, e := range []*ExperimentResult{e1, e2, e3} {
+		if e == nil {
+			continue
+		}
+		t.Blocks = append(t.Blocks, Table2Block{
+			Experiment: e.Name,
+			Varying:    e.Varying,
+			Rows:       e.SavingsRows(),
+		})
+	}
+	return t
+}

@@ -1,0 +1,61 @@
+package study
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Report bundles the full evaluation for machine-readable export: every
+// figure's data series plus Table 2, as produced by one seed.
+type Report struct {
+	Seed    int64             `json:"seed"`
+	Devices int               `json:"devices_per_cohort"`
+	Figure1 []SurveyBucket    `json:"figure1_survey"`
+	Figure2 []Figure2Cell     `json:"figure2_app_case_study"`
+	Figure6 Figure6Result     `json:"figure6_tail_timeline"`
+	Exp1    *ExperimentResult `json:"experiment1"`
+	Figure9 *Figure9Result    `json:"figure9_fairness"`
+	Exp2    *ExperimentResult `json:"experiment2"`
+	Exp3    *ExperimentResult `json:"experiment3"`
+	Fig14   *Figure14Result   `json:"figure14_pcs_accuracy"`
+	Table2  *Table2           `json:"table2"`
+}
+
+// BuildReport runs the complete evaluation.
+func BuildReport(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := &Report{
+		Seed:    cfg.Seed,
+		Devices: cfg.Devices,
+		Figure1: SurveyFigure1(),
+		Figure2: RunFigure2(),
+		Figure6: RunFigure6(),
+	}
+	var err error
+	if r.Exp1, err = RunExperiment1(cfg); err != nil {
+		return nil, fmt.Errorf("study: experiment 1: %w", err)
+	}
+	if r.Figure9, err = RunFigure9(cfg); err != nil {
+		return nil, fmt.Errorf("study: figure 9: %w", err)
+	}
+	if r.Exp2, err = RunExperiment2(cfg); err != nil {
+		return nil, fmt.Errorf("study: experiment 2: %w", err)
+	}
+	if r.Exp3, err = RunExperiment3(cfg); err != nil {
+		return nil, fmt.Errorf("study: experiment 3: %w", err)
+	}
+	if r.Fig14, err = RunFigure14(cfg); err != nil {
+		return nil, fmt.Errorf("study: figure 14: %w", err)
+	}
+	r.Table2 = BuildTable2(r.Exp1, r.Exp2, r.Exp3)
+	return r, nil
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("study: marshal report: %w", err)
+	}
+	return out, nil
+}

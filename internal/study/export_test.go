@@ -1,0 +1,49 @@
+package study
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBuildReportAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is a long test")
+	}
+	r, err := BuildReport(Config{Devices: 10, Seed: 5})
+	if err != nil {
+		t.Fatalf("BuildReport: %v", err)
+	}
+	if r.Exp1 == nil || r.Exp2 == nil || r.Exp3 == nil || r.Fig14 == nil || r.Figure9 == nil {
+		t.Fatal("report missing sections")
+	}
+	if len(r.Table2.Blocks) != 3 {
+		t.Fatalf("table 2 has %d blocks, want 3", len(r.Table2.Blocks))
+	}
+
+	out, err := r.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	// Round-trips as valid JSON with the expected top-level keys.
+	var back map[string]interface{}
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	for _, key := range []string{
+		"figure1_survey", "figure2_app_case_study", "figure6_tail_timeline",
+		"experiment1", "figure9_fairness", "experiment2", "experiment3",
+		"figure14_pcs_accuracy", "table2", "seed",
+	} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("report JSON missing %q", key)
+		}
+	}
+	// Spot-check a nested series is present with snake_case fields.
+	if !strings.Contains(string(out), `"total_crowd_j"`) {
+		t.Error("run results not serialised with json tags")
+	}
+	if !strings.Contains(string(out), `"pcs"`) {
+		t.Error("comparison PCS field not tagged")
+	}
+}

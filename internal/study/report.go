@@ -1,0 +1,148 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderFigure1 prints the survey histogram.
+func RenderFigure1(buckets []SurveyBucket) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — tolerable battery cost for crowdsensing (%d respondents)\n", SurveyRespondents)
+	for _, bk := range buckets {
+		bar := strings.Repeat("#", bk.Respondents/2)
+		fmt.Fprintf(&b, "  %-9s %5.1f%%  %s\n", bk.Label, bk.Percent, bar)
+	}
+	return b.String()
+}
+
+// RenderFigure2 prints the app case study table.
+func RenderFigure2(cells []Figure2Cell) string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — crowdsensing app energy (2% budget = 495 J)\n")
+	fmt.Fprintf(&b, "  %-14s %-4s %9s %9s %10s %9s\n", "app", "net", "period", "duration", "energy(J)", "battery%")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "  %-14s %-4s %6d min %7d h %10.0f %8.1f%%\n",
+			c.App, c.Network, c.PeriodMin, c.DurationH, c.EnergyJ, c.BatteryPct)
+	}
+	return b.String()
+}
+
+// RenderExperiment prints one experiment's figure series and savings rows.
+func RenderExperiment(e *ExperimentResult, qualifiedFig, energyFig, selectedFig, perDeviceFig string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — varying %s\n", e.Name, e.Varying)
+
+	fmt.Fprintf(&b, "\n%s — qualified devices per round\n", qualifiedFig)
+	fmt.Fprintf(&b, "  %-10s %9s %9s %9s\n", e.Varying, "Periodic", "PCS", "Sense-Aid")
+	for _, t := range e.Tests {
+		fmt.Fprintf(&b, "  %-10s %9.1f %9.1f %9.1f\n",
+			t.ParamLabel, t.Periodic.AvgQualified, t.PCS.AvgQualified, t.Basic.AvgQualified)
+	}
+
+	fmt.Fprintf(&b, "\n%s — devices tasked per round\n", selectedFig)
+	fmt.Fprintf(&b, "  %-10s %9s %9s %9s\n", e.Varying, "Periodic", "PCS", "Sense-Aid")
+	for _, t := range e.Tests {
+		fmt.Fprintf(&b, "  %-10s %9.1f %9.1f %9.1f\n",
+			t.ParamLabel, t.Periodic.AvgSelected, t.PCS.AvgSelected, t.Basic.AvgSelected)
+	}
+
+	fmt.Fprintf(&b, "\n%s — total crowdsensing energy (J)\n", energyFig)
+	fmt.Fprintf(&b, "  %-10s %10s %10s %10s %10s\n", e.Varying, "Periodic", "PCS", "SA-Basic", "SA-Compl")
+	for _, t := range e.Tests {
+		fmt.Fprintf(&b, "  %-10s %10.1f %10.1f %10.1f %10.1f\n",
+			t.ParamLabel, t.Periodic.TotalCrowdJ, t.PCS.TotalCrowdJ, t.Basic.TotalCrowdJ, t.Complete.TotalCrowdJ)
+	}
+
+	fmt.Fprintf(&b, "\n%s — energy per participating device (J)\n", perDeviceFig)
+	fmt.Fprintf(&b, "  %-10s %10s %10s %10s %10s\n", e.Varying, "Periodic", "PCS", "SA-Basic", "SA-Compl")
+	for _, t := range e.Tests {
+		fmt.Fprintf(&b, "  %-10s %10.1f %10.1f %10.1f %10.1f\n",
+			t.ParamLabel,
+			t.Periodic.AvgPerParticipantJ(), t.PCS.AvgPerParticipantJ(),
+			t.Basic.AvgPerParticipantJ(), t.Complete.AvgPerParticipantJ())
+	}
+
+	b.WriteString("\nEnergy savings (avg (min, max)):\n")
+	for _, row := range e.SavingsRows() {
+		fmt.Fprintf(&b, "  %-32s %5.1f%% (%5.1f%%, %5.1f%%)\n",
+			row.Label, row.Avg*100, row.Min*100, row.Max*100)
+	}
+	return b.String()
+}
+
+// RenderTable2 prints the summary table in the paper's layout.
+func RenderTable2(t *Table2) string {
+	var b strings.Builder
+	b.WriteString("Table 2 — energy savings summary\n")
+	for _, blk := range t.Blocks {
+		fmt.Fprintf(&b, "\n%s (varying %s)\n", blk.Experiment, blk.Varying)
+		for _, row := range blk.Rows {
+			fmt.Fprintf(&b, "  %-32s %5.1f%% (%5.1f%%, %5.1f%%)\n",
+				row.Label, row.Avg*100, row.Min*100, row.Max*100)
+		}
+	}
+	return b.String()
+}
+
+// RenderFigure9 prints the selection matrix: rounds as columns, devices as
+// rows, 'X' where selected, '-' where the device was out of the region.
+func RenderFigure9(f *Figure9Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — device selection across rounds (X = selected)\n")
+	b.WriteString("           ")
+	for i := range f.Selections {
+		fmt.Fprintf(&b, " T%-2d", i+1)
+	}
+	b.WriteString("  total\n")
+
+	ids := make([]string, len(f.DeviceIDs))
+	copy(ids, f.DeviceIDs)
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  %-9s", id)
+		for _, sel := range f.Selections {
+			mark := " . "
+			for _, d := range sel.Devices {
+				if d == id {
+					mark = " X "
+				}
+			}
+			fmt.Fprintf(&b, " %s", mark)
+		}
+		fmt.Fprintf(&b, " %5d", f.Counts[id])
+		if id == f.AwayDevice {
+			b.WriteString("   (leaves before T4, returns at T8)")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure14 prints the PCS accuracy model against the Sense-Aid
+// reference lines.
+func RenderFigure14(f *Figure14Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 14 — PCS per-device energy vs prediction accuracy\n")
+	fmt.Fprintf(&b, "  %-9s %14s\n", "accuracy", "PCS J/device")
+	for _, p := range f.Points {
+		marker := ""
+		if p.PerDeviceJ < f.BasicPerDeviceJ {
+			marker = "  <- beats Sense-Aid Basic"
+		}
+		fmt.Fprintf(&b, "  %-9s %14.1f%s\n", labelFor(p.Accuracy), p.PerDeviceJ, marker)
+	}
+	fmt.Fprintf(&b, "  reference: Sense-Aid Basic %.1f J/device, Complete %.1f J/device\n",
+		f.BasicPerDeviceJ, f.CompletePerDeviceJ)
+	return b.String()
+}
+
+// RenderFigure6 prints the timeline.
+func RenderFigure6(f Figure6Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — LTE radio states around a tail-time crowdsensing upload\n")
+	b.WriteString(f.Timeline)
+	fmt.Fprintf(&b, "observed tail: %.1f s (crowdsensing upload did not reset it)\n", f.TailSeconds)
+	return b.String()
+}

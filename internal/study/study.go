@@ -1,0 +1,147 @@
+// Package study reproduces the paper's evaluation: the 60-student user
+// study (Experiments 1-3, Figures 7-13, Table 2), the PCS accuracy model
+// (Figure 14), the motivational app case study (Figure 2), the survey
+// (Figure 1) and the tail-time trace (Figure 6). Each Run* function builds
+// fresh simulated cohorts, executes the frameworks, and returns structured
+// results; report.go renders them as text.
+//
+// As in the paper, each framework runs on its own 20-device cohort (three
+// sets of 20 students). The cohorts get different seeds, so — like the
+// paper's Figure 7 — small differences in qualified-device counts between
+// frameworks reflect different participants, not framework behaviour.
+package study
+
+import (
+	"fmt"
+	"time"
+
+	"senseaid/internal/core"
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/sim"
+	"senseaid/internal/simclock"
+)
+
+// Config shapes a study run.
+type Config struct {
+	// Devices per framework cohort (paper: 20).
+	Devices int
+	// Seed makes the whole study reproducible.
+	Seed int64
+}
+
+// DefaultConfig is the paper's setup.
+func DefaultConfig() Config { return Config{Devices: 20, Seed: 2017} }
+
+func (c Config) withDefaults() Config {
+	if c.Devices <= 0 {
+		c.Devices = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 2017
+	}
+	return c
+}
+
+// Comparison holds the four frameworks' results for one test (one setting
+// of the varying parameter).
+type Comparison struct {
+	// Param is the varying parameter's value for this test.
+	Param float64 `json:"param"`
+	// ParamLabel renders the parameter (e.g. "500 m", "5 min").
+	ParamLabel string `json:"param_label"`
+
+	Periodic *sim.RunResult `json:"periodic"`
+	PCS      *sim.RunResult `json:"pcs"`
+	Basic    *sim.RunResult `json:"basic"`
+	Complete *sim.RunResult `json:"complete"`
+}
+
+// The paper's four standing comparison rows (Table 2's numbering).
+const (
+	RowBasicOverPeriodic    = "1: Sense-Aid Basic/Periodic"
+	RowCompleteOverPeriodic = "2: Sense-Aid Complete/Periodic"
+	RowBasicOverPCS         = "3: Sense-Aid Basic/PCS"
+	RowCompleteOverPCS      = "4: Sense-Aid Complete/PCS"
+)
+
+// Saving returns the energy saving of one framework total over another:
+// 1 - (sense-aid energy / comparison energy).
+func Saving(senseAidJ, otherJ float64) float64 {
+	if otherJ <= 0 {
+		return 0
+	}
+	return 1 - senseAidJ/otherJ
+}
+
+// Savings extracts the four comparison savings from one test.
+func (c *Comparison) Savings() map[string]float64 {
+	return map[string]float64{
+		RowBasicOverPeriodic:    Saving(c.Basic.TotalCrowdJ, c.Periodic.TotalCrowdJ),
+		RowCompleteOverPeriodic: Saving(c.Complete.TotalCrowdJ, c.Periodic.TotalCrowdJ),
+		RowBasicOverPCS:         Saving(c.Basic.TotalCrowdJ, c.PCS.TotalCrowdJ),
+		RowCompleteOverPCS:      Saving(c.Complete.TotalCrowdJ, c.PCS.TotalCrowdJ),
+	}
+}
+
+// barometerTask builds the study's standard task shape.
+func barometerTask(center geo.Point, radiusM float64, period, duration time.Duration, density int) core.Task {
+	return core.Task{
+		Sensor:         sensors.Barometer,
+		SamplingPeriod: period,
+		Start:          simclock.Epoch,
+		End:            simclock.Epoch.Add(duration),
+		Area:           geo.Circle{Center: center, RadiusM: radiusM},
+		SpatialDensity: density,
+	}
+}
+
+// runComparison executes all four frameworks on fresh per-framework
+// cohorts for the same task set.
+func runComparison(cfg Config, tasks []core.Task) (*Comparison, error) {
+	cmp := &Comparison{}
+	type slot struct {
+		fw   sim.Framework
+		seed int64
+		out  **sim.RunResult
+	}
+	slots := []slot{
+		{sim.Periodic{}, cfg.Seed + 100, &cmp.Periodic},
+		{sim.PCS{Seed: cfg.Seed}, cfg.Seed + 200, &cmp.PCS},
+		{sim.SenseAid{Variant: sim.Basic}, cfg.Seed + 300, &cmp.Basic},
+		{sim.SenseAid{Variant: sim.Complete}, cfg.Seed + 300, &cmp.Complete},
+	}
+	for _, s := range slots {
+		w, err := sim.NewWorld(sim.WorldConfig{NumDevices: cfg.Devices, Seed: s.seed})
+		if err != nil {
+			return nil, fmt.Errorf("study: world: %w", err)
+		}
+		ts := make([]core.Task, len(tasks))
+		copy(ts, tasks)
+		res, err := s.fw.Run(w, ts)
+		if err != nil {
+			return nil, fmt.Errorf("study: %s: %w", s.fw.Name(), err)
+		}
+		*s.out = res
+	}
+	return cmp, nil
+}
+
+// aggregate computes avg/min/max of a slice.
+func aggregate(vals []float64) (avg, min, max float64) {
+	if len(vals) == 0 {
+		return 0, 0, 0
+	}
+	min, max = vals[0], vals[0]
+	for _, v := range vals {
+		avg += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	avg /= float64(len(vals))
+	return avg, min, max
+}

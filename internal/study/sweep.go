@@ -1,0 +1,94 @@
+package study
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SweepRow is one Table 2 comparison aggregated across seeds: the mean
+// and standard deviation of the per-seed average savings, plus the range.
+type SweepRow struct {
+	Label  string  `json:"label"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Seeds  int     `json:"seeds"`
+}
+
+// SweepResult aggregates an experiment across seeds.
+type SweepResult struct {
+	Experiment string     `json:"experiment"`
+	Rows       []SweepRow `json:"rows"`
+}
+
+// SeedSweep reruns one experiment across n coh orts (seeds base..base+n-1)
+// and aggregates its Table 2 rows. It answers the robustness question the
+// single-seed report cannot: do the savings hold for *any* 60 students,
+// or only the default cohort?
+func SeedSweep(run func(Config) (*ExperimentResult, error), base Config, n int) (*SweepResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("study: sweep needs at least one seed, got %d", n)
+	}
+	base = base.withDefaults()
+
+	perLabel := make(map[string][]float64)
+	name := ""
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.Seed = base.Seed + int64(i)
+		exp, err := run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("study: sweep seed %d: %w", cfg.Seed, err)
+		}
+		name = exp.Name
+		for _, row := range exp.SavingsRows() {
+			perLabel[row.Label] = append(perLabel[row.Label], row.Avg)
+		}
+	}
+
+	labels := make([]string, 0, len(perLabel))
+	for l := range perLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	out := &SweepResult{Experiment: name}
+	for _, l := range labels {
+		vals := perLabel[l]
+		mean, min, max := aggregate(vals)
+		var ss float64
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		sd := 0.0
+		if len(vals) > 1 {
+			sd = math.Sqrt(ss / float64(len(vals)-1))
+		}
+		out.Rows = append(out.Rows, SweepRow{
+			Label: l, Mean: mean, StdDev: sd, Min: min, Max: max, Seeds: len(vals),
+		})
+	}
+	return out, nil
+}
+
+// RenderSweep prints the cross-seed aggregation.
+func RenderSweep(s *SweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — savings across %d cohorts (mean ± sd [min, max])\n",
+		s.Experiment, seeds(s))
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "  %-32s %5.1f%% ± %4.1f%% [%5.1f%%, %5.1f%%]\n",
+			r.Label, r.Mean*100, r.StdDev*100, r.Min*100, r.Max*100)
+	}
+	return b.String()
+}
+
+func seeds(s *SweepResult) int {
+	if len(s.Rows) == 0 {
+		return 0
+	}
+	return s.Rows[0].Seeds
+}

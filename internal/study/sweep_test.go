@@ -1,0 +1,71 @@
+package study
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeedSweepAggregates(t *testing.T) {
+	sw, err := SeedSweep(RunExperiment1, Config{Devices: 12, Seed: 100}, 3)
+	if err != nil {
+		t.Fatalf("SeedSweep: %v", err)
+	}
+	if sw.Experiment != "Experiment 1" {
+		t.Fatalf("experiment = %q", sw.Experiment)
+	}
+	if len(sw.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(sw.Rows))
+	}
+	for _, r := range sw.Rows {
+		if r.Seeds != 3 {
+			t.Fatalf("row %s has %d seeds, want 3", r.Label, r.Seeds)
+		}
+		if r.Min > r.Mean || r.Mean > r.Max {
+			t.Fatalf("row %s violates min<=mean<=max: %+v", r.Label, r)
+		}
+		if r.StdDev < 0 {
+			t.Fatalf("row %s has negative sd", r.Label)
+		}
+	}
+}
+
+// TestShapeHoldsAcrossSeeds is the robustness claim of EXPERIMENTS.md:
+// the headline orderings survive cohort changes, not just seed 2017.
+func TestShapeHoldsAcrossSeeds(t *testing.T) {
+	sw, err := SeedSweep(RunExperiment1, Config{Devices: 20, Seed: 500}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]SweepRow{}
+	for _, r := range sw.Rows {
+		byLabel[r.Label] = r
+	}
+	// Even the worst cohort saves substantially.
+	if row := byLabel[RowCompleteOverPCS]; row.Min < 0.4 {
+		t.Errorf("worst-cohort Complete/PCS saving %.1f%% below 40%%", row.Min*100)
+	}
+	if row := byLabel[RowCompleteOverPeriodic]; row.Min < 0.7 {
+		t.Errorf("worst-cohort Complete/Periodic saving %.1f%% below 70%%", row.Min*100)
+	}
+	// Complete >= Basic on average.
+	if byLabel[RowCompleteOverPCS].Mean < byLabel[RowBasicOverPCS].Mean {
+		t.Error("Complete mean saving below Basic across seeds")
+	}
+}
+
+func TestSeedSweepValidation(t *testing.T) {
+	if _, err := SeedSweep(RunExperiment1, Config{}, 0); err == nil {
+		t.Fatal("zero seeds accepted")
+	}
+}
+
+func TestRenderSweep(t *testing.T) {
+	sw, err := SeedSweep(RunExperiment2, Config{Devices: 10, Seed: 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSweep(sw)
+	if !strings.Contains(out, "across 2 cohorts") || !strings.Contains(out, "±") {
+		t.Fatalf("render = %q", out)
+	}
+}

@@ -1,0 +1,203 @@
+// Package timesync addresses the error source the paper's discussion
+// section calls out: "the lack of synchronization among the client
+// devices and the server infrastructure. However, we can use low-duty
+// synchronization protocols such as [Koo et al.] to avoid this source of
+// error."
+//
+// It provides a skewed device clock model (real phone clocks drift tens
+// of ppm and carry offsets of seconds) and a low-duty two-message
+// synchronization protocol in the NTP/TPSN family: the client stamps a
+// request, the server stamps its receipt and response, and the client
+// estimates its offset assuming symmetric network delay. Repeated
+// exchanges feed a simple drift estimator so the client can stay
+// synchronized with very few messages — cheap enough to piggyback on the
+// same tail windows Sense-Aid already uses for control traffic.
+package timesync
+
+import (
+	"fmt"
+	"time"
+
+	"senseaid/internal/simclock"
+)
+
+// SkewedClock models a device's local clock: true time scaled by a drift
+// rate plus a fixed offset.
+type SkewedClock struct {
+	truth simclock.Clock
+	// offset is the clock's error at epoch.
+	offset time.Duration
+	// driftPPM is parts-per-million rate error (positive: runs fast).
+	driftPPM float64
+	// epoch anchors drift accumulation.
+	epoch time.Time
+}
+
+var _ simclock.Clock = (*SkewedClock)(nil)
+
+// NewSkewedClock wraps a true clock with offset and drift.
+func NewSkewedClock(truth simclock.Clock, offset time.Duration, driftPPM float64) *SkewedClock {
+	return &SkewedClock{
+		truth:    truth,
+		offset:   offset,
+		driftPPM: driftPPM,
+		epoch:    truth.Now(),
+	}
+}
+
+// Now returns the device's local (wrong) time.
+func (c *SkewedClock) Now() time.Time {
+	t := c.truth.Now()
+	elapsed := t.Sub(c.epoch)
+	drift := time.Duration(float64(elapsed) * c.driftPPM / 1e6)
+	return t.Add(c.offset).Add(drift)
+}
+
+// ErrorAt returns the clock's error (local - true) at the current instant.
+func (c *SkewedClock) ErrorAt() time.Duration {
+	return c.Now().Sub(c.truth.Now())
+}
+
+// Exchange is one synchronization round trip's four timestamps, in the
+// classic t1..t4 convention: t1 client send (client clock), t2 server
+// receive, t3 server send (server clock), t4 client receive (client
+// clock).
+type Exchange struct {
+	T1, T2, T3, T4 time.Time
+}
+
+// Offset estimates the standard NTP clock offset — the amount to ADD to
+// the client clock to match the server (server minus client) — assuming
+// symmetric path delay: ((t2-t1) + (t3-t4)) / 2.
+func (e Exchange) Offset() time.Duration {
+	return (e.T2.Sub(e.T1) + e.T3.Sub(e.T4)) / 2
+}
+
+// Delay estimates the round-trip network delay: (t4-t1) - (t3-t2).
+func (e Exchange) Delay() time.Duration {
+	return e.T4.Sub(e.T1) - e.T3.Sub(e.T2)
+}
+
+// Valid rejects exchanges with negative apparent delay (clock stepped
+// mid-exchange or corrupt stamps).
+func (e Exchange) Valid() bool { return e.Delay() >= 0 }
+
+// Synchronizer maintains a client's offset and drift estimates from
+// occasional exchanges.
+type Synchronizer struct {
+	local simclock.Clock
+
+	samples []sample
+	// maxSamples bounds memory; old samples age out.
+	maxSamples int
+
+	offset   time.Duration
+	driftPPM float64
+	synced   bool
+}
+
+type sample struct {
+	at     time.Time // local time of the exchange
+	offset time.Duration
+}
+
+// NewSynchronizer builds a synchronizer over the device's local clock.
+func NewSynchronizer(local simclock.Clock) *Synchronizer {
+	return &Synchronizer{local: local, maxSamples: 16}
+}
+
+// AddExchange folds one completed exchange into the estimates. Invalid
+// exchanges are rejected.
+func (s *Synchronizer) AddExchange(e Exchange) error {
+	if !e.Valid() {
+		return fmt.Errorf("timesync: exchange with negative delay %v", e.Delay())
+	}
+	// Samples store local-minus-server (the clock's error), the negation
+	// of the NTP correction.
+	s.samples = append(s.samples, sample{at: e.T4, offset: -e.Offset()})
+	if len(s.samples) > s.maxSamples {
+		s.samples = s.samples[len(s.samples)-s.maxSamples:]
+	}
+	s.refit()
+	return nil
+}
+
+// refit does a least-squares fit of offset vs local time: the slope is
+// drift, the intercept (at the latest sample) the current offset.
+func (s *Synchronizer) refit() {
+	n := len(s.samples)
+	if n == 0 {
+		return
+	}
+	s.synced = true
+	last := s.samples[n-1]
+	if n == 1 {
+		s.offset = last.offset
+		s.driftPPM = 0
+		return
+	}
+	// x: seconds before the last sample (<= 0); y: offset seconds.
+	var sumX, sumY, sumXX, sumXY float64
+	for _, sm := range s.samples {
+		x := sm.at.Sub(last.at).Seconds()
+		y := sm.offset.Seconds()
+		sumX += x
+		sumY += y
+		sumXX += x * x
+		sumXY += x * y
+	}
+	fn := float64(n)
+	den := fn*sumXX - sumX*sumX
+	if den == 0 {
+		s.offset = last.offset
+		return
+	}
+	slope := (fn*sumXY - sumX*sumY) / den
+	intercept := (sumY - slope*sumX) / fn
+	s.offset = time.Duration(intercept * float64(time.Second))
+	// slope is d(local-minus-server)/d(localtime): a fast local clock
+	// gains slope seconds of error per second.
+	s.driftPPM = slope * 1e6
+}
+
+// Synced reports whether at least one exchange has been folded in.
+func (s *Synchronizer) Synced() bool { return s.synced }
+
+// OffsetEstimate returns the current local-minus-server error estimate
+// (positive: the device clock runs ahead of the server).
+func (s *Synchronizer) OffsetEstimate() time.Duration { return s.offset }
+
+// DriftPPMEstimate returns the estimated local clock drift rate.
+func (s *Synchronizer) DriftPPMEstimate() float64 { return s.driftPPM }
+
+// ServerTime converts a local timestamp to estimated server time using
+// the current offset and drift estimates.
+func (s *Synchronizer) ServerTime(local time.Time) time.Time {
+	if !s.synced {
+		return local
+	}
+	corrected := local.Add(-s.offset)
+	if len(s.samples) > 1 {
+		// Error accumulated since the last exchange must also come off.
+		sinceLast := local.Sub(s.samples[len(s.samples)-1].at)
+		driftErr := time.Duration(float64(sinceLast) * s.driftPPM / 1e6)
+		corrected = corrected.Add(-driftErr)
+	}
+	return corrected
+}
+
+// RunExchange performs one exchange between a client on localClock and a
+// server on serverClock, with the given one-way network delays; used by
+// the simulation and tests. Real deployments fill Exchange from wire
+// timestamps instead.
+func RunExchange(localClock, serverClock simclock.Clock, uplink, downlink time.Duration) Exchange {
+	// The true instant is whatever the server's reference says; the
+	// client's stamps are taken on its skewed clock at the true instants
+	// shifted by path delays. For simulation purposes both clocks are
+	// read "now" and delays are applied symbolically.
+	t1 := localClock.Now()
+	t2 := serverClock.Now().Add(uplink)
+	t3 := t2 // instantaneous server turnaround
+	t4 := t1.Add(uplink + downlink)
+	return Exchange{T1: t1, T2: t2, T3: t3, T4: t4}
+}

@@ -1,0 +1,145 @@
+package timesync
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"senseaid/internal/simclock"
+)
+
+func TestSkewedClockOffsetAndDrift(t *testing.T) {
+	s := simclock.NewScheduler()
+	c := NewSkewedClock(s, 3*time.Second, 50) // +3s, 50 ppm fast
+	if got := c.ErrorAt(); got != 3*time.Second {
+		t.Fatalf("initial error = %v, want 3s", got)
+	}
+	// After 10000 seconds, drift adds 50ppm * 1e4 s = 0.5 s.
+	s.ScheduleAfter(10_000*time.Second, func(time.Time) {})
+	s.Drain()
+	want := 3*time.Second + 500*time.Millisecond
+	if got := c.ErrorAt(); got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("error after 1e4 s = %v, want ~%v", got, want)
+	}
+}
+
+func TestExchangeOffsetSymmetricDelay(t *testing.T) {
+	base := simclock.Epoch
+	// Client is 2s ahead; 100ms each way.
+	e := Exchange{
+		T1: base.Add(2 * time.Second),
+		T2: base.Add(100 * time.Millisecond),
+		T3: base.Add(100 * time.Millisecond),
+		T4: base.Add(2*time.Second + 200*time.Millisecond),
+	}
+	if got := e.Offset(); got != -2*time.Second {
+		t.Fatalf("offset = %v, want -2s (client ahead)", got)
+	}
+	if got := e.Delay(); got != 200*time.Millisecond {
+		t.Fatalf("delay = %v, want 200ms", got)
+	}
+	if !e.Valid() {
+		t.Fatal("valid exchange rejected")
+	}
+}
+
+func TestExchangeInvalid(t *testing.T) {
+	base := simclock.Epoch
+	e := Exchange{T1: base, T2: base, T3: base.Add(time.Second), T4: base.Add(time.Millisecond)}
+	if e.Valid() {
+		t.Fatal("negative-delay exchange accepted")
+	}
+	s := NewSynchronizer(simclock.NewScheduler())
+	if err := s.AddExchange(e); err == nil {
+		t.Fatal("AddExchange accepted invalid exchange")
+	}
+	if s.Synced() {
+		t.Fatal("synchronizer synced from invalid exchange")
+	}
+}
+
+func TestSynchronizerRecoversOffset(t *testing.T) {
+	sched := simclock.NewScheduler()
+	server := sched
+	client := NewSkewedClock(sched, -1500*time.Millisecond, 0)
+	sync := NewSynchronizer(client)
+
+	e := RunExchange(client, server, 50*time.Millisecond, 50*time.Millisecond)
+	if err := sync.AddExchange(e); err != nil {
+		t.Fatal(err)
+	}
+	got := sync.OffsetEstimate()
+	if math.Abs((got + 1500*time.Millisecond).Seconds()) > 0.001 {
+		t.Fatalf("offset estimate = %v, want ~-1.5s", got)
+	}
+	// Correcting a local stamp recovers server time.
+	corrected := sync.ServerTime(client.Now())
+	if d := corrected.Sub(server.Now()); d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("corrected time off by %v", d)
+	}
+}
+
+func TestSynchronizerEstimatesDrift(t *testing.T) {
+	sched := simclock.NewScheduler()
+	client := NewSkewedClock(sched, 0, 100) // 100 ppm fast
+	sync := NewSynchronizer(client)
+
+	// Exchanges every 100 simulated seconds.
+	for i := 0; i < 10; i++ {
+		sched.ScheduleAfter(100*time.Second, func(time.Time) {})
+		sched.Drain()
+		if err := sync.AddExchange(RunExchange(client, sched, 20*time.Millisecond, 20*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drift := sync.DriftPPMEstimate()
+	if math.Abs(drift-100) > 15 {
+		t.Fatalf("drift estimate = %.1f ppm, want ~100", drift)
+	}
+}
+
+func TestServerTimeUnsyncedPassthrough(t *testing.T) {
+	s := NewSynchronizer(simclock.NewScheduler())
+	at := simclock.Epoch.Add(time.Hour)
+	if got := s.ServerTime(at); !got.Equal(at) {
+		t.Fatal("unsynced ServerTime should pass through")
+	}
+}
+
+func TestSampleWindowBounded(t *testing.T) {
+	sched := simclock.NewScheduler()
+	client := NewSkewedClock(sched, time.Second, 0)
+	sync := NewSynchronizer(client)
+	for i := 0; i < 100; i++ {
+		sched.ScheduleAfter(10*time.Second, func(time.Time) {})
+		sched.Drain()
+		if err := sync.AddExchange(RunExchange(client, sched, time.Millisecond, time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sync.samples) > sync.maxSamples {
+		t.Fatalf("samples = %d, cap %d", len(sync.samples), sync.maxSamples)
+	}
+}
+
+// Property: for any offset within +/-10s and symmetric delay, a single
+// exchange recovers the offset to within the delay asymmetry bound (zero
+// here).
+func TestOffsetRecoveryProperty(t *testing.T) {
+	f := func(offMs int16, delayMs uint8) bool {
+		sched := simclock.NewScheduler()
+		client := NewSkewedClock(sched, time.Duration(offMs)*time.Millisecond, 0)
+		sync := NewSynchronizer(client)
+		d := time.Duration(delayMs) * time.Millisecond
+		if err := sync.AddExchange(RunExchange(client, sched, d, d)); err != nil {
+			return false
+		}
+		est := sync.OffsetEstimate()
+		want := time.Duration(offMs) * time.Millisecond
+		return math.Abs((est - want).Seconds()) < 0.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

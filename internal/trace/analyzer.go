@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"senseaid/internal/radio"
+)
+
+// Analysis is an ARO-style breakdown of a radio timeline: how long the
+// radio spent in each RRC state, the energy that implies under a power
+// profile, and the packet totals — the numbers AT&T's Application
+// Resource Optimizer derives from packet captures, which the paper used
+// to validate its tail-time mechanism.
+type Analysis struct {
+	// Window is the analysed time span.
+	Window time.Duration `json:"window"`
+	// StateDur maps each RRC state to total time spent in it.
+	StateDur map[radio.RRCState]time.Duration `json:"state_dur"`
+	// StateEnergyJ estimates each state's energy under the profile.
+	StateEnergyJ map[radio.RRCState]float64 `json:"state_energy_j"`
+	// TotalEnergyJ sums the state energies.
+	TotalEnergyJ float64 `json:"total_energy_j"`
+	// Promotions counts IDLE->PROMOTING transitions (the expensive event
+	// Sense-Aid exists to avoid).
+	Promotions int `json:"promotions"`
+	// PromotionsByCause splits the promotions by the traffic cause that
+	// triggered them (background vs crowdsensing vs control).
+	PromotionsByCause map[radio.Cause]int `json:"promotions_by_cause"`
+	// Packets and PacketBytes total the recorded transfers.
+	Packets     int `json:"packets"`
+	PacketBytes int `json:"packet_bytes"`
+	// TailShare is tail time as a fraction of all RRC_CONNECTED time: a
+	// high share means the radio mostly burns energy waiting, the waste
+	// tail-riding converts into useful uplink.
+	TailShare float64 `json:"tail_share"`
+}
+
+// Analyze walks a recorder's events up to end and produces the breakdown.
+// The radio is assumed idle before the first event.
+func Analyze(r *Recorder, prof radio.PowerProfile, end time.Time) Analysis {
+	a := Analysis{
+		StateDur:          make(map[radio.RRCState]time.Duration),
+		StateEnergyJ:      make(map[radio.RRCState]float64),
+		PromotionsByCause: make(map[radio.Cause]int),
+	}
+	events := r.Events()
+	state := radio.StateIdle
+	cursor := r.start
+	if len(events) > 0 && events[0].At.Before(cursor) {
+		cursor = events[0].At
+	}
+
+	account := func(until time.Time) {
+		if until.After(end) {
+			until = end
+		}
+		if d := until.Sub(cursor); d > 0 {
+			a.StateDur[state] += d
+		}
+		cursor = until
+	}
+
+	for _, e := range events {
+		if e.At.After(end) {
+			break
+		}
+		switch e.Kind {
+		case KindStateChange:
+			account(e.At)
+			if state == radio.StateIdle && e.State == radio.StatePromoting {
+				a.Promotions++
+				a.PromotionsByCause[e.Cause]++
+			}
+			state = e.State
+		case KindPacket:
+			a.Packets++
+			a.PacketBytes += e.Bytes
+		}
+	}
+	account(end)
+	a.Window = end.Sub(r.start)
+
+	powerFor := map[radio.RRCState]float64{
+		radio.StateIdle:      prof.IdleW,
+		radio.StatePromoting: prof.PromotionW,
+		radio.StateConnected: prof.TxW,
+		radio.StateTail:      prof.TailW,
+	}
+	for st, d := range a.StateDur {
+		e := powerFor[st] * d.Seconds()
+		a.StateEnergyJ[st] = e
+		a.TotalEnergyJ += e
+	}
+
+	connected := a.StateDur[radio.StateConnected] + a.StateDur[radio.StateTail]
+	if connected > 0 {
+		a.TailShare = float64(a.StateDur[radio.StateTail]) / float64(connected)
+	}
+	return a
+}
+
+// Render prints the analysis as an aligned table.
+func (a Analysis) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "radio analysis over %v: %d packets, %d bytes, %d promotions\n",
+		a.Window, a.Packets, a.PacketBytes, a.Promotions)
+	fmt.Fprintf(&b, "  %-22s %12s %10s\n", "state", "time", "energy(J)")
+	states := make([]radio.RRCState, 0, len(a.StateDur))
+	for st := range a.StateDur {
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	for _, st := range states {
+		fmt.Fprintf(&b, "  %-22s %12v %10.3f\n", st, a.StateDur[st].Round(time.Millisecond), a.StateEnergyJ[st])
+	}
+	fmt.Fprintf(&b, "  total %38.3f\n", a.TotalEnergyJ)
+	fmt.Fprintf(&b, "  tail share of connected time: %.0f%%\n", a.TailShare*100)
+	return b.String()
+}

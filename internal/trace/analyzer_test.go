@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"senseaid/internal/radio"
+	"senseaid/internal/simclock"
+)
+
+func TestAnalyzeIdleOnly(t *testing.T) {
+	r := NewRecorder(simclock.Epoch)
+	prof := radio.LTE()
+	a := Analyze(r, prof, simclock.Epoch.Add(time.Hour))
+	if a.StateDur[radio.StateIdle] != time.Hour {
+		t.Fatalf("idle duration = %v, want 1h", a.StateDur[radio.StateIdle])
+	}
+	want := prof.IdleW * 3600
+	if math.Abs(a.TotalEnergyJ-want) > 1e-9 {
+		t.Fatalf("idle energy = %v, want %v", a.TotalEnergyJ, want)
+	}
+	if a.Promotions != 0 || a.Packets != 0 {
+		t.Fatalf("idle analysis = %+v", a)
+	}
+}
+
+func TestAnalyzeFigure6Scenario(t *testing.T) {
+	rec, s, _ := buildFigure6(t)
+	prof := radio.LTE()
+	a := Analyze(rec, prof, s.Now())
+
+	if a.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", a.Promotions)
+	}
+	if a.Packets != 2 || a.PacketBytes != 4600 {
+		t.Fatalf("packets = %d/%d bytes, want 2/4600", a.Packets, a.PacketBytes)
+	}
+	// The promotion lasts exactly PromotionDur.
+	if got := a.StateDur[radio.StatePromoting]; got != prof.PromotionDur {
+		t.Fatalf("promoting = %v, want %v", got, prof.PromotionDur)
+	}
+	// Tail is ~11.5s and dominates the connected time.
+	tail := a.StateDur[radio.StateTail]
+	if tail < 11*time.Second || tail > 12*time.Second {
+		t.Fatalf("tail = %v, want ~11.5s", tail)
+	}
+	if a.TailShare < 0.9 {
+		t.Fatalf("tail share = %.2f, want > 0.9 (small transfers, long tail)", a.TailShare)
+	}
+	// Energy accounting is dominated by the tail, exactly the paper's
+	// motivation for tail-time uploads.
+	if a.StateEnergyJ[radio.StateTail] < a.StateEnergyJ[radio.StatePromoting] {
+		t.Fatal("tail energy should exceed promotion energy for one burst")
+	}
+	if a.TotalEnergyJ <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestAnalyzeWindowClamp(t *testing.T) {
+	rec, s, _ := buildFigure6(t)
+	_ = s
+	prof := radio.LTE()
+	// Analyse only the first 100ms: still promoting.
+	a := Analyze(rec, prof, simclock.Epoch.Add(100*time.Millisecond))
+	if a.StateDur[radio.StateTail] != 0 {
+		t.Fatal("tail time counted beyond the analysis window")
+	}
+	if a.StateDur[radio.StatePromoting] != 100*time.Millisecond {
+		t.Fatalf("promoting = %v, want 100ms", a.StateDur[radio.StatePromoting])
+	}
+}
+
+func TestAnalysisRender(t *testing.T) {
+	rec, s, _ := buildFigure6(t)
+	a := Analyze(rec, radio.LTE(), s.Now())
+	out := a.Render()
+	for _, want := range []string{"promotions", "RRC_CONNECTED(tail)", "tail share", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalysisEnergyMatchesMachineOrder(t *testing.T) {
+	// The trace-derived estimate and the machine's own meter must agree
+	// on the big picture (same order of magnitude; the analyzer charges
+	// connected-active at TxW while the meter splits tx/rx precisely).
+	s := simclock.NewScheduler()
+	m := radio.NewMachine(s, radio.LTE())
+	rec := NewRecorder(s.Now())
+	rec.Attach(m)
+	m.Send(50_000, radio.CauseBackground, true)
+	s.RunFor(30 * time.Second)
+	m.FlushEnergy()
+
+	a := Analyze(rec, radio.LTE(), s.Now())
+	meter := m.Meter().TotalJ()
+	if a.TotalEnergyJ < meter*0.5 || a.TotalEnergyJ > meter*2 {
+		t.Fatalf("trace estimate %.2f J vs meter %.2f J: more than 2x apart", a.TotalEnergyJ, meter)
+	}
+}

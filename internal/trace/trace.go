@@ -1,0 +1,126 @@
+// Package trace records radio-state and packet timelines and renders them
+// as text — the reproduction of the paper's Figure 6, which visualises a
+// crowdsensing upload riding the LTE tail of regular traffic (the figure
+// the authors produced with AT&T's ARO tool).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"senseaid/internal/radio"
+)
+
+// EventKind distinguishes timeline rows.
+type EventKind int
+
+// Kinds of timeline events.
+const (
+	KindStateChange EventKind = iota + 1
+	KindPacket
+)
+
+// Event is one timeline entry.
+type Event struct {
+	At    time.Time
+	Kind  EventKind
+	State radio.RRCState // for state changes
+	Cause radio.Cause    // traffic cause behind a state change
+	Label string         // for packets: "regular uplink", "crowdsensing", ...
+	Bytes int
+}
+
+// Recorder accumulates events from a radio machine and packet hooks.
+type Recorder struct {
+	start  time.Time
+	events []Event
+}
+
+// NewRecorder returns a recorder; timestamps render relative to start.
+func NewRecorder(start time.Time) *Recorder {
+	return &Recorder{start: start}
+}
+
+// Attach subscribes the recorder to a radio machine's transitions.
+func (r *Recorder) Attach(m *radio.Machine) {
+	m.OnTransition(func(tr radio.Transition) {
+		r.events = append(r.events, Event{At: tr.At, Kind: KindStateChange, State: tr.State, Cause: tr.Cause})
+	})
+}
+
+// Packet records one transfer.
+func (r *Recorder) Packet(at time.Time, label string, bytes int) {
+	r.events = append(r.events, Event{At: at, Kind: KindPacket, Label: label, Bytes: bytes})
+}
+
+// Events returns the recorded events in time order.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// StateAt returns the radio state in effect at an offset from start,
+// assuming the radio began idle.
+func (r *Recorder) StateAt(offset time.Duration) radio.RRCState {
+	at := r.start.Add(offset)
+	state := radio.StateIdle
+	for _, e := range r.Events() {
+		if e.At.After(at) {
+			break
+		}
+		if e.Kind == KindStateChange {
+			state = e.State
+		}
+	}
+	return state
+}
+
+// TailDurations returns the length of every completed tail period
+// (entering StateTail to the following StateIdle).
+func (r *Recorder) TailDurations() []time.Duration {
+	var out []time.Duration
+	var tailStart time.Time
+	inTail := false
+	for _, e := range r.Events() {
+		if e.Kind != KindStateChange {
+			continue
+		}
+		switch e.State {
+		case radio.StateTail:
+			if !inTail {
+				tailStart = e.At
+				inTail = true
+			}
+		case radio.StateIdle:
+			if inTail {
+				out = append(out, e.At.Sub(tailStart))
+				inTail = false
+			}
+		case radio.StatePromoting, radio.StateConnected:
+			inTail = false
+		}
+	}
+	return out
+}
+
+// Render prints the timeline as aligned text rows, one per event, with
+// seconds offsets from the recorder's start — the textual equivalent of
+// Figure 6.
+func (r *Recorder) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s  %-22s %s\n", "t(s)", "event", "detail")
+	for _, e := range r.Events() {
+		off := e.At.Sub(r.start).Seconds()
+		switch e.Kind {
+		case KindStateChange:
+			fmt.Fprintf(&b, "%10.3f  %-22s\n", off, "-> "+e.State.String())
+		case KindPacket:
+			fmt.Fprintf(&b, "%10.3f  %-22s %d bytes\n", off, e.Label, e.Bytes)
+		}
+	}
+	return b.String()
+}

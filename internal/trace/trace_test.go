@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"senseaid/internal/radio"
+	"senseaid/internal/simclock"
+)
+
+// buildFigure6 reproduces the paper's Figure 6 scenario: regular traffic
+// opens a tail, a crowdsensing payload is sent ~1.5 s later without
+// resetting the tail (Sense-Aid Complete), and the radio demotes on the
+// original schedule (~11.5 s tail).
+func buildFigure6(t *testing.T) (*Recorder, *simclock.Scheduler, *radio.Machine) {
+	t.Helper()
+	s := simclock.NewScheduler()
+	m := radio.NewMachine(s, radio.LTE())
+	r := NewRecorder(s.Now())
+	r.Attach(m)
+
+	s.ScheduleAfter(0, func(now time.Time) {
+		m.Send(4000, radio.CauseBackground, true)
+		r.Packet(now, "regular uplink", 4000)
+	})
+	s.ScheduleAfter(1500*time.Millisecond, func(now time.Time) {
+		m.Send(600, radio.CauseCrowdsensing, false)
+		r.Packet(now, "crowdsensing", 600)
+	})
+	s.RunFor(time.Minute)
+	return r, s, m
+}
+
+func TestFigure6Timeline(t *testing.T) {
+	r, _, _ := buildFigure6(t)
+
+	events := r.Events()
+	if len(events) < 5 {
+		t.Fatalf("timeline too short: %d events", len(events))
+	}
+	// First state transition must be the promotion for regular traffic.
+	var states []radio.RRCState
+	for _, e := range events {
+		if e.Kind == KindStateChange {
+			states = append(states, e.State)
+		}
+	}
+	want := []radio.RRCState{radio.StatePromoting, radio.StateConnected, radio.StateTail, radio.StateIdle}
+	if len(states) != len(want) {
+		t.Fatalf("state sequence = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("state sequence = %v, want %v", states, want)
+		}
+	}
+}
+
+func TestFigure6TailNotReset(t *testing.T) {
+	r, _, _ := buildFigure6(t)
+	tails := r.TailDurations()
+	if len(tails) != 1 {
+		t.Fatalf("tail periods = %d, want 1", len(tails))
+	}
+	// The crowdsensing send must not have extended the ~11.5 s tail.
+	if tails[0] < 11*time.Second || tails[0] > 12*time.Second {
+		t.Fatalf("tail = %v, want ~11.5 s (not reset)", tails[0])
+	}
+}
+
+func TestFigure6TailResetInBasic(t *testing.T) {
+	s := simclock.NewScheduler()
+	m := radio.NewMachine(s, radio.LTE())
+	r := NewRecorder(s.Now())
+	r.Attach(m)
+	m.Send(4000, radio.CauseBackground, true)
+	s.RunFor(4 * time.Second)
+	m.Send(600, radio.CauseCrowdsensing, true) // Basic: resets
+	s.RunFor(time.Minute)
+
+	tails := r.TailDurations()
+	if len(tails) != 1 {
+		t.Fatalf("tail periods = %d, want 1", len(tails))
+	}
+	if tails[0] < 15*time.Second {
+		t.Fatalf("tail = %v; a reset 4 s in should stretch it past 15 s", tails[0])
+	}
+}
+
+func TestStateAt(t *testing.T) {
+	r, _, _ := buildFigure6(t)
+	if got := r.StateAt(-time.Second); got != radio.StateIdle {
+		t.Fatalf("state before start = %v, want idle", got)
+	}
+	if got := r.StateAt(100 * time.Millisecond); got != radio.StatePromoting {
+		t.Fatalf("state at 0.1s = %v, want promoting", got)
+	}
+	if got := r.StateAt(5 * time.Second); got != radio.StateTail {
+		t.Fatalf("state at 5s = %v, want tail", got)
+	}
+	if got := r.StateAt(30 * time.Second); got != radio.StateIdle {
+		t.Fatalf("state at 30s = %v, want idle", got)
+	}
+}
+
+func TestRenderContainsRows(t *testing.T) {
+	r, _, _ := buildFigure6(t)
+	out := r.Render()
+	for _, want := range []string{"regular uplink", "crowdsensing", "RRC_IDLE", "RRC_CONNECTED", "t(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	r := NewRecorder(simclock.Epoch)
+	r.Packet(simclock.Epoch.Add(2*time.Second), "late", 1)
+	r.Packet(simclock.Epoch, "early", 1)
+	ev := r.Events()
+	if ev[0].Label != "early" || ev[1].Label != "late" {
+		t.Fatal("events not sorted by time")
+	}
+}

@@ -1,0 +1,198 @@
+// Package traffic generates a device's organic network activity: the web
+// browsing, messaging and map lookups the phone's owner does anyway.
+//
+// Background traffic matters twice in the paper. For Sense-Aid it creates
+// the radio tails that crowdsensing uploads ride on; for PCS it is the
+// stream of piggybacking opportunities the prediction model tries to
+// anticipate. The generator is seeded and independent of crowdsensing
+// activity, so a device's organic usage is identical across the paired
+// framework runs the evaluation compares.
+package traffic
+
+import (
+	"math/rand"
+	"time"
+
+	"senseaid/internal/simclock"
+)
+
+// Transfer is one network exchange inside a session.
+type Transfer struct {
+	At     time.Time
+	Bytes  int
+	Uplink bool
+	// SessionStart marks the first transfer of a session; PCS treats
+	// session starts as its piggyback anchors.
+	SessionStart bool
+}
+
+// Config shapes a device's usage profile.
+type Config struct {
+	// MeanSessionGap is the average idle gap between app sessions
+	// (exponentially distributed). The study's students check their
+	// phones every five-odd minutes.
+	MeanSessionGap time.Duration
+	// MinTransfers/MaxTransfers bound the exchanges per session.
+	MinTransfers, MaxTransfers int
+	// SessionSpread is the maximum length of a session; transfers are
+	// spread uniformly across it.
+	SessionSpread time.Duration
+	// MeanUplinkBytes/MeanDownlinkBytes size the transfers
+	// (exponentially distributed around the mean, floored at 200 B).
+	MeanUplinkBytes, MeanDownlinkBytes int
+	// Seed makes the profile reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a student-like usage profile.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		MeanSessionGap:    5 * time.Minute,
+		MinTransfers:      3,
+		MaxTransfers:      10,
+		SessionSpread:     45 * time.Second,
+		MeanUplinkBytes:   1_500,
+		MeanDownlinkBytes: 60_000,
+		Seed:              seed,
+	}
+}
+
+// QuietConfig returns a light-usage profile (long gaps, small sessions),
+// useful for ablations on traffic density.
+func QuietConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.MeanSessionGap = 20 * time.Minute
+	cfg.MaxTransfers = 5
+	return cfg
+}
+
+// Generator schedules background transfers on the simulation clock and
+// delivers them to a sink (the phone wires the sink to its radio).
+type Generator struct {
+	sched *simclock.Scheduler
+	cfg   Config
+	rng   *rand.Rand
+	sinks []func(Transfer)
+	until time.Time
+
+	sessions  int
+	transfers int
+}
+
+// NewGenerator builds a generator; Start must be called to begin emitting.
+func NewGenerator(sched *simclock.Scheduler, cfg Config) *Generator {
+	if cfg.MeanSessionGap <= 0 {
+		cfg.MeanSessionGap = 5 * time.Minute
+	}
+	if cfg.MinTransfers <= 0 {
+		cfg.MinTransfers = 1
+	}
+	if cfg.MaxTransfers < cfg.MinTransfers {
+		cfg.MaxTransfers = cfg.MinTransfers
+	}
+	if cfg.SessionSpread <= 0 {
+		cfg.SessionSpread = 30 * time.Second
+	}
+	if cfg.MeanUplinkBytes <= 0 {
+		cfg.MeanUplinkBytes = 1_000
+	}
+	if cfg.MeanDownlinkBytes <= 0 {
+		cfg.MeanDownlinkBytes = 50_000
+	}
+	return &Generator{
+		sched: sched,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// OnTransfer registers a sink for every generated transfer.
+func (g *Generator) OnTransfer(fn func(Transfer)) {
+	g.sinks = append(g.sinks, fn)
+}
+
+// Start begins emitting sessions until the given instant.
+func (g *Generator) Start(until time.Time) {
+	g.until = until
+	g.scheduleNextSession()
+}
+
+// Sessions returns how many sessions have started so far.
+func (g *Generator) Sessions() int { return g.sessions }
+
+// Transfers returns how many transfers have been emitted so far.
+func (g *Generator) Transfers() int { return g.transfers }
+
+func (g *Generator) scheduleNextSession() {
+	gap := g.expDuration(g.cfg.MeanSessionGap)
+	at := g.sched.Now().Add(gap)
+	if at.After(g.until) {
+		return
+	}
+	g.sched.ScheduleAt(at, func(now time.Time) {
+		g.runSession(now)
+		g.scheduleNextSession()
+	})
+}
+
+func (g *Generator) runSession(start time.Time) {
+	g.sessions++
+	n := g.cfg.MinTransfers + g.rng.Intn(g.cfg.MaxTransfers-g.cfg.MinTransfers+1)
+	// The first transfer opens the session now; the rest spread across
+	// the session window in sorted random order.
+	offsets := make([]time.Duration, n)
+	for i := 1; i < n; i++ {
+		offsets[i] = time.Duration(g.rng.Int63n(int64(g.cfg.SessionSpread)))
+	}
+	sortDurations(offsets)
+	for i, off := range offsets {
+		at := start.Add(off)
+		if at.After(g.until) {
+			break
+		}
+		uplink := g.rng.Float64() < 0.4
+		mean := g.cfg.MeanDownlinkBytes
+		if uplink {
+			mean = g.cfg.MeanUplinkBytes
+		}
+		size := g.expBytes(mean)
+		first := i == 0
+		g.sched.ScheduleAt(at, func(now time.Time) {
+			g.transfers++
+			tr := Transfer{At: now, Bytes: size, Uplink: uplink, SessionStart: first}
+			for _, sink := range g.sinks {
+				sink(tr)
+			}
+		})
+	}
+}
+
+func (g *Generator) expDuration(mean time.Duration) time.Duration {
+	d := time.Duration(g.rng.ExpFloat64() * float64(mean))
+	const min = 5 * time.Second
+	if d < min {
+		d = min
+	}
+	// Cap at 6x mean so pathological draws cannot skip an entire test.
+	if max := 6 * mean; d > max {
+		d = max
+	}
+	return d
+}
+
+func (g *Generator) expBytes(mean int) int {
+	b := int(g.rng.ExpFloat64() * float64(mean))
+	if b < 200 {
+		b = 200
+	}
+	return b
+}
+
+func sortDurations(ds []time.Duration) {
+	// Insertion sort: n is tiny (<= MaxTransfers).
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

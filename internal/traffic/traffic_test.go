@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"senseaid/internal/simclock"
+)
+
+func TestGeneratorEmitsSessions(t *testing.T) {
+	s := simclock.NewScheduler()
+	g := NewGenerator(s, DefaultConfig(1))
+	var transfers []Transfer
+	g.OnTransfer(func(tr Transfer) { transfers = append(transfers, tr) })
+	g.Start(s.Now().Add(2 * time.Hour))
+	s.Drain()
+
+	if g.Sessions() == 0 {
+		t.Fatal("no sessions over 2 hours of default usage")
+	}
+	// 5-minute mean gap: expect on the order of 24 sessions, certainly
+	// between 5 and 80.
+	if g.Sessions() < 5 || g.Sessions() > 80 {
+		t.Fatalf("sessions = %d over 2h, expected 5..80", g.Sessions())
+	}
+	if len(transfers) < g.Sessions() {
+		t.Fatalf("transfers (%d) fewer than sessions (%d)", len(transfers), g.Sessions())
+	}
+	if g.Transfers() != len(transfers) {
+		t.Fatalf("Transfers() = %d, sink saw %d", g.Transfers(), len(transfers))
+	}
+}
+
+func TestTransfersWellFormed(t *testing.T) {
+	s := simclock.NewScheduler()
+	g := NewGenerator(s, DefaultConfig(2))
+	end := s.Now().Add(time.Hour)
+	var prev time.Time
+	sawUp, sawDown, sawStart := false, false, false
+	g.OnTransfer(func(tr Transfer) {
+		if tr.Bytes < 200 {
+			t.Errorf("transfer of %d bytes, want >= 200", tr.Bytes)
+		}
+		if tr.At.Before(prev) {
+			t.Error("transfers delivered out of order")
+		}
+		if tr.At.After(end) {
+			t.Errorf("transfer at %v after end %v", tr.At, end)
+		}
+		prev = tr.At
+		if tr.Uplink {
+			sawUp = true
+		} else {
+			sawDown = true
+		}
+		if tr.SessionStart {
+			sawStart = true
+		}
+	})
+	g.Start(end)
+	s.Drain()
+	if !sawUp || !sawDown {
+		t.Fatalf("traffic mix missing a direction: up=%v down=%v", sawUp, sawDown)
+	}
+	if !sawStart {
+		t.Fatal("no transfer marked as session start")
+	}
+}
+
+func TestSessionStartsMatchSessions(t *testing.T) {
+	s := simclock.NewScheduler()
+	g := NewGenerator(s, DefaultConfig(3))
+	starts := 0
+	g.OnTransfer(func(tr Transfer) {
+		if tr.SessionStart {
+			starts++
+		}
+	})
+	g.Start(s.Now().Add(3 * time.Hour))
+	s.Drain()
+	if starts != g.Sessions() {
+		t.Fatalf("session-start transfers = %d, sessions = %d", starts, g.Sessions())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Transfer {
+		s := simclock.NewScheduler()
+		g := NewGenerator(s, DefaultConfig(42))
+		var out []Transfer
+		g.OnTransfer(func(tr Transfer) { out = append(out, tr) })
+		g.Start(s.Now().Add(time.Hour))
+		s.Drain()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transfer %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQuietConfigIsQuieter(t *testing.T) {
+	count := func(cfg Config) int {
+		s := simclock.NewScheduler()
+		g := NewGenerator(s, cfg)
+		g.Start(s.Now().Add(4 * time.Hour))
+		s.Drain()
+		return g.Transfers()
+	}
+	if q, d := count(QuietConfig(5)), count(DefaultConfig(5)); q >= d {
+		t.Fatalf("quiet profile (%d transfers) not quieter than default (%d)", q, d)
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	s := simclock.NewScheduler()
+	g := NewGenerator(s, Config{Seed: 9}) // all zero fields
+	g.Start(s.Now().Add(time.Hour))
+	s.Drain()
+	if g.Sessions() == 0 {
+		t.Fatal("zero-valued config should still produce sessions via defaults")
+	}
+}
+
+// Property: over any horizon, the session count scales with the horizon
+// (never decreases) and transfers >= sessions.
+func TestGeneratorMonotoneProperty(t *testing.T) {
+	f := func(hours uint8) bool {
+		h := int(hours%6) + 1
+		s := simclock.NewScheduler()
+		g := NewGenerator(s, DefaultConfig(77))
+		g.Start(s.Now().Add(time.Duration(h) * time.Hour))
+		s.Drain()
+		return g.Transfers() >= g.Sessions()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary bytes at the frame decoder: it must
+// return an error or a well-formed envelope, never panic or over-read.
+func FuzzReadFrame(f *testing.F) {
+	// Seed with a valid frame and near-miss corruptions.
+	env, err := Encode(TypeStateReport, 3, StateReport{BatteryPct: 50})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, env); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:3])
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'})
+	f.Add([]byte(`{"type":"ack"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.Type == "" {
+			t.Fatal("decoded envelope without a type")
+		}
+	})
+}

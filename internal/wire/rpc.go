@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by RPC calls on a closed connection.
+var ErrClosed = errors.New("wire: connection closed")
+
+// DefaultCallTimeout bounds a request/response exchange.
+const DefaultCallTimeout = 10 * time.Second
+
+// RPCConn layers request/response and push-message handling over a framed
+// connection. The device client and the CAS library both build on it.
+type RPCConn struct {
+	nc      net.Conn
+	timeout time.Duration
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[uint64]chan Envelope
+	closed  bool
+
+	// push receives non-response messages (schedules, sensed data).
+	push func(Envelope)
+
+	wg sync.WaitGroup
+}
+
+// NewRPCConn wraps an established connection and performs the Hello
+// handshake for the given role. push receives server-initiated messages
+// and is called from the read loop (handlers must not block).
+func NewRPCConn(nc net.Conn, role Role, push func(Envelope)) (*RPCConn, error) {
+	c := &RPCConn{
+		nc:      nc,
+		timeout: DefaultCallTimeout,
+		pending: make(map[uint64]chan Envelope),
+		push:    push,
+	}
+	// Handshake synchronously, before the read loop starts.
+	env, err := Encode(TypeHello, 0, Hello{Role: role, Version: ProtocolVersion})
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(nc, env); err != nil {
+		return nil, fmt.Errorf("wire: hello: %w", err)
+	}
+	resp, err := ReadFrame(nc)
+	if err != nil {
+		return nil, fmt.Errorf("wire: hello response: %w", err)
+	}
+	if resp.Type == TypeError {
+		var e Error
+		_ = Decode(resp, &e)
+		return nil, fmt.Errorf("wire: server rejected hello: %s", e.Message)
+	}
+	if resp.Type != TypeAck {
+		return nil, fmt.Errorf("wire: unexpected hello response %s", resp.Type)
+	}
+
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Call sends a request and waits for its Ack (returned) or Error
+// (converted to a Go error).
+func (c *RPCConn) Call(t MsgType, payload interface{}) (Ack, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Ack{}, ErrClosed
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	ch := make(chan Envelope, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+	}()
+
+	env, err := Encode(t, seq, payload)
+	if err != nil {
+		return Ack{}, err
+	}
+	c.writeMu.Lock()
+	err = WriteFrame(c.nc, env)
+	c.writeMu.Unlock()
+	if err != nil {
+		return Ack{}, fmt.Errorf("wire: send %s: %w", t, err)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return Ack{}, ErrClosed
+		}
+		if resp.Type == TypeError {
+			var e Error
+			_ = Decode(resp, &e)
+			return Ack{}, fmt.Errorf("wire: %s: %s", t, e.Message)
+		}
+		var ack Ack
+		if len(resp.Payload) > 0 {
+			if err := Decode(resp, &ack); err != nil {
+				return Ack{}, err
+			}
+		}
+		return ack, nil
+	case <-time.After(c.timeout):
+		return Ack{}, fmt.Errorf("wire: %s: timeout after %v", t, c.timeout)
+	}
+}
+
+// Notify sends a message without waiting for a response.
+func (c *RPCConn) Notify(t MsgType, payload interface{}) error {
+	env, err := Encode(t, 0, payload)
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return WriteFrame(c.nc, env)
+}
+
+// Close tears the connection down and waits for the read loop.
+func (c *RPCConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.nc.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *RPCConn) readLoop() {
+	defer c.wg.Done()
+	for {
+		env, err := ReadFrame(c.nc)
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			for seq, ch := range c.pending {
+				close(ch)
+				delete(c.pending, seq)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if env.Seq != 0 && (env.Type == TypeAck || env.Type == TypeError) {
+			c.mu.Lock()
+			ch, ok := c.pending[env.Seq]
+			c.mu.Unlock()
+			if ok {
+				ch <- env
+			}
+			continue
+		}
+		if c.push != nil {
+			c.push(env)
+		}
+	}
+}

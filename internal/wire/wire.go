@@ -1,0 +1,236 @@
+// Package wire defines the Sense-Aid network protocol: length-prefixed
+// JSON messages exchanged between devices, the Sense-Aid server, and
+// crowdsensing application servers (CAS).
+//
+// Every connection starts with a Hello identifying the peer's role. The
+// device API mirrors the paper's client-side library (register,
+// deregister, update_preferences, start_sensing, send_sense_data) and the
+// CAS API mirrors its server-side library (task, update_task_param,
+// delete_task, receive_sensed_data).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/power"
+	"senseaid/internal/sensors"
+)
+
+// MaxMessageBytes bounds a single frame; crowdsensing payloads are small,
+// so anything larger indicates a corrupt or hostile stream.
+const MaxMessageBytes = 1 << 20
+
+// MsgType discriminates envelope payloads.
+type MsgType string
+
+// Message types.
+const (
+	// Connection setup.
+	TypeHello MsgType = "hello"
+	TypeAck   MsgType = "ack"
+	TypeError MsgType = "error"
+
+	// Device -> server (the paper's client-side library calls).
+	TypeRegister    MsgType = "register"
+	TypeDeregister  MsgType = "deregister"
+	TypeUpdatePrefs MsgType = "update_preferences"
+	TypeStateReport MsgType = "state_report"
+	TypeSenseData   MsgType = "send_sense_data"
+
+	// Server -> device.
+	TypeSchedule MsgType = "schedule"
+
+	// CAS -> server (the paper's server-side library calls).
+	TypeSubmitTask MsgType = "task"
+	TypeUpdateTask MsgType = "update_task_param"
+	TypeDeleteTask MsgType = "delete_task"
+
+	// Server -> CAS.
+	TypeSensedData MsgType = "receive_sensed_data"
+)
+
+// Role identifies a peer.
+type Role string
+
+// Roles.
+const (
+	RoleDevice Role = "device"
+	RoleCAS    Role = "cas"
+)
+
+// Envelope is the frame body: a type tag, a correlation ID for
+// request/response pairs, and a type-specific payload.
+type Envelope struct {
+	Type    MsgType         `json:"type"`
+	Seq     uint64          `json:"seq,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Hello opens every connection.
+type Hello struct {
+	Role Role `json:"role"`
+	// Version guards against protocol drift.
+	Version int `json:"version"`
+}
+
+// ProtocolVersion is the current protocol revision.
+const ProtocolVersion = 1
+
+// Ack is a generic success response; Ref optionally names a created
+// resource (a task ID, a device ID).
+type Ack struct {
+	Ref string `json:"ref,omitempty"`
+}
+
+// Error is a failure response.
+type Error struct {
+	Message string `json:"message"`
+}
+
+// Register announces a device and its capabilities.
+type Register struct {
+	// DeviceID is the hash of the IMEI (never the IMEI itself).
+	DeviceID   string         `json:"device_id"`
+	Position   geo.Point      `json:"position"`
+	BatteryPct float64        `json:"battery_pct"`
+	Sensors    []sensors.Type `json:"sensors"`
+	DeviceType string         `json:"device_type,omitempty"`
+	Budget     power.Budget   `json:"budget"`
+}
+
+// UpdatePrefs changes a device's crowdsensing preferences.
+type UpdatePrefs struct {
+	Budget power.Budget `json:"budget"`
+}
+
+// StateReport is the service thread's periodic control message: current
+// battery, coarse position, and the tail-time stamp.
+type StateReport struct {
+	Position   geo.Point `json:"position"`
+	BatteryPct float64   `json:"battery_pct"`
+	LastComm   time.Time `json:"last_comm"`
+}
+
+// Schedule asks a device to sense and upload for one request.
+type Schedule struct {
+	RequestID string       `json:"request_id"`
+	TaskID    string       `json:"task_id"`
+	Sensor    sensors.Type `json:"sensor"`
+	Due       time.Time    `json:"due"`
+	Deadline  time.Time    `json:"deadline"`
+}
+
+// SenseData carries one reading from a device.
+type SenseData struct {
+	RequestID string          `json:"request_id"`
+	Reading   sensors.Reading `json:"reading"`
+}
+
+// TaskSpec is the CAS-facing task description (Table 1).
+type TaskSpec struct {
+	Sensor           sensors.Type  `json:"sensor_type"`
+	SamplingPeriod   time.Duration `json:"sampling_period"`
+	SamplingDuration time.Duration `json:"sampling_duration,omitempty"`
+	Start            time.Time     `json:"start_time,omitempty"`
+	End              time.Time     `json:"end_time,omitempty"`
+	Center           geo.Point     `json:"center"`
+	AreaRadiusM      float64       `json:"area_radius"`
+	SpatialDensity   int           `json:"spatial_density"`
+	DeviceType       string        `json:"device_type,omitempty"`
+}
+
+// UpdateTask mutates an existing task's parameters; zero fields are left
+// unchanged.
+type UpdateTask struct {
+	TaskID         string        `json:"task_id"`
+	SamplingPeriod time.Duration `json:"sampling_period,omitempty"`
+	SpatialDensity int           `json:"spatial_density,omitempty"`
+	AreaRadiusM    float64       `json:"area_radius,omitempty"`
+	End            time.Time     `json:"end_time,omitempty"`
+}
+
+// DeleteTask removes a task.
+type DeleteTask struct {
+	TaskID string `json:"task_id"`
+}
+
+// SensedData delivers one validated reading to the CAS.
+type SensedData struct {
+	TaskID   string          `json:"task_id"`
+	DeviceID string          `json:"device_id"`
+	Reading  sensors.Reading `json:"reading"`
+}
+
+// Encode marshals a payload into an envelope.
+func Encode(t MsgType, seq uint64, payload interface{}) (Envelope, error) {
+	var raw json.RawMessage
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return Envelope{}, fmt.Errorf("wire: marshal %s: %w", t, err)
+		}
+		raw = b
+	}
+	return Envelope{Type: t, Seq: seq, Payload: raw}, nil
+}
+
+// Decode unmarshals an envelope payload into out.
+func Decode(env Envelope, out interface{}) error {
+	if len(env.Payload) == 0 {
+		return fmt.Errorf("wire: %s: empty payload", env.Type)
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		return fmt.Errorf("wire: unmarshal %s: %w", env.Type, err)
+	}
+	return nil
+}
+
+// WriteFrame writes one envelope as a 4-byte big-endian length followed by
+// its JSON encoding.
+func WriteFrame(w io.Writer, env Envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("wire: marshal envelope: %w", err)
+	}
+	if len(body) > MaxMessageBytes {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one envelope.
+func ReadFrame(r io.Reader) (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxMessageBytes {
+		return Envelope{}, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Envelope{}, fmt.Errorf("wire: read body: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return Envelope{}, fmt.Errorf("wire: unmarshal envelope: %w", err)
+	}
+	if env.Type == "" {
+		return Envelope{}, fmt.Errorf("wire: envelope missing type")
+	}
+	return env, nil
+}

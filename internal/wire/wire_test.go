@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/power"
+	"senseaid/internal/sensors"
+)
+
+func TestRoundTripFrame(t *testing.T) {
+	env, err := Encode(TypeRegister, 7, Register{
+		DeviceID:   "abc123",
+		Position:   geo.CSDepartment,
+		BatteryPct: 82.5,
+		Sensors:    []sensors.Type{sensors.Barometer},
+		Budget:     power.DefaultBudget(),
+	})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if got.Type != TypeRegister || got.Seq != 7 {
+		t.Fatalf("envelope = %+v", got)
+	}
+	var reg Register
+	if err := Decode(got, &reg); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if reg.DeviceID != "abc123" || reg.BatteryPct != 82.5 || len(reg.Sensors) != 1 {
+		t.Fatalf("register = %+v", reg)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		env, err := Encode(TypeStateReport, uint64(i), StateReport{BatteryPct: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(&buf, env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		env, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if env.Seq != uint64(i) {
+			t.Fatalf("frame %d has seq %d", i, env.Seq)
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("after drain: err = %v, want EOF", err)
+	}
+}
+
+func TestReadFrameRejectsBadLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxMessageBytes+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	env, err := Encode(TypeAck, 1, Ack{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestReadFrameRejectsMissingType(t *testing.T) {
+	body := []byte(`{"seq":1}`)
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("typeless envelope accepted")
+	}
+}
+
+func TestDecodeEmptyPayload(t *testing.T) {
+	var reg Register
+	if err := Decode(Envelope{Type: TypeRegister}, &reg); err == nil {
+		t.Fatal("empty payload decoded")
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	due := time.Date(2017, 12, 11, 9, 0, 0, 0, time.UTC)
+	env, err := Encode(TypeSchedule, 3, Schedule{
+		RequestID: "task-1#4",
+		TaskID:    "task-1",
+		Sensor:    sensors.Barometer,
+		Due:       due,
+		Deadline:  due.Add(10 * time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sch Schedule
+	if err := Decode(got, &sch); err != nil {
+		t.Fatal(err)
+	}
+	if sch.RequestID != "task-1#4" || !sch.Due.Equal(due) || sch.Sensor != sensors.Barometer {
+		t.Fatalf("schedule = %+v", sch)
+	}
+}
+
+// Property: any payload bytes that survive Encode survive the full frame
+// round trip unchanged.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, msg string) bool {
+		env, err := Encode(TypeError, seq, Error{Message: msg})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, env); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		var e Error
+		if err := Decode(got, &e); err != nil {
+			return false
+		}
+		return got.Seq == seq && e.Message == msg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
