@@ -3,14 +3,19 @@ package senseaid
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"senseaid/internal/obs"
 )
 
 // TestBinariesEndToEnd builds the three deployable binaries and runs them
@@ -31,12 +36,21 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 
 	addr := freeAddr(t)
+	metricsAddr := freeAddr(t)
 
-	// Start the server.
-	server := exec.Command(filepath.Join(bin, "senseaidd"), "-addr", addr, "-tick", "50ms")
+	// Start the server with its admin endpoint.
+	server := exec.Command(filepath.Join(bin, "senseaidd"),
+		"-addr", addr, "-metrics-addr", metricsAddr, "-tick", "50ms")
 	serverOut := startCapture(t, server, "senseaidd")
 	defer stop(t, server)
 	waitForLine(t, serverOut, "listening", 10*time.Second)
+	waitForLine(t, serverOut, "admin endpoint", 10*time.Second)
+
+	if code, _ := httpGet(t, "http://"+metricsAddr+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	_, baseline := httpGet(t, "http://"+metricsAddr+"/metrics")
+	tailBefore := sampleValue(baseline, `senseaid_uploads_total{path="tail"}`)
 
 	// Start a device.
 	device := exec.Command(filepath.Join(bin, "senseaid-client"),
@@ -62,6 +76,66 @@ func TestBinariesEndToEnd(t *testing.T) {
 	if strings.Contains(text, "collected 0 readings") {
 		t.Fatalf("campaign collected nothing:\n%s", text)
 	}
+
+	// The admin endpoint must reflect the session that just ran: uploads
+	// rode tail windows (the client reports every 100 ms, so the radio
+	// tail never lapses) and the RPC latency series moved.
+	code, body := httpGet(t, "http://"+metricsAddr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", code)
+	}
+	if err := obs.CheckText(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics is not valid exposition format: %v\n%s", err, body)
+	}
+	tailAfter := sampleValue(body, `senseaid_uploads_total{path="tail"}`)
+	if tailAfter <= tailBefore {
+		t.Fatalf("uploads_total{path=tail} did not increase: before=%v after=%v\n%s",
+			tailBefore, tailAfter, body)
+	}
+	if v := sampleValue(body, `senseaid_rpc_seconds_count{role="device",type="send_sense_data"}`); v <= 0 {
+		t.Fatalf("rpc_seconds_count{send_sense_data} = %v, want > 0\n%s", v, body)
+	}
+	if v := sampleValue(body, `senseaid_rpc_seconds_count{role="cas",type="task"}`); v <= 0 {
+		t.Fatalf("rpc_seconds_count{task} = %v, want > 0\n%s", v, body)
+	}
+
+	code, status := httpGet(t, "http://"+metricsAddr+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz = %d, want 200", code)
+	}
+	if !strings.Contains(status, "uptime_seconds") {
+		t.Fatalf("/statusz missing uptime:\n%s", status)
+	}
+}
+
+// httpGet fetches a URL and returns the status code and body.
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// sampleValue extracts one sample's value from Prometheus text output;
+// missing series read as 0 so before/after comparisons stay simple.
+func sampleValue(text, series string) float64 {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
 }
 
 // freeAddr reserves a loopback port and releases it for the server.

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	senseaidd [-addr host:port] [-tick duration] [-v]
+//	senseaidd [-addr host:port] [-metrics-addr host:port] [-tick duration] [-v] [-vv]
+//
+// With -metrics-addr set, an HTTP admin endpoint serves /metrics
+// (Prometheus text format; ?format=json for the JSON snapshot),
+// /healthz, and /statusz.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"time"
 
 	"senseaid/internal/netserver"
+	"senseaid/internal/obs"
 )
 
 func main() {
@@ -28,23 +33,45 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
+	metricsAddr := flag.String("metrics-addr", "", "admin HTTP address serving /metrics, /healthz, /statusz (empty disables)")
 	tick := flag.Duration("tick", 500*time.Millisecond, "scheduler tick period")
-	verbose := flag.Bool("v", false, "log to stderr")
+	verbose := flag.Bool("v", false, "log lifecycle events to stderr")
+	debug := flag.Bool("vv", false, "log per-message traffic to stderr")
 	flag.Parse()
 
 	var logger *log.Logger
-	if *verbose {
+	level := obs.LevelInfo
+	if *verbose || *debug {
 		logger = log.New(os.Stderr, "senseaidd: ", log.LstdFlags)
+		if *debug {
+			level = obs.LevelDebug
+		}
 	}
 	srv, err := netserver.Listen(netserver.Config{
 		Addr:       *addr,
 		TickPeriod: *tick,
 		Logger:     logger,
+		LogLevel:   level,
+		Metrics:    obs.Default(),
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("sense-aid server listening on %s\n", srv.Addr())
+
+	if *metricsAddr != "" {
+		admin, err := obs.ServeAdmin(obs.AdminConfig{
+			Addr:     *metricsAddr,
+			Registry: obs.Default(),
+			Status:   func() any { return srv.Status() },
+		})
+		if err != nil {
+			_ = srv.Close()
+			return err
+		}
+		defer func() { _ = admin.Close() }()
+		fmt.Printf("admin endpoint on http://%s/metrics\n", admin.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -152,10 +152,18 @@ func (c *Client) StartSensing(h ScheduleHandler) error {
 
 // SendSenseData uploads one reading for a scheduled request.
 func (c *Client) SendSenseData(requestID string, r sensors.Reading) error {
+	return c.SendSenseDataVia(requestID, r, "")
+}
+
+// SendSenseDataVia uploads a reading tagged with how it rode the radio
+// (wire.PathTail when it reused a live tail window, wire.PathPromoted
+// when the radio was woken for it). The daemon uses this so the server's
+// senseaid_uploads_total series reflects the paper's energy mechanism.
+func (c *Client) SendSenseDataVia(requestID string, r sensors.Reading, path string) error {
 	if requestID == "" {
 		return fmt.Errorf("client: empty request ID")
 	}
-	_, err := c.conn.Call(wire.TypeSenseData, wire.SenseData{RequestID: requestID, Reading: r})
+	_, err := c.conn.Call(wire.TypeSenseData, wire.SenseData{RequestID: requestID, Reading: r, Path: path})
 	return err
 }
 

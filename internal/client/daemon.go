@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"senseaid/internal/geo"
+	"senseaid/internal/obs"
 	"senseaid/internal/wire"
 )
 
@@ -16,6 +17,7 @@ import (
 // real deployment runs on the phone; cmd/senseaid-client wraps it.
 type Daemon struct {
 	cfg DaemonConfig
+	met daemonMetrics
 
 	client *Client
 	tail   *TailObserver
@@ -28,6 +30,33 @@ type Daemon struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+}
+
+// daemonMetrics is the device-side slice of the metric vocabulary. Names
+// carry a client_ prefix so a process hosting both a daemon and a server
+// (tests, demos) never mixes the two ends of the same upload.
+type daemonMetrics struct {
+	uploadsTail     *obs.Counter
+	uploadsPromoted *obs.Counter
+	reports         *obs.Counter
+	errors          *obs.Counter
+	battery         *obs.Gauge
+}
+
+func newDaemonMetrics(reg *obs.Registry) daemonMetrics {
+	path := func(p string) obs.Labels { return obs.Labels{"path": p} }
+	return daemonMetrics{
+		uploadsTail: reg.Counter("senseaid_client_uploads_total",
+			"Readings uploaded, by radio path.", path(wire.PathTail)),
+		uploadsPromoted: reg.Counter("senseaid_client_uploads_total",
+			"Readings uploaded, by radio path.", path(wire.PathPromoted)),
+		reports: reg.Counter("senseaid_client_reports_total",
+			"Service-thread state reports delivered.", nil),
+		errors: reg.Counter("senseaid_client_errors_total",
+			"Daemon-side sampling, upload, and report failures.", nil),
+		battery: reg.Gauge("senseaid_client_battery_pct",
+			"Battery percentage at the last state report.", nil),
+	}
 }
 
 // DaemonConfig parameterises a Daemon.
@@ -46,6 +75,9 @@ type DaemonConfig struct {
 	ReportPeriod time.Duration
 	// TailDur configures tail inference (default LTE ~11.5 s).
 	TailDur time.Duration
+	// Metrics receives the daemon's counters and battery gauge; nil uses
+	// the process-global registry (obs.Default()).
+	Metrics *obs.Registry
 }
 
 // StartDaemon dials, registers, and starts the daemon's loops.
@@ -74,8 +106,13 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 		return nil, err
 	}
 
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	d := &Daemon{
 		cfg:    cfg,
+		met:    newDaemonMetrics(reg),
 		client: c,
 		tail:   NewTailObserver(cfg.TailDur),
 		stop:   make(chan struct{}),
@@ -99,11 +136,23 @@ func (d *Daemon) onSchedule(sch wire.Schedule) {
 	}
 	// Uploads run off the read loop: SendSenseData waits for its ack.
 	go func() {
-		if err := d.client.SendSenseData(sch.RequestID, reading); err != nil {
+		// Classify the radio path before the upload itself refreshes the
+		// tail window: tail-riding is the state the radio was in when the
+		// transmission started.
+		path := wire.PathPromoted
+		if d.tail.InTail(time.Now()) {
+			path = wire.PathTail
+		}
+		if err := d.client.SendSenseDataVia(sch.RequestID, reading, path); err != nil {
 			d.note(fmt.Errorf("upload %s: %w", sch.RequestID, err))
 			return
 		}
 		d.tail.Observe(time.Now())
+		if path == wire.PathTail {
+			d.met.uploadsTail.Inc()
+		} else {
+			d.met.uploadsPromoted.Inc()
+		}
 		d.mu.Lock()
 		d.uploads++
 		d.mu.Unlock()
@@ -121,11 +170,14 @@ func (d *Daemon) serviceThread() {
 		case <-d.stop:
 			return
 		case <-ticker.C:
-			if err := d.client.ReportState(d.cfg.Position(), d.cfg.Battery(), time.Now()); err != nil {
+			battery := d.cfg.Battery()
+			if err := d.client.ReportState(d.cfg.Position(), battery, time.Now()); err != nil {
 				d.note(fmt.Errorf("state report: %w", err))
 				continue
 			}
 			d.tail.Observe(time.Now())
+			d.met.reports.Inc()
+			d.met.battery.Set(battery)
 			d.mu.Lock()
 			d.reports++
 			d.mu.Unlock()
@@ -134,6 +186,7 @@ func (d *Daemon) serviceThread() {
 }
 
 func (d *Daemon) note(err error) {
+	d.met.errors.Inc()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.errs) < 64 {

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"senseaid/internal/obs"
+)
+
+// serverMetrics is the core scheduling layer's slice of the metric
+// vocabulary. Every counter mirrors a Stats field (Stats stays the cheap
+// programmatic view; the registry is the operational one), and the gauges
+// track live queue state that Stats never carried.
+type serverMetrics struct {
+	rounds            *obs.Counter
+	tasksSubmitted    *obs.Counter
+	reqGenerated      *obs.Counter
+	reqSatisfied      *obs.Counter
+	reqWaitlisted     *obs.Counter
+	reqExpired        *obs.Counter
+	dispatchExpiries  *obs.Counter
+	readingsAccepted  *obs.Counter
+	readingsRejected  *obs.Counter
+	selectionsDropped *obs.Counter
+	selectionSeconds  *obs.Histogram
+	runDepth          *obs.Gauge
+	waitDepth         *obs.Gauge
+	devices           *obs.Gauge
+}
+
+// selectionSecondsBuckets spans 1 µs – 262 ms: a selection pass is a scan
+// and sort over one region's device list.
+var selectionSecondsBuckets = obs.ExponentialBuckets(1e-6, 4, 10)
+
+func newServerMetrics(reg *obs.Registry, base obs.Labels) serverMetrics {
+	with := func(extra obs.Labels) obs.Labels {
+		if len(base) == 0 {
+			return extra
+		}
+		merged := make(obs.Labels, len(base)+len(extra))
+		for k, v := range base {
+			merged[k] = v
+		}
+		for k, v := range extra {
+			merged[k] = v
+		}
+		return merged
+	}
+	outcome := func(o string) obs.Labels { return with(obs.Labels{"outcome": o}) }
+	return serverMetrics{
+		rounds: reg.Counter("senseaid_scheduling_rounds_total",
+			"ProcessDue scheduling passes executed.", with(nil)),
+		tasksSubmitted: reg.Counter("senseaid_tasks_submitted_total",
+			"Tasks accepted from application servers.", with(nil)),
+		reqGenerated: reg.Counter("senseaid_requests_generated_total",
+			"Sensing requests expanded from tasks.", with(nil)),
+		reqSatisfied: reg.Counter("senseaid_requests_total",
+			"Sensing request outcomes.", outcome("satisfied")),
+		reqWaitlisted: reg.Counter("senseaid_requests_total",
+			"Sensing request outcomes.", outcome("waitlisted")),
+		reqExpired: reg.Counter("senseaid_requests_total",
+			"Sensing request outcomes.", outcome("expired")),
+		dispatchExpiries: reg.Counter("senseaid_dispatch_expiries_total",
+			"Dispatches whose device missed the upload deadline.", with(nil)),
+		readingsAccepted: reg.Counter("senseaid_readings_total",
+			"Reading validation outcomes.", outcome("accepted")),
+		readingsRejected: reg.Counter("senseaid_readings_total",
+			"Reading validation outcomes.", outcome("rejected")),
+		selectionsDropped: reg.Counter("senseaid_selections_dropped_total",
+			"Selection log entries overwritten by the ring buffer.", with(nil)),
+		selectionSeconds: reg.Histogram("senseaid_selection_seconds",
+			"Device selector latency per scheduled request.",
+			selectionSecondsBuckets, with(nil)),
+		runDepth: reg.Gauge("senseaid_run_queue_depth",
+			"Requests waiting for their due time.", with(nil)),
+		waitDepth: reg.Gauge("senseaid_wait_queue_depth",
+			"Requests parked until enough devices qualify.", with(nil)),
+		devices: reg.Gauge("senseaid_registered_devices",
+			"Devices currently in the datastore.", with(nil)),
+	}
+}
+
+// syncGauges publishes the live queue and datastore sizes. Called from
+// every mutating entry point, so the gauges stay current between scrapes.
+func (s *Server) syncGauges() {
+	s.met.runDepth.Set(float64(s.run.Len()))
+	s.met.waitDepth.Set(float64(s.wait.Len()))
+	s.met.devices.Set(float64(s.devices.Len()))
+}

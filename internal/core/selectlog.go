@@ -1,0 +1,51 @@
+package core
+
+// DefaultSelectionLogSize bounds the selection log when the configuration
+// leaves SelectionLogSize at zero. 4096 rounds is weeks of history for
+// the paper's sampling periods while keeping a month-long daemon's memory
+// flat.
+const DefaultSelectionLogSize = 4096
+
+// selectionLog is a fixed-size ring over the Figure 9 selection trace.
+// Once full, each append overwrites the oldest entry; the overwrite count
+// feeds senseaid_selections_dropped_total so operators can tell when the
+// window no longer covers the full deployment.
+type selectionLog struct {
+	buf     []Selection
+	next    int // next write position
+	n       int // entries filled, <= len(buf)
+	dropped uint64
+}
+
+func newSelectionLog(size int) selectionLog {
+	if size <= 0 {
+		size = DefaultSelectionLogSize
+	}
+	return selectionLog{buf: make([]Selection, size)}
+}
+
+// add appends one selection, reporting whether an old entry was dropped.
+func (l *selectionLog) add(sel Selection) (dropped bool) {
+	if l.n == len(l.buf) {
+		dropped = true
+		l.dropped++
+	} else {
+		l.n++
+	}
+	l.buf[l.next] = sel
+	l.next = (l.next + 1) % len(l.buf)
+	return dropped
+}
+
+// snapshot returns the retained selections, oldest first.
+func (l *selectionLog) snapshot() []Selection {
+	out := make([]Selection, 0, l.n)
+	start := l.next - l.n
+	if start < 0 {
+		start += len(l.buf)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"senseaid/internal/obs"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+func TestSelectionLogRing(t *testing.T) {
+	l := newSelectionLog(3)
+	mk := func(i int) Selection { return Selection{Request: fmt.Sprintf("r%d", i)} }
+
+	for i := 0; i < 3; i++ {
+		if l.add(mk(i)) {
+			t.Fatalf("add %d dropped before ring filled", i)
+		}
+	}
+	if !l.add(mk(3)) || !l.add(mk(4)) {
+		t.Fatal("overwriting adds did not report drops")
+	}
+	if l.dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", l.dropped)
+	}
+	got := l.snapshot()
+	want := []string{"r2", "r3", "r4"}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot len = %d, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Request != w {
+			t.Fatalf("snapshot[%d] = %q, want %q (oldest first)", i, got[i].Request, w)
+		}
+	}
+}
+
+func TestSelectionLogDefaultSize(t *testing.T) {
+	l := newSelectionLog(0)
+	if len(l.buf) != DefaultSelectionLogSize {
+		t.Fatalf("default ring size = %d, want %d", len(l.buf), DefaultSelectionLogSize)
+	}
+}
+
+func TestServerSelectionLogBound(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.SelectionLogSize = 2
+	d := &recordingDispatcher{}
+	s, err := NewServer(cfg, d)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	registerFresh(t, s, "a", "b", "c")
+
+	tk := validTask()
+	tk.SpatialDensity = 1
+	tk.SamplingPeriod = time.Minute
+	if _, err := s.SubmitTask(tk, simclock.Epoch, func(TaskID, string, sensors.Reading) {}); err != nil {
+		t.Fatalf("SubmitTask: %v", err)
+	}
+	// One hour at one-minute periods = 60 requests, far beyond the ring.
+	for now := simclock.Epoch; !now.After(simclock.Epoch.Add(time.Hour)); now = now.Add(time.Minute) {
+		s.ProcessDue(now)
+		for _, c := range d.calls {
+			reading := sensors.Reading{
+				Sensor: sensors.Barometer, Value: 1013, Unit: "hPa",
+				At: now, Where: c.dev.Position,
+			}
+			_ = s.ReceiveData(c.req.ID(), c.dev.ID, reading, now)
+		}
+		d.calls = nil
+	}
+
+	if got := len(s.Selections()); got != 2 {
+		t.Fatalf("retained selections = %d, want ring size 2", got)
+	}
+	if s.SelectionsDropped() == 0 {
+		t.Fatal("SelectionsDropped = 0, want > 0 after overflowing the ring")
+	}
+}
+
+// TestStatsRace drives the scheduler from one goroutine while others hammer
+// the read-side API. Run under -race this is the regression test for the
+// unsynchronised Stats()/Selections() reads the observability PR fixed.
+func TestStatsRace(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := DefaultServerConfig()
+	cfg.Metrics = reg
+	d := &recordingDispatcher{}
+	s, err := NewServer(cfg, d)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	registerFresh(t, s, "a", "b", "c")
+
+	tk := validTask()
+	tk.SpatialDensity = 1
+	tk.SamplingPeriod = time.Minute
+	if _, err := s.SubmitTask(tk, simclock.Epoch, func(TaskID, string, sensors.Reading) {}); err != nil {
+		t.Fatalf("SubmitTask: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = s.Stats()
+				_ = s.Selections()
+				_ = s.SelectionsDropped()
+			}
+		}()
+	}
+
+	for now := simclock.Epoch; now.Before(simclock.Epoch.Add(30 * time.Minute)); now = now.Add(time.Minute) {
+		s.ProcessDue(now)
+		for _, c := range d.calls {
+			reading := sensors.Reading{
+				Sensor: sensors.Barometer, Value: 1013, Unit: "hPa",
+				At: now, Where: c.dev.Position,
+			}
+			_ = s.ReceiveData(c.req.ID(), c.dev.ID, reading, now)
+		}
+		d.calls = nil
+	}
+	close(stop)
+	wg.Wait()
+
+	// The registry counters must agree with the Stats view they mirror.
+	st := s.Stats()
+	if got := counterValue(t, reg, "senseaid_requests_total", "outcome", "satisfied"); got != uint64(st.RequestsSatisfied) {
+		t.Fatalf("satisfied counter = %d, Stats = %d", got, st.RequestsSatisfied)
+	}
+	if got := counterValue(t, reg, "senseaid_readings_total", "outcome", "accepted"); got != uint64(st.ReadingsAccepted) {
+		t.Fatalf("accepted counter = %d, Stats = %d", got, st.ReadingsAccepted)
+	}
+}
+
+// counterValue digs one counter series out of a registry snapshot.
+func counterValue(t *testing.T, reg *obs.Registry, name, labelKey, labelVal string) uint64 {
+	t.Helper()
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Series {
+			if labelKey == "" || s.Labels[labelKey] == labelVal {
+				return uint64(*s.Value)
+			}
+		}
+	}
+	t.Fatalf("series %s{%s=%q} not found", name, labelKey, labelVal)
+	return 0
+}

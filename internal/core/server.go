@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"senseaid/internal/obs"
 	"senseaid/internal/reputation"
 	"senseaid/internal/sensors"
 )
@@ -77,6 +79,19 @@ type ServerConfig struct {
 	// of some reasonable time interval, say the week". Zero disables
 	// automatic resets (callers may still ResetWindow by hand).
 	FairnessWindow time.Duration
+	// Metrics receives the server's operational counters, gauges, and
+	// latency histograms (see internal/obs). Nil uses a fresh private
+	// registry, so counters always work; frontends pass their own so the
+	// core's series appear on the shared /metrics endpoint.
+	Metrics *obs.Registry
+	// MetricsLabels is attached to every series this server registers.
+	// Sharded deployments set a distinct shard label per region so the
+	// shards' gauges and counters stay separate on a shared registry.
+	MetricsLabels obs.Labels
+	// SelectionLogSize bounds the in-memory selection log (a ring buffer;
+	// overwrites are counted by senseaid_selections_dropped_total). Zero
+	// means DefaultSelectionLogSize.
+	SelectionLogSize int
 }
 
 // DefaultServerConfig returns the stock configuration.
@@ -94,7 +109,9 @@ type pendingDispatch struct {
 // wait queues), device selector and task scheduler, per Algorithm 1. The
 // environment drives time: call ProcessDue whenever the clock reaches a
 // request's due time (NextWake says when that is) and data flows in via
-// ReceiveData. Not safe for concurrent use; frontends serialise access.
+// ReceiveData. Mutating calls are not safe for concurrent use; frontends
+// serialise access. Stats and Selections are safe to call concurrently
+// with the mutators, so monitoring never has to stop the scheduler.
 type Server struct {
 	cfg      ServerConfig
 	selector *Selector
@@ -113,8 +130,15 @@ type Server struct {
 	// windowStart anchors the current fairness accounting window.
 	windowStart time.Time
 
-	stats      Stats
-	selections []Selection
+	registry *obs.Registry
+	met      serverMetrics
+
+	// statsMu guards stats and sellog: the one corner of the server that
+	// concurrent readers (admin endpoint, monitoring loops) may touch
+	// while the frontend drives the mutators.
+	statsMu sync.Mutex
+	stats   Stats
+	sellog  selectionLog
 }
 
 // NewServer builds a server around a dispatcher.
@@ -132,6 +156,10 @@ func NewServer(cfg ServerConfig, d Dispatcher) (*Server, error) {
 	if cfg.OutlierToleranceAbs == 0 {
 		cfg.OutlierToleranceAbs = 0.5
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Server{
 		cfg:       cfg,
 		selector:  sel,
@@ -141,6 +169,9 @@ func NewServer(cfg ServerConfig, d Dispatcher) (*Server, error) {
 		pending:   make(map[string][]pendingDispatch),
 		collected: make(map[string]map[string]float64),
 		dispatch:  d,
+		registry:  reg,
+		met:       newServerMetrics(reg, cfg.MetricsLabels),
+		sellog:    newSelectionLog(cfg.SelectionLogSize),
 	}, nil
 }
 
@@ -157,14 +188,46 @@ func (s *Server) noteOutcome(deviceID string, o reputation.Outcome) {
 // Devices exposes the device datastore (registration, control reports).
 func (s *Server) Devices() *DeviceStore { return s.devices }
 
-// Stats returns a copy of the server counters.
-func (s *Server) Stats() Stats { return s.stats }
+// Stats returns a copy of the server counters. Safe to call concurrently
+// with the scheduler.
+func (s *Server) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
 
-// Selections returns the selection log (Figure 9's raw data).
+// Selections returns the retained selection log, oldest first (Figure 9's
+// raw data). The log is a bounded ring: SelectionsDropped reports how many
+// older entries have been overwritten. Safe to call concurrently with the
+// scheduler.
 func (s *Server) Selections() []Selection {
-	out := make([]Selection, len(s.selections))
-	copy(out, s.selections)
-	return out
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.sellog.snapshot()
+}
+
+// SelectionsDropped counts selection-log entries lost to the ring buffer.
+func (s *Server) SelectionsDropped() uint64 {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.sellog.dropped
+}
+
+// Metrics exposes the registry the server reports into.
+func (s *Server) Metrics() *obs.Registry { return s.registry }
+
+// TaskCount returns the number of stored tasks (for status endpoints).
+func (s *Server) TaskCount() int { return len(s.tasks) }
+
+// bump applies a stats mutation under the stats lock and mirrors it onto
+// a registry counter (nil skips the mirror, for gauge-like fields).
+func (s *Server) bump(ctr *obs.Counter, f func(*Stats)) {
+	if ctr != nil {
+		ctr.Inc()
+	}
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
 }
 
 // Task returns a stored task.
@@ -198,8 +261,13 @@ func (s *Server) SubmitTask(t Task, now time.Time, sink DataSink) (TaskID, error
 		reqs[i].Task = &stored
 		s.run.push(reqs[i])
 	}
+	s.met.tasksSubmitted.Inc()
+	s.met.reqGenerated.Add(uint64(len(reqs)))
+	s.statsMu.Lock()
 	s.stats.TasksSubmitted++
 	s.stats.RequestsGenerated += len(reqs)
+	s.statsMu.Unlock()
+	s.syncGauges()
 	return stored.ID, nil
 }
 
@@ -231,7 +299,11 @@ func (s *Server) UpdateTaskParams(id TaskID, now time.Time, mutate func(*Task)) 
 		reqs[i].Task = t
 		s.run.push(reqs[i])
 	}
+	s.met.reqGenerated.Add(uint64(len(reqs)))
+	s.statsMu.Lock()
 	s.stats.RequestsGenerated += len(reqs)
+	s.statsMu.Unlock()
+	s.syncGauges()
 	return nil
 }
 
@@ -244,6 +316,7 @@ func (s *Server) DeleteTask(id TaskID) error {
 	delete(s.sinks, id)
 	s.run.removeTask(id)
 	s.wait.removeTask(id)
+	s.syncGauges()
 	return nil
 }
 
@@ -266,6 +339,8 @@ func (s *Server) NextWake() (time.Time, bool) {
 // wait queue, then pop and schedule every run-queue request whose due
 // time has arrived.
 func (s *Server) ProcessDue(now time.Time) {
+	s.met.rounds.Inc()
+	defer s.syncGauges()
 	if s.cfg.FairnessWindow > 0 {
 		if s.windowStart.IsZero() {
 			s.windowStart = now
@@ -284,7 +359,7 @@ func (s *Server) ProcessDue(now time.Time) {
 		}
 		s.run.pop()
 		if r.Deadline.Before(now) {
-			s.stats.RequestsExpired++
+			s.bump(s.met.reqExpired, func(st *Stats) { st.RequestsExpired++ })
 			continue
 		}
 		s.schedule(r, now)
@@ -296,6 +371,7 @@ func (s *Server) ProcessDue(now time.Time) {
 func (s *Server) schedule(r Request, now time.Time) {
 	var selected []DeviceState
 	var err error
+	selStart := time.Now()
 	if s.cfg.SelectAll {
 		qualified, _ := s.selector.Qualify(r, s.devices.All())
 		if len(qualified) < r.Task.SpatialDensity {
@@ -306,10 +382,11 @@ func (s *Server) schedule(r Request, now time.Time) {
 	} else {
 		selected, err = s.selector.Select(r, s.devices.All(), now)
 	}
+	s.met.selectionSeconds.Observe(time.Since(selStart).Seconds())
 	if err != nil {
 		// n > N: "move t to wait queue".
 		s.wait.push(r)
-		s.stats.RequestsWaitlisted++
+		s.bump(s.met.reqWaitlisted, func(st *Stats) { st.RequestsWaitlisted++ })
 		return
 	}
 	sel := Selection{Request: r.ID(), At: now}
@@ -319,14 +396,14 @@ func (s *Server) schedule(r Request, now time.Time) {
 		sel.Devices = append(sel.Devices, d.ID)
 		s.dispatch.Dispatch(r, d)
 	}
-	s.selections = append(s.selections, sel)
-	// Bound the log so month-long deployments don't grow without limit;
-	// analyses that need full history subscribe at dispatch time.
-	const maxSelectionLog = 100_000
-	if len(s.selections) > maxSelectionLog {
-		s.selections = append(s.selections[:0:0], s.selections[len(s.selections)-maxSelectionLog/2:]...)
-	}
+	s.statsMu.Lock()
+	dropped := s.sellog.add(sel)
 	s.stats.RequestsSatisfied++
+	s.statsMu.Unlock()
+	if dropped {
+		s.met.selectionsDropped.Inc()
+	}
+	s.met.reqSatisfied.Inc()
 }
 
 // checkWaitQueue is the wait_check_thread: requests whose density can now
@@ -338,15 +415,17 @@ func (s *Server) checkWaitQueue(now time.Time) {
 		if r.Deadline.Before(now) {
 			// No longer waitlisted: the gauge comes down as the expiry
 			// counter goes up, so outcomes never exceed generated.
-			s.stats.RequestsWaitlisted--
-			s.stats.RequestsExpired++
+			s.bump(s.met.reqExpired, func(st *Stats) {
+				st.RequestsWaitlisted--
+				st.RequestsExpired++
+			})
 			continue
 		}
 		qualified, _ := s.selector.Qualify(r, s.devices.All())
 		if len(qualified) >= r.Task.SpatialDensity {
 			// Satisfiable now: hand straight to the scheduler (moving
 			// it to the run queue and popping it would be equivalent).
-			s.stats.RequestsWaitlisted--
+			s.bump(nil, func(st *Stats) { st.RequestsWaitlisted-- })
 			s.schedule(r, now)
 			continue
 		}
@@ -366,7 +445,7 @@ func (s *Server) expireDispatches(now time.Time) {
 			if p.req.Deadline.Before(now) {
 				s.devices.SetResponsive(p.deviceID, false)
 				s.noteOutcome(p.deviceID, reputation.OutcomeMissed)
-				s.stats.DispatchesMissed++
+				s.bump(s.met.dispatchExpiries, func(st *Stats) { st.DispatchesMissed++ })
 				continue
 			}
 			live = append(live, p)
@@ -415,13 +494,13 @@ func (s *Server) ReceiveData(reqID string, deviceID string, reading sensors.Read
 		}
 	}
 	if idx == -1 {
-		s.stats.ReadingsRejected++
+		s.bump(s.met.readingsRejected, func(st *Stats) { st.ReadingsRejected++ })
 		return fmt.Errorf("core: unsolicited data from %s for %s", deviceID, reqID)
 	}
 	p := list[idx]
 
 	if err := s.validateReading(p.req, deviceID, reading); err != nil {
-		s.stats.ReadingsRejected++
+		s.bump(s.met.readingsRejected, func(st *Stats) { st.ReadingsRejected++ })
 		s.noteOutcome(deviceID, reputation.OutcomeRejected)
 		return err
 	}
@@ -429,7 +508,7 @@ func (s *Server) ReceiveData(reqID string, deviceID string, reading sensors.Read
 	// Clear the pending entry and restore responsiveness.
 	s.pending[reqID] = append(list[:idx], list[idx+1:]...)
 	s.devices.SetResponsive(deviceID, true)
-	s.stats.ReadingsAccepted++
+	s.bump(s.met.readingsAccepted, func(st *Stats) { st.ReadingsAccepted++ })
 
 	// Buffer the value for the round's truth-discovery check; the check
 	// (and the accepted/outlier outcomes) runs when the round completes.

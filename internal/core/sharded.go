@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"senseaid/internal/geo"
+	"senseaid/internal/obs"
 	"senseaid/internal/sensors"
 )
 
@@ -60,7 +61,18 @@ func NewShardedServer(cfg ServerConfig, d Dispatcher, regions []Region) (*Sharde
 			return nil, fmt.Errorf("core: region %q has invalid area", r.Name)
 		}
 		seen[r.Name] = true
-		srv, err := NewServer(cfg, d)
+		shardCfg := cfg
+		if cfg.Metrics != nil {
+			// Distinct shard labels keep per-shard gauges (queue depths,
+			// device counts) from overwriting each other on the shared
+			// registry.
+			labels := obs.Labels{"shard": r.Name}
+			for k, v := range cfg.MetricsLabels {
+				labels[k] = v
+			}
+			shardCfg.MetricsLabels = labels
+		}
+		srv, err := NewServer(shardCfg, d)
 		if err != nil {
 			return nil, err
 		}

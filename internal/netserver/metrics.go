@@ -1,0 +1,119 @@
+package netserver
+
+import (
+	"sync"
+	"time"
+
+	"senseaid/internal/obs"
+	"senseaid/internal/wire"
+)
+
+// rpcSecondsBuckets spans 10 µs – 2.6 s: a handler is a JSON decode plus
+// one core call, but the core mutex can queue behind a scheduling tick.
+var rpcSecondsBuckets = obs.ExponentialBuckets(1e-5, 4, 10)
+
+// netMetrics is the transport layer's slice of the metric vocabulary.
+// RPC series are created lazily per message type (the type set is fixed
+// by the protocol, so cardinality stays bounded).
+type netMetrics struct {
+	reg *obs.Registry
+
+	connsDevice    *obs.Gauge
+	connsCAS       *obs.Gauge
+	acceptedDevice *obs.Counter
+	acceptedCAS    *obs.Counter
+	casDisconnects *obs.Counter
+
+	uploadTail     *obs.Counter
+	uploadPromoted *obs.Counter
+	uploadUnknown  *obs.Counter
+
+	mu      sync.Mutex
+	rpcHist map[string]*obs.Histogram
+	rpcErrs map[string]*obs.Counter
+}
+
+func newNetMetrics(reg *obs.Registry) *netMetrics {
+	role := func(r string) obs.Labels { return obs.Labels{"role": r} }
+	path := func(p string) obs.Labels { return obs.Labels{"path": p} }
+	return &netMetrics{
+		reg: reg,
+		connsDevice: reg.Gauge("senseaid_net_connections",
+			"Open peer connections by role.", role("device")),
+		connsCAS: reg.Gauge("senseaid_net_connections",
+			"Open peer connections by role.", role("cas")),
+		acceptedDevice: reg.Counter("senseaid_net_connections_total",
+			"Accepted peer connections by role.", role("device")),
+		acceptedCAS: reg.Counter("senseaid_net_connections_total",
+			"Accepted peer connections by role.", role("cas")),
+		casDisconnects: reg.Counter("senseaid_cas_disconnects_total",
+			"CAS connections lost with live tasks still registered.", nil),
+		uploadTail: reg.Counter("senseaid_uploads_total",
+			"Crowdsensing uploads by radio path.", path(wire.PathTail)),
+		uploadPromoted: reg.Counter("senseaid_uploads_total",
+			"Crowdsensing uploads by radio path.", path(wire.PathPromoted)),
+		uploadUnknown: reg.Counter("senseaid_uploads_total",
+			"Crowdsensing uploads by radio path.", path("unknown")),
+		rpcHist: make(map[string]*obs.Histogram),
+		rpcErrs: make(map[string]*obs.Counter),
+	}
+}
+
+// upload returns the senseaid_uploads_total series for a wire path value,
+// folding anything unrecognised into "unknown" so a hostile client cannot
+// mint unbounded label values.
+func (m *netMetrics) upload(path string) *obs.Counter {
+	switch path {
+	case wire.PathTail:
+		return m.uploadTail
+	case wire.PathPromoted:
+		return m.uploadPromoted
+	default:
+		return m.uploadUnknown
+	}
+}
+
+// knownTypes bounds the type label: peers choose the bytes in env.Type,
+// so anything off-protocol is folded into a single "unknown" series.
+var knownTypes = map[wire.MsgType]bool{
+	wire.TypeHello: true, wire.TypeAck: true, wire.TypeError: true,
+	wire.TypeRegister: true, wire.TypeDeregister: true,
+	wire.TypeUpdatePrefs: true, wire.TypeStateReport: true,
+	wire.TypeSenseData: true, wire.TypeSchedule: true,
+	wire.TypeSubmitTask: true, wire.TypeUpdateTask: true,
+	wire.TypeDeleteTask: true, wire.TypeSensedData: true,
+}
+
+// observeRPC records one handled message: latency into senseaid_rpc_seconds
+// and, on failure, senseaid_rpc_errors_total — both labelled by peer role
+// and message type.
+func (m *netMetrics) observeRPC(role string, t wire.MsgType, d time.Duration, failed bool) {
+	if !knownTypes[t] {
+		t = "unknown"
+	}
+	key := role + "|" + string(t)
+	m.mu.Lock()
+	h, ok := m.rpcHist[key]
+	if !ok {
+		labels := obs.Labels{"role": role, "type": string(t)}
+		h = m.reg.Histogram("senseaid_rpc_seconds",
+			"RPC handling latency by peer role and message type.",
+			rpcSecondsBuckets, labels)
+		m.rpcHist[key] = h
+	}
+	var e *obs.Counter
+	if failed {
+		e, ok = m.rpcErrs[key]
+		if !ok {
+			e = m.reg.Counter("senseaid_rpc_errors_total",
+				"RPC handler failures by peer role and message type.",
+				obs.Labels{"role": role, "type": string(t)})
+			m.rpcErrs[key] = e
+		}
+	}
+	m.mu.Unlock()
+	h.Observe(d.Seconds())
+	if e != nil {
+		e.Inc()
+	}
+}

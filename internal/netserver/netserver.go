@@ -15,6 +15,7 @@ import (
 
 	"senseaid/internal/core"
 	"senseaid/internal/geo"
+	"senseaid/internal/obs"
 	"senseaid/internal/privacy"
 	"senseaid/internal/sensors"
 	"senseaid/internal/simclock"
@@ -35,6 +36,13 @@ type Config struct {
 	TickPeriod time.Duration
 	// Logger receives operational messages; nil discards them.
 	Logger *log.Logger
+	// LogLevel filters Logger output (errors always pass; LevelInfo adds
+	// lifecycle events, LevelDebug adds per-message traffic).
+	LogLevel obs.Level
+	// Metrics receives the transport and core series. Nil uses a fresh
+	// private registry; production passes obs.Default() so the admin
+	// endpoint sees them.
+	Metrics *obs.Registry
 	// PseudonymSecret, when set (>= 8 bytes), hides device identities
 	// from application servers: readings are delivered under stable
 	// per-task pseudonyms instead of device IDs (the paper's privacy
@@ -45,10 +53,12 @@ type Config struct {
 
 // Server is a running networked Sense-Aid server.
 type Server struct {
-	cfg   Config
-	ln    net.Listener
-	clock simclock.Clock
-	log   *log.Logger
+	cfg     Config
+	ln      net.Listener
+	clock   simclock.Clock
+	log     *obs.Logger
+	met     *netMetrics
+	started time.Time
 
 	mu      sync.Mutex // guards core, conns, and write fan-out maps
 	core    *core.Server
@@ -99,15 +109,18 @@ func Listen(cfg Config) (*Server, error) {
 	if cfg.Core.Selector == (core.SelectorConfig{}) {
 		cfg.Core = core.DefaultServerConfig()
 	}
-	logger := cfg.Logger
-	if logger == nil {
-		logger = log.New(discard{}, "", 0)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	cfg.Core.Metrics = reg
 
 	s := &Server{
 		cfg:     cfg,
 		clock:   cfg.Clock,
-		log:     logger,
+		log:     obs.NewLogger(cfg.Logger, cfg.LogLevel),
+		met:     newNetMetrics(reg),
+		started: time.Now(),
 		devices: make(map[string]*conn),
 		taskCAS: make(map[core.TaskID]*conn),
 		done:    make(chan struct{}),
@@ -140,11 +153,41 @@ func Listen(cfg Config) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Stats returns the core's counters.
-func (s *Server) Stats() core.Stats {
+// Stats returns the core's counters (safe without s.mu: the core's
+// read-side API is concurrency-safe).
+func (s *Server) Stats() core.Stats { return s.core.Stats() }
+
+// Metrics returns the registry carrying this server's series.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// Status is a point-in-time operational summary for /statusz.
+type Status struct {
+	Addr             string     `json:"addr"`
+	UptimeSeconds    float64    `json:"uptime_seconds"`
+	DeviceConns      int        `json:"device_connections"`
+	LiveTasks        int        `json:"live_tasks"`
+	Core             core.Stats `json:"core"`
+	SelectionsKept   int        `json:"selections_kept"`
+	SelectionsLost   uint64     `json:"selections_dropped"`
+	PseudonymsActive bool       `json:"pseudonyms_active"`
+}
+
+// Status snapshots the server for the admin endpoint.
+func (s *Server) Status() Status {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.core.Stats()
+	devConns := len(s.devices)
+	liveTasks := len(s.taskCAS)
+	s.mu.Unlock()
+	return Status{
+		Addr:             s.Addr(),
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		DeviceConns:      devConns,
+		LiveTasks:        liveTasks,
+		Core:             s.core.Stats(),
+		SelectionsKept:   len(s.core.Selections()),
+		SelectionsLost:   s.core.SelectionsDropped(),
+		PseudonymsActive: s.pseudo != nil,
+	}
 }
 
 // Close shuts the server down and waits for its goroutines.
@@ -170,11 +213,6 @@ func (s *Server) Close() error {
 	return err
 }
 
-// discard is an io.Writer that drops everything (for the nil logger).
-type discard struct{}
-
-func (discard) Write(p []byte) (int, error) { return len(p), nil }
-
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -188,7 +226,7 @@ func (s *Server) acceptLoop() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
-			s.log.Printf("accept: %v", err)
+			s.log.Errorf("accept: %v", err)
 			continue
 		}
 		s.wg.Add(1)
@@ -221,7 +259,7 @@ func (s *Server) tickLoop() {
 func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
 	c, ok := s.devices[dev.ID]
 	if !ok {
-		s.log.Printf("dispatch %s: device %s not connected", req.ID(), dev.ID)
+		s.log.Debugf("dispatch %s: device %s not connected", req.ID(), dev.ID)
 		return
 	}
 	err := c.send(wire.TypeSchedule, 0, wire.Schedule{
@@ -232,7 +270,7 @@ func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
 		Deadline:  req.Deadline,
 	})
 	if err != nil {
-		s.log.Printf("dispatch %s to %s: %v", req.ID(), dev.ID, err)
+		s.log.Errorf("dispatch %s to %s: %v", req.ID(), dev.ID, err)
 	}
 }
 
@@ -262,15 +300,25 @@ func (s *Server) serveConn(c *conn) {
 
 	switch hello.Role {
 	case wire.RoleDevice:
+		s.met.acceptedDevice.Inc()
+		s.met.connsDevice.Add(1)
+		s.log.Debugf("device connection from %s", c.nc.RemoteAddr())
 		s.serveDevice(c)
+		s.met.connsDevice.Add(-1)
 	case wire.RoleCAS:
+		s.met.acceptedCAS.Inc()
+		s.met.connsCAS.Add(1)
+		s.log.Debugf("CAS connection from %s", c.nc.RemoteAddr())
 		s.serveCAS(c)
+		s.met.connsCAS.Add(-1)
 	default:
 		c.sendErr(env.Seq, fmt.Errorf("netserver: unknown role %q", hello.Role))
 	}
 }
 
-// serveDevice handles a device connection's message loop.
+// serveDevice handles a device connection's message loop. Each message is
+// timed into senseaid_rpc_seconds; handler failures are reported to the
+// peer and counted in senseaid_rpc_errors_total.
 func (s *Server) serveDevice(c *conn) {
 	deviceID := ""
 	defer func() {
@@ -280,6 +328,7 @@ func (s *Server) serveDevice(c *conn) {
 				delete(s.devices, deviceID)
 			}
 			s.mu.Unlock()
+			s.log.Debugf("device %s disconnected", deviceID)
 		}
 	}()
 	for {
@@ -287,101 +336,113 @@ func (s *Server) serveDevice(c *conn) {
 		if err != nil {
 			return
 		}
-		switch env.Type {
-		case wire.TypeRegister:
-			var reg wire.Register
-			if err := wire.Decode(env, &reg); err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			s.mu.Lock()
-			err := s.core.Devices().Register(core.DeviceState{
-				ID:         reg.DeviceID,
-				Position:   reg.Position,
-				BatteryPct: reg.BatteryPct,
-				LastComm:   s.clock.Now(),
-				Sensors:    reg.Sensors,
-				DeviceType: reg.DeviceType,
-				Budget:     reg.Budget,
-			})
-			if err == nil {
-				s.devices[reg.DeviceID] = c
-				deviceID = reg.DeviceID
-			}
-			s.mu.Unlock()
-			if err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: reg.DeviceID})
-
-		case wire.TypeDeregister:
-			s.mu.Lock()
-			if deviceID != "" {
-				s.core.Devices().Deregister(deviceID)
-				delete(s.devices, deviceID)
-			}
-			s.mu.Unlock()
-			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
-			return
-
-		case wire.TypeUpdatePrefs:
-			var up wire.UpdatePrefs
-			if err := wire.Decode(env, &up); err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			if err := up.Budget.Validate(); err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			s.mu.Lock()
-			dev, ok := s.core.Devices().Get(deviceID)
-			if ok {
-				dev.Budget = up.Budget
-				// Re-register keeps the rest of the record.
-				_ = s.core.Devices().Register(dev)
-			}
-			s.mu.Unlock()
-			if !ok {
-				c.sendErr(env.Seq, fmt.Errorf("netserver: update_preferences before register"))
-				continue
-			}
-			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
-
-		case wire.TypeStateReport:
-			var sr wire.StateReport
-			if err := wire.Decode(env, &sr); err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			s.mu.Lock()
-			err := s.core.Devices().UpdateState(deviceID, sr.Position, sr.BatteryPct, sr.LastComm)
-			s.mu.Unlock()
-			if err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
-
-		case wire.TypeSenseData:
-			var sd wire.SenseData
-			if err := wire.Decode(env, &sd); err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			s.mu.Lock()
-			err := s.core.ReceiveData(sd.RequestID, deviceID, sd.Reading, s.clock.Now())
-			s.mu.Unlock()
-			if err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
-
-		default:
-			c.sendErr(env.Seq, fmt.Errorf("netserver: unexpected %s from device", env.Type))
+		start := time.Now()
+		closed, herr := s.handleDeviceMsg(c, &deviceID, env)
+		s.met.observeRPC("device", env.Type, time.Since(start), herr != nil)
+		if herr != nil {
+			c.sendErr(env.Seq, herr)
 		}
+		if closed {
+			return
+		}
+	}
+}
+
+// handleDeviceMsg processes one device message: acks on success, returns
+// the error to report otherwise. closed means the loop should end.
+func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (closed bool, _ error) {
+	switch env.Type {
+	case wire.TypeRegister:
+		var reg wire.Register
+		if err := wire.Decode(env, &reg); err != nil {
+			return false, err
+		}
+		s.mu.Lock()
+		err := s.core.Devices().Register(core.DeviceState{
+			ID:         reg.DeviceID,
+			Position:   reg.Position,
+			BatteryPct: reg.BatteryPct,
+			LastComm:   s.clock.Now(),
+			Sensors:    reg.Sensors,
+			DeviceType: reg.DeviceType,
+			Budget:     reg.Budget,
+		})
+		if err == nil {
+			s.devices[reg.DeviceID] = c
+			*deviceID = reg.DeviceID
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return false, err
+		}
+		s.log.Infof("device %s registered", reg.DeviceID)
+		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: reg.DeviceID})
+		return false, nil
+
+	case wire.TypeDeregister:
+		s.mu.Lock()
+		if *deviceID != "" {
+			s.core.Devices().Deregister(*deviceID)
+			delete(s.devices, *deviceID)
+		}
+		s.mu.Unlock()
+		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+		return true, nil
+
+	case wire.TypeUpdatePrefs:
+		var up wire.UpdatePrefs
+		if err := wire.Decode(env, &up); err != nil {
+			return false, err
+		}
+		if err := up.Budget.Validate(); err != nil {
+			return false, err
+		}
+		s.mu.Lock()
+		dev, ok := s.core.Devices().Get(*deviceID)
+		if ok {
+			dev.Budget = up.Budget
+			// Re-register keeps the rest of the record.
+			_ = s.core.Devices().Register(dev)
+		}
+		s.mu.Unlock()
+		if !ok {
+			return false, fmt.Errorf("netserver: update_preferences before register")
+		}
+		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+		return false, nil
+
+	case wire.TypeStateReport:
+		var sr wire.StateReport
+		if err := wire.Decode(env, &sr); err != nil {
+			return false, err
+		}
+		s.mu.Lock()
+		err := s.core.Devices().UpdateState(*deviceID, sr.Position, sr.BatteryPct, sr.LastComm)
+		s.mu.Unlock()
+		if err != nil {
+			return false, err
+		}
+		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+		return false, nil
+
+	case wire.TypeSenseData:
+		var sd wire.SenseData
+		if err := wire.Decode(env, &sd); err != nil {
+			return false, err
+		}
+		s.mu.Lock()
+		err := s.core.ReceiveData(sd.RequestID, *deviceID, sd.Reading, s.clock.Now())
+		s.mu.Unlock()
+		if err != nil {
+			return false, err
+		}
+		s.met.upload(sd.Path).Inc()
+		s.log.Debugf("upload from %s for %s (path=%s)", *deviceID, sd.RequestID, sd.Path)
+		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+		return false, nil
+
+	default:
+		return false, fmt.Errorf("netserver: unexpected %s from device", env.Type)
 	}
 }
 
@@ -392,11 +453,13 @@ func (s *Server) serveCAS(c *conn) {
 	var ownedTasks []core.TaskID
 	defer func() {
 		s.mu.Lock()
+		orphaned := 0
 		for _, id := range ownedTasks {
 			if s.taskCAS[id] == c {
 				delete(s.taskCAS, id)
 				if err := s.core.DeleteTask(id); err == nil {
-					s.log.Printf("CAS disconnected; task %s deleted", id)
+					orphaned++
+					s.log.Infof("CAS disconnected; task %s deleted", id)
 				}
 				if s.pseudo != nil {
 					s.pseudo.Forget(string(id))
@@ -404,105 +467,117 @@ func (s *Server) serveCAS(c *conn) {
 			}
 		}
 		s.mu.Unlock()
+		if orphaned > 0 {
+			s.met.casDisconnects.Inc()
+		}
 	}()
 	for {
 		env, err := wire.ReadFrame(c.nc)
 		if err != nil {
 			return
 		}
-		switch env.Type {
-		case wire.TypeSubmitTask:
-			var spec wire.TaskSpec
-			if err := wire.Decode(env, &spec); err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			task := core.Task{
-				Sensor:           spec.Sensor,
-				SamplingPeriod:   spec.SamplingPeriod,
-				SamplingDuration: spec.SamplingDuration,
-				Start:            spec.Start,
-				End:              spec.End,
-				Area:             geo.Circle{Center: spec.Center, RadiusM: spec.AreaRadiusM},
-				SpatialDensity:   spec.SpatialDensity,
-				DeviceType:       spec.DeviceType,
-			}
-			s.mu.Lock()
-			id, err := s.core.SubmitTask(task, s.clock.Now(), func(tid core.TaskID, dev string, r sensors.Reading) {
-				// Sink runs with s.mu held (inside ReceiveData); the
-				// send uses the conn's own write lock.
-				reported := dev
-				if s.pseudo != nil {
-					if p, perr := s.pseudo.Pseudonym(string(tid), dev); perr == nil {
-						reported = p
-					}
-				}
-				if e := c.send(wire.TypeSensedData, 0, wire.SensedData{
-					TaskID: string(tid), DeviceID: reported, Reading: r,
-				}); e != nil {
-					s.log.Printf("deliver to CAS for %s: %v", tid, e)
-				}
-			})
-			if err == nil {
-				s.taskCAS[id] = c
-				ownedTasks = append(ownedTasks, id)
-			}
-			s.mu.Unlock()
-			if err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: string(id)})
-
-		case wire.TypeUpdateTask:
-			var ut wire.UpdateTask
-			if err := wire.Decode(env, &ut); err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			s.mu.Lock()
-			err := s.core.UpdateTaskParams(core.TaskID(ut.TaskID), s.clock.Now(), func(t *core.Task) {
-				if ut.SamplingPeriod > 0 {
-					t.SamplingPeriod = ut.SamplingPeriod
-				}
-				if ut.SpatialDensity > 0 {
-					t.SpatialDensity = ut.SpatialDensity
-				}
-				if ut.AreaRadiusM > 0 {
-					t.Area.RadiusM = ut.AreaRadiusM
-				}
-				if !ut.End.IsZero() {
-					t.End = ut.End
-				}
-			})
-			s.mu.Unlock()
-			if err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
-
-		case wire.TypeDeleteTask:
-			var dt wire.DeleteTask
-			if err := wire.Decode(env, &dt); err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			s.mu.Lock()
-			err := s.core.DeleteTask(core.TaskID(dt.TaskID))
-			delete(s.taskCAS, core.TaskID(dt.TaskID))
-			if s.pseudo != nil {
-				s.pseudo.Forget(dt.TaskID)
-			}
-			s.mu.Unlock()
-			if err != nil {
-				c.sendErr(env.Seq, err)
-				continue
-			}
-			_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
-
-		default:
-			c.sendErr(env.Seq, fmt.Errorf("netserver: unexpected %s from CAS", env.Type))
+		start := time.Now()
+		herr := s.handleCASMsg(c, &ownedTasks, env)
+		s.met.observeRPC("cas", env.Type, time.Since(start), herr != nil)
+		if herr != nil {
+			c.sendErr(env.Seq, herr)
 		}
+	}
+}
+
+// handleCASMsg processes one CAS message: acks on success, returns the
+// error to report otherwise.
+func (s *Server) handleCASMsg(c *conn, ownedTasks *[]core.TaskID, env wire.Envelope) error {
+	switch env.Type {
+	case wire.TypeSubmitTask:
+		var spec wire.TaskSpec
+		if err := wire.Decode(env, &spec); err != nil {
+			return err
+		}
+		task := core.Task{
+			Sensor:           spec.Sensor,
+			SamplingPeriod:   spec.SamplingPeriod,
+			SamplingDuration: spec.SamplingDuration,
+			Start:            spec.Start,
+			End:              spec.End,
+			Area:             geo.Circle{Center: spec.Center, RadiusM: spec.AreaRadiusM},
+			SpatialDensity:   spec.SpatialDensity,
+			DeviceType:       spec.DeviceType,
+		}
+		s.mu.Lock()
+		id, err := s.core.SubmitTask(task, s.clock.Now(), func(tid core.TaskID, dev string, r sensors.Reading) {
+			// Sink runs with s.mu held (inside ReceiveData); the
+			// send uses the conn's own write lock.
+			reported := dev
+			if s.pseudo != nil {
+				if p, perr := s.pseudo.Pseudonym(string(tid), dev); perr == nil {
+					reported = p
+				}
+			}
+			if e := c.send(wire.TypeSensedData, 0, wire.SensedData{
+				TaskID: string(tid), DeviceID: reported, Reading: r,
+			}); e != nil {
+				s.log.Errorf("deliver to CAS for %s: %v", tid, e)
+			}
+		})
+		if err == nil {
+			s.taskCAS[id] = c
+			*ownedTasks = append(*ownedTasks, id)
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		s.log.Infof("task %s submitted (sensor=%s density=%d)", id, task.Sensor, task.SpatialDensity)
+		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: string(id)})
+		return nil
+
+	case wire.TypeUpdateTask:
+		var ut wire.UpdateTask
+		if err := wire.Decode(env, &ut); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		err := s.core.UpdateTaskParams(core.TaskID(ut.TaskID), s.clock.Now(), func(t *core.Task) {
+			if ut.SamplingPeriod > 0 {
+				t.SamplingPeriod = ut.SamplingPeriod
+			}
+			if ut.SpatialDensity > 0 {
+				t.SpatialDensity = ut.SpatialDensity
+			}
+			if ut.AreaRadiusM > 0 {
+				t.Area.RadiusM = ut.AreaRadiusM
+			}
+			if !ut.End.IsZero() {
+				t.End = ut.End
+			}
+		})
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+		return nil
+
+	case wire.TypeDeleteTask:
+		var dt wire.DeleteTask
+		if err := wire.Decode(env, &dt); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		err := s.core.DeleteTask(core.TaskID(dt.TaskID))
+		delete(s.taskCAS, core.TaskID(dt.TaskID))
+		if s.pseudo != nil {
+			s.pseudo.Forget(dt.TaskID)
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
+		return nil
+
+	default:
+		return fmt.Errorf("netserver: unexpected %s from CAS", env.Type)
 	}
 }

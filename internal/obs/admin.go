@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// AdminConfig parameterises the admin HTTP server.
+type AdminConfig struct {
+	// Addr is the listen address, e.g. "127.0.0.1:7118". ":0" picks a
+	// free port (see AdminServer.Addr).
+	Addr string
+	// Registry backs /metrics; nil uses Default().
+	Registry *Registry
+	// Health, when set, is consulted by /healthz; a non-nil error turns
+	// the probe into a 503 carrying the error text.
+	Health func() error
+	// Status, when set, supplies the payload of /statusz (current tasks,
+	// device counts, selection summaries — whatever the serving layer
+	// wants operators to see). The value is rendered as JSON.
+	Status func() any
+}
+
+// AdminServer is a running admin endpoint: /metrics (Prometheus text, or
+// JSON with ?format=json), /healthz, and /statusz.
+type AdminServer struct {
+	ln      net.Listener
+	srv     *http.Server
+	started time.Time
+}
+
+// ServeAdmin binds the admin endpoint and serves it on a background
+// goroutine until Close.
+func ServeAdmin(cfg AdminConfig) (*AdminServer, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("obs: empty admin address")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = Default()
+	}
+	a := &AdminServer{started: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(reg.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{
+			"uptime_seconds": time.Since(a.started).Seconds(),
+			"go_version":     runtime.Version(),
+			"goroutines":     runtime.NumGoroutine(),
+		}
+		if cfg.Status != nil {
+			body["status"] = cfg.Status()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+	})
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", cfg.Addr, err)
+	}
+	a.ln = ln
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = a.srv.Serve(ln) }()
+	return a, nil
+}
+
+// Addr returns the bound listen address.
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the admin server immediately.
+func (a *AdminServer) Close() error { return a.srv.Close() }

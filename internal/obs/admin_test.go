@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("senseaid_uploads_total", "uploads", Labels{"path": "tail"}).Add(4)
+
+	healthy := true
+	a, err := ServeAdmin(AdminConfig{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Health: func() error {
+			if !healthy {
+				return fmt.Errorf("core wedged")
+			}
+			return nil
+		},
+		Status: func() any { return map[string]int{"devices": 3} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	base := "http://" + a.Addr()
+
+	code, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, `senseaid_uploads_total{path="tail"} 4`) {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+	if err := CheckText(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics output invalid: %v", err)
+	}
+
+	code, body = getBody(t, base+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json status %d", code)
+	}
+	var snap []FamilySnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("JSON metrics unparseable: %v\n%s", err, body)
+	}
+	if len(snap) != 1 || *snap[0].Series[0].Value != 4 {
+		t.Fatalf("JSON snapshot = %+v", snap)
+	}
+
+	code, body = getBody(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	code, body = getBody(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "core wedged") {
+		t.Fatalf("unhealthy /healthz = %d %q", code, body)
+	}
+
+	code, body = getBody(t, base+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status %d", code)
+	}
+	var status map[string]any
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/statusz unparseable: %v", err)
+	}
+	if status["status"].(map[string]any)["devices"].(float64) != 3 {
+		t.Fatalf("/statusz payload = %v", status)
+	}
+	if _, ok := status["uptime_seconds"]; !ok {
+		t.Fatal("/statusz missing uptime")
+	}
+}
+
+func TestAdminRequiresAddr(t *testing.T) {
+	if _, err := ServeAdmin(AdminConfig{}); err == nil {
+		t.Fatal("empty addr accepted")
+	}
+}

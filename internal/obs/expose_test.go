@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteTextGolden pins the exact exposition bytes for a registry with
+// one of each metric kind — the contract every scraper depends on.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("senseaid_uploads_total", "Crowdsensing uploads by radio path.", Labels{"path": "tail"}).Add(3)
+	r.Counter("senseaid_uploads_total", "Crowdsensing uploads by radio path.", Labels{"path": "promoted"}).Inc()
+	r.Gauge("senseaid_wait_queue_depth", "Requests parked in the wait queue.", nil).Set(2)
+	h := r.Histogram("senseaid_rpc_seconds", "RPC handling latency.", []float64{0.01, 0.1}, nil)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP senseaid_rpc_seconds RPC handling latency.
+# TYPE senseaid_rpc_seconds histogram
+senseaid_rpc_seconds_bucket{le="0.01"} 1
+senseaid_rpc_seconds_bucket{le="0.1"} 2
+senseaid_rpc_seconds_bucket{le="+Inf"} 3
+senseaid_rpc_seconds_sum 0.555
+senseaid_rpc_seconds_count 3
+# HELP senseaid_uploads_total Crowdsensing uploads by radio path.
+# TYPE senseaid_uploads_total counter
+senseaid_uploads_total{path="promoted"} 1
+senseaid_uploads_total{path="tail"} 3
+# HELP senseaid_wait_queue_depth Requests parked in the wait queue.
+# TYPE senseaid_wait_queue_depth gauge
+senseaid_wait_queue_depth 2
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := CheckText(strings.NewReader(want)); err != nil {
+		t.Fatalf("golden output fails its own parser: %v", err)
+	}
+}
+
+func TestCheckTextRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"senseaid_x 1\n",                      // sample without TYPE
+		"# TYPE m counter\nm one\n",           // non-numeric value
+		"# TYPE m counter\nm{le=\"0.1\" 1\n",  // unterminated labels
+		"# TYPE m counter\nm{9bad=\"v\"} 1\n", // invalid label name
+		"# TYPE m counter\nm{l=unquoted} 1\n", // unquoted value
+		"# TYPE m widget\nm 1\n",              // unknown type
+	}
+	for _, c := range cases {
+		if err := CheckText(strings.NewReader(c)); err == nil {
+			t.Fatalf("CheckText accepted %q", c)
+		}
+	}
+}
+
+func TestCheckTextAcceptsHistogramSuffixes(t *testing.T) {
+	text := "# TYPE m_seconds histogram\n" +
+		"m_seconds_bucket{le=\"+Inf\"} 2\n" +
+		"m_seconds_sum 0.4\n" +
+		"m_seconds_count 2\n"
+	if err := CheckText(strings.NewReader(text)); err != nil {
+		t.Fatalf("CheckText rejected histogram series: %v", err)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Labels{"v": "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", buf.String())
+	}
+	if err := CheckText(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("escaped output does not parse: %v", err)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help a", nil).Add(5)
+	r.Gauge("b", "", Labels{"k": "v"}).Set(1.5)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []FamilySnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Name != "a_total" || *back[0].Series[0].Value != 5 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back[1].Series[0].Labels["k"] != "v" || *back[1].Series[0].Value != 1.5 {
+		t.Fatalf("gauge series = %+v", back[1].Series[0])
+	}
+}

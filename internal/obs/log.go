@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+)
+
+// Level orders log verbosity: errors always print, info adds operational
+// events, debug adds per-message noise.
+type Level int32
+
+// Levels, least to most verbose.
+const (
+	LevelError Level = iota
+	LevelInfo
+	LevelDebug
+)
+
+// String names the level as it appears in log lines.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	default:
+		return "ERROR"
+	}
+}
+
+// ParseLevel maps "error", "info", "debug" to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "error":
+		return LevelError, nil
+	case "info":
+		return LevelInfo, nil
+	case "debug":
+		return LevelDebug, nil
+	}
+	return LevelError, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Logger is a leveled facade over a *log.Logger. A nil *Logger is valid
+// and discards everything, so components can hold one unconditionally
+// ("s.log.Debugf(...)" with logging disabled costs a nil check).
+type Logger struct {
+	out *log.Logger
+	lvl atomic.Int32
+}
+
+// NewLogger wraps out at the given level. A nil out returns a nil Logger
+// (all methods become no-ops).
+func NewLogger(out *log.Logger, lvl Level) *Logger {
+	if out == nil {
+		return nil
+	}
+	l := &Logger{out: out}
+	l.lvl.Store(int32(lvl))
+	return l
+}
+
+// SetLevel changes the verbosity at runtime.
+func (l *Logger) SetLevel(lvl Level) {
+	if l != nil {
+		l.lvl.Store(int32(lvl))
+	}
+}
+
+// Enabled reports whether messages at lvl would print.
+func (l *Logger) Enabled(lvl Level) bool {
+	return l != nil && Level(l.lvl.Load()) >= lvl
+}
+
+// Errorf logs at error level (always printed when a logger exists).
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+// Infof logs operational events.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Debugf logs per-message detail.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+func (l *Logger) logf(lvl Level, format string, args ...any) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	_ = l.out.Output(3, lvl.String()+" "+fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(log.New(&buf, "", 0), LevelInfo)
+	l.Errorf("boom %d", 1)
+	l.Infof("started")
+	l.Debugf("noisy detail")
+	out := buf.String()
+	if !strings.Contains(out, "ERROR boom 1") {
+		t.Fatalf("missing error line: %q", out)
+	}
+	if !strings.Contains(out, "INFO started") {
+		t.Fatalf("missing info line: %q", out)
+	}
+	if strings.Contains(out, "noisy detail") {
+		t.Fatalf("debug leaked at info level: %q", out)
+	}
+
+	l.SetLevel(LevelDebug)
+	l.Debugf("now visible")
+	if !strings.Contains(buf.String(), "DEBUG now visible") {
+		t.Fatalf("debug not printed after SetLevel: %q", buf.String())
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Errorf("into the void")
+	l.Infof("x")
+	l.Debugf("y")
+	l.SetLevel(LevelDebug)
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger claims to be enabled")
+	}
+	if NewLogger(nil, LevelDebug) != nil {
+		t.Fatal("NewLogger(nil) should return the nil no-op logger")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"error": LevelError, "info": LevelInfo, "debug": LevelDebug} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bogus level accepted")
+	}
+}

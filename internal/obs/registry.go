@@ -1,0 +1,377 @@
+// Package obs is the Sense-Aid measurement plane: a stdlib-only,
+// concurrency-safe metrics registry (counters, gauges, histograms with
+// fixed buckets), Prometheus text-format and JSON exposition, a leveled
+// logging helper, and a lightweight HTTP admin server publishing
+// /metrics, /healthz, and /statusz.
+//
+// Every serving layer — the scheduling core, the networked frontend, the
+// device daemon, the wire codec, and the simulation frameworks — reports
+// through the same registry vocabulary, so a simulated run and a live
+// senseaidd expose identical metric names. The hot path (Counter.Inc,
+// Gauge.Set, Histogram.Observe) is lock-free and allocation-free; see
+// BenchmarkRegistryHotPath at the repository root.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels is one series' label set ({path="tail"}). Every series of a
+// metric family must use the same label keys.
+type Labels map[string]string
+
+// Counter is a monotonically increasing value (events, bytes).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (queue depth, battery level).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets, plus a sum
+// and total count — enough for rates and quantile estimates Prometheus-side.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound admits v (le semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds (the Prometheus base unit).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefBuckets are general-purpose latency buckets in seconds (the
+// Prometheus defaults).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExponentialBuckets returns count bucket bounds starting at start, each
+// factor times the previous — the usual shape for latency histograms.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExponentialBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// metricKind discriminates family types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one (family, label set) pair.
+type series struct {
+	key    string // canonical label signature, e.g. `path="tail"`
+	labels Labels
+	ctr    *Counter
+	gauge  *Gauge
+	fn     func() float64
+	hist   *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name      string
+	help      string
+	kind      metricKind
+	labelKeys []string  // sorted; every series must match
+	bounds    []float64 // histogram bucket bounds
+	series    map[string]*series
+}
+
+// Registry holds metric families and hands out series handles. Get-or-
+// create semantics: asking twice for the same name and labels returns the
+// same handle, so independent components can share one registry without
+// coordinating registration order.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry backs components that are not handed an explicit
+// registry — notably the wire codec's package-level error counters and
+// the production senseaidd process.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter series for name and labels, creating family
+// and series as needed. Panics if name exists with a different type or
+// label key set (a programming error, like a duplicate flag).
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	s := r.getOrCreate(name, help, kindCounter, nil, labels)
+	return s.ctr
+}
+
+// Gauge returns the gauge series for name and labels.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	s := r.getOrCreate(name, help, kindGauge, nil, labels)
+	return s.gauge
+}
+
+// GaugeFunc installs a callback evaluated at exposition time — for values
+// that are cheaper to read than to track (fn must be safe to call from
+// the admin server's goroutine). Re-registering the same series replaces
+// the callback.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	s := r.getOrCreate(name, help, kindGauge, nil, labels)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram series for name, labels, and bucket
+// bounds (ascending, in the metric's base unit — seconds for latencies).
+// Bounds must match any prior registration of the same family.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	s := r.getOrCreate(name, help, kindHistogram, bounds, labels)
+	return s.hist
+}
+
+func (r *Registry) getOrCreate(name, help string, kind metricKind, bounds []float64, labels Labels) *series {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if !validLabelName(k) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", k, name))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:      name,
+			help:      help,
+			kind:      kind,
+			labelKeys: keys,
+			series:    make(map[string]*series),
+		}
+		if kind == kindHistogram {
+			f.bounds = checkBounds(name, bounds)
+		}
+		r.families[name] = f
+	} else {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q redeclared as %s (was %s)", name, kind, f.kind))
+		}
+		if !equalStrings(f.labelKeys, keys) {
+			panic(fmt.Sprintf("obs: metric %q label keys %v conflict with existing %v", name, keys, f.labelKeys))
+		}
+		if kind == kindHistogram && !equalFloats(f.bounds, checkBounds(name, bounds)) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different buckets", name))
+		}
+	}
+
+	key := labelSignature(keys, labels)
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{key: key, labels: cloneLabels(labels)}
+	switch kind {
+	case kindCounter:
+		s.ctr = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = &Histogram{
+			bounds: f.bounds,
+			counts: make([]atomic.Uint64, len(f.bounds)+1),
+		}
+	}
+	f.series[key] = s
+	return s
+}
+
+// checkBounds validates and copies histogram bucket bounds.
+func checkBounds(name string, bounds []float64) []float64 {
+	if len(bounds) == 0 {
+		return nil
+	}
+	out := make([]float64, len(bounds))
+	copy(out, bounds)
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			panic(fmt.Sprintf("obs: metric %q buckets not strictly ascending", name))
+		}
+	}
+	return out
+}
+
+// labelSignature renders labels in canonical (sorted-key) order.
+func labelSignature(sortedKeys []string, labels Labels) string {
+	if len(sortedKeys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, k := range sortedKeys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+func cloneLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validMetricName checks the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName checks [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"senseaid/internal/core"
+	"senseaid/internal/obs"
+	"senseaid/internal/wire"
 )
 
 // Framework runs a set of crowdsensing tasks on a world and reports the
@@ -56,6 +58,49 @@ type RunResult struct {
 	Uploads UploadStats `json:"uploads"`
 	// Selections is the Sense-Aid selection log (empty for baselines).
 	Selections []core.Selection `json:"selections"`
+}
+
+// uploadMeter bridges UploadStats to the live metric vocabulary: every
+// increment lands both in the RunResult and on senseaid_uploads_total
+// with the same path labels the networked server reports, so a simulated
+// run and a live deployment expose identical series.
+type uploadMeter struct {
+	res      *RunResult
+	tail     *obs.Counter
+	promoted *obs.Counter
+	batched  *obs.Counter
+}
+
+func newUploadMeter(reg *obs.Registry, res *RunResult) uploadMeter {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	path := func(p string) obs.Labels { return obs.Labels{"path": p} }
+	const help = "Crowdsensing uploads by radio path."
+	return uploadMeter{
+		res:      res,
+		tail:     reg.Counter("senseaid_uploads_total", help, path(wire.PathTail)),
+		promoted: reg.Counter("senseaid_uploads_total", help, path(wire.PathPromoted)),
+		batched:  reg.Counter("senseaid_uploads_total", help, path("batched")),
+	}
+}
+
+// piggybacked records n uploads that rode existing traffic or a tail.
+func (m uploadMeter) piggybacked(n int) {
+	m.res.Uploads.Piggybacked += n
+	m.tail.Add(uint64(n))
+}
+
+// forced records n uploads that paid an IDLE->CONNECTED promotion.
+func (m uploadMeter) forced(n int) {
+	m.res.Uploads.Forced += n
+	m.promoted.Add(uint64(n))
+}
+
+// sharedBatch records n samples that shared one transfer with others.
+func (m uploadMeter) sharedBatch(n int) {
+	m.res.Uploads.Batched += n
+	m.batched.Add(uint64(n))
 }
 
 // AvgPerParticipantJ is crowdsensing energy per participating device — the

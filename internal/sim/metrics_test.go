@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"senseaid/internal/obs"
+)
+
+// seriesValue returns the counter value for name{labels...} from a
+// snapshot, or -1 if the series does not exist.
+func seriesValue(reg *obs.Registry, name string, labels obs.Labels) float64 {
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != name {
+			continue
+		}
+	series:
+		for _, s := range fam.Series {
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					continue series
+				}
+			}
+			if s.Value != nil {
+				return *s.Value
+			}
+		}
+	}
+	return -1
+}
+
+// TestSimMetricsMatchUploadStats asserts the sim reports its uploads under
+// the exact series a live deployment exposes, and that the values agree
+// with the RunResult breakdown the figures are built from.
+func TestSimMetricsMatchUploadStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+	res := runFramework(t, SenseAid{Metrics: reg}, 1, task)
+
+	if got := seriesValue(reg, "senseaid_uploads_total", obs.Labels{"path": "tail"}); got != float64(res.Uploads.Piggybacked) {
+		t.Errorf("uploads_total{path=tail} = %v, RunResult piggybacked = %d", got, res.Uploads.Piggybacked)
+	}
+	if got := seriesValue(reg, "senseaid_uploads_total", obs.Labels{"path": "promoted"}); got != float64(res.Uploads.Forced) {
+		t.Errorf("uploads_total{path=promoted} = %v, RunResult forced = %d", got, res.Uploads.Forced)
+	}
+	if got := seriesValue(reg, "senseaid_uploads_total", obs.Labels{"path": "batched"}); got != float64(res.Uploads.Batched) {
+		t.Errorf("uploads_total{path=batched} = %v, RunResult batched = %d", got, res.Uploads.Batched)
+	}
+	// The embedded scheduling core lands on the same registry, exactly as
+	// netserver arranges for a live run.
+	if got := seriesValue(reg, "senseaid_requests_total", obs.Labels{"outcome": "satisfied"}); got < 1 {
+		t.Errorf("core satisfied series = %v, want >= 1 on the shared registry", got)
+	}
+}
+
+// TestBaselineMetrics spot-checks that the baselines report on the same
+// vocabulary, so comparative dashboards need no per-framework names.
+func TestBaselineMetrics(t *testing.T) {
+	task := studyTask(1000, 10*time.Minute, 2, 60*time.Minute)
+
+	regP := obs.NewRegistry()
+	resP := runFramework(t, Periodic{Metrics: regP}, 1, task)
+	if got := seriesValue(regP, "senseaid_uploads_total", obs.Labels{"path": "promoted"}); got != float64(resP.Uploads.Forced) {
+		t.Errorf("periodic promoted = %v, want %d", got, resP.Uploads.Forced)
+	}
+
+	regC := obs.NewRegistry()
+	resC := runFramework(t, PCS{Metrics: regC}, 1, task)
+	total := seriesValue(regC, "senseaid_uploads_total", obs.Labels{"path": "tail"}) +
+		seriesValue(regC, "senseaid_uploads_total", obs.Labels{"path": "promoted"})
+	if total != float64(resC.Uploads.Piggybacked+resC.Uploads.Forced) {
+		t.Errorf("pcs uploads on registry = %v, RunResult = %d", total, resC.Uploads.Piggybacked+resC.Uploads.Forced)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"senseaid/internal/core"
 	"senseaid/internal/geo"
+	"senseaid/internal/obs"
 	"senseaid/internal/phone"
 	"senseaid/internal/radio"
 	"senseaid/internal/sensors"
@@ -37,6 +38,9 @@ type PCS struct {
 	// in the experiments: a held sample is force-uploaded at its
 	// deadline if the predicted session never came.
 	IdealPiggyback bool
+	// Metrics, when set, receives the run's senseaid_uploads_total
+	// series (same names as the live server); nil keeps them private.
+	Metrics *obs.Registry
 }
 
 var _ Framework = PCS{}
@@ -76,6 +80,7 @@ type pcsDevice struct {
 // Run implements Framework.
 func (p PCS) Run(w *World, tasks []core.Task) (*RunResult, error) {
 	res := &RunResult{Framework: p.Name()}
+	meter := newUploadMeter(p.Metrics, res)
 	_, end, err := taskWindow(tasks)
 	if err != nil {
 		return nil, err
@@ -92,7 +97,7 @@ func (p PCS) Run(w *World, tasks []core.Task) (*RunResult, error) {
 		st := &pcsDevice{}
 		states[ph.ID()] = st
 		ph.OnTraffic(func(traffic.Transfer) {
-			flushPCS(ph, st, res)
+			flushPCS(ph, st, meter)
 		})
 	}
 
@@ -129,9 +134,9 @@ func (p PCS) Run(w *World, tasks []core.Task) (*RunResult, error) {
 						// session, so the data goes out standalone now.
 						sr := ph.Radio().Send(CrowdsensePayloadBytes, radio.CauseCrowdsensing, true)
 						if sr.Promoted {
-							res.Uploads.Forced++
+							meter.forced(1)
 						} else {
-							res.Uploads.Piggybacked++
+							meter.piggybacked(1)
 						}
 						continue
 					}
@@ -152,9 +157,9 @@ func (p PCS) Run(w *World, tasks []core.Task) (*RunResult, error) {
 						pend.done = true
 						sr := ph.Radio().Send(CrowdsensePayloadBytes, radio.CauseCrowdsensing, true)
 						if sr.Promoted {
-							res.Uploads.Forced++
+							meter.forced(1)
 						} else {
-							res.Uploads.Piggybacked++
+							meter.piggybacked(1)
 						}
 					})
 				}
@@ -172,7 +177,7 @@ func (p PCS) Run(w *World, tasks []core.Task) (*RunResult, error) {
 // traffic burst. PCS apps are independent — each crowdsensing app ships
 // its own payload in its own transfer, so there is no cross-task batching
 // economy (one of Sense-Aid's Experiment 3 advantages).
-func flushPCS(ph *phone.Phone, st *pcsDevice, res *RunResult) {
+func flushPCS(ph *phone.Phone, st *pcsDevice, meter uploadMeter) {
 	if len(st.pending) == 0 {
 		return
 	}
@@ -191,12 +196,12 @@ func flushPCS(ph *phone.Phone, st *pcsDevice, res *RunResult) {
 		// resetting the tail costs nothing beyond the transfer itself.
 		sr := ph.Radio().Send(n*CrowdsensePayloadBytes, radio.CauseCrowdsensing, true)
 		if sr.Promoted {
-			res.Uploads.Forced += n
+			meter.forced(n)
 		} else {
-			res.Uploads.Piggybacked += n
+			meter.piggybacked(n)
 		}
 		if n > 1 {
-			res.Uploads.Batched += n
+			meter.sharedBatch(n)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"senseaid/internal/core"
 	"senseaid/internal/geo"
+	"senseaid/internal/obs"
 	"senseaid/internal/radio"
 	"senseaid/internal/sensors"
 )
@@ -23,6 +24,9 @@ type Periodic struct {
 	// measurements). The optimised frameworks (PCS, Sense-Aid) do not
 	// pay this; their middleware does the bookkeeping.
 	AppCPUSeconds float64
+	// Metrics, when set, receives the run's senseaid_uploads_total
+	// series (same names as the live server); nil keeps them private.
+	Metrics *obs.Registry
 }
 
 var _ Framework = Periodic{}
@@ -43,6 +47,7 @@ func (p Periodic) Run(w *World, tasks []core.Task) (*RunResult, error) {
 		cpuSeconds = 0
 	}
 	res := &RunResult{Framework: "Periodic"}
+	meter := newUploadMeter(p.Metrics, res)
 	_, end, err := taskWindow(tasks)
 	if err != nil {
 		return nil, err
@@ -81,9 +86,9 @@ func (p Periodic) Run(w *World, tasks []core.Task) (*RunResult, error) {
 					}
 					sr := ph.Radio().Send(CrowdsensePayloadBytes, radio.CauseCrowdsensing, true)
 					if sr.Promoted {
-						res.Uploads.Forced++
+						meter.forced(1)
 					} else {
-						res.Uploads.Piggybacked++
+						meter.piggybacked(1)
 					}
 					res.Readings++
 					_ = reading

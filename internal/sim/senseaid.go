@@ -6,6 +6,7 @@ import (
 
 	"senseaid/internal/core"
 	"senseaid/internal/geo"
+	"senseaid/internal/obs"
 	"senseaid/internal/phone"
 	"senseaid/internal/radio"
 	"senseaid/internal/sensors"
@@ -58,6 +59,11 @@ type SenseAid struct {
 	// task submission, so callers can drive task mutations mid-run
 	// (update_task_param) from simulation events.
 	OnServer func(*core.Server)
+	// Metrics, when set, receives the run's series — both the core
+	// scheduler's (via the embedded server) and senseaid_uploads_total,
+	// under the same names a live deployment exposes. Nil keeps them on
+	// a private registry.
+	Metrics *obs.Registry
 }
 
 var _ Framework = SenseAid{}
@@ -107,6 +113,7 @@ type saClient struct {
 	controlGap   time.Duration
 	flushPlanned bool
 	res          *RunResult
+	met          uploadMeter
 }
 
 // onTraffic fires on every organic transfer: the radio has just entered
@@ -197,9 +204,9 @@ func (c *saClient) flushPending() {
 	now := c.world.Sched.Now()
 	for _, p := range live {
 		if sr.Promoted {
-			c.res.Uploads.Forced++
+			c.met.forced(1)
 		} else {
-			c.res.Uploads.Piggybacked++
+			c.met.piggybacked(1)
 		}
 		if err := c.server.ReceiveData(p.req.ID(), c.ph.ID(), p.reading, now); err == nil {
 			c.res.Readings++
@@ -209,7 +216,7 @@ func (c *saClient) flushPending() {
 	// one estimate.
 	c.server.Devices().NoteEnergy(c.ph.ID(), uploadEnergyEstimateJ(c.ph, sr.Promoted))
 	if len(live) > 1 {
-		c.res.Uploads.Batched += len(live)
+		c.met.sharedBatch(len(live))
 	}
 }
 
@@ -226,6 +233,7 @@ func uploadEnergyEstimateJ(ph *phone.Phone, promoted bool) float64 {
 // Run implements Framework.
 func (s SenseAid) Run(w *World, tasks []core.Task) (*RunResult, error) {
 	res := &RunResult{Framework: s.Name()}
+	meter := newUploadMeter(s.Metrics, res)
 	_, end, err := taskWindow(tasks)
 	if err != nil {
 		return nil, err
@@ -235,6 +243,11 @@ func (s SenseAid) Run(w *World, tasks []core.Task) (*RunResult, error) {
 		def := core.DefaultServerConfig()
 		def.SelectAll = cfg.SelectAll
 		cfg = def
+	}
+	if cfg.Metrics == nil {
+		// The scheduler's series land beside the upload series, exactly
+		// as netserver arranges for a live deployment.
+		cfg.Metrics = s.Metrics
 	}
 	controlGap := s.ControlPeriod
 	if controlGap <= 0 {
@@ -263,6 +276,7 @@ func (s SenseAid) Run(w *World, tasks []core.Task) (*RunResult, error) {
 			resetTail:  resetTail,
 			controlGap: controlGap,
 			res:        res,
+			met:        meter,
 		}
 		clients[ph.ID()] = c
 		var sensorList []sensors.Type

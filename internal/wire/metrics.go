@@ -1,0 +1,25 @@
+package wire
+
+import "senseaid/internal/obs"
+
+// met counts protocol faults and framed traffic on the process-global
+// registry: wire has no injection point (Encode/ReadFrame are free
+// functions), and every serving binary exposes obs.Default() anyway.
+var met = struct {
+	errEncode *obs.Counter
+	errDecode *obs.Counter
+	errFrame  *obs.Counter
+	bytesTx   *obs.Counter
+	bytesRx   *obs.Counter
+}{
+	errEncode: obs.Default().Counter("senseaid_wire_errors_total",
+		"Wire protocol faults by stage.", obs.Labels{"stage": "encode"}),
+	errDecode: obs.Default().Counter("senseaid_wire_errors_total",
+		"Wire protocol faults by stage.", obs.Labels{"stage": "decode"}),
+	errFrame: obs.Default().Counter("senseaid_wire_errors_total",
+		"Wire protocol faults by stage.", obs.Labels{"stage": "frame"}),
+	bytesTx: obs.Default().Counter("senseaid_wire_bytes_total",
+		"Framed bytes moved, including the length prefix.", obs.Labels{"dir": "tx"}),
+	bytesRx: obs.Default().Counter("senseaid_wire_bytes_total",
+		"Framed bytes moved, including the length prefix.", obs.Labels{"dir": "rx"}),
+}

@@ -125,11 +125,21 @@ type Schedule struct {
 	Deadline  time.Time    `json:"deadline"`
 }
 
-// SenseData carries one reading from a device.
+// SenseData carries one reading from a device. Path records how the
+// upload rode the radio — "tail" when it reused an existing LTE tail
+// window, "promoted" when the radio had to be woken for it — so the
+// server can account energy outcomes without trusting clocks to line up.
 type SenseData struct {
 	RequestID string          `json:"request_id"`
 	Reading   sensors.Reading `json:"reading"`
+	Path      string          `json:"path,omitempty"`
 }
+
+// Upload path values for SenseData.Path.
+const (
+	PathTail     = "tail"
+	PathPromoted = "promoted"
+)
 
 // TaskSpec is the CAS-facing task description (Table 1).
 type TaskSpec struct {
@@ -172,6 +182,7 @@ func Encode(t MsgType, seq uint64, payload interface{}) (Envelope, error) {
 	if payload != nil {
 		b, err := json.Marshal(payload)
 		if err != nil {
+			met.errEncode.Inc()
 			return Envelope{}, fmt.Errorf("wire: marshal %s: %w", t, err)
 		}
 		raw = b
@@ -182,9 +193,11 @@ func Encode(t MsgType, seq uint64, payload interface{}) (Envelope, error) {
 // Decode unmarshals an envelope payload into out.
 func Decode(env Envelope, out interface{}) error {
 	if len(env.Payload) == 0 {
+		met.errDecode.Inc()
 		return fmt.Errorf("wire: %s: empty payload", env.Type)
 	}
 	if err := json.Unmarshal(env.Payload, out); err != nil {
+		met.errDecode.Inc()
 		return fmt.Errorf("wire: unmarshal %s: %w", env.Type, err)
 	}
 	return nil
@@ -195,19 +208,24 @@ func Decode(env Envelope, out interface{}) error {
 func WriteFrame(w io.Writer, env Envelope) error {
 	body, err := json.Marshal(env)
 	if err != nil {
+		met.errEncode.Inc()
 		return fmt.Errorf("wire: marshal envelope: %w", err)
 	}
 	if len(body) > MaxMessageBytes {
+		met.errFrame.Inc()
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
+		met.errFrame.Inc()
 		return fmt.Errorf("wire: write header: %w", err)
 	}
 	if _, err := w.Write(body); err != nil {
+		met.errFrame.Inc()
 		return fmt.Errorf("wire: write body: %w", err)
 	}
+	met.bytesTx.Add(uint64(len(hdr) + len(body)))
 	return nil
 }
 
@@ -219,17 +237,22 @@ func ReadFrame(r io.Reader) (Envelope, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > MaxMessageBytes {
+		met.errFrame.Inc()
 		return Envelope{}, fmt.Errorf("wire: bad frame length %d", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
+		met.errFrame.Inc()
 		return Envelope{}, fmt.Errorf("wire: read body: %w", err)
 	}
+	met.bytesRx.Add(uint64(len(hdr)) + uint64(n))
 	var env Envelope
 	if err := json.Unmarshal(body, &env); err != nil {
+		met.errDecode.Inc()
 		return Envelope{}, fmt.Errorf("wire: unmarshal envelope: %w", err)
 	}
 	if env.Type == "" {
+		met.errDecode.Inc()
 		return Envelope{}, fmt.Errorf("wire: envelope missing type")
 	}
 	return env, nil
