@@ -108,6 +108,78 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 }
 
+// TestShardedBinaryEndToEnd boots senseaidd with two -regions flags and
+// runs the same operator flow: the task lands on the shard covering its
+// area (its ID carries the region name), readings flow back, and the
+// admin endpoint exposes per-shard scheduler series.
+func TestShardedBinaryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test builds and runs executables")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"senseaidd", "senseaid-client", "senseaid-cas"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	addr := freeAddr(t)
+	metricsAddr := freeAddr(t)
+
+	// West covers the default client/CAS position (the CS department);
+	// east sits a few km away with no devices.
+	server := exec.Command(filepath.Join(bin, "senseaidd"),
+		"-addr", addr, "-metrics-addr", metricsAddr, "-tick", "50ms",
+		"-regions", "west@40.4274,-86.9169,1500",
+		"-regions", "east@40.4274,-86.8600,1500")
+	serverOut := startCapture(t, server, "senseaidd")
+	defer stop(t, server)
+	waitForLine(t, serverOut, "listening", 10*time.Second)
+	waitForLine(t, serverOut, "edge region west", 10*time.Second)
+	waitForLine(t, serverOut, "edge region east", 10*time.Second)
+
+	device := exec.Command(filepath.Join(bin, "senseaid-client"),
+		"-addr", addr, "-id", "shard-phone", "-report", "100ms")
+	deviceOut := startCapture(t, device, "senseaid-client")
+	defer stop(t, device)
+	waitForLine(t, deviceOut, "online", 10*time.Second)
+
+	casCmd := exec.Command(filepath.Join(bin, "senseaid-cas"),
+		"-addr", addr, "-period", "300ms", "-duration", "2s", "-density", "1")
+	out, err := casCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("senseaid-cas: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "task west/task-") {
+		t.Fatalf("cas output missing region-qualified task ID:\n%s", text)
+	}
+	if !strings.Contains(text, "from shard-phone") {
+		t.Fatalf("cas output has no readings from the device:\n%s", text)
+	}
+
+	code, body := httpGet(t, "http://"+metricsAddr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", code)
+	}
+	if err := obs.CheckText(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics is not valid exposition format: %v\n%s", err, body)
+	}
+	for _, series := range []string{
+		`senseaid_registered_devices{shard="west"}`,
+		`senseaid_registered_devices{shard="east"}`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("/metrics missing per-shard series %s:\n%s", series, body)
+		}
+	}
+	if v := sampleValue(body, `senseaid_registered_devices{shard="west"}`); v != 1 {
+		t.Fatalf("west shard devices = %v, want 1\n%s", v, body)
+	}
+}
+
 // httpGet fetches a URL and returns the status code and body.
 func httpGet(t *testing.T, url string) (int, string) {
 	t.Helper()

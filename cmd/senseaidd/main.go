@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	senseaidd [-addr host:port] [-metrics-addr host:port] [-tick duration] [-v] [-vv]
+//	senseaidd [-addr host:port] [-metrics-addr host:port] [-tick duration]
+//	          [-regions name@lat,lon,radiusM]... [-v] [-vv]
 //
 // With -metrics-addr set, an HTTP admin endpoint serves /metrics
 // (Prometheus text format; ?format=json for the JSON snapshot),
 // /healthz, and /statusz.
+//
+// Repeating -regions boots a sharded deployment: one scheduling core per
+// region (the paper's per-edge physical instantiation), devices homed to
+// the shard covering their position, tasks routed to the shard covering
+// their area, and per-shard series (shard="name") on /metrics.
 package main
 
 import (
@@ -17,12 +23,53 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"senseaid/internal/core"
+	"senseaid/internal/geo"
 	"senseaid/internal/netserver"
 	"senseaid/internal/obs"
 )
+
+// regionList collects repeated -regions flags of the form
+// "name@lat,lon,radiusM".
+type regionList []core.Region
+
+func (r *regionList) String() string {
+	parts := make([]string, len(*r))
+	for i, reg := range *r {
+		parts[i] = fmt.Sprintf("%s@%s,%g", reg.Name, reg.Area.Center, reg.Area.RadiusM)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (r *regionList) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "@")
+	if !ok || name == "" {
+		return fmt.Errorf("region %q: want name@lat,lon,radiusM", v)
+	}
+	fields := strings.Split(rest, ",")
+	if len(fields) != 3 {
+		return fmt.Errorf("region %q: want name@lat,lon,radiusM", v)
+	}
+	var nums [3]float64
+	for i, f := range fields {
+		x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("region %q: bad number %q", v, f)
+		}
+		nums[i] = x
+	}
+	area := geo.Circle{Center: geo.Point{Lat: nums[0], Lon: nums[1]}, RadiusM: nums[2]}
+	if !area.Center.Valid() || area.RadiusM <= 0 {
+		return fmt.Errorf("region %q: invalid area", v)
+	}
+	*r = append(*r, core.Region{Name: name, Area: area})
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -35,6 +82,8 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
 	metricsAddr := flag.String("metrics-addr", "", "admin HTTP address serving /metrics, /healthz, /statusz (empty disables)")
 	tick := flag.Duration("tick", 500*time.Millisecond, "scheduler tick period")
+	var regions regionList
+	flag.Var(&regions, "regions", "edge region as name@lat,lon,radiusM (repeatable; two or more shard the deployment)")
 	verbose := flag.Bool("v", false, "log lifecycle events to stderr")
 	debug := flag.Bool("vv", false, "log per-message traffic to stderr")
 	flag.Parse()
@@ -53,11 +102,15 @@ func run() error {
 		Logger:     logger,
 		LogLevel:   level,
 		Metrics:    obs.Default(),
+		Regions:    regions,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("sense-aid server listening on %s\n", srv.Addr())
+	for _, r := range regions {
+		fmt.Printf("edge region %s: center %s radius %.0fm\n", r.Name, r.Area.Center, r.Area.RadiusM)
+	}
 
 	if *metricsAddr != "" {
 		admin, err := obs.ServeAdmin(obs.AdminConfig{

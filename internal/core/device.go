@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"senseaid/internal/geo"
@@ -54,9 +55,13 @@ func (d DeviceState) HasSensor(t sensors.Type) bool {
 	return false
 }
 
-// DeviceStore is the device datastore. Not safe for concurrent use; the
-// networked frontend serialises access.
+// DeviceStore is the device datastore. Safe for concurrent use: it
+// carries its own lock, separate from the server's scheduling lock, so
+// device control reports never contend with a scheduling pass. In the
+// lock hierarchy the store's lock is a leaf — no DeviceStore method calls
+// back into the server.
 type DeviceStore struct {
+	mu      sync.RWMutex
 	devices map[string]*DeviceState
 }
 
@@ -65,8 +70,8 @@ func NewDeviceStore() *DeviceStore {
 	return &DeviceStore{devices: make(map[string]*DeviceState)}
 }
 
-// Register adds or replaces a device record.
-func (s *DeviceStore) Register(d DeviceState) error {
+// validate checks the invariants every stored record must satisfy.
+func validate(d *DeviceState) error {
 	if d.ID == "" {
 		return fmt.Errorf("core: register: empty device ID")
 	}
@@ -76,19 +81,54 @@ func (s *DeviceStore) Register(d DeviceState) error {
 	if d.Reliability < 0 || d.Reliability > 1 {
 		return fmt.Errorf("core: register %s: reliability %v out of [0,1]", d.ID, d.Reliability)
 	}
+	return nil
+}
+
+// Register adds or replaces a device record. Registration is a fresh
+// start: the device is marked responsive and an unset reliability reads
+// as 1.0 (no history yet).
+func (s *DeviceStore) Register(d DeviceState) error {
+	if err := validate(&d); err != nil {
+		return err
+	}
 	if d.Reliability == 0 {
 		d.Reliability = 1 // no history yet
 	}
 	d.Responsive = true
+	s.mu.Lock()
 	s.devices[d.ID] = &d
+	s.mu.Unlock()
+	return nil
+}
+
+// Restore stores a record verbatim, preserving its responsiveness flag,
+// reliability score, and fairness counters. It is the re-homing path:
+// a device moving between shards keeps the liveness state the scheduler
+// gave it, where Register would silently rehabilitate it.
+func (s *DeviceStore) Restore(d DeviceState) error {
+	if err := validate(&d); err != nil {
+		return err
+	}
+	if d.Reliability == 0 {
+		d.Reliability = 1
+	}
+	s.mu.Lock()
+	s.devices[d.ID] = &d
+	s.mu.Unlock()
 	return nil
 }
 
 // Deregister removes a device.
-func (s *DeviceStore) Deregister(id string) { delete(s.devices, id) }
+func (s *DeviceStore) Deregister(id string) {
+	s.mu.Lock()
+	delete(s.devices, id)
+	s.mu.Unlock()
+}
 
 // Get returns a copy of a device record.
 func (s *DeviceStore) Get(id string) (DeviceState, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	d, ok := s.devices[id]
 	if !ok {
 		return DeviceState{}, false
@@ -97,14 +137,20 @@ func (s *DeviceStore) Get(id string) (DeviceState, bool) {
 }
 
 // Len returns the number of registered devices.
-func (s *DeviceStore) Len() int { return len(s.devices) }
+func (s *DeviceStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.devices)
+}
 
 // All returns copies of every record, sorted by ID for determinism.
 func (s *DeviceStore) All() []DeviceState {
+	s.mu.RLock()
 	out := make([]DeviceState, 0, len(s.devices))
 	for _, d := range s.devices {
 		out = append(out, *d)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -112,6 +158,8 @@ func (s *DeviceStore) All() []DeviceState {
 // UpdateState applies a device's periodic control report (battery level,
 // position, last-communication stamp).
 func (s *DeviceStore) UpdateState(id string, pos geo.Point, batteryPct float64, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	d, ok := s.devices[id]
 	if !ok {
 		return fmt.Errorf("core: update: unknown device %s", id)
@@ -122,8 +170,28 @@ func (s *DeviceStore) UpdateState(id string, pos geo.Point, batteryPct float64, 
 	return nil
 }
 
+// UpdateBudget changes only the device's crowdsensing allowance
+// (update_preferences). Unlike a re-Register it leaves responsiveness,
+// reliability, and the fairness counters untouched, so a budget tweak
+// never rehabilitates a device the scheduler marked unresponsive.
+func (s *DeviceStore) UpdateBudget(id string, b power.Budget) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("core: prefs %s: %w", id, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devices[id]
+	if !ok {
+		return fmt.Errorf("core: prefs: unknown device %s", id)
+	}
+	d.Budget = b
+	return nil
+}
+
 // NoteSelected records a selection (U_i) for fairness accounting.
 func (s *DeviceStore) NoteSelected(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if d, ok := s.devices[id]; ok {
 		d.TimesUsed++
 	}
@@ -131,6 +199,8 @@ func (s *DeviceStore) NoteSelected(id string) {
 
 // NoteEnergy adds crowdsensing energy spent by a device (E_i).
 func (s *DeviceStore) NoteEnergy(id string, joules float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if d, ok := s.devices[id]; ok && joules > 0 {
 		d.EnergySpentJ += joules
 	}
@@ -139,6 +209,8 @@ func (s *DeviceStore) NoteEnergy(id string, joules float64) {
 // SetResponsive flips the responsiveness flag; the scheduler clears it
 // when a device misses a dispatch so future selections skip it.
 func (s *DeviceStore) SetResponsive(id string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if d, exists := s.devices[id]; exists {
 		d.Responsive = ok
 	}
@@ -146,6 +218,8 @@ func (s *DeviceStore) SetResponsive(id string, ok bool) {
 
 // SetReliability updates the data-quality reputation (clamped to [0,1]).
 func (s *DeviceStore) SetReliability(id string, score float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	d, exists := s.devices[id]
 	if !exists {
 		return
@@ -163,6 +237,8 @@ func (s *DeviceStore) SetReliability(id string, score float64) {
 // E_i and U_i "since the beginning of some reasonable time interval, say
 // the week").
 func (s *DeviceStore) ResetWindow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, d := range s.devices {
 		d.EnergySpentJ = 0
 		d.TimesUsed = 0

@@ -78,7 +78,9 @@ func newServerMetrics(reg *obs.Registry, base obs.Labels) serverMetrics {
 }
 
 // syncGauges publishes the live queue and datastore sizes. Called from
-// every mutating entry point, so the gauges stay current between scrapes.
+// every task/scheduling mutator with s.mu held, so the gauges stay
+// current between scrapes (device registration updates the device gauge
+// directly, without touching the scheduling lock).
 func (s *Server) syncGauges() {
 	s.met.runDepth.Set(float64(s.run.Len()))
 	s.met.waitDepth.Set(float64(s.wait.Len()))

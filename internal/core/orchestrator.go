@@ -1,0 +1,77 @@
+package core
+
+import (
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/power"
+	"senseaid/internal/sensors"
+)
+
+// Orchestrator is the full frontend contract of the Sense-Aid server
+// core: everything a deployment face (the networked server, the
+// simulation framework, a CLI) needs to drive the middleware. It is
+// implemented by both *Server (one region) and *ShardedServer (the
+// paper's per-edge-region physical instantiation), so a frontend is
+// written once and serves either topology.
+//
+// Every method is safe for concurrent use. Implementations own their
+// locking; callers never wrap an Orchestrator in an external mutex.
+// Dispatcher and DataSink callbacks run outside the implementation's
+// scheduling locks, so they may call back into the Orchestrator.
+type Orchestrator interface {
+	// Device operations (the device datastore face).
+
+	// RegisterDevice adds or replaces a device record; a sharded
+	// implementation homes the device to the shard covering its position.
+	RegisterDevice(d DeviceState) error
+	// DeregisterDevice removes a device.
+	DeregisterDevice(id string)
+	// UpdateDeviceState applies a periodic control report (position,
+	// battery, last radio communication); a sharded implementation
+	// re-homes the device when it crosses a region boundary.
+	UpdateDeviceState(id string, pos geo.Point, batteryPct float64, at time.Time) error
+	// UpdateDevicePrefs changes a device's crowdsensing budget
+	// (update_preferences), preserving liveness state and fairness
+	// counters.
+	UpdateDevicePrefs(id string, b power.Budget) error
+	// NoteDeviceEnergy feeds back crowdsensing energy spent by a device
+	// (the selector's E_i fairness term).
+	NoteDeviceEnergy(id string, joules float64)
+
+	// Task operations (the CAS face).
+
+	// SubmitTask validates, stores and expands a task; the sink receives
+	// its validated readings.
+	SubmitTask(t Task, now time.Time, sink DataSink) (TaskID, error)
+	// UpdateTaskParams applies a mutation to an existing task
+	// (update_task_param); future rounds are regenerated.
+	UpdateTaskParams(id TaskID, now time.Time, mutate func(*Task)) error
+	// DeleteTask removes a task and its pending requests.
+	DeleteTask(id TaskID) error
+
+	// Data ingest.
+
+	// ReceiveData ingests one reading from a device for a request.
+	ReceiveData(reqID, deviceID string, reading sensors.Reading, now time.Time) error
+
+	// Scheduling. The environment drives time: call ProcessDue whenever
+	// the clock reaches NextWake.
+
+	ProcessDue(now time.Time)
+	NextWake() (time.Time, bool)
+
+	// Read side. Safe to call concurrently with everything above, so
+	// monitoring never stops the scheduler.
+
+	Stats() Stats
+	Selections() []Selection
+	SelectionsDropped() uint64
+	TaskCount() int
+}
+
+// Both core topologies satisfy the contract.
+var (
+	_ Orchestrator = (*Server)(nil)
+	_ Orchestrator = (*ShardedServer)(nil)
+)

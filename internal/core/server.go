@@ -5,7 +5,9 @@ import (
 	"sync"
 	"time"
 
+	"senseaid/internal/geo"
 	"senseaid/internal/obs"
+	"senseaid/internal/power"
 	"senseaid/internal/reputation"
 	"senseaid/internal/sensors"
 )
@@ -14,6 +16,11 @@ import (
 // simulation implements it by poking the simulated client; the networked
 // server implements it by pushing a schedule message down the device's
 // connection.
+//
+// Dispatch is invoked after the server's scheduling lock is released, so
+// an implementation may call back into the orchestrator. A sharded
+// deployment drives its shards concurrently, so Dispatch must be safe for
+// concurrent calls.
 type Dispatcher interface {
 	// Dispatch asks the device to take the request's sample and upload
 	// it by the request's deadline.
@@ -27,7 +34,9 @@ type DispatcherFunc func(req Request, device DeviceState)
 func (f DispatcherFunc) Dispatch(req Request, device DeviceState) { f(req, device) }
 
 // DataSink receives validated crowdsensing data for one task; the
-// crowdsensing application server registers one per task.
+// crowdsensing application server registers one per task. The sink runs
+// after the scheduling lock is released, so it may call back into the
+// orchestrator (adaptive campaigns update task parameters from here).
 type DataSink func(task TaskID, deviceID string, reading sensors.Reading)
 
 // Selection records one execution of the device selector, feeding the
@@ -92,6 +101,11 @@ type ServerConfig struct {
 	// overwrites are counted by senseaid_selections_dropped_total). Zero
 	// means DefaultSelectionLogSize.
 	SelectionLogSize int
+	// TaskIDPrefix namespaces generated task IDs ("<prefix>task-<n>").
+	// A sharded deployment gives each regional instance its region name
+	// as prefix so task (and therefore request) IDs are globally unique
+	// and route unambiguously. Empty for a single-region server.
+	TaskIDPrefix string
 }
 
 // DefaultServerConfig returns the stock configuration.
@@ -109,22 +123,37 @@ type pendingDispatch struct {
 // wait queues), device selector and task scheduler, per Algorithm 1. The
 // environment drives time: call ProcessDue whenever the clock reaches a
 // request's due time (NextWake says when that is) and data flows in via
-// ReceiveData. Mutating calls are not safe for concurrent use; frontends
-// serialise access. Stats and Selections are safe to call concurrently
-// with the mutators, so monitoring never has to stop the scheduler.
+// ReceiveData.
+//
+// Every method is safe for concurrent use: the server owns its own
+// concurrency. Task and scheduling mutators serialise on an internal lock;
+// device operations go to the DeviceStore, which carries its own lock, so
+// control reports never contend with a scheduling pass; Stats and
+// Selections keep their dedicated lock-free-of-the-scheduler read path, so
+// monitoring never stops the scheduler. Dispatcher and DataSink callbacks
+// are invoked only after the scheduling lock is released, so they may call
+// back into the server.
+//
+// Lock hierarchy (acquire downwards, never upwards):
+//
+//	Server.mu -> DeviceStore.mu -> Server.statsMu
 type Server struct {
 	cfg      ServerConfig
 	selector *Selector
 	devices  *DeviceStore
-	tasks    map[TaskID]*Task
-	sinks    map[TaskID]DataSink
-	run      requestQueue
-	wait     requestQueue
-	pending  map[string][]pendingDispatch // request ID -> outstanding
+	dispatch Dispatcher
+
+	// mu guards the scheduling state below: task store, queues, pending
+	// dispatches, the round buffers, and the fairness window anchor.
+	mu      sync.Mutex
+	tasks   map[TaskID]*Task
+	sinks   map[TaskID]DataSink
+	run     requestQueue
+	wait    requestQueue
+	pending map[string][]pendingDispatch // request ID -> outstanding
 	// collected buffers one round's values per request for the
 	// truth-discovery outlier check.
 	collected map[string]map[string]float64
-	dispatch  Dispatcher
 	nextTask  int
 
 	// windowStart anchors the current fairness accounting window.
@@ -135,7 +164,7 @@ type Server struct {
 
 	// statsMu guards stats and sellog: the one corner of the server that
 	// concurrent readers (admin endpoint, monitoring loops) may touch
-	// while the frontend drives the mutators.
+	// while a scheduling pass runs.
 	statsMu sync.Mutex
 	stats   Stats
 	sellog  selectionLog
@@ -188,6 +217,38 @@ func (s *Server) noteOutcome(deviceID string, o reputation.Outcome) {
 // Devices exposes the device datastore (registration, control reports).
 func (s *Server) Devices() *DeviceStore { return s.devices }
 
+// RegisterDevice adds or replaces a device record.
+func (s *Server) RegisterDevice(d DeviceState) error {
+	if err := s.devices.Register(d); err != nil {
+		return err
+	}
+	s.met.devices.Set(float64(s.devices.Len()))
+	return nil
+}
+
+// DeregisterDevice removes a device.
+func (s *Server) DeregisterDevice(id string) {
+	s.devices.Deregister(id)
+	s.met.devices.Set(float64(s.devices.Len()))
+}
+
+// UpdateDeviceState applies a device's periodic control report.
+func (s *Server) UpdateDeviceState(id string, pos geo.Point, batteryPct float64, at time.Time) error {
+	return s.devices.UpdateState(id, pos, batteryPct, at)
+}
+
+// UpdateDevicePrefs changes a device's crowdsensing budget, preserving
+// its liveness state and fairness counters.
+func (s *Server) UpdateDevicePrefs(id string, b power.Budget) error {
+	return s.devices.UpdateBudget(id, b)
+}
+
+// NoteDeviceEnergy adds crowdsensing energy spent by a device (the
+// selector's E_i fairness term).
+func (s *Server) NoteDeviceEnergy(id string, joules float64) {
+	s.devices.NoteEnergy(id, joules)
+}
+
 // Stats returns a copy of the server counters. Safe to call concurrently
 // with the scheduler.
 func (s *Server) Stats() Stats {
@@ -217,7 +278,11 @@ func (s *Server) SelectionsDropped() uint64 {
 func (s *Server) Metrics() *obs.Registry { return s.registry }
 
 // TaskCount returns the number of stored tasks (for status endpoints).
-func (s *Server) TaskCount() int { return len(s.tasks) }
+func (s *Server) TaskCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tasks)
+}
 
 // bump applies a stats mutation under the stats lock and mirrors it onto
 // a registry counter (nil skips the mirror, for gauge-like fields).
@@ -232,6 +297,8 @@ func (s *Server) bump(ctr *obs.Counter, f func(*Stats)) {
 
 // Task returns a stored task.
 func (s *Server) Task(id TaskID) (Task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	t, ok := s.tasks[id]
 	if !ok {
 		return Task{}, false
@@ -245,8 +312,10 @@ func (s *Server) SubmitTask(t Task, now time.Time, sink DataSink) (TaskID, error
 	if sink == nil {
 		return "", fmt.Errorf("core: task needs a data sink")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.nextTask++
-	t.ID = TaskID(fmt.Sprintf("task-%d", s.nextTask))
+	t.ID = TaskID(fmt.Sprintf("%stask-%d", s.cfg.TaskIDPrefix, s.nextTask))
 	if err := t.Normalize(now); err != nil {
 		return "", err
 	}
@@ -274,6 +343,8 @@ func (s *Server) SubmitTask(t Task, now time.Time, sink DataSink) (TaskID, error
 // UpdateTaskParams applies a mutation to an existing task; future requests
 // are regenerated from now with the new parameters (past rounds stand).
 func (s *Server) UpdateTaskParams(id TaskID, now time.Time, mutate func(*Task)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	t, ok := s.tasks[id]
 	if !ok {
 		return fmt.Errorf("core: update: unknown task %s", id)
@@ -309,6 +380,8 @@ func (s *Server) UpdateTaskParams(id TaskID, now time.Time, mutate func(*Task)) 
 
 // DeleteTask removes a task and its pending requests.
 func (s *Server) DeleteTask(id TaskID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.tasks[id]; !ok {
 		return fmt.Errorf("core: delete: unknown task %s", id)
 	}
@@ -323,6 +396,8 @@ func (s *Server) DeleteTask(id TaskID) error {
 // NextWake returns the earliest instant the server needs the environment
 // to call ProcessDue: the soonest due time across both queues.
 func (s *Server) NextWake() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var best time.Time
 	ok := false
 	if r, has := s.run.peek(); has {
@@ -334,13 +409,32 @@ func (s *Server) NextWake() (time.Time, bool) {
 	return best, ok
 }
 
+// outbound is one dispatch decided during a scheduling pass. Dispatches
+// are delivered after the scheduling lock is released so a Dispatcher can
+// block on I/O (or call back into the server) without stalling concurrent
+// mutators.
+type outbound struct {
+	req Request
+	dev DeviceState
+}
+
 // ProcessDue runs the Algorithm 1 loop at an instant: roll the fairness
 // window if due, expire dead requests and missed dispatches, retry the
 // wait queue, then pop and schedule every run-queue request whose due
-// time has arrived.
+// time has arrived. Safe for concurrent use.
 func (s *Server) ProcessDue(now time.Time) {
 	s.met.rounds.Inc()
-	defer s.syncGauges()
+	var out []outbound
+	s.mu.Lock()
+	s.processDueLocked(now, &out)
+	s.syncGauges()
+	s.mu.Unlock()
+	for _, o := range out {
+		s.dispatch.Dispatch(o.req, o.dev)
+	}
+}
+
+func (s *Server) processDueLocked(now time.Time, out *[]outbound) {
 	if s.cfg.FairnessWindow > 0 {
 		if s.windowStart.IsZero() {
 			s.windowStart = now
@@ -351,7 +445,7 @@ func (s *Server) ProcessDue(now time.Time) {
 		}
 	}
 	s.expireDispatches(now)
-	s.checkWaitQueue(now)
+	s.checkWaitQueue(now, out)
 	for {
 		r, ok := s.run.peek()
 		if !ok || r.Due.After(now) {
@@ -362,13 +456,14 @@ func (s *Server) ProcessDue(now time.Time) {
 			s.bump(s.met.reqExpired, func(st *Stats) { st.RequestsExpired++ })
 			continue
 		}
-		s.schedule(r, now)
+		s.schedule(r, now, out)
 	}
 }
 
-// schedule runs the device selector for one request and dispatches to the
-// chosen devices; unsatisfiable requests move to the wait queue.
-func (s *Server) schedule(r Request, now time.Time) {
+// schedule runs the device selector for one request and queues dispatches
+// to the chosen devices; unsatisfiable requests move to the wait queue.
+// Called with s.mu held.
+func (s *Server) schedule(r Request, now time.Time, out *[]outbound) {
 	var selected []DeviceState
 	var err error
 	selStart := time.Now()
@@ -394,7 +489,7 @@ func (s *Server) schedule(r Request, now time.Time) {
 		s.devices.NoteSelected(d.ID)
 		s.pending[r.ID()] = append(s.pending[r.ID()], pendingDispatch{req: r, deviceID: d.ID})
 		sel.Devices = append(sel.Devices, d.ID)
-		s.dispatch.Dispatch(r, d)
+		*out = append(*out, outbound{req: r, dev: d})
 	}
 	s.statsMu.Lock()
 	dropped := s.sellog.add(sel)
@@ -408,7 +503,8 @@ func (s *Server) schedule(r Request, now time.Time) {
 
 // checkWaitQueue is the wait_check_thread: requests whose density can now
 // be met go back through scheduling; requests past deadline expire.
-func (s *Server) checkWaitQueue(now time.Time) {
+// Called with s.mu held.
+func (s *Server) checkWaitQueue(now time.Time, out *[]outbound) {
 	var keep []Request
 	for s.wait.Len() > 0 {
 		r := s.wait.pop()
@@ -426,7 +522,7 @@ func (s *Server) checkWaitQueue(now time.Time) {
 			// Satisfiable now: hand straight to the scheduler (moving
 			// it to the run queue and popping it would be equivalent).
 			s.bump(nil, func(st *Stats) { st.RequestsWaitlisted-- })
-			s.schedule(r, now)
+			s.schedule(r, now, out)
 			continue
 		}
 		keep = append(keep, r)
@@ -438,6 +534,7 @@ func (s *Server) checkWaitQueue(now time.Time) {
 
 // expireDispatches marks devices that missed their upload deadline as
 // unresponsive so the selector avoids them until they deliver again.
+// Called with s.mu held.
 func (s *Server) expireDispatches(now time.Time) {
 	for id, list := range s.pending {
 		var live []pendingDispatch
@@ -461,6 +558,7 @@ func (s *Server) expireDispatches(now time.Time) {
 
 // finishRound runs the truth-discovery outlier check once a request has
 // no outstanding dispatches, then drops the round's buffered values.
+// Called with s.mu held.
 func (s *Server) finishRound(reqID string) {
 	values, ok := s.collected[reqID]
 	if !ok {
@@ -484,7 +582,26 @@ func (s *Server) finishRound(reqID string) {
 // it, and forwards it to the task's application server sink. The data
 // path runs through the Sense-Aid server (never device -> CAS directly)
 // both for privacy filtering and so unresponsive devices are noticed.
+// The sink runs after the scheduling lock is released, so a sink may call
+// back into the server (adaptive campaigns mutate task parameters from
+// the reading path).
 func (s *Server) ReceiveData(reqID string, deviceID string, reading sensors.Reading, now time.Time) error {
+	sink, taskID, err := s.receiveDataLocked(reqID, deviceID, reading)
+	if err != nil {
+		return err
+	}
+	if sink != nil {
+		sink(taskID, deviceID, reading)
+	}
+	return nil
+}
+
+// receiveDataLocked performs the validation and bookkeeping of ReceiveData
+// under the scheduling lock and returns the sink to invoke (with its task
+// ID) once the lock is dropped.
+func (s *Server) receiveDataLocked(reqID string, deviceID string, reading sensors.Reading) (DataSink, TaskID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	list := s.pending[reqID]
 	idx := -1
 	for i, p := range list {
@@ -495,14 +612,14 @@ func (s *Server) ReceiveData(reqID string, deviceID string, reading sensors.Read
 	}
 	if idx == -1 {
 		s.bump(s.met.readingsRejected, func(st *Stats) { st.ReadingsRejected++ })
-		return fmt.Errorf("core: unsolicited data from %s for %s", deviceID, reqID)
+		return nil, "", fmt.Errorf("core: unsolicited data from %s for %s", deviceID, reqID)
 	}
 	p := list[idx]
 
 	if err := s.validateReading(p.req, deviceID, reading); err != nil {
 		s.bump(s.met.readingsRejected, func(st *Stats) { st.ReadingsRejected++ })
 		s.noteOutcome(deviceID, reputation.OutcomeRejected)
-		return err
+		return nil, "", err
 	}
 
 	// Clear the pending entry and restore responsiveness.
@@ -524,11 +641,7 @@ func (s *Server) ReceiveData(reqID string, deviceID string, reading sensors.Read
 		delete(s.pending, reqID)
 		s.finishRound(reqID)
 	}
-
-	if sink, ok := s.sinks[p.req.Task.ID]; ok {
-		sink(p.req.Task.ID, deviceID, reading)
-	}
-	return nil
+	return s.sinks[p.req.Task.ID], p.req.Task.ID, nil
 }
 
 // validateReading applies the paper's data checks: right sensor, sane

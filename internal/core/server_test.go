@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -10,8 +11,12 @@ import (
 	"senseaid/internal/simclock"
 )
 
-// recordingDispatcher captures dispatches for assertions.
+// recordingDispatcher captures dispatches for assertions. A sharded
+// server dispatches from concurrent per-shard goroutines, so appends
+// are locked; tests may read calls directly after ProcessDue returns
+// (the fan-out joins before returning).
 type recordingDispatcher struct {
+	mu    sync.Mutex
 	calls []struct {
 		req Request
 		dev DeviceState
@@ -19,6 +24,8 @@ type recordingDispatcher struct {
 }
 
 func (r *recordingDispatcher) Dispatch(req Request, dev DeviceState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.calls = append(r.calls, struct {
 		req Request
 		dev DeviceState

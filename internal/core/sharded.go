@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"senseaid/internal/geo"
 	"senseaid/internal/obs"
+	"senseaid/internal/power"
 	"senseaid/internal/sensors"
 )
 
@@ -25,12 +28,23 @@ type Region struct {
 	Area geo.Circle
 }
 
-// ShardedServer fronts a set of per-region Server instances.
+// ShardedServer fronts a set of per-region Server instances behind the
+// Orchestrator interface. Each shard owns its concurrency (see Server);
+// the sharded layer adds one lock of its own for the routing indexes.
+// ProcessDue and NextWake fan out across shards concurrently, so the
+// shared Dispatcher must tolerate concurrent calls.
+//
+// Lock hierarchy: ShardedServer.mu -> (per-shard) Server locks. No shard
+// ever calls back up into the sharded layer.
 type ShardedServer struct {
-	shards []shardEntry
+	shards []shardEntry // immutable after construction
+
+	// mu guards the routing indexes.
+	mu sync.RWMutex
 	// deviceHome maps a device to its current shard index.
 	deviceHome map[string]int
-	// taskHome maps a task to the shard that owns it.
+	// taskHome maps a (shard-prefixed, globally unique) task ID to the
+	// shard that owns it.
 	taskHome map[TaskID]int
 }
 
@@ -40,7 +54,9 @@ type shardEntry struct {
 }
 
 // NewShardedServer builds one Server per region, all sharing a dispatcher
-// and configuration.
+// and configuration. Each shard generates task IDs under its region name
+// ("west/task-1"), so task and request IDs are globally unique and two
+// shards can never mint colliding IDs.
 func NewShardedServer(cfg ServerConfig, d Dispatcher, regions []Region) (*ShardedServer, error) {
 	if len(regions) == 0 {
 		return nil, fmt.Errorf("core: sharded server needs at least one region")
@@ -62,6 +78,7 @@ func NewShardedServer(cfg ServerConfig, d Dispatcher, regions []Region) (*Sharde
 		}
 		seen[r.Name] = true
 		shardCfg := cfg
+		shardCfg.TaskIDPrefix = r.Name + "/"
 		if cfg.Metrics != nil {
 			// Distinct shard labels keep per-shard gauges (queue depths,
 			// device counts) from overwriting each other on the shared
@@ -109,7 +126,9 @@ func (s *ShardedServer) RegisterDevice(d DeviceState) error {
 	if i < 0 {
 		return fmt.Errorf("core: device %s at %s is outside every region", d.ID, d.Position)
 	}
-	if err := s.shards[i].server.Devices().Register(d); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.shards[i].server.RegisterDevice(d); err != nil {
 		return err
 	}
 	s.deviceHome[d.ID] = i
@@ -118,46 +137,72 @@ func (s *ShardedServer) RegisterDevice(d DeviceState) error {
 
 // DeregisterDevice removes a device from its home shard.
 func (s *ShardedServer) DeregisterDevice(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if i, ok := s.deviceHome[id]; ok {
-		s.shards[i].server.Devices().Deregister(id)
+		s.shards[i].server.DeregisterDevice(id)
 		delete(s.deviceHome, id)
 	}
 }
 
 // UpdateDeviceState applies a state report, re-homing the device if it
-// moved into another shard's region.
+// moved into another shard's region. Re-homing moves the record verbatim
+// (Restore), so responsiveness, reliability, and the fairness counters
+// survive the crossing.
 func (s *ShardedServer) UpdateDeviceState(id string, pos geo.Point, batteryPct float64, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	home, ok := s.deviceHome[id]
 	if !ok {
 		return fmt.Errorf("core: update for unregistered device %s", id)
 	}
 	target := s.ShardFor(pos)
-	if target < 0 {
+	if target < 0 || target == home {
 		// Out of all coverage: keep the stale home record; the device
 		// will fail region qualification anyway.
-		return s.shards[home].server.Devices().UpdateState(id, pos, batteryPct, at)
+		return s.shards[home].server.UpdateDeviceState(id, pos, batteryPct, at)
 	}
-	if target == home {
-		return s.shards[home].server.Devices().UpdateState(id, pos, batteryPct, at)
-	}
-	// Re-home: move the record, preserving fairness counters.
+	// Re-home: move the record, preserving liveness and fairness state.
 	rec, ok := s.shards[home].server.Devices().Get(id)
 	if !ok {
 		return fmt.Errorf("core: device %s missing from home shard", id)
 	}
-	s.shards[home].server.Devices().Deregister(id)
 	rec.Position = pos
 	rec.BatteryPct = batteryPct
 	rec.LastComm = at
-	if err := s.shards[target].server.Devices().Register(rec); err != nil {
+	if err := s.shards[target].server.Devices().Restore(rec); err != nil {
 		return err
 	}
-	// Register resets responsiveness; restore counters updated above.
+	s.shards[home].server.DeregisterDevice(id)
 	s.deviceHome[id] = target
 	return nil
 }
 
-// SubmitTask routes a task to the shard covering its area center.
+// UpdateDevicePrefs changes a device's budget on its home shard.
+func (s *ShardedServer) UpdateDevicePrefs(id string, b power.Budget) error {
+	s.mu.RLock()
+	home, ok := s.deviceHome[id]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("core: prefs: unknown device %s", id)
+	}
+	return s.shards[home].server.UpdateDevicePrefs(id, b)
+}
+
+// NoteDeviceEnergy records spent energy against the device's home shard.
+func (s *ShardedServer) NoteDeviceEnergy(id string, joules float64) {
+	s.mu.RLock()
+	home, ok := s.deviceHome[id]
+	s.mu.RUnlock()
+	if ok {
+		s.shards[home].server.NoteDeviceEnergy(id, joules)
+	}
+}
+
+// SubmitTask routes a task to the shard covering its area center. The
+// returned ID carries the owning region ("west/task-3") and is the only
+// name the task answers to — per-shard counters restart at task-1, so a
+// bare ID would be ambiguous across shards.
 func (s *ShardedServer) SubmitTask(t Task, now time.Time, sink DataSink) (TaskID, error) {
 	i := s.ShardFor(t.Area.Center)
 	if i < 0 {
@@ -167,50 +212,51 @@ func (s *ShardedServer) SubmitTask(t Task, now time.Time, sink DataSink) (TaskID
 	if err != nil {
 		return "", err
 	}
-	// Qualify the ID with the shard so IDs stay unique across shards.
-	qualified := TaskID(fmt.Sprintf("%s/%s", s.shards[i].region.Name, id))
-	s.taskHome[qualified] = i
-	s.taskHome[id] = i // also accept the bare ID for convenience
-	return qualified, nil
+	s.mu.Lock()
+	s.taskHome[id] = i
+	s.mu.Unlock()
+	return id, nil
 }
 
-// shardForTask resolves a (possibly shard-qualified) task ID.
-func (s *ShardedServer) shardForTask(id TaskID) (int, TaskID, error) {
-	if i, ok := s.taskHome[id]; ok {
-		return i, stripRegion(id), nil
+// shardForTask resolves a shard-prefixed task ID to its owning shard.
+func (s *ShardedServer) shardForTask(id TaskID) (int, error) {
+	s.mu.RLock()
+	i, ok := s.taskHome[id]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("core: unknown task %s", id)
 	}
-	return 0, "", fmt.Errorf("core: unknown task %s", id)
+	return i, nil
 }
 
-func stripRegion(id TaskID) TaskID {
-	for i := 0; i < len(id); i++ {
-		if id[i] == '/' {
-			return id[i+1:]
-		}
-	}
-	return id
-}
-
-// DeleteTask removes a task from its owning shard.
+// DeleteTask removes a task from its owning shard and drops its routing
+// entry (task churn must not grow the index without bound).
 func (s *ShardedServer) DeleteTask(id TaskID) error {
-	i, bare, err := s.shardForTask(id)
+	i, err := s.shardForTask(id)
 	if err != nil {
 		return err
 	}
-	return s.shards[i].server.DeleteTask(bare)
+	if err := s.shards[i].server.DeleteTask(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.taskHome, id)
+	s.mu.Unlock()
+	return nil
 }
 
 // UpdateTaskParams mutates a task on its owning shard.
 func (s *ShardedServer) UpdateTaskParams(id TaskID, now time.Time, mutate func(*Task)) error {
-	i, bare, err := s.shardForTask(id)
+	i, err := s.shardForTask(id)
 	if err != nil {
 		return err
 	}
-	return s.shards[i].server.UpdateTaskParams(bare, now, mutate)
+	return s.shards[i].server.UpdateTaskParams(id, now, mutate)
 }
 
 // ReceiveData routes a device's reading to the shard owning the request's
-// task. Request IDs are "<taskID>#<seq>".
+// task. Request IDs are "<taskID>#<seq>", and task IDs carry their region
+// prefix, so the route is unambiguous.
 func (s *ShardedServer) ReceiveData(reqID, deviceID string, reading sensors.Reading, now time.Time) error {
 	taskPart := reqID
 	for i := 0; i < len(reqID); i++ {
@@ -219,27 +265,51 @@ func (s *ShardedServer) ReceiveData(reqID, deviceID string, reading sensors.Read
 			break
 		}
 	}
-	i, _, err := s.shardForTask(TaskID(taskPart))
+	i, err := s.shardForTask(TaskID(taskPart))
 	if err != nil {
 		return err
 	}
 	return s.shards[i].server.ReceiveData(reqID, deviceID, reading, now)
 }
 
-// ProcessDue drives every shard's scheduling loop.
+// ProcessDue drives every shard's scheduling loop concurrently: regions
+// are independent by construction (a device is homed to exactly one
+// shard, a task to exactly one shard), so the per-edge instances schedule
+// in parallel exactly as the paper's physical deployment would.
 func (s *ShardedServer) ProcessDue(now time.Time) {
+	var wg sync.WaitGroup
 	for _, sh := range s.shards {
-		sh.server.ProcessDue(now)
+		wg.Add(1)
+		go func(srv *Server) {
+			defer wg.Done()
+			srv.ProcessDue(now)
+		}(sh.server)
 	}
+	wg.Wait()
 }
 
-// NextWake returns the earliest wake instant across shards.
+// NextWake returns the earliest wake instant across shards, polling the
+// shards concurrently.
 func (s *ShardedServer) NextWake() (time.Time, bool) {
+	type wake struct {
+		t  time.Time
+		ok bool
+	}
+	wakes := make([]wake, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, srv *Server) {
+			defer wg.Done()
+			wakes[i].t, wakes[i].ok = srv.NextWake()
+		}(i, sh.server)
+	}
+	wg.Wait()
 	var best time.Time
 	ok := false
-	for _, sh := range s.shards {
-		if t, has := sh.server.NextWake(); has && (!ok || t.Before(best)) {
-			best, ok = t, true
+	for _, w := range wakes {
+		if w.ok && (!ok || w.t.Before(best)) {
+			best, ok = w.t, true
 		}
 	}
 	return best, ok
@@ -258,6 +328,34 @@ func (s *ShardedServer) Stats() Stats {
 		total.ReadingsAccepted += st.ReadingsAccepted
 		total.ReadingsRejected += st.ReadingsRejected
 		total.DispatchesMissed += st.DispatchesMissed
+	}
+	return total
+}
+
+// Selections merges the shards' retained selection logs, oldest first.
+func (s *ShardedServer) Selections() []Selection {
+	var all []Selection
+	for _, sh := range s.shards {
+		all = append(all, sh.server.Selections()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At.Before(all[j].At) })
+	return all
+}
+
+// SelectionsDropped sums selection-log overwrites across shards.
+func (s *ShardedServer) SelectionsDropped() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.server.SelectionsDropped()
+	}
+	return total
+}
+
+// TaskCount sums stored tasks across shards.
+func (s *ShardedServer) TaskCount() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.server.TaskCount()
 	}
 	return total
 }

@@ -1,0 +1,200 @@
+package netserver
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"senseaid/internal/cas"
+	"senseaid/internal/core"
+	"senseaid/internal/geo"
+	"senseaid/internal/power"
+	"senseaid/internal/wire"
+)
+
+// testRegions covers the default test positions: west around the CS
+// department (where autoDevice and barometerSpec live), east 5 km away.
+func testRegions() []core.Region {
+	return []core.Region{
+		{Name: "west", Area: geo.Circle{Center: geo.CSDepartment, RadiusM: 1500}},
+		{Name: "east", Area: geo.Circle{Center: geo.Offset(geo.CSDepartment, 0, 5000), RadiusM: 1500}},
+	}
+}
+
+func startShardedServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := Listen(Config{
+		Addr:       "127.0.0.1:0",
+		TickPeriod: 20 * time.Millisecond,
+		Regions:    testRegions(),
+	})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// TestConcurrentLoad hammers a live server — device registrations,
+// control reports that cross region boundaries, preference updates,
+// uploads, and CAS task churn, all concurrently — against both
+// topologies. Run under -race this is the transport/core locking
+// regression test: the transport must hold no lock across core calls,
+// and the core must serialise internally.
+func TestConcurrentLoad(t *testing.T) {
+	cases := []struct {
+		name  string
+		start func(t *testing.T) *Server
+	}{
+		{"single", startServer},
+		{"sharded", startShardedServer},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.start(t)
+			eastPos := geo.Offset(geo.CSDepartment, 0, 5000)
+
+			var wg sync.WaitGroup
+			// Device workers: each runs a full lifecycle loop.
+			const devices = 10
+			for w := 0; w < devices; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					id := fmt.Sprintf("load-dev-%d", w)
+					c := autoDevice(t, s.Addr(), id)
+					for i := 0; i < 10; i++ {
+						pos := geo.CSDepartment
+						if (w+i)%2 == 1 {
+							pos = eastPos // sharded: forces a re-homing
+						}
+						if err := c.ReportState(pos, 80, time.Now()); err != nil {
+							t.Errorf("ReportState: %v", err)
+							return
+						}
+						b := power.DefaultBudget()
+						b.CriticalBatteryPct = float64(10 + i)
+						if err := c.UpdatePreferences(b); err != nil {
+							t.Errorf("UpdatePreferences: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			// CAS workers: submit, mutate, delete tasks while devices churn.
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					app, err := cas.Dial(s.Addr())
+					if err != nil {
+						t.Errorf("cas.Dial: %v", err)
+						return
+					}
+					defer func() { _ = app.Close() }()
+					if err := app.ReceiveSensedData(func(wire.SensedData) {}); err != nil {
+						t.Errorf("ReceiveSensedData: %v", err)
+						return
+					}
+					for i := 0; i < 8; i++ {
+						id, err := app.Task(barometerSpec(1))
+						if err != nil {
+							t.Errorf("Task: %v", err)
+							return
+						}
+						if err := app.UpdateTaskParam(wire.UpdateTask{TaskID: id, SpatialDensity: 2}); err != nil {
+							t.Errorf("UpdateTaskParam: %v", err)
+							return
+						}
+						if i%2 == 0 {
+							if err := app.DeleteTask(id); err != nil {
+								t.Errorf("DeleteTask: %v", err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			done := make(chan struct{})
+			go func() {
+				wg.Wait()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("concurrent load wedged")
+			}
+			st := s.Stats()
+			if st.TasksSubmitted != 24 {
+				t.Fatalf("TasksSubmitted = %d, want 24", st.TasksSubmitted)
+			}
+		})
+	}
+}
+
+// TestShardedEndToEnd drives the full wire path against a sharded
+// deployment: the task lands on its covering shard, its ID carries the
+// region, data flows back, and the shared registry carries per-shard
+// series.
+func TestShardedEndToEnd(t *testing.T) {
+	s := startShardedServer(t)
+	autoDevice(t, s.Addr(), "device-west")
+
+	app, err := cas.Dial(s.Addr())
+	if err != nil {
+		t.Fatalf("cas.Dial: %v", err)
+	}
+	defer func() { _ = app.Close() }()
+	var mu sync.Mutex
+	var got []wire.SensedData
+	if err := app.ReceiveSensedData(func(sd wire.SensedData) {
+		mu.Lock()
+		got = append(got, sd)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatalf("ReceiveSensedData: %v", err)
+	}
+
+	taskID, err := app.Task(barometerSpec(1))
+	if err != nil {
+		t.Fatalf("Task: %v", err)
+	}
+	if !strings.HasPrefix(taskID, "west/") {
+		t.Fatalf("task ID = %q, want west/ prefix from the covering shard", taskID)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no readings after 5s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	first := got[0]
+	mu.Unlock()
+	if first.TaskID != taskID || first.DeviceID != "device-west" {
+		t.Fatalf("reading = %+v, want task %s from device-west", first, taskID)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Metrics().WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := buf.String()
+	for _, label := range []string{`shard="west"`, `shard="east"`} {
+		if !strings.Contains(text, label) {
+			t.Fatalf("metrics exposition lacks %s series:\n%s", label, text)
+		}
+	}
+}

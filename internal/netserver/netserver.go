@@ -28,6 +28,13 @@ type Config struct {
 	Addr string
 	// Core configures the scheduling core; zero value uses defaults.
 	Core core.ServerConfig
+	// Regions, when non-empty, boots a sharded deployment: one core
+	// instance per geographic region (the paper's per-edge physical
+	// instantiation), with devices homed to the shard covering their
+	// position and tasks routed to the shard covering their area. Task
+	// IDs returned to application servers carry the owning region
+	// ("west/task-1"). Empty runs a single-region core.
+	Regions []core.Region
 	// Clock supplies time (tests inject a simulated clock for
 	// deterministic scheduling assertions; production uses real time).
 	Clock simclock.Clock
@@ -51,7 +58,11 @@ type Config struct {
 	PseudonymSecret []byte
 }
 
-// Server is a running networked Sense-Aid server.
+// Server is a running networked Sense-Aid server. The scheduling core
+// owns its own concurrency (see core.Orchestrator), so the transport
+// layer holds no lock across core calls: RPCs on different connections
+// and the scheduler tick proceed in parallel, serialising only inside
+// the core where they actually conflict.
 type Server struct {
 	cfg     Config
 	ln      net.Listener
@@ -59,12 +70,14 @@ type Server struct {
 	log     *obs.Logger
 	met     *netMetrics
 	started time.Time
+	core    core.Orchestrator
+	pseudo  *privacy.Pseudonymizer
 
-	mu      sync.Mutex // guards core, conns, and write fan-out maps
-	core    *core.Server
+	// connMu guards only the connection fan-out maps — pure transport
+	// bookkeeping, never held across a core call or a socket write.
+	connMu  sync.Mutex
 	devices map[string]*conn      // device ID -> connection
 	taskCAS map[core.TaskID]*conn // task -> submitting CAS connection
-	pseudo  *privacy.Pseudonymizer
 
 	wg      sync.WaitGroup
 	done    chan struct{}
@@ -132,7 +145,15 @@ func Listen(cfg Config) (*Server, error) {
 		}
 		s.pseudo = p
 	}
-	c, err := core.NewServer(cfg.Core, core.DispatcherFunc(s.dispatch))
+	var (
+		c   core.Orchestrator
+		err error
+	)
+	if len(cfg.Regions) > 0 {
+		c, err = core.NewShardedServer(cfg.Core, core.DispatcherFunc(s.dispatch), cfg.Regions)
+	} else {
+		c, err = core.NewServer(cfg.Core, core.DispatcherFunc(s.dispatch))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -153,9 +174,13 @@ func Listen(cfg Config) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Stats returns the core's counters (safe without s.mu: the core's
-// read-side API is concurrency-safe).
+// Stats returns the core's counters (the core's read-side API is
+// concurrency-safe).
 func (s *Server) Stats() core.Stats { return s.core.Stats() }
+
+// Orchestrator exposes the scheduling core the server fronts — a single
+// region's *core.Server or a *core.ShardedServer, per Config.Regions.
+func (s *Server) Orchestrator() core.Orchestrator { return s.core }
 
 // Metrics returns the registry carrying this server's series.
 func (s *Server) Metrics() *obs.Registry { return s.met.reg }
@@ -174,10 +199,10 @@ type Status struct {
 
 // Status snapshots the server for the admin endpoint.
 func (s *Server) Status() Status {
-	s.mu.Lock()
+	s.connMu.Lock()
 	devConns := len(s.devices)
 	liveTasks := len(s.taskCAS)
-	s.mu.Unlock()
+	s.connMu.Unlock()
 	return Status{
 		Addr:             s.Addr(),
 		UptimeSeconds:    time.Since(s.started).Seconds(),
@@ -196,7 +221,7 @@ func (s *Server) Close() error {
 	s.closeMu.Do(func() {
 		close(s.done)
 		err = s.ln.Close()
-		s.mu.Lock()
+		s.connMu.Lock()
 		for _, c := range s.devices {
 			_ = c.nc.Close()
 		}
@@ -207,7 +232,7 @@ func (s *Server) Close() error {
 				_ = c.nc.Close()
 			}
 		}
-		s.mu.Unlock()
+		s.connMu.Unlock()
 		s.wg.Wait()
 	})
 	return err
@@ -238,6 +263,8 @@ func (s *Server) acceptLoop() {
 }
 
 // tickLoop drives the core's scheduling over real (or injected) time.
+// The core locks internally, so a long scheduling pass never blocks RPC
+// handling at the transport layer.
 func (s *Server) tickLoop() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.cfg.TickPeriod)
@@ -247,17 +274,19 @@ func (s *Server) tickLoop() {
 		case <-s.done:
 			return
 		case <-ticker.C:
-			s.mu.Lock()
 			s.core.ProcessDue(s.clock.Now())
-			s.mu.Unlock()
 		}
 	}
 }
 
-// dispatch pushes a schedule to the selected device's connection. Called
-// with s.mu held (from ProcessDue or message handlers).
+// dispatch pushes a schedule to the selected device's connection. The
+// core invokes it outside its scheduling lock (and, sharded, from
+// concurrent per-shard goroutines); the conn lookup takes connMu only
+// for the map read, and the write serialises on the conn's own lock.
 func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
+	s.connMu.Lock()
 	c, ok := s.devices[dev.ID]
+	s.connMu.Unlock()
 	if !ok {
 		s.log.Debugf("dispatch %s: device %s not connected", req.ID(), dev.ID)
 		return
@@ -323,11 +352,11 @@ func (s *Server) serveDevice(c *conn) {
 	deviceID := ""
 	defer func() {
 		if deviceID != "" {
-			s.mu.Lock()
+			s.connMu.Lock()
 			if s.devices[deviceID] == c {
 				delete(s.devices, deviceID)
 			}
-			s.mu.Unlock()
+			s.connMu.Unlock()
 			s.log.Debugf("device %s disconnected", deviceID)
 		}
 	}()
@@ -357,8 +386,7 @@ func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (
 		if err := wire.Decode(env, &reg); err != nil {
 			return false, err
 		}
-		s.mu.Lock()
-		err := s.core.Devices().Register(core.DeviceState{
+		err := s.core.RegisterDevice(core.DeviceState{
 			ID:         reg.DeviceID,
 			Position:   reg.Position,
 			BatteryPct: reg.BatteryPct,
@@ -367,25 +395,24 @@ func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (
 			DeviceType: reg.DeviceType,
 			Budget:     reg.Budget,
 		})
-		if err == nil {
-			s.devices[reg.DeviceID] = c
-			*deviceID = reg.DeviceID
-		}
-		s.mu.Unlock()
 		if err != nil {
 			return false, err
 		}
+		s.connMu.Lock()
+		s.devices[reg.DeviceID] = c
+		s.connMu.Unlock()
+		*deviceID = reg.DeviceID
 		s.log.Infof("device %s registered", reg.DeviceID)
 		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: reg.DeviceID})
 		return false, nil
 
 	case wire.TypeDeregister:
-		s.mu.Lock()
 		if *deviceID != "" {
-			s.core.Devices().Deregister(*deviceID)
+			s.core.DeregisterDevice(*deviceID)
+			s.connMu.Lock()
 			delete(s.devices, *deviceID)
+			s.connMu.Unlock()
 		}
-		s.mu.Unlock()
 		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
 		return true, nil
 
@@ -397,16 +424,13 @@ func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (
 		if err := up.Budget.Validate(); err != nil {
 			return false, err
 		}
-		s.mu.Lock()
-		dev, ok := s.core.Devices().Get(*deviceID)
-		if ok {
-			dev.Budget = up.Budget
-			// Re-register keeps the rest of the record.
-			_ = s.core.Devices().Register(dev)
-		}
-		s.mu.Unlock()
-		if !ok {
+		if *deviceID == "" {
 			return false, fmt.Errorf("netserver: update_preferences before register")
+		}
+		// A budget change must not touch liveness: a device the scheduler
+		// marked unresponsive stays unresponsive through a prefs update.
+		if err := s.core.UpdateDevicePrefs(*deviceID, up.Budget); err != nil {
+			return false, err
 		}
 		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
 		return false, nil
@@ -416,10 +440,7 @@ func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (
 		if err := wire.Decode(env, &sr); err != nil {
 			return false, err
 		}
-		s.mu.Lock()
-		err := s.core.Devices().UpdateState(*deviceID, sr.Position, sr.BatteryPct, sr.LastComm)
-		s.mu.Unlock()
-		if err != nil {
+		if err := s.core.UpdateDeviceState(*deviceID, sr.Position, sr.BatteryPct, sr.LastComm); err != nil {
 			return false, err
 		}
 		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
@@ -430,10 +451,7 @@ func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (
 		if err := wire.Decode(env, &sd); err != nil {
 			return false, err
 		}
-		s.mu.Lock()
-		err := s.core.ReceiveData(sd.RequestID, *deviceID, sd.Reading, s.clock.Now())
-		s.mu.Unlock()
-		if err != nil {
+		if err := s.core.ReceiveData(sd.RequestID, *deviceID, sd.Reading, s.clock.Now()); err != nil {
 			return false, err
 		}
 		s.met.upload(sd.Path).Inc()
@@ -452,21 +470,27 @@ func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (
 func (s *Server) serveCAS(c *conn) {
 	var ownedTasks []core.TaskID
 	defer func() {
-		s.mu.Lock()
-		orphaned := 0
+		// Claim this connection's tasks under connMu, then delete them
+		// through the core without holding any transport lock.
+		var mine []core.TaskID
+		s.connMu.Lock()
 		for _, id := range ownedTasks {
 			if s.taskCAS[id] == c {
 				delete(s.taskCAS, id)
-				if err := s.core.DeleteTask(id); err == nil {
-					orphaned++
-					s.log.Infof("CAS disconnected; task %s deleted", id)
-				}
-				if s.pseudo != nil {
-					s.pseudo.Forget(string(id))
-				}
+				mine = append(mine, id)
 			}
 		}
-		s.mu.Unlock()
+		s.connMu.Unlock()
+		orphaned := 0
+		for _, id := range mine {
+			if err := s.core.DeleteTask(id); err == nil {
+				orphaned++
+				s.log.Infof("CAS disconnected; task %s deleted", id)
+			}
+			if s.pseudo != nil {
+				s.pseudo.Forget(string(id))
+			}
+		}
 		if orphaned > 0 {
 			s.met.casDisconnects.Inc()
 		}
@@ -504,10 +528,9 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]core.TaskID, env wire.Envel
 			SpatialDensity:   spec.SpatialDensity,
 			DeviceType:       spec.DeviceType,
 		}
-		s.mu.Lock()
 		id, err := s.core.SubmitTask(task, s.clock.Now(), func(tid core.TaskID, dev string, r sensors.Reading) {
-			// Sink runs with s.mu held (inside ReceiveData); the
-			// send uses the conn's own write lock.
+			// The core invokes the sink outside its scheduling lock; the
+			// send serialises on the conn's own write lock.
 			reported := dev
 			if s.pseudo != nil {
 				if p, perr := s.pseudo.Pseudonym(string(tid), dev); perr == nil {
@@ -520,14 +543,13 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]core.TaskID, env wire.Envel
 				s.log.Errorf("deliver to CAS for %s: %v", tid, e)
 			}
 		})
-		if err == nil {
-			s.taskCAS[id] = c
-			*ownedTasks = append(*ownedTasks, id)
-		}
-		s.mu.Unlock()
 		if err != nil {
 			return err
 		}
+		s.connMu.Lock()
+		s.taskCAS[id] = c
+		s.connMu.Unlock()
+		*ownedTasks = append(*ownedTasks, id)
 		s.log.Infof("task %s submitted (sensor=%s density=%d)", id, task.Sensor, task.SpatialDensity)
 		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: string(id)})
 		return nil
@@ -537,7 +559,6 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]core.TaskID, env wire.Envel
 		if err := wire.Decode(env, &ut); err != nil {
 			return err
 		}
-		s.mu.Lock()
 		err := s.core.UpdateTaskParams(core.TaskID(ut.TaskID), s.clock.Now(), func(t *core.Task) {
 			if ut.SamplingPeriod > 0 {
 				t.SamplingPeriod = ut.SamplingPeriod
@@ -552,7 +573,6 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]core.TaskID, env wire.Envel
 				t.End = ut.End
 			}
 		})
-		s.mu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -564,13 +584,13 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]core.TaskID, env wire.Envel
 		if err := wire.Decode(env, &dt); err != nil {
 			return err
 		}
-		s.mu.Lock()
 		err := s.core.DeleteTask(core.TaskID(dt.TaskID))
+		s.connMu.Lock()
 		delete(s.taskCAS, core.TaskID(dt.TaskID))
+		s.connMu.Unlock()
 		if s.pseudo != nil {
 			s.pseudo.Forget(dt.TaskID)
 		}
-		s.mu.Unlock()
 		if err != nil {
 			return err
 		}

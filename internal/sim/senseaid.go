@@ -51,13 +51,22 @@ type SenseAid struct {
 	// energy account. The paper excludes it; the ablation bench turns
 	// it on.
 	CountControl bool
+	// Regions, when non-empty, runs the middleware sharded: one core
+	// instance per geographic region (the paper's per-edge physical
+	// instantiation), driven through the same core.Orchestrator interface
+	// a live sharded daemon serves. Devices are homed by position and
+	// re-homed as they move; tasks route to the shard covering their
+	// area. Empty runs the single-region core.
+	Regions []core.Region
 	// OnReading, if set, observes every validated reading as it reaches
 	// the application-server sink (task, device, reading). Adaptive
 	// campaigns hang their controllers here.
 	OnReading func(core.TaskID, string, sensors.Reading)
 	// OnServer, if set, receives the in-simulation server right after
 	// task submission, so callers can drive task mutations mid-run
-	// (update_task_param) from simulation events.
+	// (update_task_param) from simulation events. Only invoked for
+	// single-region runs (Regions empty); sharded runs drive mutations
+	// through the Orchestrator interface instead.
 	OnServer func(*core.Server)
 	// Metrics, when set, receives the run's series — both the core
 	// scheduler's (via the embedded server) and senseaid_uploads_total,
@@ -102,11 +111,13 @@ type saPendingUpload struct {
 const tailFlushDelay = 500 * time.Millisecond
 
 // saClient is the Sense-Aid client middleware on one phone: it watches
-// for tail windows, reports state, and uploads pending readings.
+// for tail windows, reports state, and uploads pending readings. It
+// drives the server through the Orchestrator interface, so the same
+// client logic exercises the single-region and sharded cores.
 type saClient struct {
 	ph           *phone.Phone
 	world        *World
-	server       *core.Server
+	server       core.Orchestrator
 	resetTail    bool
 	pending      []*saPendingUpload
 	lastControl  time.Time
@@ -137,7 +148,7 @@ func (c *saClient) onTraffic(traffic.Transfer) {
 
 // reportState delivers the device's control report to the server.
 func (c *saClient) reportState() {
-	_ = c.server.Devices().UpdateState(
+	_ = c.server.UpdateDeviceState(
 		c.ph.ID(), c.ph.Position(), c.ph.Battery().Percent(), c.ph.Radio().LastComm())
 }
 
@@ -214,7 +225,7 @@ func (c *saClient) flushPending() {
 	}
 	// E_i feedback for the selector's energy-fairness term: one transfer,
 	// one estimate.
-	c.server.Devices().NoteEnergy(c.ph.ID(), uploadEnergyEstimateJ(c.ph, sr.Promoted))
+	c.server.NoteDeviceEnergy(c.ph.ID(), uploadEnergyEstimateJ(c.ph, sr.Promoted))
 	if len(live) > 1 {
 		c.met.sharedBatch(len(live))
 	}
@@ -261,9 +272,23 @@ func (s SenseAid) Run(w *World, tasks []core.Task) (*RunResult, error) {
 			c.handleDispatch(req)
 		}
 	})
-	server, err := core.NewServer(cfg, dispatcher)
-	if err != nil {
-		return nil, fmt.Errorf("sim: sense-aid: %w", err)
+	var (
+		server core.Orchestrator
+		single *core.Server
+	)
+	if len(s.Regions) > 0 {
+		sharded, err := core.NewShardedServer(cfg, dispatcher, s.Regions)
+		if err != nil {
+			return nil, fmt.Errorf("sim: sense-aid: %w", err)
+		}
+		server = sharded
+	} else {
+		var err error
+		single, err = core.NewServer(cfg, dispatcher)
+		if err != nil {
+			return nil, fmt.Errorf("sim: sense-aid: %w", err)
+		}
+		server = single
 	}
 
 	// Bootstrap: every cohort member signs up for the campaign.
@@ -285,7 +310,7 @@ func (s SenseAid) Run(w *World, tasks []core.Task) (*RunResult, error) {
 				sensorList = append(sensorList, t)
 			}
 		}
-		err := server.Devices().Register(core.DeviceState{
+		err := server.RegisterDevice(core.DeviceState{
 			ID:         ph.ID(),
 			Position:   ph.Position(),
 			BatteryPct: ph.Battery().Percent(),
@@ -361,8 +386,8 @@ func (s SenseAid) Run(w *World, tasks []core.Task) (*RunResult, error) {
 			pumpAt(next)
 		})
 	}
-	if s.OnServer != nil {
-		s.OnServer(server)
+	if s.OnServer != nil && single != nil {
+		s.OnServer(single)
 	}
 	if first, ok := server.NextWake(); ok {
 		pumpAt(first)

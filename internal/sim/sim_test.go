@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -111,6 +112,34 @@ func TestSenseAidRun(t *testing.T) {
 	// Most uploads should ride tail windows.
 	if res.Uploads.Piggybacked == 0 {
 		t.Fatal("sense-aid never used a tail window")
+	}
+}
+
+func TestSenseAidShardedRun(t *testing.T) {
+	// The same campaign through a sharded deployment: one shard covers the
+	// whole campus cohort, a second sits one town over with no devices. The
+	// run must behave like the single-region core — same interface, same
+	// selection discipline — with tasks minted under the owning region.
+	regions := []core.Region{
+		{Name: "campus", Area: geo.Circle{Center: geo.CampusCenter(), RadiusM: 50_000}},
+		{Name: "remote", Area: geo.Circle{Center: geo.Offset(geo.CampusCenter(), 0, 120_000), RadiusM: 1_000}},
+	}
+	task := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+	res := runFramework(t, SenseAid{Regions: regions}, 1, task)
+
+	if res.Readings == 0 {
+		t.Fatal("sharded run delivered no readings")
+	}
+	if res.AvgSelected != 2 {
+		t.Fatalf("sharded run selected %.2f devices/round, want exactly 2", res.AvgSelected)
+	}
+	if len(res.Selections) == 0 {
+		t.Fatal("sharded run kept no selection log")
+	}
+	for _, sel := range res.Selections {
+		if !strings.HasPrefix(sel.Request, "campus/") {
+			t.Fatalf("selection request = %s, want campus/ prefix", sel.Request)
+		}
 	}
 }
 
