@@ -104,13 +104,12 @@ func (s *DeviceStore) Register(d DeviceState) error {
 // Restore stores a record verbatim, preserving its responsiveness flag,
 // reliability score, and fairness counters. It is the re-homing path:
 // a device moving between shards keeps the liveness state the scheduler
-// gave it, where Register would silently rehabilitate it.
+// gave it, where Register would silently rehabilitate it. Unlike
+// Register there is no zero-to-one reliability defaulting: a reputation
+// legitimately driven to 0 must survive a shard crossing.
 func (s *DeviceStore) Restore(d DeviceState) error {
 	if err := validate(&d); err != nil {
 		return err
-	}
-	if d.Reliability == 0 {
-		d.Reliability = 1
 	}
 	s.mu.Lock()
 	s.devices[d.ID] = &d

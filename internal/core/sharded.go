@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+	"unicode"
 
 	"senseaid/internal/geo"
 	"senseaid/internal/obs"
@@ -69,6 +71,15 @@ func NewShardedServer(cfg ServerConfig, d Dispatcher, regions []Region) (*Sharde
 	for _, r := range regions {
 		if r.Name == "" {
 			return nil, fmt.Errorf("core: region with empty name")
+		}
+		// Region names become task-ID prefixes ("west/task-1") and appear
+		// in request IDs ("west/task-1#0"): '/' would make prefixes
+		// ambiguous, '#' would break ReceiveData's split at the first '#',
+		// and whitespace is asking for flag-parsing trouble. Reject them at
+		// construction so a malformed -regions flag fails at startup
+		// instead of silently rejecting every upload.
+		if strings.ContainsAny(r.Name, "#/") || strings.IndexFunc(r.Name, unicode.IsSpace) >= 0 {
+			return nil, fmt.Errorf("core: region name %q contains '#', '/', or whitespace", r.Name)
 		}
 		if seen[r.Name] {
 			return nil, fmt.Errorf("core: duplicate region %q", r.Name)
@@ -163,6 +174,11 @@ func (s *ShardedServer) UpdateDeviceState(id string, pos geo.Point, batteryPct f
 		return s.shards[home].server.UpdateDeviceState(id, pos, batteryPct, at)
 	}
 	// Re-home: move the record, preserving liveness and fairness state.
+	// Deregister-then-Restore ordering matters: the scheduling fan-out
+	// (ProcessDue) does not take s.mu, so a concurrent tick may observe
+	// the crossing mid-move. In this order the device is briefly in
+	// neither shard — it can miss at most one selection round — whereas
+	// Restore-first would let both shards see it and dispatch it twice.
 	rec, ok := s.shards[home].server.Devices().Get(id)
 	if !ok {
 		return fmt.Errorf("core: device %s missing from home shard", id)
@@ -170,19 +186,27 @@ func (s *ShardedServer) UpdateDeviceState(id string, pos geo.Point, batteryPct f
 	rec.Position = pos
 	rec.BatteryPct = batteryPct
 	rec.LastComm = at
+	s.shards[home].server.DeregisterDevice(id)
 	if err := s.shards[target].server.Devices().Restore(rec); err != nil {
+		// Restore only re-validates a record that was already stored, so
+		// this cannot fail in practice; if it ever does, put the device
+		// back where it was rather than losing it.
+		_ = s.shards[home].server.Devices().Restore(rec)
 		return err
 	}
-	s.shards[home].server.DeregisterDevice(id)
 	s.deviceHome[id] = target
 	return nil
 }
 
-// UpdateDevicePrefs changes a device's budget on its home shard.
+// UpdateDevicePrefs changes a device's budget on its home shard. The
+// read lock is held across the shard call (the hierarchy permits
+// ShardedServer.mu -> Server locks) so a concurrent re-home cannot move
+// the record between the lookup and the update, which would silently
+// drop the new budget on the old shard's removed record.
 func (s *ShardedServer) UpdateDevicePrefs(id string, b power.Budget) error {
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	home, ok := s.deviceHome[id]
-	s.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("core: prefs: unknown device %s", id)
 	}
@@ -190,11 +214,13 @@ func (s *ShardedServer) UpdateDevicePrefs(id string, b power.Budget) error {
 }
 
 // NoteDeviceEnergy records spent energy against the device's home shard.
+// As with UpdateDevicePrefs, the read lock spans the shard call so the
+// energy lands on the record's current home even under concurrent
+// re-homing.
 func (s *ShardedServer) NoteDeviceEnergy(id string, joules float64) {
 	s.mu.RLock()
-	home, ok := s.deviceHome[id]
-	s.mu.RUnlock()
-	if ok {
+	defer s.mu.RUnlock()
+	if home, ok := s.deviceHome[id]; ok {
 		s.shards[home].server.NoteDeviceEnergy(id, joules)
 	}
 }

@@ -47,6 +47,15 @@ func TestNewShardedValidation(t *testing.T) {
 	if _, err := NewShardedServer(DefaultServerConfig(), d, bad); err == nil {
 		t.Fatal("empty region name accepted")
 	}
+	// Names land in task/request IDs: '#' breaks ReceiveData's request
+	// split, '/' makes prefixes ambiguous, whitespace breaks flags.
+	for _, name := range []string{"we#st", "we/st", "we st", "west\t"} {
+		bad = campusRegions()
+		bad[0].Name = name
+		if _, err := NewShardedServer(DefaultServerConfig(), d, bad); err == nil {
+			t.Fatalf("region name %q accepted", name)
+		}
+	}
 }
 
 func TestDeviceHomedToCoveringShard(t *testing.T) {
@@ -81,12 +90,14 @@ func TestDeviceRehomedOnMovement(t *testing.T) {
 	if err := s.RegisterDevice(d); err != nil {
 		t.Fatal(err)
 	}
-	// Accumulate a fairness counter, then move east.
+	// Accumulate a fairness counter and a zeroed reputation, then move
+	// east: both must survive the crossing verbatim.
 	shard0, _, err := s.Shard(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	shard0.Devices().NoteSelected("mover")
+	shard0.Devices().SetReliability("mover", 0)
 
 	eastPos := geo.Offset(geo.UniversityGym, 0, 5000)
 	if err := s.UpdateDeviceState("mover", eastPos, 77, simclock.Epoch.Add(time.Minute)); err != nil {
@@ -108,6 +119,9 @@ func TestDeviceRehomedOnMovement(t *testing.T) {
 	}
 	if rec.TimesUsed != 1 {
 		t.Fatalf("fairness counter lost in re-homing: TimesUsed = %d", rec.TimesUsed)
+	}
+	if rec.Reliability != 0 {
+		t.Fatalf("zeroed reliability rehabilitated by re-homing: %v", rec.Reliability)
 	}
 	if rec.BatteryPct != 77 {
 		t.Fatalf("battery not updated: %v", rec.BatteryPct)

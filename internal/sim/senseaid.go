@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"senseaid/internal/core"
@@ -267,16 +269,56 @@ func (s SenseAid) Run(w *World, tasks []core.Task) (*RunResult, error) {
 	resetTail := s.variant() == Basic
 
 	clients := make(map[string]*saClient, len(w.Phones))
+	// A sharded server invokes the Dispatcher from one goroutine per shard,
+	// but the sim world (scheduler, radios, phones) is single-threaded by
+	// design. Sharded runs therefore buffer dispatches under a lock and the
+	// pump replays them on its own thread, sorted by (request, device) so
+	// the run stays deterministic regardless of shard interleaving.
+	type bufferedDispatch struct {
+		req core.Request
+		dev string
+	}
+	var (
+		dispatchMu sync.Mutex
+		dispatched []bufferedDispatch
+		shardedRun = len(s.Regions) > 0
+	)
 	dispatcher := core.DispatcherFunc(func(req core.Request, dev core.DeviceState) {
-		if c, ok := clients[dev.ID]; ok {
-			c.handleDispatch(req)
+		if !shardedRun {
+			if c, ok := clients[dev.ID]; ok {
+				c.handleDispatch(req)
+			}
+			return
 		}
+		dispatchMu.Lock()
+		dispatched = append(dispatched, bufferedDispatch{req: req, dev: dev.ID})
+		dispatchMu.Unlock()
 	})
+	replayDispatches := func() {
+		if !shardedRun {
+			return
+		}
+		dispatchMu.Lock()
+		buf := dispatched
+		dispatched = nil
+		dispatchMu.Unlock()
+		sort.Slice(buf, func(i, j int) bool {
+			if buf[i].req.ID() != buf[j].req.ID() {
+				return buf[i].req.ID() < buf[j].req.ID()
+			}
+			return buf[i].dev < buf[j].dev
+		})
+		for _, d := range buf {
+			if c, ok := clients[d.dev]; ok {
+				c.handleDispatch(d.req)
+			}
+		}
+	}
 	var (
 		server core.Orchestrator
 		single *core.Server
 	)
-	if len(s.Regions) > 0 {
+	if shardedRun {
 		sharded, err := core.NewShardedServer(cfg, dispatcher, s.Regions)
 		if err != nil {
 			return nil, fmt.Errorf("sim: sense-aid: %w", err)
@@ -368,6 +410,7 @@ func (s SenseAid) Run(w *World, tasks []core.Task) (*RunResult, error) {
 				clients[ph.ID()].reportState()
 			}
 			server.ProcessDue(now)
+			replayDispatches()
 			next, ok := server.NextWake()
 			if !ok {
 				return

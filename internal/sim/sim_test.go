@@ -7,6 +7,7 @@ import (
 
 	"senseaid/internal/core"
 	"senseaid/internal/geo"
+	"senseaid/internal/mobility"
 	"senseaid/internal/sensors"
 	"senseaid/internal/simclock"
 )
@@ -140,6 +141,54 @@ func TestSenseAidShardedRun(t *testing.T) {
 		if !strings.HasPrefix(sel.Request, "campus/") {
 			t.Fatalf("selection request = %s, want campus/ prefix", sel.Request)
 		}
+	}
+}
+
+func TestSenseAidShardedTwoPopulatedRegions(t *testing.T) {
+	// Both shards carry devices and tasks, so both dispatch in the same
+	// scheduling tick. ShardedServer.ProcessDue fans out one goroutine per
+	// shard and the sim world is single-threaded: this run (under -race in
+	// CI) guards the buffered-dispatch replay that keeps concurrent shard
+	// dispatches off the shared sim scheduler.
+	annex := geo.Offset(geo.CampusCenter(), 0, 12_000)
+	mob := make(map[int]mobility.Model)
+	for i := 10; i < 20; i++ {
+		mob[i] = mobility.NewWaypoint(mobility.WaypointConfig{
+			Home:    annex,
+			RadiusM: 300,
+			Start:   simclock.Epoch,
+			Seed:    int64(i),
+		})
+	}
+	w, err := NewWorld(WorldConfig{NumDevices: 20, Seed: 1, Mobility: mob})
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	regions := []core.Region{
+		{Name: "campus", Area: geo.Circle{Center: geo.CampusCenter(), RadiusM: 6_000}},
+		{Name: "annex", Area: geo.Circle{Center: annex, RadiusM: 3_000}},
+	}
+	campusTask := studyTask(1000, 10*time.Minute, 2, 90*time.Minute)
+	annexTask := campusTask
+	annexTask.Area = geo.Circle{Center: annex, RadiusM: 1000}
+
+	res, err := SenseAid{Regions: regions}.Run(w, []core.Task{campusTask, annexTask})
+	if err != nil {
+		t.Fatalf("SenseAid.Run: %v", err)
+	}
+	if res.Readings == 0 {
+		t.Fatal("two-region run delivered no readings")
+	}
+	shards := make(map[string]bool)
+	for _, sel := range res.Selections {
+		name, _, ok := strings.Cut(sel.Request, "/")
+		if !ok {
+			t.Fatalf("selection request %q has no region prefix", sel.Request)
+		}
+		shards[name] = true
+	}
+	if !shards["campus"] || !shards["annex"] {
+		t.Fatalf("selections came from shards %v, want both campus and annex", shards)
 	}
 }
 
