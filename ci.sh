@@ -10,3 +10,8 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -run '^$' -bench . -benchtime 1x ./...
+# Fault-injection smoke: the resilience suites (stalled peers, flaky
+# links, server restart) in short mode, so a quick pre-push run still
+# exercises the failure paths end to end.
+go test -race -short -run 'Fault|Stall|Resilien|Reconnect|Restart|Idle|Flaky' \
+    ./internal/faultconn ./internal/wire ./internal/netserver ./internal/client

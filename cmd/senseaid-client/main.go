@@ -7,6 +7,7 @@
 // Usage:
 //
 //	senseaid-client [-addr host:port] [-id device-id] [-lat f] [-lon f]
+//	                [-reconnect-min duration] [-reconnect-max duration]
 package main
 
 import (
@@ -36,6 +37,8 @@ func run() error {
 	lon := flag.Float64("lon", geo.CSDepartment.Lon, "device longitude")
 	battery := flag.Float64("battery", 90, "battery percent")
 	report := flag.Duration("report", time.Minute, "state report period")
+	reconnectMin := flag.Duration("reconnect-min", 250*time.Millisecond, "first reconnect backoff after losing the server (negative disables reconnection)")
+	reconnectMax := flag.Duration("reconnect-max", 15*time.Second, "reconnect backoff ceiling")
 	flag.Parse()
 
 	pos := geo.Point{Lat: *lat, Lon: *lon}
@@ -60,6 +63,8 @@ func run() error {
 			return r, nil
 		},
 		ReportPeriod: *report,
+		ReconnectMin: *reconnectMin,
+		ReconnectMax: *reconnectMax,
 	})
 	if err != nil {
 		return err
@@ -69,7 +74,8 @@ func run() error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("shutting down: %d uploads, %d state reports\n", daemon.Uploads(), daemon.Reports())
+	fmt.Printf("shutting down: %d uploads, %d state reports, %d reconnects\n",
+		daemon.Uploads(), daemon.Reports(), daemon.Reconnects())
 	for _, err := range daemon.Errs() {
 		fmt.Printf("  error: %v\n", err)
 	}

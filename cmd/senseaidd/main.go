@@ -5,6 +5,7 @@
 // Usage:
 //
 //	senseaidd [-addr host:port] [-metrics-addr host:port] [-tick duration]
+//	          [-handshake-timeout duration] [-idle-timeout duration]
 //	          [-regions name@lat,lon,radiusM]... [-v] [-vv]
 //
 // With -metrics-addr set, an HTTP admin endpoint serves /metrics
@@ -82,6 +83,8 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
 	metricsAddr := flag.String("metrics-addr", "", "admin HTTP address serving /metrics, /healthz, /statusz (empty disables)")
 	tick := flag.Duration("tick", 500*time.Millisecond, "scheduler tick period")
+	handshakeTimeout := flag.Duration("handshake-timeout", 10*time.Second, "deadline for a fresh connection to complete the hello (negative disables)")
+	idleTimeout := flag.Duration("idle-timeout", 10*time.Minute, "disconnect a device connection silent for this long (negative disables)")
 	var regions regionList
 	flag.Var(&regions, "regions", "edge region as name@lat,lon,radiusM (repeatable; two or more shard the deployment)")
 	verbose := flag.Bool("v", false, "log lifecycle events to stderr")
@@ -97,12 +100,14 @@ func run() error {
 		}
 	}
 	srv, err := netserver.Listen(netserver.Config{
-		Addr:       *addr,
-		TickPeriod: *tick,
-		Logger:     logger,
-		LogLevel:   level,
-		Metrics:    obs.Default(),
-		Regions:    regions,
+		Addr:             *addr,
+		TickPeriod:       *tick,
+		HandshakeTimeout: *handshakeTimeout,
+		IdleTimeout:      *idleTimeout,
+		Logger:           logger,
+		LogLevel:         level,
+		Metrics:          obs.Default(),
+		Regions:          regions,
 	})
 	if err != nil {
 		return err

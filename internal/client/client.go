@@ -39,6 +39,9 @@ type Config struct {
 	// Budget is the user's crowdsensing allowance; zero value uses the
 	// survey default.
 	Budget power.Budget
+	// Dialer overrides how the client reaches the server; nil uses a
+	// plain 5 s TCP dial. Tests inject fault-wrapped connections here.
+	Dialer func(addr string) (net.Conn, error)
 }
 
 // ScheduleHandler receives sensing schedules pushed by the server.
@@ -65,7 +68,13 @@ func Dial(cfg Config) (*Client, error) {
 	if cfg.Budget == (power.Budget{}) {
 		cfg.Budget = power.DefaultBudget()
 	}
-	nc, err := net.DialTimeout("tcp", cfg.Addr, 5*time.Second)
+	dial := cfg.Dialer
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	nc, err := dial(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", cfg.Addr, err)
 	}
@@ -181,3 +190,8 @@ func (c *Client) ReportState(pos geo.Point, batteryPct float64, lastComm time.Ti
 
 // Close tears the connection down without deregistering.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Done is closed when the connection dies — peer disconnect, protocol
+// fault, stalled write, or Close. The daemon's reconnect supervisor
+// watches it.
+func (c *Client) Done() <-chan struct{} { return c.conn.Done() }

@@ -2,6 +2,7 @@ package client
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -19,17 +20,19 @@ type Daemon struct {
 	cfg DaemonConfig
 	met daemonMetrics
 
-	client *Client
-	tail   *TailObserver
+	tail *TailObserver
 
-	mu      sync.Mutex
-	uploads int
-	reports int
-	errs    []error
+	mu         sync.Mutex
+	client     *Client // current connection; swapped by the supervisor
+	uploads    int
+	reports    int
+	reconnects int
+	errs       []error
 
-	stopOnce sync.Once
-	stop     chan struct{}
-	done     chan struct{}
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+	superDone chan struct{}
 }
 
 // daemonMetrics is the device-side slice of the metric vocabulary. Names
@@ -40,6 +43,7 @@ type daemonMetrics struct {
 	uploadsPromoted *obs.Counter
 	reports         *obs.Counter
 	errors          *obs.Counter
+	reconnects      *obs.Counter
 	battery         *obs.Gauge
 }
 
@@ -54,6 +58,8 @@ func newDaemonMetrics(reg *obs.Registry) daemonMetrics {
 			"Service-thread state reports delivered.", nil),
 		errors: reg.Counter("senseaid_client_errors_total",
 			"Daemon-side sampling, upload, and report failures.", nil),
+		reconnects: reg.Counter("senseaid_client_reconnects_total",
+			"Times the daemon redialled and re-registered after losing its server connection.", nil),
 		battery: reg.Gauge("senseaid_client_battery_pct",
 			"Battery percentage at the last state report.", nil),
 	}
@@ -75,6 +81,17 @@ type DaemonConfig struct {
 	ReportPeriod time.Duration
 	// TailDur configures tail inference (default LTE ~11.5 s).
 	TailDur time.Duration
+	// ReconnectMin and ReconnectMax bound the exponential backoff the
+	// daemon uses to redial after losing its server connection: the
+	// first retry waits ~ReconnectMin, each failure doubles the wait up
+	// to ReconnectMax, and every wait is jittered to 50–100 % of its
+	// nominal value so a server restart is not greeted by a synchronised
+	// stampede of every device it ever served. Defaults 250 ms and 15 s;
+	// a negative ReconnectMin disables reconnection entirely (the daemon
+	// then just goes dead with its connection, as it did before the
+	// supervisor existed).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
 	// Metrics receives the daemon's counters and battery gauge; nil uses
 	// the process-global registry (obs.Default()).
 	Metrics *obs.Registry
@@ -87,6 +104,15 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 	}
 	if cfg.ReportPeriod <= 0 {
 		cfg.ReportPeriod = time.Minute
+	}
+	if cfg.ReconnectMin == 0 {
+		cfg.ReconnectMin = 250 * time.Millisecond
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 15 * time.Second
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = cfg.ReconnectMin
 	}
 	if cfg.Position == nil {
 		pos := cfg.Client.Position
@@ -111,19 +137,90 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 		reg = obs.Default()
 	}
 	d := &Daemon{
-		cfg:    cfg,
-		met:    newDaemonMetrics(reg),
-		client: c,
-		tail:   NewTailObserver(cfg.TailDur),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:       cfg,
+		met:       newDaemonMetrics(reg),
+		client:    c,
+		tail:      NewTailObserver(cfg.TailDur),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		superDone: make(chan struct{}),
 	}
 	if err := c.StartSensing(d.onSchedule); err != nil {
 		_ = c.Close()
 		return nil, err
 	}
 	go d.serviceThread()
+	go d.supervisor()
 	return d, nil
+}
+
+// cl returns the daemon's current connection. Callers hold it for one
+// exchange only — after a reconnect the supervisor swaps in a fresh
+// client, and in-flight calls on the old one fail with wire.ErrClosed.
+func (d *Daemon) cl() *Client {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.client
+}
+
+// supervisor watches the live connection and, when it dies, redials
+// with jittered exponential backoff, re-registers, and resumes the
+// schedule stream. The service thread keeps running throughout: its
+// reports fail (and are counted) while the link is down, then ride the
+// replacement connection.
+func (d *Daemon) supervisor() {
+	defer close(d.superDone)
+	if d.cfg.ReconnectMin < 0 {
+		return
+	}
+	for {
+		c := d.cl()
+		select {
+		case <-d.stop:
+			return
+		case <-c.Done():
+		}
+		backoff := d.cfg.ReconnectMin
+		for {
+			// Jitter to 50–100 % of the nominal wait so a fleet that
+			// lost the same server does not redial in lockstep.
+			wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			select {
+			case <-d.stop:
+				return
+			case <-time.After(wait):
+			}
+			if backoff *= 2; backoff > d.cfg.ReconnectMax {
+				backoff = d.cfg.ReconnectMax
+			}
+			// Register with the device's current state, not its
+			// original registration snapshot.
+			ccfg := d.cfg.Client
+			ccfg.Position = d.cfg.Position()
+			ccfg.BatteryPct = d.cfg.Battery()
+			nc, err := Dial(ccfg)
+			if err != nil {
+				d.note(fmt.Errorf("reconnect dial: %w", err))
+				continue
+			}
+			if err := nc.Register(); err != nil {
+				_ = nc.Close()
+				d.note(fmt.Errorf("reconnect register: %w", err))
+				continue
+			}
+			if err := nc.StartSensing(d.onSchedule); err != nil {
+				_ = nc.Close()
+				d.note(fmt.Errorf("reconnect sensing: %w", err))
+				continue
+			}
+			d.met.reconnects.Inc()
+			d.mu.Lock()
+			d.client = nc
+			d.reconnects++
+			d.mu.Unlock()
+			break
+		}
+	}
 }
 
 // onSchedule samples and uploads; every successful exchange is also a
@@ -143,7 +240,7 @@ func (d *Daemon) onSchedule(sch wire.Schedule) {
 		if d.tail.InTail(time.Now()) {
 			path = wire.PathTail
 		}
-		if err := d.client.SendSenseDataVia(sch.RequestID, reading, path); err != nil {
+		if err := d.cl().SendSenseDataVia(sch.RequestID, reading, path); err != nil {
 			d.note(fmt.Errorf("upload %s: %w", sch.RequestID, err))
 			return
 		}
@@ -171,7 +268,7 @@ func (d *Daemon) serviceThread() {
 			return
 		case <-ticker.C:
 			battery := d.cfg.Battery()
-			if err := d.client.ReportState(d.cfg.Position(), battery, time.Now()); err != nil {
+			if err := d.cl().ReportState(d.cfg.Position(), battery, time.Now()); err != nil {
 				d.note(fmt.Errorf("state report: %w", err))
 				continue
 			}
@@ -208,6 +305,14 @@ func (d *Daemon) Reports() int {
 	return d.reports
 }
 
+// Reconnects returns how many times the supervisor has replaced a dead
+// server connection with a fresh, re-registered one.
+func (d *Daemon) Reconnects() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reconnects
+}
+
 // Errs returns the accumulated (bounded) error log.
 func (d *Daemon) Errs() []error {
 	d.mu.Lock()
@@ -222,14 +327,27 @@ func (d *Daemon) Errs() []error {
 func (d *Daemon) InTail() bool { return d.tail.InTail(time.Now()) }
 
 // Client exposes the underlying client (e.g. to attach an AppMux).
-func (d *Daemon) Client() *Client { return d.client }
+// After a reconnect this is a different *Client than before; callers
+// holding the old pointer get wire.ErrClosed from it.
+func (d *Daemon) Client() *Client { return d.cl() }
 
-// Close deregisters and stops the loops.
+// Close deregisters and stops the loops. Stopping the supervisor first
+// guarantees the teardown races no reconnect: the connection being
+// deregistered is the daemon's last.
 func (d *Daemon) Close() error {
 	var err error
 	d.stopOnce.Do(func() {
 		close(d.stop)
-		err = d.client.Deregister()
+		<-d.superDone
+		c := d.cl()
+		select {
+		case <-c.Done():
+			// The connection died and the supervisor was stopped before
+			// replacing it; nothing to deregister from.
+			_ = c.Close()
+		default:
+			err = c.Deregister()
+		}
 		<-d.done
 	})
 	return err

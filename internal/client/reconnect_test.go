@@ -1,0 +1,171 @@
+package client
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"senseaid/internal/faultconn"
+	"senseaid/internal/geo"
+	"senseaid/internal/netserver"
+	"senseaid/internal/sensors"
+)
+
+// startRealServer boots a full netserver for daemon-level tests (the
+// client package is below netserver in the import graph, so tests here
+// may use the real thing instead of a scripted peer).
+func startRealServer(t *testing.T) *netserver.Server {
+	t.Helper()
+	s, err := netserver.Listen(netserver.Config{Addr: "127.0.0.1:0", TickPeriod: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("netserver.Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func testDaemonConfig(addr, id string) DaemonConfig {
+	return DaemonConfig{
+		Client: Config{
+			Addr: addr, DeviceID: id,
+			Position: geo.CSDepartment, BatteryPct: 90,
+			Sensors: []sensors.Type{sensors.Barometer},
+		},
+		Sampler: func(typ sensors.Type) (sensors.Reading, error) {
+			return sensors.Reading{
+				Sensor: typ, Value: 1013.25, Unit: "hPa",
+				At: time.Now(), Where: geo.CSDepartment,
+			}, nil
+		},
+		ReportPeriod: 25 * time.Millisecond,
+		ReconnectMin: 30 * time.Millisecond,
+		ReconnectMax: 200 * time.Millisecond,
+	}
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonReconnectsAfterConnKill: killing the daemon's live connection
+// makes the supervisor redial, re-register, and resume the service
+// thread on the replacement.
+func TestDaemonReconnectsAfterConnKill(t *testing.T) {
+	s := startRealServer(t)
+	d, err := StartDaemon(testDaemonConfig(s.Addr(), "resurrect"))
+	if err != nil {
+		t.Fatalf("StartDaemon: %v", err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+
+	waitUntil(t, 2*time.Second, "first report", func() bool { return d.Reports() >= 1 })
+
+	old := d.Client()
+	_ = old.Close() // simulate the link dying under the daemon
+
+	waitUntil(t, 3*time.Second, "reconnect", func() bool { return d.Reconnects() == 1 })
+	if d.Client() == old {
+		t.Fatal("daemon still holds the dead client after reconnect")
+	}
+	// The service thread resumed on the new connection.
+	base := d.Reports()
+	waitUntil(t, 2*time.Second, "reports on new conn", func() bool { return d.Reports() > base })
+	if got := s.Status().DeviceConns; got != 1 {
+		t.Fatalf("server device conns = %d, want 1", got)
+	}
+}
+
+// TestDaemonSurvivesFlakyLink drives the daemon through a dialer whose
+// every connection is fault-injected to die after a few frames: the
+// supervisor must keep cycling reconnects while the service thread keeps
+// landing reports between failures.
+func TestDaemonSurvivesFlakyLink(t *testing.T) {
+	s := startRealServer(t)
+
+	target := 5
+	if testing.Short() {
+		target = 2
+	}
+
+	seed := int64(0)
+	cfg := testDaemonConfig(s.Addr(), "flaky")
+	cfg.Client.Dialer = func(addr string) (net.Conn, error) {
+		nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		seed++
+		// Client writes per frame are header+body: hello = 1-2,
+		// register = 3-4, then state reports at 2 writes each — every
+		// connection dies on its second report.
+		return faultconn.Wrap(nc, faultconn.Policy{Seed: seed, DropAfterWrites: 7}), nil
+	}
+	d, err := StartDaemon(cfg)
+	if err != nil {
+		t.Fatalf("StartDaemon: %v", err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+
+	waitUntil(t, 15*time.Second, "reconnect cycles", func() bool {
+		return d.Reconnects() >= target
+	})
+	if d.Reports() == 0 {
+		t.Fatal("no report ever landed between failures")
+	}
+}
+
+// TestDaemonCloseWhileServerGone: closing a daemon whose server vanished
+// (supervisor mid-backoff against a dead port) returns promptly instead
+// of hanging on a deregister nobody will answer.
+func TestDaemonCloseWhileServerGone(t *testing.T) {
+	s := startRealServer(t)
+	d, err := StartDaemon(testDaemonConfig(s.Addr(), "orphan"))
+	if err != nil {
+		t.Fatalf("StartDaemon: %v", err)
+	}
+
+	_ = s.Close() // server gone; daemon enters its redial loop
+
+	waitUntil(t, 2*time.Second, "daemon notices dead server", func() bool {
+		select {
+		case <-d.Client().Done():
+			return true
+		default:
+			return false
+		}
+	})
+
+	closed := make(chan error, 1)
+	go func() { closed <- d.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(3 * time.Second):
+		t.Fatal("daemon Close hung with server gone")
+	}
+}
+
+// TestReconnectDisabled: a negative ReconnectMin keeps the old
+// fail-dead behaviour for callers that manage their own lifecycle.
+func TestReconnectDisabled(t *testing.T) {
+	s := startRealServer(t)
+	cfg := testDaemonConfig(s.Addr(), "fatalist")
+	cfg.ReconnectMin = -1
+	d, err := StartDaemon(cfg)
+	if err != nil {
+		t.Fatalf("StartDaemon: %v", err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+
+	_ = d.Client().Close()
+	time.Sleep(300 * time.Millisecond)
+	if got := d.Reconnects(); got != 0 {
+		t.Fatalf("reconnects = %d with reconnection disabled, want 0", got)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+// TestNoteDispatchFailure: a failed delivery clears the pending entry,
+// marks the device unresponsive, and counts the failure — instead of
+// the core believing the request pending until its deadline.
+func TestNoteDispatchFailure(t *testing.T) {
+	s, d := newTestServer(t)
+	registerFresh(t, s, "flaky")
+	submitValid(t, s, 1, nil)
+
+	s.ProcessDue(simclock.Epoch)
+	if len(d.calls) != 1 {
+		t.Fatalf("dispatches = %d, want 1", len(d.calls))
+	}
+	reqID := d.calls[0].req.ID()
+
+	s.NoteDispatchFailure(reqID, "flaky")
+	st := s.Stats()
+	if st.DispatchesFailed != 1 {
+		t.Fatalf("DispatchesFailed = %d, want 1", st.DispatchesFailed)
+	}
+	dev, ok := s.Devices().Get("flaky")
+	if !ok {
+		t.Fatal("device vanished")
+	}
+	if dev.Responsive {
+		t.Fatal("device still responsive after dispatch failure")
+	}
+
+	// Repeating the report is a no-op: the pending entry is gone.
+	s.NoteDispatchFailure(reqID, "flaky")
+	if st := s.Stats(); st.DispatchesFailed != 1 {
+		t.Fatalf("duplicate failure double-counted: %+v", st)
+	}
+	// Unknown requests and devices are ignored, not a panic.
+	s.NoteDispatchFailure("task-404#0", "flaky")
+	s.NoteDispatchFailure(reqID, "stranger")
+	if st := s.Stats(); st.DispatchesFailed != 1 {
+		t.Fatalf("bogus failure reports counted: %+v", st)
+	}
+}
+
+// TestDispatchFailureExcludesDeviceNextRound: after a failure the
+// selector must stop picking the device, so the round's request
+// waitlists rather than re-dispatching into the void.
+func TestDispatchFailureExcludesDeviceNextRound(t *testing.T) {
+	s, d := newTestServer(t)
+	registerFresh(t, s, "only")
+	submitValid(t, s, 1, nil)
+
+	s.ProcessDue(simclock.Epoch)
+	if len(d.calls) != 1 {
+		t.Fatalf("dispatches = %d, want 1", len(d.calls))
+	}
+	s.NoteDispatchFailure(d.calls[0].req.ID(), "only")
+
+	// Next sampling round: the sole device is unresponsive, so the
+	// request cannot be satisfied and waits.
+	s.ProcessDue(simclock.Epoch.Add(10 * time.Minute))
+	if len(d.calls) != 1 {
+		t.Fatalf("unresponsive device dispatched again: %d dispatches", len(d.calls))
+	}
+	if st := s.Stats(); st.RequestsWaitlisted == 0 {
+		t.Fatalf("request not waitlisted after failure: %+v", st)
+	}
+}
+
+// TestShardedNoteDispatchFailure routes the failure through the
+// request's task prefix to the owning shard.
+func TestShardedNoteDispatchFailure(t *testing.T) {
+	s, d := newSharded(t)
+	dev := freshDevice("west-dev")
+	dev.Position = geo.UniversityGym
+	if err := s.RegisterDevice(dev); err != nil {
+		t.Fatalf("RegisterDevice: %v", err)
+	}
+	tk := validTask()
+	tk.SpatialDensity = 1
+	tk.Area = geo.Circle{Center: geo.UniversityGym, RadiusM: 500}
+	if _, err := s.SubmitTask(tk, simclock.Epoch, func(TaskID, string, sensors.Reading) {}); err != nil {
+		t.Fatalf("SubmitTask: %v", err)
+	}
+
+	s.ProcessDue(simclock.Epoch)
+	d.mu.Lock()
+	calls := len(d.calls)
+	var reqID string
+	if calls > 0 {
+		reqID = d.calls[0].req.ID()
+	}
+	d.mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("dispatches = %d, want 1", calls)
+	}
+
+	s.NoteDispatchFailure(reqID, "west-dev")
+	if st := s.Stats(); st.DispatchesFailed != 1 {
+		t.Fatalf("aggregated DispatchesFailed = %d, want 1", st.DispatchesFailed)
+	}
+	west, _, err := s.Shard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := west.Devices().Get("west-dev")
+	if !ok {
+		t.Fatal("device missing from west shard")
+	}
+	if got.Responsive {
+		t.Fatal("device still responsive after routed dispatch failure")
+	}
+	// A failure for a request no shard knows is dropped silently.
+	s.NoteDispatchFailure("nowhere/task-9#0", "west-dev")
+}

@@ -16,6 +16,7 @@ type serverMetrics struct {
 	reqWaitlisted     *obs.Counter
 	reqExpired        *obs.Counter
 	dispatchExpiries  *obs.Counter
+	dispatchFailures  *obs.Counter
 	readingsAccepted  *obs.Counter
 	readingsRejected  *obs.Counter
 	selectionsDropped *obs.Counter
@@ -59,6 +60,8 @@ func newServerMetrics(reg *obs.Registry, base obs.Labels) serverMetrics {
 			"Sensing request outcomes.", outcome("expired")),
 		dispatchExpiries: reg.Counter("senseaid_dispatch_expiries_total",
 			"Dispatches whose device missed the upload deadline.", with(nil)),
+		dispatchFailures: reg.Counter("senseaid_dispatch_failures_total",
+			"Schedules that could not be delivered to their device.", with(nil)),
 		readingsAccepted: reg.Counter("senseaid_readings_total",
 			"Reading validation outcomes.", outcome("accepted")),
 		readingsRejected: reg.Counter("senseaid_readings_total",

@@ -54,6 +54,12 @@ type Orchestrator interface {
 
 	// ReceiveData ingests one reading from a device for a request.
 	ReceiveData(reqID, deviceID string, reading sensors.Reading, now time.Time) error
+	// NoteDispatchFailure reports that a dispatched schedule never
+	// reached its device (send failure, device not connected). The
+	// device is marked unresponsive so the selector skips it, and the
+	// request's pending entry is cleared immediately instead of
+	// lingering until its deadline.
+	NoteDispatchFailure(reqID, deviceID string)
 
 	// Scheduling. The environment drives time: call ProcessDue whenever
 	// the clock reaches NextWake.

@@ -57,6 +57,7 @@ type Stats struct {
 	ReadingsAccepted   int `json:"readings_accepted"`
 	ReadingsRejected   int `json:"readings_rejected"`
 	DispatchesMissed   int `json:"dispatches_missed"`
+	DispatchesFailed   int `json:"dispatches_failed"`
 }
 
 // ServerConfig parameterises the Sense-Aid server.
@@ -642,6 +643,37 @@ func (s *Server) receiveDataLocked(reqID string, deviceID string, reading sensor
 		s.finishRound(reqID)
 	}
 	return s.sinks[p.req.Task.ID], p.req.Task.ID, nil
+}
+
+// NoteDispatchFailure reports that a dispatched schedule never reached
+// its device. Without it the core would believe the request pending
+// until its deadline, holding a selection slot for a device that never
+// saw the schedule. The failed entry is cleared, the device is marked
+// unresponsive (the selector skips it until it delivers again), and the
+// miss feeds the reputation tracker like a deadline expiry would — so
+// the next scheduling round can pick a replacement immediately.
+func (s *Server) NoteDispatchFailure(reqID, deviceID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.pending[reqID]
+	idx := -1
+	for i, p := range list {
+		if p.deviceID == deviceID {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return // already delivered, expired, or never dispatched
+	}
+	s.pending[reqID] = append(list[:idx], list[idx+1:]...)
+	s.devices.SetResponsive(deviceID, false)
+	s.noteOutcome(deviceID, reputation.OutcomeMissed)
+	s.bump(s.met.dispatchFailures, func(st *Stats) { st.DispatchesFailed++ })
+	if len(s.pending[reqID]) == 0 {
+		delete(s.pending, reqID)
+		s.finishRound(reqID)
+	}
 }
 
 // validateReading applies the paper's data checks: right sensor, sane

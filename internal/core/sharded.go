@@ -280,10 +280,10 @@ func (s *ShardedServer) UpdateTaskParams(id TaskID, now time.Time, mutate func(*
 	return s.shards[i].server.UpdateTaskParams(id, now, mutate)
 }
 
-// ReceiveData routes a device's reading to the shard owning the request's
-// task. Request IDs are "<taskID>#<seq>", and task IDs carry their region
-// prefix, so the route is unambiguous.
-func (s *ShardedServer) ReceiveData(reqID, deviceID string, reading sensors.Reading, now time.Time) error {
+// shardForRequest resolves a request ID ("<taskID>#<seq>") to the shard
+// owning its task; task IDs carry their region prefix, so the route is
+// unambiguous.
+func (s *ShardedServer) shardForRequest(reqID string) (int, error) {
 	taskPart := reqID
 	for i := 0; i < len(reqID); i++ {
 		if reqID[i] == '#' {
@@ -291,11 +291,29 @@ func (s *ShardedServer) ReceiveData(reqID, deviceID string, reading sensors.Read
 			break
 		}
 	}
-	i, err := s.shardForTask(TaskID(taskPart))
+	return s.shardForTask(TaskID(taskPart))
+}
+
+// ReceiveData routes a device's reading to the shard owning the request's
+// task.
+func (s *ShardedServer) ReceiveData(reqID, deviceID string, reading sensors.Reading, now time.Time) error {
+	i, err := s.shardForRequest(reqID)
 	if err != nil {
 		return err
 	}
 	return s.shards[i].server.ReceiveData(reqID, deviceID, reading, now)
+}
+
+// NoteDispatchFailure routes a delivery failure to the shard owning the
+// request's task; the shard clears the pending entry and marks the
+// device unresponsive. Unknown requests are ignored — the task may have
+// been deleted between the dispatch and the failure report.
+func (s *ShardedServer) NoteDispatchFailure(reqID, deviceID string) {
+	i, err := s.shardForRequest(reqID)
+	if err != nil {
+		return
+	}
+	s.shards[i].server.NoteDispatchFailure(reqID, deviceID)
 }
 
 // ProcessDue drives every shard's scheduling loop concurrently: regions
@@ -354,6 +372,7 @@ func (s *ShardedServer) Stats() Stats {
 		total.ReadingsAccepted += st.ReadingsAccepted
 		total.ReadingsRejected += st.ReadingsRejected
 		total.DispatchesMissed += st.DispatchesMissed
+		total.DispatchesFailed += st.DispatchesFailed
 	}
 	return total
 }

@@ -1,0 +1,239 @@
+// Package faultconn wraps net.Conn with seeded, policy-driven fault
+// injection: connections that drop after a set number of operations,
+// add latency, fail writes without closing, or stall mid-stream the way
+// a phone crossing a dead zone does. The wire, netserver, and client
+// test suites use it to prove the session-resilience layer (reconnect,
+// deadlines, dispatch-failure recovery) against deterministic chaos
+// instead of waiting for a real cellular edge to misbehave.
+//
+// Stalls are deadline-aware: a stalled Read or Write honours the
+// deadline set via SetReadDeadline/SetWriteDeadline and returns a
+// net.Error with Timeout() == true when it expires, exactly as a stuck
+// kernel socket would. That lets deadline-hygiene tests run in
+// milliseconds rather than filling real TCP buffers.
+package faultconn
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Policy says how a wrapped connection misbehaves. The zero value
+// injects nothing. Counters count operations on the wrapped connection
+// starting at 1, so DropAfterWrites: 3 means the third write fails.
+type Policy struct {
+	// Seed drives DropProb decisions; connections with the same seed
+	// and operation sequence fail identically.
+	Seed int64
+	// DropProb is a per-operation probability (0..1) of killing the
+	// connection: the operation fails and the underlying conn closes.
+	DropProb float64
+	// DropAfterWrites kills the connection on the Nth write (0 = never).
+	DropAfterWrites int
+	// DropAfterReads kills the connection on the Nth read (0 = never).
+	DropAfterReads int
+	// FailAfterWrites makes the Nth and later writes return an error
+	// without closing the connection (a broken pipe whose read side
+	// still drains), 0 = never.
+	FailAfterWrites int
+	// StallAfterWrites makes the Nth and later writes block until the
+	// write deadline expires or the connection closes (0 = never).
+	StallAfterWrites int
+	// StallReads makes every read block until the read deadline expires
+	// or the connection closes — a peer that connects and says nothing.
+	StallReads bool
+	// Delay is added before every read and write.
+	Delay time.Duration
+}
+
+// timeoutError satisfies net.Error with Timeout() == true, mirroring
+// what a real socket returns past its deadline.
+type timeoutError struct{ op string }
+
+func (e timeoutError) Error() string   { return "faultconn: " + e.op + " deadline exceeded (stalled)" }
+func (e timeoutError) Timeout() bool   { return true }
+func (e timeoutError) Temporary() bool { return true }
+
+var _ net.Error = timeoutError{}
+
+// Conn is a net.Conn with fault injection applied per its Policy.
+type Conn struct {
+	net.Conn
+	policy Policy
+
+	mu            sync.Mutex
+	rng           *rand.Rand
+	reads, writes int
+	killed        bool
+	readDeadline  time.Time
+	writeDeadline time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Wrap applies a fault policy to an established connection.
+func Wrap(nc net.Conn, p Policy) *Conn {
+	return &Conn{
+		Conn:   nc,
+		policy: p,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		closed: make(chan struct{}),
+	}
+}
+
+// Dial opens a TCP connection to addr and wraps it.
+func Dial(addr string, p Policy) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(nc, p), nil
+}
+
+// kill closes the underlying connection and marks the wrapper dead.
+// Called with c.mu held.
+func (c *Conn) killLocked() {
+	c.killed = true
+	c.closeOnce.Do(func() { close(c.closed) })
+	_ = c.Conn.Close()
+}
+
+// stall blocks until the given deadline passes (timeout error), the
+// connection closes, or forever when no deadline is set.
+func (c *Conn) stall(op string, deadline time.Time) error {
+	var timer <-chan time.Time
+	if !deadline.IsZero() {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return timeoutError{op: op}
+		}
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-timer:
+		return timeoutError{op: op}
+	case <-c.closed:
+		return fmt.Errorf("faultconn: connection closed during stalled %s", op)
+	}
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if c.policy.Delay > 0 {
+		time.Sleep(c.policy.Delay)
+	}
+	c.mu.Lock()
+	if c.killed {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultconn: read on dropped connection")
+	}
+	c.reads++
+	n := c.reads
+	deadline := c.readDeadline
+	if c.policy.DropAfterReads > 0 && n >= c.policy.DropAfterReads {
+		c.killLocked()
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultconn: connection dropped at read %d", n)
+	}
+	if c.policy.DropProb > 0 && c.rng.Float64() < c.policy.DropProb {
+		c.killLocked()
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultconn: connection dropped (probabilistic, read %d)", n)
+	}
+	c.mu.Unlock()
+	if c.policy.StallReads {
+		return 0, c.stall("read", deadline)
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.policy.Delay > 0 {
+		time.Sleep(c.policy.Delay)
+	}
+	c.mu.Lock()
+	if c.killed {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultconn: write on dropped connection")
+	}
+	c.writes++
+	n := c.writes
+	deadline := c.writeDeadline
+	if c.policy.DropAfterWrites > 0 && n >= c.policy.DropAfterWrites {
+		c.killLocked()
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultconn: connection dropped at write %d", n)
+	}
+	if c.policy.DropProb > 0 && c.rng.Float64() < c.policy.DropProb {
+		c.killLocked()
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultconn: connection dropped (probabilistic, write %d)", n)
+	}
+	failed := c.policy.FailAfterWrites > 0 && n >= c.policy.FailAfterWrites
+	stalled := c.policy.StallAfterWrites > 0 && n >= c.policy.StallAfterWrites
+	c.mu.Unlock()
+	if failed {
+		return 0, fmt.Errorf("faultconn: write %d failed by policy", n)
+	}
+	if stalled {
+		return 0, c.stall("write", deadline)
+	}
+	return c.Conn.Write(b)
+}
+
+// Close closes the wrapper and the underlying connection.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// SetDeadline mirrors net.Conn, tracking the deadlines so stalled
+// operations can expire like real socket operations do.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline, c.writeDeadline = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// SetReadDeadline mirrors net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetWriteDeadline mirrors net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+// Writes reports how many writes the policy has seen.
+func (c *Conn) Writes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+// Reads reports how many reads the policy has seen.
+func (c *Conn) Reads() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reads
+}
+
+// Dropped reports whether the policy killed the connection.
+func (c *Conn) Dropped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}

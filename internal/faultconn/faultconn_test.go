@@ -1,0 +1,164 @@
+package faultconn
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped client end talking to a raw server end over a
+// real TCP loopback socket.
+func pipe(t *testing.T, p Policy) (*Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer func() { _ = ln.Close() }()
+	type accepted struct {
+		nc  net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		nc, err := ln.Accept()
+		ch <- accepted{nc, err}
+	}()
+	client, err := Dial(ln.Addr().String(), p)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	a := <-ch
+	if a.err != nil {
+		t.Fatalf("accept: %v", a.err)
+	}
+	t.Cleanup(func() { _ = a.nc.Close() })
+	return client, a.nc
+}
+
+func TestPassThrough(t *testing.T) {
+	c, srv := pipe(t, Policy{})
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := srv.Read(buf); err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestDropAfterWrites(t *testing.T) {
+	c, _ := pipe(t, Policy{DropAfterWrites: 2})
+	if _, err := c.Write([]byte("one")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := c.Write([]byte("two")); err == nil {
+		t.Fatal("second write survived DropAfterWrites: 2")
+	}
+	if !c.Dropped() {
+		t.Fatal("connection not marked dropped")
+	}
+	if _, err := c.Write([]byte("three")); err == nil {
+		t.Fatal("write succeeded on dropped connection")
+	}
+}
+
+func TestDropAfterReads(t *testing.T) {
+	c, srv := pipe(t, Policy{DropAfterReads: 1})
+	if _, err := srv.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("first read survived DropAfterReads: 1")
+	}
+}
+
+func TestFailAfterWritesKeepsReads(t *testing.T) {
+	c, srv := pipe(t, Policy{FailAfterWrites: 1})
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write survived FailAfterWrites: 1")
+	}
+	// The read side still works: a broken pipe, not a closed socket.
+	if _, err := srv.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("read after failed write: %v", err)
+	}
+}
+
+func TestStalledWriteHonoursDeadline(t *testing.T) {
+	c, _ := pipe(t, Policy{StallAfterWrites: 1})
+	if err := c.SetWriteDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := c.Write([]byte("x"))
+	if err == nil {
+		t.Fatal("stalled write returned nil")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("stalled write error %v is not a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stalled write took %v, deadline ignored", elapsed)
+	}
+}
+
+func TestStalledReadUnblocksOnClose(t *testing.T) {
+	c, _ := pipe(t, Policy{StallReads: true})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_ = c.Close()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("stalled read returned %v, want closed error", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read never unblocked on close")
+	}
+}
+
+func TestSeededDropIsDeterministic(t *testing.T) {
+	run := func() int {
+		c, srv := pipe(t, Policy{Seed: 42, DropProb: 0.3})
+		go func() {
+			buf := make([]byte, 16)
+			for {
+				if _, err := srv.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		n := 0
+		for i := 0; i < 100; i++ {
+			if _, err := c.Write([]byte("payload")); err != nil {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	first := run()
+	if first >= 100 {
+		t.Fatalf("DropProb 0.3 never fired in 100 writes")
+	}
+	for i := 0; i < 3; i++ {
+		if again := run(); again != first {
+			t.Fatalf("same seed diverged: %d vs %d writes before drop", first, again)
+		}
+	}
+}

@@ -24,6 +24,9 @@ type netMetrics struct {
 	acceptedCAS    *obs.Counter
 	casDisconnects *obs.Counter
 
+	handshakeTimeouts *obs.Counter
+	idleDisconnects   *obs.Counter
+
 	uploadTail     *obs.Counter
 	uploadPromoted *obs.Counter
 	uploadUnknown  *obs.Counter
@@ -48,6 +51,10 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 			"Accepted peer connections by role.", role("cas")),
 		casDisconnects: reg.Counter("senseaid_cas_disconnects_total",
 			"CAS connections lost with live tasks still registered.", nil),
+		handshakeTimeouts: reg.Counter("senseaid_net_handshake_timeouts_total",
+			"Connections dropped for not completing the hello in time.", nil),
+		idleDisconnects: reg.Counter("senseaid_net_idle_disconnects_total",
+			"Device connections dropped after the idle timeout.", nil),
 		uploadTail: reg.Counter("senseaid_uploads_total",
 			"Crowdsensing uploads by radio path.", path(wire.PathTail)),
 		uploadPromoted: reg.Counter("senseaid_uploads_total",

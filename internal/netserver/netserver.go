@@ -41,6 +41,27 @@ type Config struct {
 	// TickPeriod is how often the scheduler loop runs ProcessDue.
 	// Default 500 ms.
 	TickPeriod time.Duration
+	// HandshakeTimeout bounds how long a fresh connection may take to
+	// complete the hello exchange; a peer that connects and says
+	// nothing is cut loose instead of pinning a goroutine for the
+	// process lifetime. Default 10 s; negative disables.
+	HandshakeTimeout time.Duration
+	// IdleTimeout disconnects a device connection that sends nothing
+	// for this long. Device traffic is periodic by design (the service
+	// thread reports every minute), so a silent device is a dead radio
+	// link whose TCP state never noticed. Default 10 min; negative
+	// disables. CAS connections are exempt: their inbound side is
+	// legitimately sparse, and a dead CAS is detected at write time
+	// when a delivery fails.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds every frame write to a peer; a stalled peer
+	// surfaces as a send error instead of wedging the writer. Default
+	// 5 s.
+	WriteTimeout time.Duration
+	// WrapConn, when set, wraps every accepted connection before the
+	// server reads from it — the fault-injection hook the resilience
+	// tests use (see internal/faultconn). Nil in production.
+	WrapConn func(net.Conn) net.Conn
 	// Logger receives operational messages; nil discards them.
 	Logger *log.Logger
 	// LogLevel filters Logger output (errors always pass; LevelInfo adds
@@ -76,6 +97,7 @@ type Server struct {
 	// connMu guards only the connection fan-out maps — pure transport
 	// bookkeeping, never held across a core call or a socket write.
 	connMu  sync.Mutex
+	conns   map[*conn]bool        // every accepted connection, for shutdown
 	devices map[string]*conn      // device ID -> connection
 	taskCAS map[core.TaskID]*conn // task -> submitting CAS connection
 
@@ -86,8 +108,9 @@ type Server struct {
 
 // conn is one peer connection with serialized writes.
 type conn struct {
-	nc      net.Conn
-	writeMu sync.Mutex
+	nc           net.Conn
+	writeTimeout time.Duration
+	writeMu      sync.Mutex
 }
 
 func (c *conn) send(t wire.MsgType, seq uint64, payload interface{}) error {
@@ -97,7 +120,7 @@ func (c *conn) send(t wire.MsgType, seq uint64, payload interface{}) error {
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	if err := c.nc.SetWriteDeadline(time.Now().Add(5 * time.Second)); err != nil {
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
 		return fmt.Errorf("netserver: set deadline: %w", err)
 	}
 	return wire.WriteFrame(c.nc, env)
@@ -119,6 +142,15 @@ func Listen(cfg Config) (*Server, error) {
 	if cfg.TickPeriod <= 0 {
 		cfg.TickPeriod = 500 * time.Millisecond
 	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 10 * time.Minute
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 5 * time.Second
+	}
 	if cfg.Core.Selector == (core.SelectorConfig{}) {
 		cfg.Core = core.DefaultServerConfig()
 	}
@@ -134,6 +166,7 @@ func Listen(cfg Config) (*Server, error) {
 		log:     obs.NewLogger(cfg.Logger, cfg.LogLevel),
 		met:     newNetMetrics(reg),
 		started: time.Now(),
+		conns:   make(map[*conn]bool),
 		devices: make(map[string]*conn),
 		taskCAS: make(map[core.TaskID]*conn),
 		done:    make(chan struct{}),
@@ -221,16 +254,12 @@ func (s *Server) Close() error {
 	s.closeMu.Do(func() {
 		close(s.done)
 		err = s.ln.Close()
+		// Every accepted connection is tracked from accept to serveConn
+		// exit, so shutdown cannot hang on a peer that never registered
+		// (mid-handshake, or a CAS with no live tasks).
 		s.connMu.Lock()
-		for _, c := range s.devices {
+		for c := range s.conns {
 			_ = c.nc.Close()
-		}
-		seen := make(map[*conn]bool)
-		for _, c := range s.taskCAS {
-			if !seen[c] {
-				seen[c] = true
-				_ = c.nc.Close()
-			}
 		}
 		s.connMu.Unlock()
 		s.wg.Wait()
@@ -254,10 +283,22 @@ func (s *Server) acceptLoop() {
 			s.log.Errorf("accept: %v", err)
 			continue
 		}
+		if s.cfg.WrapConn != nil {
+			nc = s.cfg.WrapConn(nc)
+		}
+		c := &conn{nc: nc, writeTimeout: s.cfg.WriteTimeout}
+		s.connMu.Lock()
+		s.conns[c] = true
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(&conn{nc: nc})
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, c)
+				s.connMu.Unlock()
+			}()
+			s.serveConn(c)
 		}()
 	}
 }
@@ -288,7 +329,12 @@ func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
 	c, ok := s.devices[dev.ID]
 	s.connMu.Unlock()
 	if !ok {
+		// The core selected a device whose connection is gone. Without
+		// the failure report it would believe the request pending until
+		// its deadline; with it, the device is marked unresponsive and
+		// the next round selects a replacement.
 		s.log.Debugf("dispatch %s: device %s not connected", req.ID(), dev.ID)
+		s.core.NoteDispatchFailure(req.ID(), dev.ID)
 		return
 	}
 	err := c.send(wire.TypeSchedule, 0, wire.Schedule{
@@ -300,16 +346,33 @@ func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
 	})
 	if err != nil {
 		s.log.Errorf("dispatch %s to %s: %v", req.ID(), dev.ID, err)
+		// A failed or timed-out write leaves the stream unframeable;
+		// closing it unblocks the connection's read loop so the device
+		// entry is reclaimed, and the daemon's reconnect takes over.
+		_ = c.nc.Close()
+		s.core.NoteDispatchFailure(req.ID(), dev.ID)
 	}
 }
 
 func (s *Server) serveConn(c *conn) {
 	defer func() { _ = c.nc.Close() }()
 
+	// The hello must arrive within the handshake deadline: a peer that
+	// connects and sends nothing (a scanner, a wedged client, a phone
+	// whose radio died mid-dial) would otherwise pin this goroutine for
+	// the process lifetime.
+	if s.cfg.HandshakeTimeout > 0 {
+		_ = c.nc.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	}
 	env, err := wire.ReadFrame(c.nc)
 	if err != nil {
+		if isTimeout(err) {
+			s.met.handshakeTimeouts.Inc()
+			s.log.Infof("handshake timeout from %s", c.nc.RemoteAddr())
+		}
 		return
 	}
+	_ = c.nc.SetReadDeadline(time.Time{})
 	if env.Type != wire.TypeHello {
 		c.sendErr(env.Seq, fmt.Errorf("netserver: expected hello, got %s", env.Type))
 		return
@@ -361,8 +424,19 @@ func (s *Server) serveDevice(c *conn) {
 		}
 	}()
 	for {
+		// Device traffic is periodic by design (state reports every
+		// ReportPeriod), so a connection that goes silent past the idle
+		// timeout is a dead link whose TCP state never noticed — cut it
+		// loose so the fan-out map and the goroutine are reclaimed.
+		if s.cfg.IdleTimeout > 0 {
+			_ = c.nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		env, err := wire.ReadFrame(c.nc)
 		if err != nil {
+			if isTimeout(err) {
+				s.met.idleDisconnects.Inc()
+				s.log.Infof("device %s idle past %v, disconnecting", deviceID, s.cfg.IdleTimeout)
+			}
 			return
 		}
 		start := time.Now()
@@ -377,6 +451,12 @@ func (s *Server) serveDevice(c *conn) {
 	}
 }
 
+// isTimeout reports whether a read failed by deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // handleDeviceMsg processes one device message: acks on success, returns
 // the error to report otherwise. closed means the loop should end.
 func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (closed bool, _ error) {
@@ -385,6 +465,15 @@ func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (
 		var reg wire.Register
 		if err := wire.Decode(env, &reg); err != nil {
 			return false, err
+		}
+		// One connection, one identity. Accepting a second register under
+		// a different ID would strand the old s.devices entry (it still
+		// maps to this conn, but the disconnect defer only cleans the
+		// latest identity) and leave the old core registration dangling.
+		// Re-registering the same ID is fine — that's what a reconnecting
+		// daemon does.
+		if *deviceID != "" && *deviceID != reg.DeviceID {
+			return false, fmt.Errorf("netserver: connection already registered as %s", *deviceID)
 		}
 		err := s.core.RegisterDevice(core.DeviceState{
 			ID:         reg.DeviceID,
@@ -440,6 +529,9 @@ func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (
 		if err := wire.Decode(env, &sr); err != nil {
 			return false, err
 		}
+		if *deviceID == "" {
+			return false, fmt.Errorf("netserver: state_report before register")
+		}
 		if err := s.core.UpdateDeviceState(*deviceID, sr.Position, sr.BatteryPct, sr.LastComm); err != nil {
 			return false, err
 		}
@@ -450,6 +542,9 @@ func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (
 		var sd wire.SenseData
 		if err := wire.Decode(env, &sd); err != nil {
 			return false, err
+		}
+		if *deviceID == "" {
+			return false, fmt.Errorf("netserver: send_sense_data before register")
 		}
 		if err := s.core.ReceiveData(sd.RequestID, *deviceID, sd.Reading, s.clock.Now()); err != nil {
 			return false, err
@@ -541,6 +636,13 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]core.TaskID, env wire.Envel
 				TaskID: string(tid), DeviceID: reported, Reading: r,
 			}); e != nil {
 				s.log.Errorf("deliver to CAS for %s: %v", tid, e)
+				// CAS connections have no idle timeout, so a dead CAS is
+				// detected here, at delivery time. The failed write leaves
+				// the stream unframeable anyway; closing it kicks serveCAS
+				// out of its read loop, which deletes the connection's
+				// tasks — no further dispatches burn device energy on data
+				// nobody will receive.
+				_ = c.nc.Close()
 			}
 		})
 		if err != nil {

@@ -14,11 +14,23 @@ var ErrClosed = errors.New("wire: connection closed")
 // DefaultCallTimeout bounds a request/response exchange.
 const DefaultCallTimeout = 10 * time.Second
 
+// DefaultWriteTimeout bounds a single frame write, mirroring the
+// server's per-connection write deadline: a stalled peer must surface
+// as an error, never wedge the writer's goroutine permanently.
+const DefaultWriteTimeout = 5 * time.Second
+
 // RPCConn layers request/response and push-message handling over a framed
 // connection. The device client and the CAS library both build on it.
+//
+// Every write carries a deadline, and a write failure (including a
+// deadline expiry against a stalled peer) tears the connection down:
+// after a partial frame the stream is unframeable, so the only safe
+// recovery is a fresh connection. Done exposes the teardown to owners
+// that want to redial.
 type RPCConn struct {
-	nc      net.Conn
-	timeout time.Duration
+	nc           net.Conn
+	timeout      time.Duration
+	writeTimeout time.Duration
 
 	writeMu sync.Mutex
 
@@ -30,31 +42,41 @@ type RPCConn struct {
 	// push receives non-response messages (schedules, sensed data).
 	push func(Envelope)
 
+	doneOnce sync.Once
+	done     chan struct{}
+
 	wg sync.WaitGroup
 }
 
 // NewRPCConn wraps an established connection and performs the Hello
 // handshake for the given role. push receives server-initiated messages
-// and is called from the read loop (handlers must not block).
+// and is called from the read loop (handlers must not block). The
+// handshake runs under read and write deadlines, so a stalled or silent
+// server fails the dial instead of hanging it.
 func NewRPCConn(nc net.Conn, role Role, push func(Envelope)) (*RPCConn, error) {
 	c := &RPCConn{
-		nc:      nc,
-		timeout: DefaultCallTimeout,
-		pending: make(map[uint64]chan Envelope),
-		push:    push,
+		nc:           nc,
+		timeout:      DefaultCallTimeout,
+		writeTimeout: DefaultWriteTimeout,
+		pending:      make(map[uint64]chan Envelope),
+		push:         push,
+		done:         make(chan struct{}),
 	}
 	// Handshake synchronously, before the read loop starts.
 	env, err := Encode(TypeHello, 0, Hello{Role: role, Version: ProtocolVersion})
 	if err != nil {
 		return nil, err
 	}
+	_ = nc.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	if err := WriteFrame(nc, env); err != nil {
 		return nil, fmt.Errorf("wire: hello: %w", err)
 	}
+	_ = nc.SetReadDeadline(time.Now().Add(c.timeout))
 	resp, err := ReadFrame(nc)
 	if err != nil {
 		return nil, fmt.Errorf("wire: hello response: %w", err)
 	}
+	_ = nc.SetReadDeadline(time.Time{})
 	if resp.Type == TypeError {
 		var e Error
 		_ = Decode(resp, &e)
@@ -67,6 +89,39 @@ func NewRPCConn(nc net.Conn, role Role, push func(Envelope)) (*RPCConn, error) {
 	c.wg.Add(1)
 	go c.readLoop()
 	return c, nil
+}
+
+// SetTimeouts adjusts the call-response and frame-write deadlines
+// (tests tighten them; zero leaves a value unchanged).
+func (c *RPCConn) SetTimeouts(call, write time.Duration) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if call > 0 {
+		c.timeout = call
+	}
+	if write > 0 {
+		c.writeTimeout = write
+	}
+}
+
+// Done is closed when the connection dies — read-loop failure, a write
+// fault, or an explicit Close. Owners watch it to trigger a redial.
+func (c *RPCConn) Done() <-chan struct{} { return c.done }
+
+// writeFrame sends one envelope under the write deadline. A failed
+// write kills the connection: the peer may have received a partial
+// frame, so nothing sent afterwards could be framed correctly.
+func (c *RPCConn) writeFrame(env Envelope) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_ = c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	if err := WriteFrame(c.nc, env); err != nil {
+		// Closing unblocks the read loop, which drains pending calls
+		// and closes Done.
+		_ = c.nc.Close()
+		return err
+	}
+	return nil
 }
 
 // Call sends a request and waits for its Ack (returned) or Error
@@ -93,10 +148,7 @@ func (c *RPCConn) Call(t MsgType, payload interface{}) (Ack, error) {
 	if err != nil {
 		return Ack{}, err
 	}
-	c.writeMu.Lock()
-	err = WriteFrame(c.nc, env)
-	c.writeMu.Unlock()
-	if err != nil {
+	if err := c.writeFrame(env); err != nil {
 		return Ack{}, fmt.Errorf("wire: send %s: %w", t, err)
 	}
 
@@ -128,9 +180,7 @@ func (c *RPCConn) Notify(t MsgType, payload interface{}) error {
 	if err != nil {
 		return err
 	}
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	return WriteFrame(c.nc, env)
+	return c.writeFrame(env)
 }
 
 // Close tears the connection down and waits for the read loop.
@@ -138,6 +188,7 @@ func (c *RPCConn) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		c.wg.Wait()
 		return nil
 	}
 	c.closed = true
@@ -152,6 +203,9 @@ func (c *RPCConn) readLoop() {
 	for {
 		env, err := ReadFrame(c.nc)
 		if err != nil {
+			// The error may be a protocol fault on a live socket, not
+			// just a peer disconnect: close the conn so it never leaks.
+			_ = c.nc.Close()
 			c.mu.Lock()
 			c.closed = true
 			for seq, ch := range c.pending {
@@ -159,6 +213,7 @@ func (c *RPCConn) readLoop() {
 				delete(c.pending, seq)
 			}
 			c.mu.Unlock()
+			c.doneOnce.Do(func() { close(c.done) })
 			return
 		}
 		if env.Seq != 0 && (env.Type == TypeAck || env.Type == TypeError) {
