@@ -15,3 +15,29 @@ go test -run '^$' -bench . -benchtime 1x ./...
 # exercises the failure paths end to end.
 go test -race -short -run 'Fault|Stall|Resilien|Reconnect|Restart|Idle|Flaky' \
     ./internal/faultconn ./internal/wire ./internal/netserver ./internal/client
+
+# Selection benchmark record: measures the indexed hot path against the
+# pre-index full scan (1k/10k/100k devices, 1% region), writes
+# BENCH_selection.json, and FAILS on an allocation-budget or speedup-ratio
+# regression (see TestRecordSelectionBench).
+SENSEAID_BENCH_OUT="$PWD/BENCH_selection.json" \
+    go test -run '^TestRecordSelectionBench$' -count=1 -v ./internal/core
+
+# Loadgen smoke: 1k real device connections against a freshly built
+# senseaidd over the wire protocol, bounded duration; fails if any
+# registration fails or no schedule is delivered.
+tmp=$(mktemp -d)
+trap 'kill $srv_pid 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+go build -o "$tmp/senseaidd" ./cmd/senseaidd
+go build -o "$tmp/senseaid-loadgen" ./cmd/senseaid-loadgen
+"$tmp/senseaidd" -addr 127.0.0.1:0 -tick 100ms > "$tmp/senseaidd.out" &
+srv_pid=$!
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^sense-aid server listening on //p' "$tmp/senseaidd.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ]
+"$tmp/senseaid-loadgen" -addr "$addr" -devices 1000 -duration 5s \
+    -tasks 4 -density 5 -period 1s -min-selections 1
+kill $srv_pid 2>/dev/null || true

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -55,19 +57,68 @@ func (d DeviceState) HasSensor(t sensors.Type) bool {
 	return false
 }
 
+// DefaultCellSizeM is the edge length of the store's spatial-index
+// cells. Task areas are hundreds of meters to a few kilometers (the
+// paper works at cell-tower granularity), so 500 m keeps a typical
+// area's cover to a handful of buckets without fragmenting the index.
+const DefaultCellSizeM = 500
+
 // DeviceStore is the device datastore. Safe for concurrent use: it
 // carries its own lock, separate from the server's scheduling lock, so
 // device control reports never contend with a scheduling pass. In the
 // lock hierarchy the store's lock is a leaf — no DeviceStore method calls
 // back into the server.
+//
+// The store maintains a cell-grid spatial index over device positions so
+// the scheduler can fetch the candidates for a task region in time
+// proportional to the devices *near the region*, not the total
+// registered population. The index is updated under the same lock as the
+// record itself (register, restore, deregister, and every position
+// move), so it is never stale relative to a read.
 type DeviceStore struct {
 	mu      sync.RWMutex
 	devices map[string]*DeviceState
+	grid    geo.Grid
+	cells   map[geo.Cell]map[string]*DeviceState
 }
 
-// NewDeviceStore returns an empty store.
+// NewDeviceStore returns an empty store indexed at DefaultCellSizeM.
 func NewDeviceStore() *DeviceStore {
-	return &DeviceStore{devices: make(map[string]*DeviceState)}
+	return &DeviceStore{
+		devices: make(map[string]*DeviceState),
+		grid:    geo.Grid{SizeM: DefaultCellSizeM},
+		cells:   make(map[geo.Cell]map[string]*DeviceState),
+	}
+}
+
+// indexAdd buckets a record by its position. Caller holds s.mu.
+func (s *DeviceStore) indexAdd(d *DeviceState) {
+	c := s.grid.CellOf(d.Position)
+	bucket := s.cells[c]
+	if bucket == nil {
+		bucket = make(map[string]*DeviceState)
+		s.cells[c] = bucket
+	}
+	bucket[d.ID] = d
+}
+
+// indexRemove unbuckets a record from the cell of the given position
+// (the position the record was indexed under). Caller holds s.mu.
+func (s *DeviceStore) indexRemove(id string, pos geo.Point) {
+	c := s.grid.CellOf(pos)
+	bucket := s.cells[c]
+	delete(bucket, id)
+	if len(bucket) == 0 {
+		delete(s.cells, c) // device churn must not grow the index forever
+	}
+}
+
+// validBattery reports whether a battery percentage is a usable level.
+// NaN poisons the selector's sort (NaN comparisons make the order
+// nondeterministic), so it is rejected at the datastore boundary along
+// with infinities and out-of-range values.
+func validBattery(pct float64) bool {
+	return !math.IsNaN(pct) && pct >= 0 && pct <= 100
 }
 
 // validate checks the invariants every stored record must satisfy.
@@ -75,13 +126,37 @@ func validate(d *DeviceState) error {
 	if d.ID == "" {
 		return fmt.Errorf("core: register: empty device ID")
 	}
+	if !d.Position.Valid() {
+		return fmt.Errorf("core: register %s: invalid position %v", d.ID, d.Position)
+	}
+	if !validBattery(d.BatteryPct) {
+		return fmt.Errorf("core: register %s: battery %v out of [0,100]", d.ID, d.BatteryPct)
+	}
+	if math.IsNaN(d.EnergySpentJ) || math.IsInf(d.EnergySpentJ, 0) || d.EnergySpentJ < 0 {
+		return fmt.Errorf("core: register %s: invalid energy spent %v", d.ID, d.EnergySpentJ)
+	}
 	if err := d.Budget.Validate(); err != nil {
 		return fmt.Errorf("core: register %s: %w", d.ID, err)
 	}
-	if d.Reliability < 0 || d.Reliability > 1 {
+	if math.IsNaN(d.Reliability) || d.Reliability < 0 || d.Reliability > 1 {
 		return fmt.Errorf("core: register %s: reliability %v out of [0,1]", d.ID, d.Reliability)
 	}
 	return nil
+}
+
+// store installs a validated record, replacing any existing one and
+// keeping the spatial index in step. The record's Sensors slice is
+// cloned so the store owns the backing array: the caller may keep
+// mutating its own slice without racing readers, and the stored slice is
+// immutable from then on (no store method writes into it). Caller holds
+// s.mu.
+func (s *DeviceStore) store(d *DeviceState) {
+	if old, ok := s.devices[d.ID]; ok {
+		s.indexRemove(old.ID, old.Position)
+	}
+	d.Sensors = slices.Clone(d.Sensors)
+	s.devices[d.ID] = d
+	s.indexAdd(d)
 }
 
 // Register adds or replaces a device record. Registration is a fresh
@@ -96,7 +171,7 @@ func (s *DeviceStore) Register(d DeviceState) error {
 	}
 	d.Responsive = true
 	s.mu.Lock()
-	s.devices[d.ID] = &d
+	s.store(&d)
 	s.mu.Unlock()
 	return nil
 }
@@ -112,7 +187,7 @@ func (s *DeviceStore) Restore(d DeviceState) error {
 		return err
 	}
 	s.mu.Lock()
-	s.devices[d.ID] = &d
+	s.store(&d)
 	s.mu.Unlock()
 	return nil
 }
@@ -120,11 +195,16 @@ func (s *DeviceStore) Restore(d DeviceState) error {
 // Deregister removes a device.
 func (s *DeviceStore) Deregister(id string) {
 	s.mu.Lock()
-	delete(s.devices, id)
+	if d, ok := s.devices[id]; ok {
+		s.indexRemove(id, d.Position)
+		delete(s.devices, id)
+	}
 	s.mu.Unlock()
 }
 
-// Get returns a copy of a device record.
+// Get returns a copy of a device record. The copy is fully detached:
+// its Sensors slice is cloned, so mutating it cannot poison the live
+// record (and cannot race a concurrent re-register).
 func (s *DeviceStore) Get(id string) (DeviceState, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -132,7 +212,9 @@ func (s *DeviceStore) Get(id string) (DeviceState, bool) {
 	if !ok {
 		return DeviceState{}, false
 	}
-	return *d, true
+	out := *d
+	out.Sensors = slices.Clone(out.Sensors)
+	return out, true
 }
 
 // Len returns the number of registered devices.
@@ -143,27 +225,95 @@ func (s *DeviceStore) Len() int {
 }
 
 // All returns copies of every record, sorted by ID for determinism.
+// Copies are fully detached (Sensors cloned), so callers may mutate them
+// freely. For region-scoped reads on the scheduling hot path use
+// AppendCandidatesIn instead, which is O(devices near the area).
 func (s *DeviceStore) All() []DeviceState {
 	s.mu.RLock()
 	out := make([]DeviceState, 0, len(s.devices))
 	for _, d := range s.devices {
-		out = append(out, *d)
+		c := *d
+		c.Sensors = slices.Clone(c.Sensors)
+		out = append(out, c)
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
+// CandidatesIn returns copies of every device inside the area, sorted by
+// ID. It is the indexed equivalent of filtering All() with
+// area.Contains: only the cell buckets overlapping the area are
+// examined.
+func (s *DeviceStore) CandidatesIn(area geo.Circle) []DeviceState {
+	out := s.AppendCandidatesIn(nil, area)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AppendCandidatesIn appends a copy of every device inside the area to
+// dst and returns the extended slice, in no particular order. It is the
+// scheduler's hot path: passing a reused dst makes the steady state
+// allocation-free, and only cell buckets overlapping the area are
+// visited. When the grid cannot cover the area (huge radius, polar or
+// antimeridian regions) it falls back to an exhaustive scan, so the
+// result set is identical either way.
+//
+// The appended copies share the store's immutable Sensors backing
+// arrays; callers must treat DeviceState.Sensors as read-only (use Get
+// or All for a detached copy).
+func (s *DeviceStore) AppendCandidatesIn(dst []DeviceState, area geo.Circle) []DeviceState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.grid.Cover(area)
+	if !ok || b.Count() > len(s.cells) {
+		// Fallback: visiting more (mostly empty) buckets than the index
+		// holds would cost more than scanning the population.
+		for _, d := range s.devices {
+			if area.Contains(d.Position) {
+				dst = append(dst, *d)
+			}
+		}
+		return dst
+	}
+	for la := b.LatMin; la <= b.LatMax; la++ {
+		for lo := b.LonMin; lo <= b.LonMax; lo++ {
+			for _, d := range s.cells[geo.Cell{Lat: la, Lon: lo}] {
+				if area.Contains(d.Position) {
+					dst = append(dst, *d)
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // UpdateState applies a device's periodic control report (battery level,
-// position, last-communication stamp).
+// position, last-communication stamp). The report is validated at this
+// boundary — NaN/Inf or out-of-range battery and invalid coordinates are
+// rejected before they can reach the record — so a malformed
+// state_report cannot poison the selector's scoring sort. A position
+// move re-buckets the device in the spatial index under the same lock.
 func (s *DeviceStore) UpdateState(id string, pos geo.Point, batteryPct float64, at time.Time) error {
+	if !pos.Valid() {
+		return fmt.Errorf("core: update %s: invalid position %v", id, pos)
+	}
+	if !validBattery(batteryPct) {
+		return fmt.Errorf("core: update %s: battery %v out of [0,100]", id, batteryPct)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, ok := s.devices[id]
 	if !ok {
 		return fmt.Errorf("core: update: unknown device %s", id)
 	}
-	d.Position = pos
+	if old, next := s.grid.CellOf(d.Position), s.grid.CellOf(pos); old != next {
+		s.indexRemove(id, d.Position)
+		d.Position = pos
+		s.indexAdd(d)
+	} else {
+		d.Position = pos
+	}
 	d.BatteryPct = batteryPct
 	d.LastComm = at
 	return nil

@@ -21,6 +21,8 @@ type serverMetrics struct {
 	readingsRejected  *obs.Counter
 	selectionsDropped *obs.Counter
 	selectionSeconds  *obs.Histogram
+	selectionNS       *obs.Counter
+	selectionCands    *obs.Counter
 	runDepth          *obs.Gauge
 	waitDepth         *obs.Gauge
 	devices           *obs.Gauge
@@ -71,6 +73,10 @@ func newServerMetrics(reg *obs.Registry, base obs.Labels) serverMetrics {
 		selectionSeconds: reg.Histogram("senseaid_selection_seconds",
 			"Device selector latency per scheduled request.",
 			selectionSecondsBuckets, with(nil)),
+		selectionNS: reg.Counter("senseaid_selection_ns",
+			"Total nanoseconds spent in device selection (rate = selector time share).", with(nil)),
+		selectionCands: reg.Counter("senseaid_selection_candidates_total",
+			"Candidate devices fetched from the spatial index for selection.", with(nil)),
 		runDepth: reg.Gauge("senseaid_run_queue_depth",
 			"Requests waiting for their due time.", with(nil)),
 		waitDepth: reg.Gauge("senseaid_wait_queue_depth",

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/power"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+// selectionAllocBudget is the CI gate on the indexed selection path:
+// steady-state allocations per selection (candidate fetch + qualify +
+// rank) must stay at or under this. The path is designed to be
+// allocation-free once its scratch buffers have grown; the budget leaves
+// slack for map-iteration internals, not for per-candidate allocations.
+const selectionAllocBudget = 32
+
+// benchSpreadM is the square the benchmark population is scattered over.
+const benchSpreadM = 10_000
+
+// benchRegion returns a task region holding ~regionPct of a population
+// spread uniformly over benchSpreadM²: area fraction = pi*r^2 / spread^2.
+func benchRegion(regionPct float64) geo.Circle {
+	r := benchSpreadM * math.Sqrt(regionPct/100/math.Pi)
+	center := geo.Offset(geo.CSDepartment, benchSpreadM/2, benchSpreadM/2)
+	return geo.Circle{Center: center, RadiusM: r}
+}
+
+// benchStore registers n devices spread uniformly over the benchmark
+// square, all barometer-capable and selectable.
+func benchStore(tb testing.TB, n int) *DeviceStore {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(2017))
+	store := NewDeviceStore()
+	for i := 0; i < n; i++ {
+		d := DeviceState{
+			ID:         fmt.Sprintf("dev-%06d", i),
+			Position:   geo.Offset(geo.CSDepartment, rng.Float64()*benchSpreadM, rng.Float64()*benchSpreadM),
+			BatteryPct: float64(30 + rng.Intn(70)),
+			TimesUsed:  rng.Intn(5),
+			LastComm:   simclock.Epoch,
+			Sensors:    []sensors.Type{sensors.Barometer},
+			Budget:     power.DefaultBudget(),
+		}
+		if err := store.Register(d); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return store
+}
+
+func benchRequest(tb testing.TB, area geo.Circle) Request {
+	tb.Helper()
+	task := Task{
+		ID:             "bench-task",
+		Sensor:         sensors.Barometer,
+		SamplingPeriod: 10 * time.Minute,
+		Start:          simclock.Epoch,
+		End:            simclock.Epoch.Add(time.Hour),
+		Area:           area,
+		SpatialDensity: 5,
+	}
+	reqs, err := (&task).Expand()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return reqs[0]
+}
+
+func benchSelector(tb testing.TB) *Selector {
+	tb.Helper()
+	cfg := DefaultSelectorConfig()
+	cfg.MaxUses = 1 << 30
+	sel, err := NewSelector(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sel
+}
+
+// fullScanSelect is the pre-index selection path, kept measurable: copy
+// and sort the whole datastore, qualify with the reason map, rank.
+func fullScanSelect(tb testing.TB, sel *Selector, store *DeviceStore, req Request) {
+	if _, err := sel.Select(req, store.All(), simclock.Epoch); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// indexedSelect is the production hot path: region-scoped candidates
+// from the spatial index, allocation-free qualify and rank via scratch.
+func indexedSelect(tb testing.TB, sel *Selector, store *DeviceStore, req Request, cands *[]DeviceState, sc *SelectScratch) {
+	*cands = store.AppendCandidatesIn((*cands)[:0], req.Task.Area)
+	if _, err := sel.SelectFrom(req, *cands, simclock.Epoch, sc); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkSelection measures one device selection as the registered
+// population grows, with the task region holding ~1% of it. full-scan is
+// the pre-index path (O(total devices) per request); indexed is the
+// production path (O(candidates in the region)).
+func BenchmarkSelection(b *testing.B) {
+	area := benchRegion(1)
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		store := benchStore(b, n)
+		req := benchRequest(b, area)
+		sel := benchSelector(b)
+		b.Run(fmt.Sprintf("full-scan/devices=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fullScanSelect(b, sel, store, req)
+			}
+		})
+		b.Run(fmt.Sprintf("indexed/devices=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var cands []DeviceState
+			var sc SelectScratch
+			for i := 0; i < b.N; i++ {
+				indexedSelect(b, sel, store, req, &cands, &sc)
+			}
+		})
+	}
+}
+
+// benchRecord is one measured case in BENCH_selection.json.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Devices     int     `json:"devices"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestRecordSelectionBench runs the selection benchmark matrix and
+// writes BENCH_selection.json so the perf trajectory is recorded in CI
+// from this PR onward. It is gated on SENSEAID_BENCH_OUT (ci.sh sets
+// it); besides recording, it FAILS when the indexed path's allocations
+// per selection exceed selectionAllocBudget, or when the 100k-device
+// case shows less than a 10x advantage in both ns/op and allocs/op over
+// the pre-index full scan.
+func TestRecordSelectionBench(t *testing.T) {
+	out := os.Getenv("SENSEAID_BENCH_OUT")
+	if out == "" {
+		t.Skip("SENSEAID_BENCH_OUT not set; benchmark recording runs from ci.sh")
+	}
+	area := benchRegion(1)
+	sizes := []int{1_000, 10_000, 100_000}
+	var records []benchRecord
+	byName := make(map[string]benchRecord)
+	for _, n := range sizes {
+		store := benchStore(t, n)
+		req := benchRequest(t, area)
+		sel := benchSelector(t)
+		cases := []struct {
+			name string
+			run  func(b *testing.B)
+		}{
+			{fmt.Sprintf("full-scan/devices=%d", n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					fullScanSelect(b, sel, store, req)
+				}
+			}},
+			{fmt.Sprintf("indexed/devices=%d", n), func(b *testing.B) {
+				b.ReportAllocs()
+				var cands []DeviceState
+				var sc SelectScratch
+				for i := 0; i < b.N; i++ {
+					indexedSelect(b, sel, store, req, &cands, &sc)
+				}
+			}},
+		}
+		for _, c := range cases {
+			res := testing.Benchmark(c.run)
+			rec := benchRecord{
+				Name:        c.name,
+				Devices:     n,
+				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			}
+			records = append(records, rec)
+			byName[rec.Name] = rec
+			t.Logf("%s: %.0f ns/op, %d allocs/op, %d B/op", rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp)
+		}
+	}
+
+	// Gate 1: the indexed path's allocation hygiene.
+	for _, n := range sizes {
+		rec := byName[fmt.Sprintf("indexed/devices=%d", n)]
+		if rec.AllocsPerOp > selectionAllocBudget {
+			t.Errorf("indexed selection at %d devices allocates %d/op, budget %d — the hot path regressed",
+				n, rec.AllocsPerOp, selectionAllocBudget)
+		}
+	}
+
+	// Gate 2: the index must beat the full scan by >= 10x at 100k
+	// devices with a 1%% region, in both time and allocations.
+	full := byName["full-scan/devices=100000"]
+	idx := byName["indexed/devices=100000"]
+	nsRatio := full.NsPerOp / maxf(idx.NsPerOp, 1)
+	allocRatio := float64(full.AllocsPerOp) / maxf(float64(idx.AllocsPerOp), 1)
+	if nsRatio < 10 {
+		t.Errorf("indexed path only %.1fx faster than full scan at 100k devices, want >= 10x", nsRatio)
+	}
+	if allocRatio < 10 {
+		t.Errorf("indexed path only %.1fx fewer allocs than full scan at 100k devices, want >= 10x", allocRatio)
+	}
+
+	doc := struct {
+		Benchmark   string        `json:"benchmark"`
+		Go          string        `json:"go"`
+		RegionPct   float64       `json:"region_pct_of_population"`
+		AllocBudget int           `json:"indexed_alloc_budget_per_selection"`
+		NsRatio100k float64       `json:"ns_ratio_fullscan_over_indexed_100k"`
+		AllocRatio  float64       `json:"alloc_ratio_fullscan_over_indexed_100k"`
+		Cases       []benchRecord `json:"cases"`
+	}{
+		Benchmark:   "BenchmarkSelection (internal/core)",
+		Go:          runtime.Version(),
+		RegionPct:   1,
+		AllocBudget: selectionAllocBudget,
+		NsRatio100k: nsRatio,
+		AllocRatio:  allocRatio,
+		Cases:       records,
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (ns ratio %.1fx, alloc ratio %.1fx at 100k)", out, nsRatio, allocRatio)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 )
 
@@ -78,12 +79,31 @@ func NewSelector(cfg SelectorConfig) (*Selector, error) {
 	return &Selector{cfg: cfg}, nil
 }
 
+// TTLCapSeconds bounds the selector's TTL_i term. TTL measures how long
+// since the radio last talked — beyond an hour there is certainly no
+// tail to ride, and letting the term grow unbounded would let staleness
+// swamp the fairness terms (a week of silence would outweigh hundreds of
+// selections). A device that has never communicated (zero LastComm) has
+// no tail by definition and takes the full cap rather than the ~50-year
+// TTL the raw subtraction would produce.
+const TTLCapSeconds = 3600
+
 // Score computes the paper's scoring function for one device at an
 // instant; lower is better.
 func (s *Selector) Score(d DeviceState, now time.Time) float64 {
-	ttl := now.Sub(d.LastComm).Seconds()
-	if ttl < 0 {
-		ttl = 0
+	var ttl float64
+	if d.LastComm.IsZero() {
+		// Never communicated: no tail, worst TTL — explicitly, instead of
+		// the zero-value time dominating every other factor.
+		ttl = TTLCapSeconds
+	} else {
+		ttl = now.Sub(d.LastComm).Seconds()
+		if ttl < 0 {
+			ttl = 0
+		}
+		if ttl > TTLCapSeconds {
+			ttl = TTLCapSeconds
+		}
 	}
 	return s.cfg.Alpha*d.EnergySpentJ +
 		s.cfg.Beta*float64(d.TimesUsed) +
@@ -108,33 +128,71 @@ const (
 	ReasonUnreliable      DisqualifyReason = "reliability below minimum"
 )
 
+// disqualify returns the reason d is ineligible for the request, or ""
+// when it qualifies. It is the single source of truth behind Qualify,
+// QualifyAppend, and CountQualified.
+func (s *Selector) disqualify(req Request, d *DeviceState) DisqualifyReason {
+	switch {
+	case !d.Responsive:
+		return ReasonUnresponsive
+	case !req.Task.Area.Contains(d.Position):
+		return ReasonOutOfRegion
+	case !d.HasSensor(req.Task.Sensor):
+		return ReasonNoSensor
+	case req.Task.DeviceType != "" && d.DeviceType != req.Task.DeviceType:
+		return ReasonWrongDeviceType
+	case d.TimesUsed >= s.cfg.MaxUses:
+		return ReasonOverused
+	case d.EnergySpentJ >= d.Budget.TotalJ:
+		return ReasonOverBudget
+	case d.BatteryPct <= d.Budget.CriticalBatteryPct:
+		return ReasonLowBattery
+	case s.cfg.MinReliability > 0 && d.Reliability < s.cfg.MinReliability:
+		return ReasonUnreliable
+	default:
+		return ""
+	}
+}
+
 // Qualify splits devices into those eligible for the request and, for the
-// rest, the reason they were excluded.
+// rest, the reason they were excluded. It allocates the reason map, so it
+// suits diagnostics and one-off calls; the scheduling hot path uses
+// QualifyAppend/CountQualified, which allocate nothing.
 func (s *Selector) Qualify(req Request, devices []DeviceState) (qualified []DeviceState, excluded map[string]DisqualifyReason) {
 	excluded = make(map[string]DisqualifyReason)
-	for _, d := range devices {
-		switch {
-		case !d.Responsive:
-			excluded[d.ID] = ReasonUnresponsive
-		case !req.Task.Area.Contains(d.Position):
-			excluded[d.ID] = ReasonOutOfRegion
-		case !d.HasSensor(req.Task.Sensor):
-			excluded[d.ID] = ReasonNoSensor
-		case req.Task.DeviceType != "" && d.DeviceType != req.Task.DeviceType:
-			excluded[d.ID] = ReasonWrongDeviceType
-		case d.TimesUsed >= s.cfg.MaxUses:
-			excluded[d.ID] = ReasonOverused
-		case d.EnergySpentJ >= d.Budget.TotalJ:
-			excluded[d.ID] = ReasonOverBudget
-		case d.BatteryPct <= d.Budget.CriticalBatteryPct:
-			excluded[d.ID] = ReasonLowBattery
-		case s.cfg.MinReliability > 0 && d.Reliability < s.cfg.MinReliability:
-			excluded[d.ID] = ReasonUnreliable
-		default:
-			qualified = append(qualified, d)
+	for i := range devices {
+		if r := s.disqualify(req, &devices[i]); r != "" {
+			excluded[devices[i].ID] = r
+		} else {
+			qualified = append(qualified, devices[i])
 		}
 	}
 	return qualified, excluded
+}
+
+// QualifyAppend appends the devices eligible for the request to dst and
+// returns the extended slice. Unlike Qualify it records no exclusion
+// reasons, so a reused dst makes the steady state allocation-free.
+func (s *Selector) QualifyAppend(req Request, devices []DeviceState, dst []DeviceState) []DeviceState {
+	for i := range devices {
+		if s.disqualify(req, &devices[i]) == "" {
+			dst = append(dst, devices[i])
+		}
+	}
+	return dst
+}
+
+// CountQualified reports how many of devices are eligible for the
+// request, allocating nothing (the wait-queue re-check only needs the
+// count).
+func (s *Selector) CountQualified(req Request, devices []DeviceState) int {
+	n := 0
+	for i := range devices {
+		if s.disqualify(req, &devices[i]) == "" {
+			n++
+		}
+	}
+	return n
 }
 
 // ErrNotEnoughDevices reports an unsatisfiable request: fewer qualified
@@ -149,21 +207,66 @@ func (e *ErrNotEnoughDevices) Error() string {
 	return fmt.Sprintf("core: request %s needs %d devices, only %d qualified", e.Request, e.Want, e.Got)
 }
 
+// scoredDevice pairs a candidate with its precomputed score so the sort
+// evaluates Score once per device instead of once per comparison.
+type scoredDevice struct {
+	dev   DeviceState
+	score float64
+}
+
+// SelectScratch holds the reusable buffers of the allocation-free
+// selection path. A zero value is ready to use; reusing one across
+// SelectFrom calls (the scheduler keeps one per server, under its
+// scheduling lock) makes the steady state allocation-free. Not safe for
+// concurrent use.
+type SelectScratch struct {
+	scored   []scoredDevice
+	selected []DeviceState
+}
+
 // Select picks the request's spatial-density-many best devices from the
 // qualified set (lowest score first; ties broken by device ID so runs are
-// deterministic). It returns ErrNotEnoughDevices when n > N.
+// deterministic). It returns ErrNotEnoughDevices when n > N. The result
+// is freshly allocated; the hot path uses SelectFrom with a reused
+// scratch instead.
 func (s *Selector) Select(req Request, devices []DeviceState, now time.Time) ([]DeviceState, error) {
-	qualified, _ := s.Qualify(req, devices)
-	n := req.Task.SpatialDensity
-	if n > len(qualified) {
-		return nil, &ErrNotEnoughDevices{Request: req.ID(), Want: n, Got: len(qualified)}
+	var sc SelectScratch
+	sel, err := s.SelectFrom(req, devices, now, &sc)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(qualified, func(i, j int) bool {
-		si, sj := s.Score(qualified[i], now), s.Score(qualified[j], now)
-		if si != sj {
-			return si < sj
+	return slices.Clone(sel), nil
+}
+
+// SelectFrom is the allocation-conscious form of Select: candidates are
+// qualified, scored once each, ranked (lowest score first, ties broken
+// by device ID), and the top spatial-density-many returned. The result
+// aliases the scratch buffers and is valid only until the next
+// SelectFrom call with the same scratch; callers copy what they keep.
+func (s *Selector) SelectFrom(req Request, candidates []DeviceState, now time.Time, sc *SelectScratch) ([]DeviceState, error) {
+	sc.scored = sc.scored[:0]
+	for i := range candidates {
+		if s.disqualify(req, &candidates[i]) != "" {
+			continue
 		}
-		return qualified[i].ID < qualified[j].ID
+		sc.scored = append(sc.scored, scoredDevice{dev: candidates[i], score: s.Score(candidates[i], now)})
+	}
+	n := req.Task.SpatialDensity
+	if n > len(sc.scored) {
+		return nil, &ErrNotEnoughDevices{Request: req.ID(), Want: n, Got: len(sc.scored)}
+	}
+	slices.SortFunc(sc.scored, func(a, b scoredDevice) int {
+		if a.score != b.score {
+			if a.score < b.score {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.dev.ID, b.dev.ID)
 	})
-	return qualified[:n], nil
+	sc.selected = sc.selected[:0]
+	for i := 0; i < n; i++ {
+		sc.selected = append(sc.selected, sc.scored[i].dev)
+	}
+	return sc.selected, nil
 }

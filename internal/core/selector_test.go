@@ -293,3 +293,57 @@ func TestSelectSoundnessProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestScoreTTLBoundaries pins the TTL term's edges: a zero-value
+// LastComm (never communicated) takes exactly the cap instead of the
+// ~50-year TTL the raw subtraction would produce, staleness beyond the
+// cap saturates, and the capped term can no longer dominate the
+// fairness terms.
+func TestScoreTTLBoundaries(t *testing.T) {
+	s := mustSelector(t)
+	now := simclock.Epoch.Add(24 * time.Hour)
+
+	never := freshDevice("never")
+	never.LastComm = time.Time{} // zero value: no communication history
+	ancient := freshDevice("ancient")
+	ancient.LastComm = now.Add(-100 * 24 * time.Hour)
+	capped := freshDevice("capped")
+	capped.LastComm = now.Add(-TTLCapSeconds * time.Second)
+	fresh := freshDevice("fresh")
+	fresh.LastComm = now.Add(-10 * time.Second)
+
+	if got, want := s.Score(never, now), s.Score(capped, now); got != want {
+		t.Errorf("zero LastComm score %v, want the capped-TTL score %v", got, want)
+	}
+	if got, want := s.Score(ancient, now), s.Score(capped, now); got != want {
+		t.Errorf("100-day-stale score %v, want the capped-TTL score %v", got, want)
+	}
+	if s.Score(fresh, now) >= s.Score(never, now) {
+		t.Error("a fresh tail should still score better than no history")
+	}
+
+	// The regression the cap prevents: with an uncapped zero-value TTL,
+	// a never-communicated idle device would outscore (lose to) a heavily
+	// used one by orders of magnitude. Capped, the fairness term wins.
+	used := freshDevice("used")
+	used.TimesUsed = 10
+	used.LastComm = now
+	if s.Score(never, now) >= s.Score(used, now) {
+		t.Errorf("never-communicated device (score %v) should beat one used 10 times (score %v): TTL must not dominate fairness",
+			s.Score(never, now), s.Score(used, now))
+	}
+}
+
+// TestScoreFutureLastCommClamped keeps the pre-existing negative-TTL
+// clamp honest alongside the new cap.
+func TestScoreFutureLastCommClamped(t *testing.T) {
+	s := mustSelector(t)
+	now := simclock.Epoch
+	future := freshDevice("future")
+	future.LastComm = now.Add(time.Hour)
+	justNow := freshDevice("justnow")
+	justNow.LastComm = now
+	if s.Score(future, now) != s.Score(justNow, now) {
+		t.Error("future LastComm should clamp to TTL=0")
+	}
+}

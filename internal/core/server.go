@@ -160,6 +160,17 @@ type Server struct {
 	// windowStart anchors the current fairness accounting window.
 	windowStart time.Time
 
+	// scr holds the scheduling pass's reusable selection buffers
+	// (candidate fetch, qualification, ranking). Guarded by mu: schedule
+	// and checkWaitQueue run with mu held, and everything copied out of
+	// the buffers (outbound dispatches, selection log entries, pending
+	// records) is copied before the next request reuses them.
+	scr struct {
+		cands []DeviceState
+		qual  []DeviceState
+		sel   SelectScratch
+	}
+
 	registry *obs.Registry
 	met      serverMetrics
 
@@ -468,17 +479,24 @@ func (s *Server) schedule(r Request, now time.Time, out *[]outbound) {
 	var selected []DeviceState
 	var err error
 	selStart := time.Now()
+	// Candidates come from the datastore's spatial index: the scan is
+	// O(devices near the task area), not O(registered devices), and the
+	// reused buffers keep the steady state allocation-free.
+	s.scr.cands = s.devices.AppendCandidatesIn(s.scr.cands[:0], r.Task.Area)
 	if s.cfg.SelectAll {
-		qualified, _ := s.selector.Qualify(r, s.devices.All())
-		if len(qualified) < r.Task.SpatialDensity {
-			err = &ErrNotEnoughDevices{Request: r.ID(), Want: r.Task.SpatialDensity, Got: len(qualified)}
+		s.scr.qual = s.selector.QualifyAppend(r, s.scr.cands, s.scr.qual[:0])
+		if len(s.scr.qual) < r.Task.SpatialDensity {
+			err = &ErrNotEnoughDevices{Request: r.ID(), Want: r.Task.SpatialDensity, Got: len(s.scr.qual)}
 		} else {
-			selected = qualified
+			selected = s.scr.qual
 		}
 	} else {
-		selected, err = s.selector.Select(r, s.devices.All(), now)
+		selected, err = s.selector.SelectFrom(r, s.scr.cands, now, &s.scr.sel)
 	}
-	s.met.selectionSeconds.Observe(time.Since(selStart).Seconds())
+	elapsed := time.Since(selStart)
+	s.met.selectionSeconds.Observe(elapsed.Seconds())
+	s.met.selectionNS.Add(uint64(elapsed.Nanoseconds()))
+	s.met.selectionCands.Add(uint64(len(s.scr.cands)))
 	if err != nil {
 		// n > N: "move t to wait queue".
 		s.wait.push(r)
@@ -518,8 +536,8 @@ func (s *Server) checkWaitQueue(now time.Time, out *[]outbound) {
 			})
 			continue
 		}
-		qualified, _ := s.selector.Qualify(r, s.devices.All())
-		if len(qualified) >= r.Task.SpatialDensity {
+		s.scr.cands = s.devices.AppendCandidatesIn(s.scr.cands[:0], r.Task.Area)
+		if s.selector.CountQualified(r, s.scr.cands) >= r.Task.SpatialDensity {
 			// Satisfiable now: hand straight to the scheduler (moving
 			// it to the run queue and popping it would be equivalent).
 			s.bump(nil, func(st *Stats) { st.RequestsWaitlisted-- })

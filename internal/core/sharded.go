@@ -179,19 +179,28 @@ func (s *ShardedServer) UpdateDeviceState(id string, pos geo.Point, batteryPct f
 	// the crossing mid-move. In this order the device is briefly in
 	// neither shard — it can miss at most one selection round — whereas
 	// Restore-first would let both shards see it and dispatch it twice.
+	// The report is validated before the record leaves its home shard:
+	// a malformed battery level must fail the update, not strand the
+	// device mid-crossing.
+	if !validBattery(batteryPct) {
+		return fmt.Errorf("core: update %s: battery %v out of [0,100]", id, batteryPct)
+	}
 	rec, ok := s.shards[home].server.Devices().Get(id)
 	if !ok {
 		return fmt.Errorf("core: device %s missing from home shard", id)
 	}
+	orig := rec
 	rec.Position = pos
 	rec.BatteryPct = batteryPct
 	rec.LastComm = at
 	s.shards[home].server.DeregisterDevice(id)
 	if err := s.shards[target].server.Devices().Restore(rec); err != nil {
-		// Restore only re-validates a record that was already stored, so
-		// this cannot fail in practice; if it ever does, put the device
-		// back where it was rather than losing it.
-		_ = s.shards[home].server.Devices().Restore(rec)
+		// Restore only re-validates a record that was already stored and a
+		// report this method vetted, so this cannot fail in practice; if
+		// it ever does, put the *original* record back where it was —
+		// restoring the mutated one would fail for the same reason and
+		// lose the device entirely.
+		_ = s.shards[home].server.Devices().Restore(orig)
 		return err
 	}
 	s.deviceHome[id] = target

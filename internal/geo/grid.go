@@ -1,0 +1,92 @@
+package geo
+
+import "math"
+
+// Grid quantizes WGS-84 points into rectangular cells for spatial
+// indexing. Cells are fixed-size in *degrees* (SizeM meters of latitude,
+// converted once), so cell assignment is a pure function of the point:
+// the same position always lands in the same cell no matter when or from
+// where it is computed. That property is what lets a device datastore
+// maintain cell buckets incrementally as devices move.
+//
+// Cells narrow (in meters) toward the poles because a degree of
+// longitude shrinks with cos(lat); Cover compensates by widening its
+// longitude span with the worst-case cosine inside the circle. The grid
+// is exact for |lat| <= MaxGridLat and for circles that do not cross the
+// antimeridian; Cover reports ok=false outside that envelope and callers
+// fall back to a full scan, so correctness never depends on the grid.
+type Grid struct {
+	// SizeM is the cell edge length in meters of latitude. Zero or
+	// negative disables the grid (Cover always reports ok=false).
+	SizeM float64
+}
+
+// Cell identifies one grid cell by its quantized latitude/longitude.
+type Cell struct {
+	Lat int32
+	Lon int32
+}
+
+// metersPerDegLat is the length of one degree of latitude (and of
+// longitude at the equator), matching EarthRadiusM.
+const metersPerDegLat = EarthRadiusM * math.Pi / 180
+
+// MaxGridLat bounds the latitudes the grid covers exactly; beyond it the
+// cos(lat) longitude correction degenerates and Cover falls back.
+const MaxGridLat = 85.0
+
+// step returns the cell edge in degrees.
+func (g Grid) step() float64 { return g.SizeM / metersPerDegLat }
+
+// CellOf returns the cell containing p.
+func (g Grid) CellOf(p Point) Cell {
+	s := g.step()
+	return Cell{
+		Lat: int32(math.Floor(p.Lat / s)),
+		Lon: int32(math.Floor(p.Lon / s)),
+	}
+}
+
+// CellBounds is an inclusive rectangle of cells.
+type CellBounds struct {
+	LatMin, LatMax int32
+	LonMin, LonMax int32
+}
+
+// Count returns the number of cells in the rectangle.
+func (b CellBounds) Count() int {
+	return int(b.LatMax-b.LatMin+1) * int(b.LonMax-b.LonMin+1)
+}
+
+// Cover returns the cell rectangle that is guaranteed to contain every
+// point of the circle. ok=false means the grid cannot cover the circle
+// exactly (disabled grid, invalid circle, high latitude, or an
+// antimeridian crossing) and the caller must scan exhaustively.
+func (g Grid) Cover(c Circle) (CellBounds, bool) {
+	if g.SizeM <= 0 || c.RadiusM <= 0 || !c.Center.Valid() {
+		return CellBounds{}, false
+	}
+	rLatDeg := c.RadiusM / metersPerDegLat
+	latLo := c.Center.Lat - rLatDeg
+	latHi := c.Center.Lat + rLatDeg
+	if latLo < -MaxGridLat || latHi > MaxGridLat {
+		return CellBounds{}, false
+	}
+	// A degree of longitude is shortest at the circle's extreme latitude,
+	// so the worst-case cosine there gives the widest (safe) span.
+	maxAbsLat := math.Max(math.Abs(latLo), math.Abs(latHi))
+	cosLat := math.Cos(maxAbsLat * math.Pi / 180)
+	rLonDeg := c.RadiusM / (metersPerDegLat * cosLat)
+	lonLo := c.Center.Lon - rLonDeg
+	lonHi := c.Center.Lon + rLonDeg
+	if lonLo < -180 || lonHi > 180 {
+		return CellBounds{}, false
+	}
+	s := g.step()
+	return CellBounds{
+		LatMin: int32(math.Floor(latLo / s)),
+		LatMax: int32(math.Floor(latHi / s)),
+		LonMin: int32(math.Floor(lonLo / s)),
+		LonMax: int32(math.Floor(lonHi / s)),
+	}, true
+}

@@ -1,0 +1,80 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCellOfIsStable(t *testing.T) {
+	g := Grid{SizeM: 500}
+	p := Point{Lat: 40.4274, Lon: -86.9169}
+	if g.CellOf(p) != g.CellOf(p) {
+		t.Fatal("CellOf not deterministic")
+	}
+	// Nearby points (well under a cell apart) share a cell unless they
+	// straddle a boundary; far points never share one.
+	far := Offset(p, 5_000, 5_000)
+	if g.CellOf(p) == g.CellOf(far) {
+		t.Fatalf("points 5km apart share cell %v", g.CellOf(p))
+	}
+}
+
+// TestCoverContainsCirclePoints is the grid's safety property: every
+// point inside a covered circle quantizes to a cell within the cover
+// bounds.
+func TestCoverContainsCirclePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		g := Grid{SizeM: 100 + rng.Float64()*2000}
+		center := Point{Lat: rng.Float64()*160 - 80, Lon: rng.Float64()*300 - 150}
+		c := Circle{Center: center, RadiusM: 10 + rng.Float64()*5000}
+		b, ok := g.Cover(c)
+		if !ok {
+			continue // fallback envelope; nothing to verify
+		}
+		// Sample points inside the circle (offsets within the radius).
+		for i := 0; i < 20; i++ {
+			ang := rng.Float64() * 2 * math.Pi
+			r := rng.Float64() * c.RadiusM
+			p := Offset(center, r*math.Sin(ang), r*math.Cos(ang))
+			if !c.Contains(p) {
+				continue // flat-earth offset overshoot near the rim
+			}
+			cell := g.CellOf(p)
+			if cell.Lat < b.LatMin || cell.Lat > b.LatMax || cell.Lon < b.LonMin || cell.Lon > b.LonMax {
+				t.Fatalf("point %v in circle %v has cell %v outside cover %+v (grid %v)",
+					p, c, cell, b, g.SizeM)
+			}
+		}
+	}
+}
+
+func TestCoverFallbackCases(t *testing.T) {
+	g := Grid{SizeM: 500}
+	cases := []Circle{
+		{Center: Point{Lat: 89, Lon: 0}, RadiusM: 100},         // beyond MaxGridLat
+		{Center: Point{Lat: 0, Lon: 179.999}, RadiusM: 5000},   // antimeridian
+		{Center: Point{Lat: 0, Lon: 0}, RadiusM: 0},            // invalid radius
+		{Center: Point{Lat: math.NaN(), Lon: 0}, RadiusM: 100}, // invalid center
+	}
+	for _, c := range cases {
+		if _, ok := g.Cover(c); ok {
+			t.Errorf("Cover(%v) should report ok=false", c)
+		}
+	}
+	if _, ok := (Grid{}).Cover(Circle{Center: Point{}, RadiusM: 100}); ok {
+		t.Error("disabled grid should report ok=false")
+	}
+}
+
+func TestCoverCountIsBounded(t *testing.T) {
+	g := Grid{SizeM: 500}
+	b, ok := g.Cover(Circle{Center: CSDepartment, RadiusM: 1000})
+	if !ok {
+		t.Fatal("campus circle should be coverable")
+	}
+	if n := b.Count(); n < 4 || n > 64 {
+		t.Fatalf("1km circle over 500m cells covers %d cells, want a handful", n)
+	}
+}

@@ -1,0 +1,81 @@
+package netserver
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"senseaid/internal/client"
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+)
+
+// TestStateReportValidationOverWire covers the orchestrator input
+// boundary end to end: a device whose state_report carries an
+// out-of-range battery or invalid coordinates gets a protocol error
+// back, the stored record stays untouched, and the connection keeps
+// working for well-formed reports afterwards.
+func TestStateReportValidationOverWire(t *testing.T) {
+	s, err := Listen(Config{Addr: "127.0.0.1:0", TickPeriod: time.Hour})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	c, err := client.Dial(client.Config{
+		Addr:       s.Addr(),
+		DeviceID:   "validator",
+		Position:   geo.CSDepartment,
+		BatteryPct: 90,
+		Sensors:    []sensors.Type{sensors.Barometer},
+	})
+	if err != nil {
+		t.Fatalf("client.Dial: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	if err := c.Register(); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	now := time.Now()
+	bad := []struct {
+		name    string
+		pos     geo.Point
+		battery float64
+	}{
+		{"battery over 100", geo.CSDepartment, 200},
+		{"negative battery", geo.CSDepartment, -3},
+		{"lat out of range", geo.Point{Lat: 95, Lon: 0}, 50},
+		{"lon out of range", geo.Point{Lat: 0, Lon: 190}, 50},
+	}
+	for _, tc := range bad {
+		err := c.ReportState(tc.pos, tc.battery, now)
+		if err == nil {
+			t.Fatalf("%s: state_report accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), "out of [0,100]") && !strings.Contains(err.Error(), "invalid position") {
+			t.Fatalf("%s: unexpected error %v", tc.name, err)
+		}
+	}
+
+	// The rejected reports must not have poisoned the record, and the
+	// connection is still usable: a valid report goes through.
+	if err := c.ReportState(geo.CSDepartment, 55, now); err != nil {
+		t.Fatalf("valid report after rejections: %v", err)
+	}
+
+	// Registration applies the same boundary.
+	c2, err := client.Dial(client.Config{
+		Addr:       s.Addr(),
+		DeviceID:   "bad-register",
+		Position:   geo.Point{Lat: 91, Lon: 0},
+		BatteryPct: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c2.Close() })
+	if err := c2.Register(); err == nil {
+		t.Fatal("register with invalid position accepted")
+	}
+}
