@@ -23,6 +23,22 @@ go test -race -short -run 'Fault|Stall|Resilien|Reconnect|Restart|Idle|Flaky' \
 SENSEAID_BENCH_OUT="$PWD/BENCH_selection.json" \
     go test -run '^TestRecordSelectionBench$' -count=1 -v ./internal/core
 
+# Crash-restart smoke: kill -9 durability end to end. The in-process
+# suite (abrupt-close fidelity, campaign resume, sharded recovery,
+# corrupt-state refusal, randomized crash soak under fault injection)
+# runs under the race detector; the binary test SIGKILLs a real
+# senseaidd mid-campaign and requires the restart to reclaim the task.
+go test -race -count=1 \
+    -run 'CrashRecovery|CorruptState|TornJournal|CrashRestartSoak' \
+    ./internal/netserver
+go test -count=1 -run '^TestCrashRestartBinaryEndToEnd$' .
+
+# Recovery benchmark record: replays a 10k-record journal at boot,
+# writes BENCH_recovery.json, and FAILS when recovery exceeds its
+# wall-clock budget (see TestRecordRecoveryBench).
+SENSEAID_BENCH_OUT="$PWD/BENCH_recovery.json" \
+    go test -run '^TestRecordRecoveryBench$' -count=1 -v ./internal/netserver
+
 # Loadgen smoke: 1k real device connections against a freshly built
 # senseaidd over the wire protocol, bounded duration; fails if any
 # registration fails or no schedule is delivered.

@@ -180,6 +180,104 @@ func TestShardedBinaryEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCrashRestartBinaryEndToEnd is the durability story at the process
+// level: senseaidd runs with -state-dir, a campaign gets going, the
+// server is SIGKILLed mid-campaign, and a fresh senseaidd on the same
+// address and state directory picks the campaign back up — the device
+// client's reconnect supervisor redials, and the CAS (running with
+// -retry-reconnect) reclaims its original task instead of scheduling a
+// twin.
+func TestCrashRestartBinaryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test builds and runs executables")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"senseaidd", "senseaid-client", "senseaid-cas"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	// The listen address must survive the restart (clients redial it);
+	// the admin endpoint gets a fresh port per incarnation.
+	addr := freeAddr(t)
+	stateDir := t.TempDir()
+
+	server := exec.Command(filepath.Join(bin, "senseaidd"),
+		"-addr", addr, "-tick", "50ms",
+		"-state-dir", stateDir, "-snapshot-interval", "200ms")
+	serverOut := startCapture(t, server, "senseaidd-1")
+	defer stop(t, server)
+	waitForLine(t, serverOut, "listening", 10*time.Second)
+	waitForLine(t, serverOut, "restarts 0", 10*time.Second)
+
+	device := exec.Command(filepath.Join(bin, "senseaid-client"),
+		"-addr", addr, "-id", "crash-phone", "-report", "100ms")
+	deviceOut := startCapture(t, device, "senseaid-client")
+	defer stop(t, device)
+	waitForLine(t, deviceOut, "online", 10*time.Second)
+
+	casCmd := exec.Command(filepath.Join(bin, "senseaid-cas"),
+		"-addr", addr, "-retry-reconnect",
+		"-period", "300ms", "-duration", "8s", "-density", "1")
+	casOut := startCapture(t, casCmd, "senseaid-cas")
+	defer stop(t, casCmd)
+	waitForLine(t, casOut, "task task-", 10*time.Second)
+	waitForLine(t, casOut, "from crash-phone", 10*time.Second)
+
+	// kill -9 mid-campaign: no drain, no final snapshot.
+	if err := server.Process.Kill(); err != nil {
+		t.Fatalf("kill server: %v", err)
+	}
+	_, _ = server.Process.Wait()
+	waitForLine(t, casOut, "server connection lost", 10*time.Second)
+
+	metricsAddr := freeAddr(t)
+	server2 := exec.Command(filepath.Join(bin, "senseaidd"),
+		"-addr", addr, "-metrics-addr", metricsAddr, "-tick", "50ms",
+		"-state-dir", stateDir, "-snapshot-interval", "200ms")
+	server2Out := startCapture(t, server2, "senseaidd-2")
+	defer stop(t, server2)
+	waitForLine(t, server2Out, "restarts 1", 10*time.Second)
+	if !server2Out.contains("replayed") {
+		t.Fatalf("restart did not report replay:\n%s", server2Out.dump())
+	}
+
+	// The CAS must get its original task back, not a twin.
+	waitForLine(t, casOut, "reclaimed", 15*time.Second)
+	if casOut.contains("resubmitted as") {
+		t.Fatalf("task was duplicated instead of reclaimed:\n%s", casOut.dump())
+	}
+
+	// The campaign runs to completion against the restarted server.
+	casDone := make(chan error, 1)
+	go func() { casDone <- casCmd.Wait() }()
+	select {
+	case err := <-casDone:
+		if err != nil {
+			t.Fatalf("senseaid-cas exited with %v:\n%s", err, casOut.dump())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("senseaid-cas never finished:\n%s", casOut.dump())
+	}
+	if !casOut.contains("collected") || casOut.contains("collected 0 readings") {
+		t.Fatalf("campaign collected nothing after the restart:\n%s", casOut.dump())
+	}
+
+	_, body := httpGet(t, "http://"+metricsAddr+"/metrics")
+	if v := sampleValue(body, "senseaid_restarts_total"); v != 1 {
+		t.Fatalf("senseaid_restarts_total = %v, want 1\n%s", v, body)
+	}
+	if v := sampleValue(body, "senseaid_recovery_last_unix"); v <= 0 {
+		t.Fatalf("senseaid_recovery_last_unix = %v, want > 0\n%s", v, body)
+	}
+	if v := sampleValue(body, `senseaid_recoveries_total{outcome="restored"}`); v != 1 {
+		t.Fatalf(`senseaid_recoveries_total{outcome="restored"} = %v, want 1`+"\n%s", v, body)
+	}
+}
+
 // httpGet fetches a URL and returns the status code and body.
 func httpGet(t *testing.T, url string) (int, string) {
 	t.Helper()

@@ -7,6 +7,13 @@
 //
 //	senseaid-cas [-addr host:port] [-sensor barometer] [-period 5m]
 //	             [-duration 30m] [-radius 500] [-density 2] [-map]
+//	             [-retry-reconnect]
+//
+// With -retry-reconnect, the task is submitted under a generated
+// client task ID and, if the server connection drops (a server restart,
+// a network fault), the CAS redials once and resubmits the same spec.
+// The server deduplicates on the client task ID, so the retry reclaims
+// the original task instead of scheduling a twin.
 package main
 
 import (
@@ -51,6 +58,7 @@ func run() error {
 	radius := flag.Float64("radius", 500, "task area radius (m)")
 	density := flag.Int("density", 2, "spatial density (devices per round)")
 	renderMap := flag.Bool("map", false, "render a fused hyperlocal map at the end")
+	retry := flag.Bool("retry-reconnect", false, "on a dropped server connection, redial once and resubmit the task (idempotent via a client task ID)")
 	flag.Parse()
 
 	sensor, err := sensorByName(*sensorName)
@@ -62,14 +70,9 @@ func run() error {
 		return fmt.Errorf("invalid center %v", center)
 	}
 
-	app, err := cas.Dial(*addr)
-	if err != nil {
-		return err
-	}
-	defer func() { _ = app.Close() }()
-
 	var fmap *fusion.Map
 	if *renderMap {
+		var err error
 		fmap, err = fusion.NewMap(fusion.Config{
 			Center: center,
 			SpanM:  (*radius) * 2.5,
@@ -82,7 +85,7 @@ func run() error {
 	}
 
 	count := 0
-	err = app.ReceiveSensedData(func(sd wire.SensedData) {
+	handler := func(sd wire.SensedData) {
 		count++
 		fmt.Printf("%s  %-12s %8.2f %-4s from %s\n",
 			sd.Reading.At.Format("15:04:05"), sd.TaskID,
@@ -90,33 +93,92 @@ func run() error {
 		if fmap != nil {
 			fmap.Add(fusion.Sample{Where: sd.Reading.Where, Value: sd.Reading.Value, At: sd.Reading.At})
 		}
-	})
-	if err != nil {
-		return err
 	}
 
-	taskID, err := app.Task(wire.TaskSpec{
+	spec := wire.TaskSpec{
 		Sensor:           sensor,
 		SamplingPeriod:   *period,
 		SamplingDuration: *duration,
 		Center:           center,
 		AreaRadiusM:      *radius,
 		SpatialDensity:   *density,
-	})
+	}
+	if *retry {
+		// A stable client task ID makes the post-reconnect resubmit
+		// idempotent: the server returns the original task instead of
+		// scheduling a twin.
+		spec.ClientTaskID = fmt.Sprintf("senseaid-cas-%d-%d", os.Getpid(), time.Now().UnixNano())
+	}
+
+	connect := func() (*cas.CAS, string, error) {
+		app, err := cas.Dial(*addr)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := app.ReceiveSensedData(handler); err != nil {
+			_ = app.Close()
+			return nil, "", err
+		}
+		id, err := app.Task(spec)
+		if err != nil {
+			_ = app.Close()
+			return nil, "", err
+		}
+		return app, id, nil
+	}
+
+	app, taskID, err := connect()
 	if err != nil {
 		return err
 	}
+	defer func() { _ = app.Close() }()
 	fmt.Printf("task %s: %s every %v for %v, %d devices within %.0f m of %s\n",
 		taskID, sensor, *period, *duration, *density, *radius, center)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case <-time.After(*duration + *period):
-	case <-sig:
-		fmt.Println("interrupted; deleting task")
-		if err := app.DeleteTask(taskID); err != nil {
-			return err
+	deadline := time.After(*duration + *period)
+	retried := false
+wait:
+	for {
+		select {
+		case <-deadline:
+			break wait
+		case <-sig:
+			fmt.Println("interrupted; deleting task")
+			if err := app.DeleteTask(taskID); err != nil {
+				return err
+			}
+			break wait
+		case <-app.Done():
+			if !*retry || retried {
+				return fmt.Errorf("server connection lost")
+			}
+			retried = true
+			fmt.Println("server connection lost; redialing")
+			var rerr error
+			for attempt := 0; attempt < 20; attempt++ {
+				// A restarting server needs a moment to recover its state
+				// and listen again.
+				time.Sleep(500 * time.Millisecond)
+				var (
+					napp *cas.CAS
+					nid  string
+				)
+				if napp, nid, rerr = connect(); rerr == nil {
+					app = napp
+					if nid == taskID {
+						fmt.Printf("reconnected; task %s reclaimed\n", nid)
+					} else {
+						fmt.Printf("reconnected; task resubmitted as %s\n", nid)
+					}
+					taskID = nid
+					break
+				}
+			}
+			if rerr != nil {
+				return fmt.Errorf("reconnect: %w", rerr)
+			}
 		}
 	}
 

@@ -6,7 +6,15 @@
 //
 //	senseaidd [-addr host:port] [-metrics-addr host:port] [-tick duration]
 //	          [-handshake-timeout duration] [-idle-timeout duration]
+//	          [-state-dir path] [-state-recover] [-snapshot-interval duration]
 //	          [-regions name@lat,lon,radiusM]... [-v] [-vv]
+//
+// With -state-dir set, the server is durable: scheduling state is
+// snapshotted there and every mutation journaled between snapshots, so
+// a crashed or restarted server resumes its campaigns. SIGTERM drains
+// gracefully (final snapshot, journal fsync); kill -9 is recovered on
+// the next start by replaying the journal. A corrupt state file refuses
+// startup unless -state-recover moves it aside.
 //
 // With -metrics-addr set, an HTTP admin endpoint serves /metrics
 // (Prometheus text format; ?format=json for the JSON snapshot),
@@ -85,6 +93,9 @@ func run() error {
 	tick := flag.Duration("tick", 500*time.Millisecond, "scheduler tick period")
 	handshakeTimeout := flag.Duration("handshake-timeout", 10*time.Second, "deadline for a fresh connection to complete the hello (negative disables)")
 	idleTimeout := flag.Duration("idle-timeout", 10*time.Minute, "disconnect a device connection silent for this long (negative disables)")
+	stateDir := flag.String("state-dir", "", "directory for durable scheduling state; a restarted server resumes its campaigns (empty runs in-memory)")
+	stateRecover := flag.Bool("state-recover", false, "move corrupt state files aside and start fresh instead of refusing to start")
+	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "how often to fold the journal into a fresh snapshot (negative disables the periodic loop)")
 	var regions regionList
 	flag.Var(&regions, "regions", "edge region as name@lat,lon,radiusM (repeatable; two or more shard the deployment)")
 	verbose := flag.Bool("v", false, "log lifecycle events to stderr")
@@ -108,11 +119,19 @@ func run() error {
 		LogLevel:         level,
 		Metrics:          obs.Default(),
 		Regions:          regions,
+		StateDir:         *stateDir,
+		StateRecover:     *stateRecover,
+		SnapshotInterval: *snapshotInterval,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("sense-aid server listening on %s\n", srv.Addr())
+	if *stateDir != "" {
+		rec := srv.Recovery()
+		fmt.Printf("state dir %s: restarts %d, replayed %d records (%s)\n",
+			*stateDir, rec.Restarts, rec.Replayed, rec.Outcome)
+	}
 	for _, r := range regions {
 		fmt.Printf("edge region %s: center %s radius %.0fm\n", r.Name, r.Area.Center, r.Area.RadiusM)
 	}

@@ -112,5 +112,11 @@ func (c *CAS) ReceiveSensedData(h DataHandler) error {
 	return nil
 }
 
+// Done is closed when the connection to the server dies — a read or
+// write fault, the server restarting, or an explicit Close. Owners watch
+// it to redial and resubmit their tasks (idempotent when the specs carry
+// a ClientTaskID).
+func (c *CAS) Done() <-chan struct{} { return c.conn.Done() }
+
 // Close disconnects the CAS.
 func (c *CAS) Close() error { return c.conn.Close() }

@@ -48,6 +48,19 @@ func (q *requestQueue) peek() (Request, bool) {
 	return q.items[0], true
 }
 
+// remove drops the request identified by (task, seq); reports whether it
+// was present. Journal replay uses it to mirror the live pop/waitlist
+// moves without re-running selection.
+func (q *requestQueue) remove(id TaskID, seq int) bool {
+	for i, r := range q.items {
+		if r.Task.ID == id && r.Seq == seq {
+			heap.Remove(q, i)
+			return true
+		}
+	}
+	return false
+}
+
 // removeTask drops every request belonging to a task (delete_task support).
 func (q *requestQueue) removeTask(id TaskID) int {
 	kept := q.items[:0]

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"senseaid/internal/geo"
@@ -107,6 +108,17 @@ type ServerConfig struct {
 	// as prefix so task (and therefore request) IDs are globally unique
 	// and route unambiguously. Empty for a single-region server.
 	TaskIDPrefix string
+	// Journal, when set, receives a record of every persistent mutation
+	// (the internal/persist subsystem appends them to the on-disk
+	// journal). Appends run after the scheduling lock is released — the
+	// same discipline as Dispatcher and DataSink callbacks — so an
+	// implementation may do file I/O; it must be safe for concurrent use.
+	// Nil disables journaling with no overhead on the scheduling path.
+	Journal JournalSink
+	// ShardJournal supplies a per-region journal sink for sharded
+	// deployments: each shard persists to its own state files, keyed by
+	// region name. Ignored by NewServer; see NewShardedServer.
+	ShardJournal func(region string) JournalSink
 }
 
 // DefaultServerConfig returns the stock configuration.
@@ -156,6 +168,12 @@ type Server struct {
 	// truth-discovery outlier check.
 	collected map[string]map[string]float64
 	nextTask  int
+	// byClientID maps caller-supplied task identities to stored tasks for
+	// idempotent resubmission (rebuilt from Task.ClientID on recovery).
+	byClientID map[string]TaskID
+	// jbuf stages journal records born under mu until the lock is
+	// released; jseq numbers every record (see journal.go).
+	jbuf []JournalRecord
 
 	// windowStart anchors the current fairness accounting window.
 	windowStart time.Time
@@ -170,6 +188,8 @@ type Server struct {
 		qual  []DeviceState
 		sel   SelectScratch
 	}
+
+	jseq atomic.Uint64
 
 	registry *obs.Registry
 	met      serverMetrics
@@ -202,28 +222,33 @@ func NewServer(cfg ServerConfig, d Dispatcher) (*Server, error) {
 		reg = obs.NewRegistry()
 	}
 	return &Server{
-		cfg:       cfg,
-		selector:  sel,
-		devices:   NewDeviceStore(),
-		tasks:     make(map[TaskID]*Task),
-		sinks:     make(map[TaskID]DataSink),
-		pending:   make(map[string][]pendingDispatch),
-		collected: make(map[string]map[string]float64),
-		dispatch:  d,
-		registry:  reg,
-		met:       newServerMetrics(reg, cfg.MetricsLabels),
-		sellog:    newSelectionLog(cfg.SelectionLogSize),
+		cfg:        cfg,
+		selector:   sel,
+		devices:    NewDeviceStore(),
+		tasks:      make(map[TaskID]*Task),
+		sinks:      make(map[TaskID]DataSink),
+		pending:    make(map[string][]pendingDispatch),
+		collected:  make(map[string]map[string]float64),
+		byClientID: make(map[string]TaskID),
+		dispatch:   d,
+		registry:   reg,
+		met:        newServerMetrics(reg, cfg.MetricsLabels),
+		sellog:     newSelectionLog(cfg.SelectionLogSize),
 	}, nil
 }
 
 // noteOutcome records a reputation outcome and refreshes the device's
-// reliability in the datastore; a no-op without a tracker.
+// reliability in the datastore; a no-op without a tracker. Outcomes are
+// journaled explicitly so replay reproduces the exact EWMA fold without
+// re-running truth discovery. Called with s.mu held (every caller is on
+// the scheduling path), so the record is staged via jlog.
 func (s *Server) noteOutcome(deviceID string, o reputation.Outcome) {
 	if s.cfg.Reputation == nil {
 		return
 	}
 	s.cfg.Reputation.Record(deviceID, o)
 	s.devices.SetReliability(deviceID, s.cfg.Reputation.Score(deviceID))
+	s.jlog(JournalRecord{Op: opOutcome, DeviceID: deviceID, Outcome: int(o)})
 }
 
 // Devices exposes the device datastore (registration, control reports).
@@ -235,6 +260,13 @@ func (s *Server) RegisterDevice(d DeviceState) error {
 		return err
 	}
 	s.met.devices.Set(float64(s.devices.Len()))
+	if s.cfg.Journal != nil {
+		// Journal the record as stored (Register defaults responsiveness
+		// and reliability), so replay restores it verbatim.
+		if rec, ok := s.devices.Get(d.ID); ok {
+			s.jdirect(JournalRecord{Op: opRegister, Device: &rec})
+		}
+	}
 	return nil
 }
 
@@ -242,6 +274,7 @@ func (s *Server) RegisterDevice(d DeviceState) error {
 func (s *Server) DeregisterDevice(id string) {
 	s.devices.Deregister(id)
 	s.met.devices.Set(float64(s.devices.Len()))
+	s.jdirect(JournalRecord{Op: opDeregister, DeviceID: id})
 }
 
 // UpdateDeviceState applies a device's periodic control report.
@@ -252,13 +285,20 @@ func (s *Server) UpdateDeviceState(id string, pos geo.Point, batteryPct float64,
 // UpdateDevicePrefs changes a device's crowdsensing budget, preserving
 // its liveness state and fairness counters.
 func (s *Server) UpdateDevicePrefs(id string, b power.Budget) error {
-	return s.devices.UpdateBudget(id, b)
+	if err := s.devices.UpdateBudget(id, b); err != nil {
+		return err
+	}
+	s.jdirect(JournalRecord{Op: opPrefs, DeviceID: id, Budget: &b})
+	return nil
 }
 
 // NoteDeviceEnergy adds crowdsensing energy spent by a device (the
 // selector's E_i fairness term).
 func (s *Server) NoteDeviceEnergy(id string, joules float64) {
 	s.devices.NoteEnergy(id, joules)
+	if joules > 0 {
+		s.jdirect(JournalRecord{Op: opEnergy, DeviceID: id, Joules: joules})
+	}
 }
 
 // Stats returns a copy of the server counters. Safe to call concurrently
@@ -320,14 +360,37 @@ func (s *Server) Task(id TaskID) (Task, bool) {
 
 // SubmitTask validates, stores and expands a task; its requests join the
 // run queue. The sink receives the task's validated readings.
+//
+// Submission is idempotent on Task.ClientID: resubmitting the same
+// client identity with a byte-identical spec returns the existing task's
+// ID (rebinding the sink to the caller, who may be a CAS that
+// reconnected after a restart) instead of minting a twin; the same
+// identity with a different spec is an error. Without a ClientID every
+// submission is a new task, as before.
 func (s *Server) SubmitTask(t Task, now time.Time, sink DataSink) (TaskID, error) {
 	if sink == nil {
 		return "", fmt.Errorf("core: task needs a data sink")
 	}
+	// The signature is computed over the spec exactly as submitted, before
+	// Normalize pins Start/End, so a retry of a duration-based spec still
+	// matches the stored (normalized) task.
+	sig := specSig(t)
+	var recs []JournalRecord
+	defer func() { s.jemit(recs) }()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer func() { recs = s.jtake(); s.mu.Unlock() }()
+	if t.ClientID != "" {
+		if existing, ok := s.byClientID[t.ClientID]; ok {
+			if prev := s.tasks[existing]; prev != nil && prev.SpecSig == sig {
+				s.sinks[existing] = sink
+				return existing, nil
+			}
+			return "", fmt.Errorf("core: client task %q already exists as %s with a different spec", t.ClientID, existing)
+		}
+	}
 	s.nextTask++
 	t.ID = TaskID(fmt.Sprintf("%stask-%d", s.cfg.TaskIDPrefix, s.nextTask))
+	t.SpecSig = sig
 	if err := t.Normalize(now); err != nil {
 		return "", err
 	}
@@ -338,10 +401,17 @@ func (s *Server) SubmitTask(t Task, now time.Time, sink DataSink) (TaskID, error
 	stored := t
 	s.tasks[stored.ID] = &stored
 	s.sinks[stored.ID] = sink
+	if stored.ClientID != "" {
+		s.byClientID[stored.ClientID] = stored.ID
+	}
 	for i := range reqs {
 		reqs[i].Task = &stored
 		s.run.push(reqs[i])
 	}
+	// Journal a private copy: the stored task can be mutated in place by
+	// UpdateTaskParams after the lock drops, racing the sink's marshal.
+	jt := stored
+	s.jlog(JournalRecord{Op: opSubmit, At: now, Task: &jt, NextTask: s.nextTask})
 	s.met.tasksSubmitted.Inc()
 	s.met.reqGenerated.Add(uint64(len(reqs)))
 	s.statsMu.Lock()
@@ -355,8 +425,10 @@ func (s *Server) SubmitTask(t Task, now time.Time, sink DataSink) (TaskID, error
 // UpdateTaskParams applies a mutation to an existing task; future requests
 // are regenerated from now with the new parameters (past rounds stand).
 func (s *Server) UpdateTaskParams(id TaskID, now time.Time, mutate func(*Task)) error {
+	var recs []JournalRecord
+	defer func() { s.jemit(recs) }()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer func() { recs = s.jtake(); s.mu.Unlock() }()
 	t, ok := s.tasks[id]
 	if !ok {
 		return fmt.Errorf("core: update: unknown task %s", id)
@@ -364,6 +436,8 @@ func (s *Server) UpdateTaskParams(id TaskID, now time.Time, mutate func(*Task)) 
 	updated := *t
 	mutate(&updated)
 	updated.ID = id
+	updated.ClientID = t.ClientID
+	updated.SpecSig = t.SpecSig
 	if updated.Start.Before(now) {
 		updated.Start = now
 	}
@@ -382,6 +456,8 @@ func (s *Server) UpdateTaskParams(id TaskID, now time.Time, mutate func(*Task)) 
 		reqs[i].Task = t
 		s.run.push(reqs[i])
 	}
+	jt := updated
+	s.jlog(JournalRecord{Op: opUpdateTask, Task: &jt})
 	s.met.reqGenerated.Add(uint64(len(reqs)))
 	s.statsMu.Lock()
 	s.stats.RequestsGenerated += len(reqs)
@@ -392,15 +468,22 @@ func (s *Server) UpdateTaskParams(id TaskID, now time.Time, mutate func(*Task)) 
 
 // DeleteTask removes a task and its pending requests.
 func (s *Server) DeleteTask(id TaskID) error {
+	var recs []JournalRecord
+	defer func() { s.jemit(recs) }()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tasks[id]; !ok {
+	defer func() { recs = s.jtake(); s.mu.Unlock() }()
+	t, ok := s.tasks[id]
+	if !ok {
 		return fmt.Errorf("core: delete: unknown task %s", id)
 	}
 	delete(s.tasks, id)
 	delete(s.sinks, id)
+	if t.ClientID != "" {
+		delete(s.byClientID, t.ClientID)
+	}
 	s.run.removeTask(id)
 	s.wait.removeTask(id)
+	s.jlog(JournalRecord{Op: opDeleteTask, TaskID: id})
 	s.syncGauges()
 	return nil
 }
@@ -440,7 +523,9 @@ func (s *Server) ProcessDue(now time.Time) {
 	s.mu.Lock()
 	s.processDueLocked(now, &out)
 	s.syncGauges()
+	recs := s.jtake()
 	s.mu.Unlock()
+	s.jemit(recs)
 	for _, o := range out {
 		s.dispatch.Dispatch(o.req, o.dev)
 	}
@@ -451,9 +536,15 @@ func (s *Server) processDueLocked(now time.Time, out *[]outbound) {
 		if s.windowStart.IsZero() {
 			s.windowStart = now
 		}
-		for now.Sub(s.windowStart) >= s.cfg.FairnessWindow {
+		if elapsed := now.Sub(s.windowStart); elapsed >= s.cfg.FairnessWindow {
+			// However many window boundaries passed, one reset covers them
+			// (zeroing the counters is idempotent), and the anchor advances
+			// to the boundary at or before now in O(1): a restored anchor
+			// from long before the crash must not spin this once per missed
+			// window, journaling each.
 			s.devices.ResetWindow()
-			s.windowStart = s.windowStart.Add(s.cfg.FairnessWindow)
+			s.windowStart = s.windowStart.Add(elapsed - elapsed%s.cfg.FairnessWindow)
+			s.jlog(JournalRecord{Op: opResetWindow, At: s.windowStart})
 		}
 	}
 	s.expireDispatches(now)
@@ -466,6 +557,8 @@ func (s *Server) processDueLocked(now time.Time, out *[]outbound) {
 		s.run.pop()
 		if r.Deadline.Before(now) {
 			s.bump(s.met.reqExpired, func(st *Stats) { st.RequestsExpired++ })
+			ref := refOf(r)
+			s.jlog(JournalRecord{Op: opReqExpired, Req: &ref, From: "run"})
 			continue
 		}
 		s.schedule(r, now, out)
@@ -501,6 +594,8 @@ func (s *Server) schedule(r Request, now time.Time, out *[]outbound) {
 		// n > N: "move t to wait queue".
 		s.wait.push(r)
 		s.bump(s.met.reqWaitlisted, func(st *Stats) { st.RequestsWaitlisted++ })
+		ref := refOf(r)
+		s.jlog(JournalRecord{Op: opWaitlist, Req: &ref})
 		return
 	}
 	sel := Selection{Request: r.ID(), At: now}
@@ -510,6 +605,8 @@ func (s *Server) schedule(r Request, now time.Time, out *[]outbound) {
 		sel.Devices = append(sel.Devices, d.ID)
 		*out = append(*out, outbound{req: r, dev: d})
 	}
+	ref := refOf(r)
+	s.jlog(JournalRecord{Op: opDispatch, At: now, Req: &ref, Devices: sel.Devices})
 	s.statsMu.Lock()
 	dropped := s.sellog.add(sel)
 	s.stats.RequestsSatisfied++
@@ -534,6 +631,8 @@ func (s *Server) checkWaitQueue(now time.Time, out *[]outbound) {
 				st.RequestsWaitlisted--
 				st.RequestsExpired++
 			})
+			ref := refOf(r)
+			s.jlog(JournalRecord{Op: opReqExpired, Req: &ref, From: "wait"})
 			continue
 		}
 		s.scr.cands = s.devices.AppendCandidatesIn(s.scr.cands[:0], r.Task.Area)
@@ -560,6 +659,7 @@ func (s *Server) expireDispatches(now time.Time) {
 		for _, p := range list {
 			if p.req.Deadline.Before(now) {
 				s.devices.SetResponsive(p.deviceID, false)
+				s.jlog(JournalRecord{Op: opMiss, ReqID: id, DeviceID: p.deviceID})
 				s.noteOutcome(p.deviceID, reputation.OutcomeMissed)
 				s.bump(s.met.dispatchExpiries, func(st *Stats) { st.DispatchesMissed++ })
 				continue
@@ -605,7 +705,11 @@ func (s *Server) finishRound(reqID string) {
 // back into the server (adaptive campaigns mutate task parameters from
 // the reading path).
 func (s *Server) ReceiveData(reqID string, deviceID string, reading sensors.Reading, now time.Time) error {
+	s.mu.Lock()
 	sink, taskID, err := s.receiveDataLocked(reqID, deviceID, reading)
+	recs := s.jtake()
+	s.mu.Unlock()
+	s.jemit(recs)
 	if err != nil {
 		return err
 	}
@@ -617,10 +721,9 @@ func (s *Server) ReceiveData(reqID string, deviceID string, reading sensors.Read
 
 // receiveDataLocked performs the validation and bookkeeping of ReceiveData
 // under the scheduling lock and returns the sink to invoke (with its task
-// ID) once the lock is dropped.
+// ID) once the lock is dropped. Called with s.mu held; the caller drains
+// the journal batch after unlocking.
 func (s *Server) receiveDataLocked(reqID string, deviceID string, reading sensors.Reading) (DataSink, TaskID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	list := s.pending[reqID]
 	idx := -1
 	for i, p := range list {
@@ -631,15 +734,21 @@ func (s *Server) receiveDataLocked(reqID string, deviceID string, reading sensor
 	}
 	if idx == -1 {
 		s.bump(s.met.readingsRejected, func(st *Stats) { st.ReadingsRejected++ })
+		s.jlog(JournalRecord{Op: opReject, ReqID: reqID, DeviceID: deviceID})
 		return nil, "", fmt.Errorf("core: unsolicited data from %s for %s", deviceID, reqID)
 	}
 	p := list[idx]
 
 	if err := s.validateReading(p.req, deviceID, reading); err != nil {
 		s.bump(s.met.readingsRejected, func(st *Stats) { st.ReadingsRejected++ })
+		s.jlog(JournalRecord{Op: opReject, ReqID: reqID, DeviceID: deviceID})
 		s.noteOutcome(deviceID, reputation.OutcomeRejected)
 		return nil, "", err
 	}
+
+	// Journal before the round bookkeeping, so any outcome records from a
+	// completing round replay after the receive that triggered them.
+	s.jlog(JournalRecord{Op: opReceive, ReqID: reqID, DeviceID: deviceID, Value: reading.Value})
 
 	// Clear the pending entry and restore responsiveness.
 	s.pending[reqID] = append(list[:idx], list[idx+1:]...)
@@ -671,8 +780,10 @@ func (s *Server) receiveDataLocked(reqID string, deviceID string, reading sensor
 // miss feeds the reputation tracker like a deadline expiry would — so
 // the next scheduling round can pick a replacement immediately.
 func (s *Server) NoteDispatchFailure(reqID, deviceID string) {
+	var recs []JournalRecord
+	defer func() { s.jemit(recs) }()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer func() { recs = s.jtake(); s.mu.Unlock() }()
 	list := s.pending[reqID]
 	idx := -1
 	for i, p := range list {
@@ -686,6 +797,7 @@ func (s *Server) NoteDispatchFailure(reqID, deviceID string) {
 	}
 	s.pending[reqID] = append(list[:idx], list[idx+1:]...)
 	s.devices.SetResponsive(deviceID, false)
+	s.jlog(JournalRecord{Op: opDispatchFail, ReqID: reqID, DeviceID: deviceID})
 	s.noteOutcome(deviceID, reputation.OutcomeMissed)
 	s.bump(s.met.dispatchFailures, func(st *Stats) { st.DispatchesFailed++ })
 	if len(s.pending[reqID]) == 0 {

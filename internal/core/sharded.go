@@ -90,6 +90,12 @@ func NewShardedServer(cfg ServerConfig, d Dispatcher, regions []Region) (*Sharde
 		seen[r.Name] = true
 		shardCfg := cfg
 		shardCfg.TaskIDPrefix = r.Name + "/"
+		// Each shard journals to its own per-region sink (its own state
+		// files); a plain Journal would interleave shards in one file.
+		shardCfg.Journal = nil
+		if cfg.ShardJournal != nil {
+			shardCfg.Journal = cfg.ShardJournal(r.Name)
+		}
 		if cfg.Metrics != nil {
 			// Distinct shard labels keep per-shard gauges (queue depths,
 			// device counts) from overwriting each other on the shared
@@ -194,13 +200,13 @@ func (s *ShardedServer) UpdateDeviceState(id string, pos geo.Point, batteryPct f
 	rec.BatteryPct = batteryPct
 	rec.LastComm = at
 	s.shards[home].server.DeregisterDevice(id)
-	if err := s.shards[target].server.Devices().Restore(rec); err != nil {
+	if err := s.shards[target].server.RestoreDevice(rec); err != nil {
 		// Restore only re-validates a record that was already stored and a
 		// report this method vetted, so this cannot fail in practice; if
 		// it ever does, put the *original* record back where it was —
 		// restoring the mutated one would fail for the same reason and
 		// lose the device entirely.
-		_ = s.shards[home].server.Devices().Restore(orig)
+		_ = s.shards[home].server.RestoreDevice(orig)
 		return err
 	}
 	s.deviceHome[id] = target
@@ -412,6 +418,26 @@ func (s *ShardedServer) TaskCount() int {
 		total += sh.server.TaskCount()
 	}
 	return total
+}
+
+// RebuildRouting reconstructs the device- and task-routing indexes from
+// the shards' current state. It is the recovery path's last step: after
+// each shard's Server has restored its snapshot and journal, the sharded
+// layer re-learns which shard owns which device and task. Call it before
+// the sharded server takes traffic.
+func (s *ShardedServer) RebuildRouting() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deviceHome = make(map[string]int)
+	s.taskHome = make(map[TaskID]int)
+	for i, sh := range s.shards {
+		for _, d := range sh.server.Devices().All() {
+			s.deviceHome[d.ID] = i
+		}
+		for _, id := range sh.server.TaskIDs() {
+			s.taskHome[id] = i
+		}
+	}
 }
 
 // Shard exposes one shard's Server for inspection and tests.

@@ -29,6 +29,18 @@ type Task struct {
 	// ID is assigned by the server when the task is submitted.
 	ID TaskID `json:"id"`
 
+	// ClientID is an optional caller-supplied identity that makes
+	// submission idempotent: resubmitting the same ClientID with the same
+	// spec returns the existing task's ID instead of minting a twin, so a
+	// CAS that retries after a server restart cannot double-schedule.
+	// Submitting the same ClientID with a different spec is an error.
+	ClientID string `json:"client_id,omitempty"`
+	// SpecSig is the canonical signature of the spec as submitted (before
+	// normalization), recorded so a post-restart resubmit of a
+	// duration-based spec still matches its restored task. Set by the
+	// server; caller values are ignored.
+	SpecSig string `json:"spec_sig,omitempty"`
+
 	// Sensor is Table 1's sensor_type.
 	Sensor sensors.Type `json:"sensor_type"`
 	// SamplingPeriod is the gap between consecutive samples. Zero for
@@ -94,11 +106,24 @@ func (t *Task) Validate() error {
 	if t.End.Before(t.Start) {
 		return fmt.Errorf("core: task %s: end_time %v before start_time %v", t.ID, t.End, t.Start)
 	}
-	if !t.OneShot() && !t.End.After(t.Start) {
-		return fmt.Errorf("core: task %s: periodic task with empty window", t.ID)
+	if !t.OneShot() {
+		if !t.End.After(t.Start) {
+			return fmt.Errorf("core: task %s: periodic task with empty window", t.ID)
+		}
+		if n := t.End.Sub(t.Start) / t.SamplingPeriod; n > maxRequestsPerTask {
+			return fmt.Errorf("core: task %s: window/period expands to %d requests (max %d)", t.ID, n, maxRequestsPerTask)
+		}
 	}
 	return nil
 }
+
+// maxRequestsPerTask bounds one task's expansion. Without it a sampling
+// period tiny relative to the window (a hostile submission, or a forged
+// journal record) would make Expand iterate billions of times — a hang,
+// which is as much a crash as a panic for the server and for journal
+// replay. A week-long task sampling every 10 seconds is ~60k requests,
+// comfortably inside the bound.
+const maxRequestsPerTask = 100_000
 
 // Request is one schedulable sensing round of a task: "a task lasting 60
 // minutes with a 10-minute sampling period generates 6 requests".
@@ -136,6 +161,13 @@ func (t *Task) Expand() ([]Request, error) {
 	}
 	var reqs []Request
 	for due := t.Start; due.Before(t.End); due = due.Add(t.SamplingPeriod) {
+		// Validate bounds the expansion arithmetically, but its division
+		// uses time.Sub, which saturates at ~292 years — an extreme window
+		// can pass the check and still loop far past the bound (or forever,
+		// if due.Add wraps). Enforce the cap on the loop itself.
+		if len(reqs) >= maxRequestsPerTask {
+			return nil, fmt.Errorf("core: task %s: expansion exceeded %d requests", t.ID, maxRequestsPerTask)
+		}
 		dl := due.Add(t.SamplingPeriod)
 		if dl.After(t.End) {
 			dl = t.End

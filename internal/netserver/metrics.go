@@ -12,6 +12,10 @@ import (
 // one core call, but the core mutex can queue behind a scheduling tick.
 var rpcSecondsBuckets = obs.ExponentialBuckets(1e-5, 4, 10)
 
+// snapshotSecondsBuckets spans 100 µs – 6.5 s: a snapshot is one state
+// walk plus a JSON encode, an fsync, and a rename.
+var snapshotSecondsBuckets = obs.ExponentialBuckets(1e-4, 4, 9)
+
 // netMetrics is the transport layer's slice of the metric vocabulary.
 // RPC series are created lazily per message type (the type set is fixed
 // by the protocol, so cardinality stays bounded).
@@ -26,6 +30,23 @@ type netMetrics struct {
 
 	handshakeTimeouts *obs.Counter
 	idleDisconnects   *obs.Counter
+
+	// Durability series (all zero when no state directory is set).
+	restartsTotal         *obs.Counter
+	recoveryLastUnix      *obs.Gauge
+	recoveriesFresh       *obs.Counter
+	recoveriesRestored    *obs.Counter
+	recoveriesReset       *obs.Counter
+	recoveryReplayed      *obs.Counter
+	recoverySkipped       *obs.Counter
+	snapshotsOK           *obs.Counter
+	snapshotsErr          *obs.Counter
+	snapshotSeconds       *obs.Histogram
+	snapshotBytes         *obs.Gauge
+	journalAppends        *obs.Counter
+	journalErrors         *obs.Counter
+	journalTruncatedBytes *obs.Counter
+	deliveriesUnroutable  *obs.Counter
 
 	uploadTail     *obs.Counter
 	uploadPromoted *obs.Counter
@@ -55,6 +76,36 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 			"Connections dropped for not completing the hello in time.", nil),
 		idleDisconnects: reg.Counter("senseaid_net_idle_disconnects_total",
 			"Device connections dropped after the idle timeout.", nil),
+		restartsTotal: reg.Counter("senseaid_restarts_total",
+			"Process starts against this state directory after the first.", nil),
+		recoveryLastUnix: reg.Gauge("senseaid_recovery_last_unix",
+			"Unix time of the last boot-time recovery pass.", nil),
+		recoveriesFresh: reg.Counter("senseaid_recoveries_total",
+			"Boot-time recovery passes by outcome.", obs.Labels{"outcome": "fresh"}),
+		recoveriesRestored: reg.Counter("senseaid_recoveries_total",
+			"Boot-time recovery passes by outcome.", obs.Labels{"outcome": "restored"}),
+		recoveriesReset: reg.Counter("senseaid_recoveries_total",
+			"Boot-time recovery passes by outcome.", obs.Labels{"outcome": "reset"}),
+		recoveryReplayed: reg.Counter("senseaid_recovery_replayed_records_total",
+			"Journal records applied during boot-time recovery.", nil),
+		recoverySkipped: reg.Counter("senseaid_recovery_skipped_records_total",
+			"Journal records dropped during recovery (stale, duplicate, or malformed).", nil),
+		snapshotsOK: reg.Counter("senseaid_snapshots_total",
+			"State snapshot commits by outcome.", obs.Labels{"outcome": "ok"}),
+		snapshotsErr: reg.Counter("senseaid_snapshots_total",
+			"State snapshot commits by outcome.", obs.Labels{"outcome": "error"}),
+		snapshotSeconds: reg.Histogram("senseaid_snapshot_seconds",
+			"Wall time of one state snapshot commit.", snapshotSecondsBuckets, nil),
+		snapshotBytes: reg.Gauge("senseaid_snapshot_bytes",
+			"Size of the most recent snapshot file.", nil),
+		journalAppends: reg.Counter("senseaid_journal_appends_total",
+			"Mutation records appended to the journal.", nil),
+		journalErrors: reg.Counter("senseaid_journal_errors_total",
+			"Journal appends that failed (mutation lost until next snapshot).", nil),
+		journalTruncatedBytes: reg.Counter("senseaid_journal_truncated_bytes_total",
+			"Torn journal tail bytes discarded during recovery.", nil),
+		deliveriesUnroutable: reg.Counter("senseaid_deliveries_unroutable_total",
+			"Validated readings dropped because no CAS connection claims the task.", nil),
 		uploadTail: reg.Counter("senseaid_uploads_total",
 			"Crowdsensing uploads by radio path.", path(wire.PathTail)),
 		uploadPromoted: reg.Counter("senseaid_uploads_total",
@@ -63,6 +114,28 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 			"Crowdsensing uploads by radio path.", path("unknown")),
 		rpcHist: make(map[string]*obs.Histogram),
 		rpcErrs: make(map[string]*obs.Counter),
+	}
+}
+
+// noteRecovery records one boot-time recovery pass.
+func (m *netMetrics) noteRecovery(info RecoveryInfo) {
+	if info.Restarts > 0 {
+		m.restartsTotal.Add(uint64(info.Restarts))
+	}
+	m.recoveryLastUnix.Set(float64(time.Now().Unix()))
+	switch info.Outcome {
+	case "restored":
+		m.recoveriesRestored.Inc()
+	case "reset":
+		m.recoveriesReset.Inc()
+	default:
+		m.recoveriesFresh.Inc()
+	}
+	if info.Replayed > 0 {
+		m.recoveryReplayed.Add(uint64(info.Replayed))
+	}
+	if info.Skipped > 0 {
+		m.recoverySkipped.Add(uint64(info.Skipped))
 	}
 }
 

@@ -77,6 +77,20 @@ type Config struct {
 	// stance — "no per-device data need to be made visible to the
 	// crowdsensing application server").
 	PseudonymSecret []byte
+	// StateDir, when set, makes the server durable: scheduling state is
+	// snapshotted there and every mutation journaled between snapshots,
+	// so a crash-restarted server resumes its campaigns instead of
+	// forgetting them. Empty runs in-memory only. Sharded deployments
+	// keep one snapshot+journal pair per region in the same directory.
+	StateDir string
+	// StateRecover, with StateDir, moves corrupt state files aside
+	// (suffix ".corrupt") and starts fresh instead of refusing to start.
+	// Off by default: silently discarding state is an operator decision.
+	StateRecover bool
+	// SnapshotInterval is how often the durable server folds its journal
+	// into a fresh snapshot. Default 1 minute; negative disables the
+	// periodic loop (snapshots still happen at boot and clean shutdown).
+	SnapshotInterval time.Duration
 }
 
 // Server is a running networked Sense-Aid server. The scheduling core
@@ -93,6 +107,12 @@ type Server struct {
 	started time.Time
 	core    core.Orchestrator
 	pseudo  *privacy.Pseudonymizer
+
+	// pers manages the state stores when Config.StateDir is set; nil
+	// otherwise. recovery is what boot-time recovery found — immutable
+	// once Listen returns.
+	pers     *persister
+	recovery RecoveryInfo
 
 	// connMu guards only the connection fan-out maps — pure transport
 	// bookkeeping, never held across a core call or a socket write.
@@ -151,6 +171,9 @@ func Listen(cfg Config) (*Server, error) {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 5 * time.Second
 	}
+	if cfg.SnapshotInterval == 0 {
+		cfg.SnapshotInterval = time.Minute
+	}
 	if cfg.Core.Selector == (core.SelectorConfig{}) {
 		cfg.Core = core.DefaultServerConfig()
 	}
@@ -178,22 +201,49 @@ func Listen(cfg Config) (*Server, error) {
 		}
 		s.pseudo = p
 	}
+	if cfg.StateDir != "" {
+		// Stores open before the core exists: the sharded constructor
+		// captures its per-shard journal sinks at construction time.
+		if err := s.initPersistence(); err != nil {
+			return nil, err
+		}
+	}
 	var (
 		c   core.Orchestrator
 		err error
 	)
 	if len(cfg.Regions) > 0 {
-		c, err = core.NewShardedServer(cfg.Core, core.DispatcherFunc(s.dispatch), cfg.Regions)
+		c, err = core.NewShardedServer(s.cfg.Core, core.DispatcherFunc(s.dispatch), cfg.Regions)
 	} else {
-		c, err = core.NewServer(cfg.Core, core.DispatcherFunc(s.dispatch))
+		c, err = core.NewServer(s.cfg.Core, core.DispatcherFunc(s.dispatch))
 	}
 	if err != nil {
 		return nil, err
 	}
 	s.core = c
 
+	if s.pers != nil {
+		// Recovery runs to completion before the listener exists: no
+		// connection can observe (or journal against) half-restored state.
+		if err := s.pers.bindCores(); err != nil {
+			return nil, err
+		}
+		info, err := s.pers.recover()
+		if err != nil {
+			s.pers.closeStores(false)
+			return nil, err
+		}
+		s.recovery = info
+		s.met.noteRecovery(info)
+		s.log.Infof("state dir %s: restarts %d, replayed %d records (%s)",
+			cfg.StateDir, info.Restarts, info.Replayed, info.Outcome)
+	}
+
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		if s.pers != nil {
+			s.pers.closeStores(false)
+		}
 		return nil, fmt.Errorf("netserver: listen %s: %w", cfg.Addr, err)
 	}
 	s.ln = ln
@@ -201,6 +251,10 @@ func Listen(cfg Config) (*Server, error) {
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.tickLoop()
+	if s.pers != nil && s.cfg.SnapshotInterval > 0 {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
 	return s, nil
 }
 
@@ -220,14 +274,19 @@ func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 // Status is a point-in-time operational summary for /statusz.
 type Status struct {
-	Addr             string     `json:"addr"`
-	UptimeSeconds    float64    `json:"uptime_seconds"`
-	DeviceConns      int        `json:"device_connections"`
-	LiveTasks        int        `json:"live_tasks"`
-	Core             core.Stats `json:"core"`
-	SelectionsKept   int        `json:"selections_kept"`
-	SelectionsLost   uint64     `json:"selections_dropped"`
-	PseudonymsActive bool       `json:"pseudonyms_active"`
+	Addr          string  `json:"addr"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	DeviceConns   int     `json:"device_connections"`
+	// LiveTasks counts tasks with a connected CAS; CoreTasks counts every
+	// stored task. After a restart the two differ until the application
+	// servers reconnect and reclaim their tasks.
+	LiveTasks        int          `json:"live_tasks"`
+	CoreTasks        int          `json:"core_tasks"`
+	Core             core.Stats   `json:"core"`
+	SelectionsKept   int          `json:"selections_kept"`
+	SelectionsLost   uint64       `json:"selections_dropped"`
+	PseudonymsActive bool         `json:"pseudonyms_active"`
+	Recovery         RecoveryInfo `json:"recovery"`
 }
 
 // Status snapshots the server for the admin endpoint.
@@ -241,15 +300,33 @@ func (s *Server) Status() Status {
 		UptimeSeconds:    time.Since(s.started).Seconds(),
 		DeviceConns:      devConns,
 		LiveTasks:        liveTasks,
+		CoreTasks:        s.core.TaskCount(),
 		Core:             s.core.Stats(),
 		SelectionsKept:   len(s.core.Selections()),
 		SelectionsLost:   s.core.SelectionsDropped(),
 		PseudonymsActive: s.pseudo != nil,
+		Recovery:         s.recovery,
 	}
 }
 
-// Close shuts the server down and waits for its goroutines.
+// Close shuts the server down and waits for its goroutines. On a
+// durable server this is the graceful drain: once every handler has
+// stopped, a final snapshot captures the complete state and the journal
+// is fsynced, so the next start replays nothing.
 func (s *Server) Close() error {
+	return s.shutdown(true)
+}
+
+// closeAbrupt stops the server without the final snapshot or journal
+// sync — the in-process stand-in for kill -9 that the crash-recovery
+// tests use. Appended journal bytes are already in the kernel page
+// cache (they survive a process kill); only an OS-level crash loses
+// them, and the torn-tail truncation covers that.
+func (s *Server) closeAbrupt() error {
+	return s.shutdown(false)
+}
+
+func (s *Server) shutdown(graceful bool) error {
 	var err error
 	s.closeMu.Do(func() {
 		close(s.done)
@@ -263,9 +340,21 @@ func (s *Server) Close() error {
 		}
 		s.connMu.Unlock()
 		s.wg.Wait()
+		if s.pers != nil {
+			if graceful {
+				// All handlers have exited, so this snapshot is the complete
+				// final state.
+				s.pers.snapshotAll()
+			}
+			s.pers.closeStores(graceful)
+		}
 	})
 	return err
 }
+
+// Recovery reports what boot-time recovery found; the zero value means
+// the server runs without a state directory.
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -351,6 +440,55 @@ func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
 		// entry is reclaimed, and the daemon's reconnect takes over.
 		_ = c.nc.Close()
 		s.core.NoteDispatchFailure(req.ID(), dev.ID)
+	}
+}
+
+// casSink builds the data sink for a task: deliver to whichever CAS
+// connection claims the task at delivery time. The same factory serves
+// live submissions and recovery (restored tasks have no connection yet;
+// their readings drop, counted, until the CAS reconnects and reclaims
+// the task by resubmitting its ClientTaskID). The parameter is unused —
+// the sink re-resolves the task ID it is invoked with — but the
+// signature matches core.Recover's sink factory.
+func (s *Server) casSink(core.TaskID) core.DataSink {
+	return func(tid core.TaskID, dev string, r sensors.Reading) {
+		s.deliverToCAS(tid, dev, r)
+	}
+}
+
+// deliverToCAS pushes one validated reading to the task's current owner.
+// The core invokes sinks outside its scheduling lock; the conn lookup
+// takes connMu only for the map read, and the send serialises on the
+// conn's own write lock.
+func (s *Server) deliverToCAS(tid core.TaskID, dev string, r sensors.Reading) {
+	s.connMu.Lock()
+	c, ok := s.taskCAS[tid]
+	s.connMu.Unlock()
+	if !ok {
+		// No CAS claims the task: it was restored from the state dir and
+		// its owner has not reconnected yet. The reading is dropped (the
+		// core already counted it accepted); the metric makes a silently
+		// unclaimed task visible.
+		s.met.deliveriesUnroutable.Inc()
+		s.log.Debugf("no CAS connection for %s; reading from %s dropped", tid, dev)
+		return
+	}
+	reported := dev
+	if s.pseudo != nil {
+		if p, perr := s.pseudo.Pseudonym(string(tid), dev); perr == nil {
+			reported = p
+		}
+	}
+	if e := c.send(wire.TypeSensedData, 0, wire.SensedData{
+		TaskID: string(tid), DeviceID: reported, Reading: r,
+	}); e != nil {
+		s.log.Errorf("deliver to CAS for %s: %v", tid, e)
+		// CAS connections have no idle timeout, so a dead CAS is detected
+		// here, at delivery time. The failed write leaves the stream
+		// unframeable anyway; closing it kicks serveCAS out of its read
+		// loop, which deletes the connection's tasks — no further
+		// dispatches burn device energy on data nobody will receive.
+		_ = c.nc.Close()
 	}
 }
 
@@ -559,23 +697,43 @@ func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (
 	}
 }
 
+// ownedTask tracks one task submitted over a CAS connection.
+// Reclaimable tasks (submitted with a ClientTaskID) survive the
+// connection: the client task ID is a promise to come back and reclaim.
+type ownedTask struct {
+	id          core.TaskID
+	reclaimable bool
+}
+
 // serveCAS handles a crowdsensing application server connection. When
-// the CAS disconnects, its live tasks are deleted: with no sink to
-// deliver to, every further dispatch would only burn device energy.
+// the CAS disconnects, its live tasks are deleted — with no sink to
+// deliver to, every further dispatch would only burn device energy —
+// with two exceptions: tasks submitted under a ClientTaskID are kept
+// for the owner's idempotent resubmit to reclaim (their End time still
+// bounds them), and nothing is deleted during server shutdown, where
+// the disconnect is the server's doing and durable state must carry
+// the campaign across the restart.
 func (s *Server) serveCAS(c *conn) {
-	var ownedTasks []core.TaskID
+	var ownedTasks []ownedTask
 	defer func() {
 		// Claim this connection's tasks under connMu, then delete them
 		// through the core without holding any transport lock.
 		var mine []core.TaskID
 		s.connMu.Lock()
-		for _, id := range ownedTasks {
-			if s.taskCAS[id] == c {
-				delete(s.taskCAS, id)
-				mine = append(mine, id)
+		for _, ot := range ownedTasks {
+			if s.taskCAS[ot.id] == c {
+				delete(s.taskCAS, ot.id)
+				if !ot.reclaimable {
+					mine = append(mine, ot.id)
+				}
 			}
 		}
 		s.connMu.Unlock()
+		select {
+		case <-s.done:
+			return
+		default:
+		}
 		orphaned := 0
 		for _, id := range mine {
 			if err := s.core.DeleteTask(id); err == nil {
@@ -606,7 +764,7 @@ func (s *Server) serveCAS(c *conn) {
 
 // handleCASMsg processes one CAS message: acks on success, returns the
 // error to report otherwise.
-func (s *Server) handleCASMsg(c *conn, ownedTasks *[]core.TaskID, env wire.Envelope) error {
+func (s *Server) handleCASMsg(c *conn, ownedTasks *[]ownedTask, env wire.Envelope) error {
 	switch env.Type {
 	case wire.TypeSubmitTask:
 		var spec wire.TaskSpec
@@ -614,6 +772,7 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]core.TaskID, env wire.Envel
 			return err
 		}
 		task := core.Task{
+			ClientID:         spec.ClientTaskID,
 			Sensor:           spec.Sensor,
 			SamplingPeriod:   spec.SamplingPeriod,
 			SamplingDuration: spec.SamplingDuration,
@@ -623,35 +782,19 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]core.TaskID, env wire.Envel
 			SpatialDensity:   spec.SpatialDensity,
 			DeviceType:       spec.DeviceType,
 		}
-		id, err := s.core.SubmitTask(task, s.clock.Now(), func(tid core.TaskID, dev string, r sensors.Reading) {
-			// The core invokes the sink outside its scheduling lock; the
-			// send serialises on the conn's own write lock.
-			reported := dev
-			if s.pseudo != nil {
-				if p, perr := s.pseudo.Pseudonym(string(tid), dev); perr == nil {
-					reported = p
-				}
-			}
-			if e := c.send(wire.TypeSensedData, 0, wire.SensedData{
-				TaskID: string(tid), DeviceID: reported, Reading: r,
-			}); e != nil {
-				s.log.Errorf("deliver to CAS for %s: %v", tid, e)
-				// CAS connections have no idle timeout, so a dead CAS is
-				// detected here, at delivery time. The failed write leaves
-				// the stream unframeable anyway; closing it kicks serveCAS
-				// out of its read loop, which deletes the connection's
-				// tasks — no further dispatches burn device energy on data
-				// nobody will receive.
-				_ = c.nc.Close()
-			}
-		})
+		// The sink routes through the task->CAS map at delivery time
+		// rather than capturing this connection: a restored task's sink
+		// must find whichever connection currently claims the task, and a
+		// ClientTaskID resubmit after a restart (or a reconnect) reclaims
+		// it by overwriting the map entry below.
+		id, err := s.core.SubmitTask(task, s.clock.Now(), s.casSink(""))
 		if err != nil {
 			return err
 		}
 		s.connMu.Lock()
 		s.taskCAS[id] = c
 		s.connMu.Unlock()
-		*ownedTasks = append(*ownedTasks, id)
+		*ownedTasks = append(*ownedTasks, ownedTask{id: id, reclaimable: spec.ClientTaskID != ""})
 		s.log.Infof("task %s submitted (sensor=%s density=%d)", id, task.Sensor, task.SpatialDensity)
 		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: string(id)})
 		return nil

@@ -1,0 +1,308 @@
+package netserver
+
+// This file wires the core's durability contract (core.SnapshotState,
+// core.JournalRecord, Recover) to the persist package's files. The
+// netserver owns the policy: one store per scheduling core ("core" for a
+// single-region deployment, the region name per shard), recovery before
+// the listener accepts a single connection, a periodic snapshot loop,
+// and a final snapshot on graceful shutdown. DESIGN.md §11 carries the
+// crash-consistency argument.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"senseaid/internal/core"
+	"senseaid/internal/persist"
+)
+
+// storeNameSingle names the single-region deployment's state files.
+const storeNameSingle = "core"
+
+// persistedState is the snapshot payload as written to disk: the core's
+// state plus the netserver-level restart bookkeeping that must survive
+// alongside it (a restart is only observable as a restart if the counter
+// rides in the state itself).
+type persistedState struct {
+	Restarts int                `json:"restarts"`
+	SavedAt  time.Time          `json:"saved_at"`
+	Core     core.SnapshotState `json:"core"`
+}
+
+// journalGate adapts one persist.Store to core.JournalSink. It stays
+// disarmed through recovery — replaying a journal must never append the
+// replayed mutations back onto the journal — and is armed only once the
+// post-recovery snapshot is committed, so every record it accepts
+// belongs to the epoch that snapshot opened.
+type journalGate struct {
+	srv   *Server
+	store *persist.Store
+	armed atomic.Bool
+}
+
+func (g *journalGate) Append(rec core.JournalRecord) {
+	if !g.armed.Load() {
+		return
+	}
+	if err := g.store.Append(rec); err != nil {
+		// An append failure (disk full, fd gone) loses this mutation from
+		// the journal; the next periodic snapshot re-establishes a
+		// consistent cut. Count it loudly rather than crash the server —
+		// availability is the product, durability is best-effort between
+		// snapshots.
+		g.srv.met.journalErrors.Inc()
+		g.srv.log.Errorf("journal %s: %v", g.store.Name(), err)
+		return
+	}
+	g.srv.met.journalAppends.Inc()
+}
+
+// persistedCore pairs one scheduling core with its on-disk store.
+type persistedCore struct {
+	name  string
+	store *persist.Store
+	gate  *journalGate
+	core  *core.Server
+}
+
+// persister manages every store of one Server.
+type persister struct {
+	srv    *Server
+	stores []*persistedCore
+}
+
+// RecoveryInfo summarizes what Listen recovered from the state
+// directory. The zero value means persistence was not configured.
+type RecoveryInfo struct {
+	// Restarts counts process starts against this state directory after
+	// the first; it is the value of senseaid_restarts_total.
+	Restarts int `json:"restarts"`
+	// Replayed and Skipped count journal records across all stores.
+	Replayed int `json:"replayed"`
+	Skipped  int `json:"skipped"`
+	// Outcome is "fresh" (no prior state), "restored" (state loaded), or
+	// "reset" (corrupt state moved aside under StateRecover).
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// initPersistence opens the state stores and routes the core's journal
+// into them. Called before the core is constructed (the sharded core
+// captures its per-shard sinks at construction); recovery itself runs
+// after, in recover().
+func (s *Server) initPersistence() error {
+	p := &persister{srv: s}
+	names := []string{storeNameSingle}
+	if len(s.cfg.Regions) > 0 {
+		names = names[:0]
+		for _, r := range s.cfg.Regions {
+			names = append(names, r.Name)
+		}
+	}
+	gates := make(map[string]*journalGate, len(names))
+	for _, name := range names {
+		st, err := persist.Open(s.cfg.StateDir, name)
+		if err != nil {
+			return fmt.Errorf("netserver: %w", err)
+		}
+		g := &journalGate{srv: s, store: st}
+		gates[name] = g
+		p.stores = append(p.stores, &persistedCore{name: name, store: st, gate: g})
+	}
+	if len(s.cfg.Regions) > 0 {
+		s.cfg.Core.ShardJournal = func(region string) core.JournalSink {
+			if g, ok := gates[region]; ok {
+				return g
+			}
+			return nil
+		}
+	} else {
+		s.cfg.Core.Journal = gates[storeNameSingle]
+	}
+	s.pers = p
+	return nil
+}
+
+// bindCores attaches each store to its scheduling core once the
+// orchestrator exists.
+func (p *persister) bindCores() error {
+	switch c := p.srv.core.(type) {
+	case *core.Server:
+		p.stores[0].core = c
+	case *core.ShardedServer:
+		byName := make(map[string]*core.Server, c.Shards())
+		for i := 0; i < c.Shards(); i++ {
+			srv, reg, err := c.Shard(i)
+			if err != nil {
+				return err
+			}
+			byName[reg.Name] = srv
+		}
+		for _, ps := range p.stores {
+			srv, ok := byName[ps.name]
+			if !ok {
+				return fmt.Errorf("netserver: no shard for state store %q", ps.name)
+			}
+			ps.core = srv
+		}
+	default:
+		return fmt.Errorf("netserver: unpersistable orchestrator %T", c)
+	}
+	return nil
+}
+
+// recover loads every store, rebuilds the cores, commits the
+// post-recovery snapshot that opens the new journal epoch, and arms the
+// gates. It must complete before the listener accepts traffic: a
+// connection served against half-recovered state would journal records
+// into an epoch that does not exist yet.
+func (p *persister) recover() (RecoveryInfo, error) {
+	info := RecoveryInfo{Outcome: "fresh"}
+	prevRestarts, hadState := 0, false
+	for _, ps := range p.stores {
+		res, err := ps.store.Load()
+		switch {
+		case persist.IsCorrupt(err):
+			if !p.srv.cfg.StateRecover {
+				return info, fmt.Errorf("netserver: %w (restart with -state-recover to move the damaged files aside and start fresh)", err)
+			}
+			p.srv.log.Errorf("state store %s corrupt: %v; moving files aside", ps.name, err)
+			if rerr := ps.store.Reset(); rerr != nil {
+				return info, fmt.Errorf("netserver: %w", rerr)
+			}
+			info.Outcome = "reset"
+			res = &persist.LoadResult{}
+		case err != nil:
+			return info, fmt.Errorf("netserver: %w", err)
+		}
+		if res.TruncatedBytes > 0 {
+			// The expected artifact of a crash mid-append: the torn tail is
+			// dropped, everything before it replays.
+			p.srv.met.journalTruncatedBytes.Add(uint64(res.TruncatedBytes))
+			p.srv.log.Infof("state store %s: %d bytes of torn journal tail discarded", ps.name, res.TruncatedBytes)
+		}
+
+		var snap *core.SnapshotState
+		if res.Snapshot != nil {
+			var st persistedState
+			if uerr := json.Unmarshal(res.Snapshot, &st); uerr != nil {
+				// CRC-valid bytes that are not our schema: hand-editing or
+				// version skew. Same policy as a bad CRC — refuse by default.
+				if !p.srv.cfg.StateRecover {
+					return info, fmt.Errorf("netserver: state store %s: snapshot does not decode: %v (restart with -state-recover to move it aside)", ps.name, uerr)
+				}
+				p.srv.log.Errorf("state store %s: snapshot does not decode: %v; moving files aside", ps.name, uerr)
+				if rerr := ps.store.Reset(); rerr != nil {
+					return info, fmt.Errorf("netserver: %w", rerr)
+				}
+				info.Outcome = "reset"
+				res = &persist.LoadResult{}
+			} else {
+				snap = &st.Core
+				if st.Restarts > prevRestarts {
+					prevRestarts = st.Restarts
+				}
+			}
+		}
+		if res.HadState {
+			hadState = true
+		}
+
+		records := make([]core.JournalRecord, 0, len(res.Records))
+		for _, raw := range res.Records {
+			var rec core.JournalRecord
+			if uerr := json.Unmarshal(raw, &rec); uerr != nil {
+				info.Skipped++ // CRC-valid but schema-bad; salvage the rest
+				continue
+			}
+			records = append(records, rec)
+		}
+		rres, err := ps.core.Recover(snap, records, p.srv.casSink)
+		if err != nil {
+			return info, fmt.Errorf("netserver: recover %s: %w", ps.name, err)
+		}
+		info.Replayed += rres.Applied
+		info.Skipped += rres.Skipped
+	}
+	if hadState {
+		if info.Outcome == "fresh" {
+			info.Outcome = "restored"
+		}
+		info.Restarts = prevRestarts + 1
+	}
+	if ss, ok := p.srv.core.(*core.ShardedServer); ok {
+		// Each shard restored its own devices and tasks; the routing layer
+		// re-learns who owns what before any traffic arrives.
+		ss.RebuildRouting()
+	}
+	// Commit the post-recovery snapshot: it folds the replayed journal
+	// into a fresh consistent cut and opens the journal epoch the armed
+	// gates will append to.
+	for _, ps := range p.stores {
+		if err := p.commitOne(ps, info.Restarts); err != nil {
+			return info, err
+		}
+		ps.gate.armed.Store(true)
+	}
+	return info, nil
+}
+
+// commitOne snapshots one core into its store, recording the snapshot
+// metrics.
+func (p *persister) commitOne(ps *persistedCore, restarts int) error {
+	start := time.Now()
+	n, err := ps.store.Commit(persistedState{
+		Restarts: restarts,
+		SavedAt:  start,
+		Core:     ps.core.Snapshot(),
+	})
+	if err != nil {
+		p.srv.met.snapshotsErr.Inc()
+		return fmt.Errorf("netserver: snapshot %s: %w", ps.name, err)
+	}
+	p.srv.met.snapshotsOK.Inc()
+	p.srv.met.snapshotSeconds.ObserveDuration(time.Since(start))
+	p.srv.met.snapshotBytes.Set(float64(n))
+	return nil
+}
+
+// snapshotAll takes a periodic (or final) snapshot of every core. A
+// failing store is logged and skipped — the journal keeps the mutations
+// until a later snapshot succeeds.
+func (p *persister) snapshotAll() {
+	for _, ps := range p.stores {
+		if err := p.commitOne(ps, p.srv.recovery.Restarts); err != nil {
+			p.srv.log.Errorf("%v", err)
+		}
+	}
+}
+
+// closeStores releases the journal file handles. sync flushes them to
+// stable storage first (the graceful path); the abrupt path skips it,
+// exactly as a killed process would.
+func (p *persister) closeStores(sync bool) {
+	for _, ps := range p.stores {
+		if sync {
+			if err := ps.store.Sync(); err != nil {
+				p.srv.log.Errorf("sync %s: %v", ps.name, err)
+			}
+		}
+		_ = ps.store.Close()
+	}
+}
+
+// snapshotLoop commits a snapshot every SnapshotInterval until shutdown.
+func (s *Server) snapshotLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.SnapshotInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.pers.snapshotAll()
+		}
+	}
+}

@@ -1,0 +1,493 @@
+package netserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"senseaid/internal/cas"
+	"senseaid/internal/core"
+	"senseaid/internal/faultconn"
+	"senseaid/internal/geo"
+	"senseaid/internal/obs"
+	"senseaid/internal/persist"
+	"senseaid/internal/power"
+	"senseaid/internal/sensors"
+	"senseaid/internal/wire"
+)
+
+// startDurable brings up a server persisting to dir. Periodic snapshots
+// are disabled so recovery leans on the journal — the hard path.
+func startDurable(t *testing.T, dir string, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{
+		Addr:             "127.0.0.1:0",
+		TickPeriod:       20 * time.Millisecond,
+		StateDir:         dir,
+		SnapshotInterval: -1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := Listen(cfg)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// durableSpec is a campaign that outlives a mid-test crash: absolute
+// window so a resubmit carries identical bytes, client task ID so the
+// resubmit deduplicates.
+func durableSpec(clientID string) wire.TaskSpec {
+	now := time.Now()
+	return wire.TaskSpec{
+		ClientTaskID:   clientID,
+		Sensor:         sensors.Barometer,
+		SamplingPeriod: 150 * time.Millisecond,
+		Start:          now,
+		End:            now.Add(30 * time.Second),
+		Center:         geo.CSDepartment,
+		AreaRadiusM:    500,
+		SpatialDensity: 1,
+	}
+}
+
+// collectingCAS dials a CAS, subscribes, and submits the spec.
+func collectingCAS(t *testing.T, addr string, spec wire.TaskSpec) (*cas.CAS, string, func() int) {
+	t.Helper()
+	app, err := cas.Dial(addr)
+	if err != nil {
+		t.Fatalf("cas.Dial: %v", err)
+	}
+	t.Cleanup(func() { _ = app.Close() })
+	var mu sync.Mutex
+	count := 0
+	if err := app.ReceiveSensedData(func(wire.SensedData) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatalf("ReceiveSensedData: %v", err)
+	}
+	id, err := app.Task(spec)
+	if err != nil {
+		t.Fatalf("Task: %v", err)
+	}
+	return app, id, func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return count
+	}
+}
+
+// TestCrashRecoveryStateFidelity kills a server mid-campaign (no final
+// snapshot, no journal sync) and asserts the restarted server rebuilds
+// the exact persisted state: tasks, queues, pending dispatches with
+// their deadlines, device records, reputation, and stats. The successor
+// gets an hour-long tick so nothing reschedules between recovery and
+// the comparison.
+func TestCrashRecoveryStateFidelity(t *testing.T) {
+	dir := t.TempDir()
+	s1 := startDurable(t, dir, nil)
+	if got := s1.Recovery().Outcome; got != "fresh" {
+		t.Fatalf("first boot outcome = %q, want fresh", got)
+	}
+	autoDevice(t, s1.Addr(), "dev-fid")
+	_, _, readings := collectingCAS(t, s1.Addr(), durableSpec("fid-1"))
+	waitFor(t, 5*time.Second, "first reading", func() bool { return readings() >= 1 })
+	if err := s1.closeAbrupt(); err != nil {
+		t.Fatalf("closeAbrupt: %v", err)
+	}
+	// The core outlives its transport; this is the exact state the dead
+	// process held (every journal record was emitted before closeAbrupt
+	// returned).
+	want := s1.Orchestrator().(*core.Server).Snapshot()
+
+	s2 := startDurable(t, dir, func(c *Config) { c.TickPeriod = time.Hour })
+	rec := s2.Recovery()
+	if rec.Outcome != "restored" || rec.Restarts != 1 {
+		t.Fatalf("recovery = %+v, want restored with 1 restart", rec)
+	}
+	if rec.Replayed == 0 {
+		t.Fatalf("recovery replayed no journal records: %+v", rec)
+	}
+	got := s2.Orchestrator().(*core.Server).Snapshot()
+
+	// Compare the persisted forms: marshaling strips the monotonic clock
+	// readings live time.Time values carry and disk round-trips lose.
+	wantJSON, err := json.MarshalIndent(want, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.MarshalIndent(got, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wantJSON) != string(gotJSON) {
+		t.Fatalf("recovered state differs from crashed state:\nbefore crash:\n%s\nafter recovery:\n%s", wantJSON, gotJSON)
+	}
+	if len(want.Pending) == 0 && want.Stats.ReadingsAccepted == 0 {
+		t.Fatalf("campaign produced no persistent evidence (pending=%d readings=%d); test proved nothing",
+			len(want.Pending), want.Stats.ReadingsAccepted)
+	}
+
+	if v := metricValue(s2.Metrics(), "senseaid_restarts_total", nil); v != 1 {
+		t.Fatalf("senseaid_restarts_total = %v, want 1", v)
+	}
+	if v := metricValue(s2.Metrics(), "senseaid_recovery_last_unix", nil); v <= 0 {
+		t.Fatalf("senseaid_recovery_last_unix = %v, want > 0", v)
+	}
+	if v := metricValue(s2.Metrics(), "senseaid_recoveries_total", obs.Labels{"outcome": "restored"}); v != 1 {
+		t.Fatalf(`senseaid_recoveries_total{outcome="restored"} = %v, want 1`, v)
+	}
+}
+
+// TestCrashRecoveryCampaignResumes is the operator story: kill -9 mid
+// campaign, restart against the same state directory, and the campaign
+// finishes — the CAS reclaims its task by resubmitting the same client
+// task ID (no duplicate task is scheduled) and readings keep flowing
+// under the original task ID.
+func TestCrashRecoveryCampaignResumes(t *testing.T) {
+	dir := t.TempDir()
+	spec := durableSpec("resume-1")
+
+	s1 := startDurable(t, dir, nil)
+	autoDevice(t, s1.Addr(), "dev-res")
+	_, taskID, readings := collectingCAS(t, s1.Addr(), spec)
+	waitFor(t, 5*time.Second, "pre-crash reading", func() bool { return readings() >= 1 })
+	preStats := s1.Stats()
+	if err := s1.closeAbrupt(); err != nil {
+		t.Fatalf("closeAbrupt: %v", err)
+	}
+
+	s2 := startDurable(t, dir, nil)
+	post := s2.Stats()
+	if post.TasksSubmitted != preStats.TasksSubmitted {
+		t.Fatalf("TasksSubmitted across restart: %d -> %d", preStats.TasksSubmitted, post.TasksSubmitted)
+	}
+	if post.ReadingsAccepted < preStats.ReadingsAccepted {
+		t.Fatalf("ReadingsAccepted went backwards: %d -> %d", preStats.ReadingsAccepted, post.ReadingsAccepted)
+	}
+	if n := s2.Status().CoreTasks; n != 1 {
+		t.Fatalf("restored core tasks = %d, want 1", n)
+	}
+
+	// The CAS retries its submission on the new connection; the server
+	// must return the original task, not mint a twin.
+	autoDevice(t, s2.Addr(), "dev-res")
+	_, taskID2, readings2 := collectingCAS(t, s2.Addr(), spec)
+	if taskID2 != taskID {
+		t.Fatalf("resubmit returned %q, want original %q", taskID2, taskID)
+	}
+	if got := s2.Stats().TasksSubmitted; got != preStats.TasksSubmitted {
+		t.Fatalf("resubmit created a duplicate: TasksSubmitted = %d, want %d", got, preStats.TasksSubmitted)
+	}
+	waitFor(t, 5*time.Second, "post-restart reading", func() bool { return readings2() >= 1 })
+}
+
+// TestCrashRecoverySharded runs the kill-9 flow on the sharded topology:
+// per-region state files, per-shard recovery, and the routing indexes
+// rebuilt so post-restart traffic still reaches the right shard.
+func TestCrashRecoverySharded(t *testing.T) {
+	dir := t.TempDir()
+	sharded := func(c *Config) { c.Regions = testRegions() }
+	spec := durableSpec("shard-1")
+
+	s1 := startDurable(t, dir, sharded)
+	autoDevice(t, s1.Addr(), "dev-shard")
+	_, taskID, readings := collectingCAS(t, s1.Addr(), spec)
+	if !strings.HasPrefix(taskID, "west/") {
+		t.Fatalf("task ID %q not owned by west", taskID)
+	}
+	waitFor(t, 5*time.Second, "pre-crash reading", func() bool { return readings() >= 1 })
+	if err := s1.closeAbrupt(); err != nil {
+		t.Fatalf("closeAbrupt: %v", err)
+	}
+	for _, name := range []string{"west.snap", "east.snap"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("per-region state file %s: %v", name, err)
+		}
+	}
+
+	s2 := startDurable(t, dir, sharded)
+	rec := s2.Recovery()
+	if rec.Outcome != "restored" || rec.Restarts != 1 {
+		t.Fatalf("recovery = %+v, want restored with 1 restart", rec)
+	}
+	if n := s2.Status().CoreTasks; n != 1 {
+		t.Fatalf("restored core tasks = %d, want 1", n)
+	}
+
+	// Routing survived: the restored device record is findable (prefs
+	// route by device home) and a reclaimed task keeps flowing.
+	if err := s2.Orchestrator().UpdateDevicePrefs("dev-shard", power.DefaultBudget()); err != nil {
+		t.Fatalf("prefs after recovery (device routing lost?): %v", err)
+	}
+	autoDevice(t, s2.Addr(), "dev-shard")
+	_, taskID2, readings2 := collectingCAS(t, s2.Addr(), spec)
+	if taskID2 != taskID {
+		t.Fatalf("resubmit returned %q, want original %q", taskID2, taskID)
+	}
+	waitFor(t, 5*time.Second, "post-restart reading", func() bool { return readings2() >= 1 })
+}
+
+// TestCorruptStateRefused flips bytes in the snapshot and asserts the
+// default posture: the server refuses to start rather than silently
+// serving from damaged state, and -state-recover moves the files aside
+// (keeping them for post-mortem) and starts fresh.
+func TestCorruptStateRefused(t *testing.T) {
+	dir := t.TempDir()
+	s1 := startDurable(t, dir, nil)
+	_, _, _ = collectingCAS(t, s1.Addr(), durableSpec("corrupt-1"))
+	if err := s1.Close(); err != nil { // graceful: snapshot written
+		t.Fatalf("Close: %v", err)
+	}
+
+	snapPath := filepath.Join(dir, "core.snap")
+	if err := os.WriteFile(snapPath, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := Listen(Config{Addr: "127.0.0.1:0", StateDir: dir})
+	if err == nil {
+		t.Fatal("Listen accepted a corrupt snapshot")
+	}
+	if !persist.IsCorrupt(err) {
+		t.Fatalf("error does not identify corruption: %v", err)
+	}
+	if !strings.Contains(err.Error(), "state-recover") {
+		t.Fatalf("error does not point at the recovery flag: %v", err)
+	}
+
+	s2 := startDurable(t, dir, func(c *Config) { c.StateRecover = true })
+	rec := s2.Recovery()
+	if rec.Outcome != "reset" {
+		t.Fatalf("recovery outcome = %q, want reset", rec.Outcome)
+	}
+	if s2.Status().CoreTasks != 0 {
+		t.Fatalf("fresh start after reset still has tasks")
+	}
+	if _, err := os.Stat(snapPath + ".corrupt"); err != nil {
+		t.Fatalf("damaged snapshot not preserved for post-mortem: %v", err)
+	}
+	if v := metricValue(s2.Metrics(), "senseaid_recoveries_total", obs.Labels{"outcome": "reset"}); v != 1 {
+		t.Fatalf(`senseaid_recoveries_total{outcome="reset"} = %v, want 1`, v)
+	}
+}
+
+// TestTornJournalTailRecovered crashes, then corrupts the journal's
+// tail (the artifact of a crash mid-append) and asserts recovery
+// replays the intact prefix instead of refusing or panicking.
+func TestTornJournalTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s1 := startDurable(t, dir, nil)
+	autoDevice(t, s1.Addr(), "dev-torn")
+	_, _, readings := collectingCAS(t, s1.Addr(), durableSpec("torn-1"))
+	waitFor(t, 5*time.Second, "reading", func() bool { return readings() >= 1 })
+	if err := s1.closeAbrupt(); err != nil {
+		t.Fatalf("closeAbrupt: %v", err)
+	}
+
+	// Tear the newest journal epoch mid-record.
+	entries, err := filepath.Glob(filepath.Join(dir, "core.journal.*"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no journal files: %v (%v)", entries, err)
+	}
+	tail := entries[len(entries)-1]
+	f, err := os.OpenFile(tail, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	s2 := startDurable(t, dir, nil)
+	rec := s2.Recovery()
+	if rec.Outcome != "restored" || rec.Replayed == 0 {
+		t.Fatalf("recovery = %+v, want restored with replayed records", rec)
+	}
+	if v := metricValue(s2.Metrics(), "senseaid_journal_truncated_bytes_total", nil); v != 3 {
+		t.Fatalf("truncated bytes metric = %v, want 3", v)
+	}
+}
+
+// TestCrashRestartSoak is the randomized crash soak: repeated abrupt
+// kills at varying points mid-traffic, with fault-injected connections,
+// against one state directory. Every restart must recover (never
+// refuse, never panic), and the client-task-ID dedupe must hold no
+// matter where the crash landed. Run under -race in CI.
+func TestCrashRestartSoak(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	iterations := 6
+	if testing.Short() {
+		iterations = 3
+	}
+	spec := durableSpec("soak-1")
+	taskSubmits := 0
+	for i := 0; i < iterations; i++ {
+		seed := int64(i)
+		s := startDurable(t, dir, func(c *Config) {
+			c.WrapConn = func(nc net.Conn) net.Conn {
+				return faultconn.Wrap(nc, faultconn.Policy{Seed: seed, DropProb: 0.01})
+			}
+			// Odd iterations also snapshot aggressively, so crashes land
+			// on every mix of snapshot-plus-journal-tail.
+			if i%2 == 1 {
+				c.SnapshotInterval = 30 * time.Millisecond
+			}
+		})
+		rec := s.Recovery()
+		if i == 0 {
+			if rec.Outcome != "fresh" {
+				t.Fatalf("iteration 0 outcome = %q", rec.Outcome)
+			}
+		} else if rec.Outcome != "restored" || rec.Restarts != i {
+			t.Fatalf("iteration %d recovery = %+v, want restored with %d restarts", i, rec, i)
+		}
+
+		// Best-effort traffic: the fault policy may kill any of these
+		// connections, and that is the point — the crash must be safe at
+		// whatever point the traffic reached.
+		if c, err := dialQuietDevice(s.Addr(), fmt.Sprintf("soak-dev-%d", i%2)); err == nil {
+			defer func() { _ = c.Close() }()
+		}
+		if app, err := cas.Dial(s.Addr()); err == nil {
+			if _, err := app.Task(spec); err == nil {
+				taskSubmits++
+			}
+			_ = app.Close()
+		}
+		time.Sleep(time.Duration(20+rng.Intn(150)) * time.Millisecond)
+		if err := s.closeAbrupt(); err != nil {
+			t.Fatalf("iteration %d closeAbrupt: %v", i, err)
+		}
+		if n := s.Orchestrator().Stats().TasksSubmitted; n > 1 {
+			t.Fatalf("iteration %d: %d tasks from %d submits of one client task ID", i, n, taskSubmits)
+		}
+	}
+	// The directory must still boot a healthy server.
+	final := startDurable(t, dir, nil)
+	if final.Recovery().Restarts != iterations {
+		t.Fatalf("final restarts = %d, want %d", final.Recovery().Restarts, iterations)
+	}
+	if n := final.Stats().TasksSubmitted; taskSubmits > 0 && n != 1 {
+		t.Fatalf("final TasksSubmitted = %d after %d idempotent submits", n, taskSubmits)
+	}
+}
+
+// dialQuietDevice registers a device that never answers schedules —
+// soak traffic that exercises dispatch failures and misses too.
+func dialQuietDevice(addr, id string) (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := wire.NewRPCConn(nc, wire.RoleDevice, nil)
+	if err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	if _, err := rc.Call(wire.TypeRegister, wire.Register{
+		DeviceID:   id,
+		Position:   geo.CSDepartment,
+		BatteryPct: 80,
+		Sensors:    []sensors.Type{sensors.Barometer},
+		Budget:     power.DefaultBudget(),
+	}); err != nil {
+		_ = rc.Close()
+		return nil, err
+	}
+	return nc, nil
+}
+
+// recoveryBudgetSeconds bounds boot-time recovery for the bench's 10k
+// journal records. Replay is in-memory map work; even with the
+// post-recovery snapshot commit it finishes in well under a second on
+// any hardware CI uses.
+const recoveryBudgetSeconds = 2.0
+
+// recoveryBenchRecord is the BENCH_recovery.json payload.
+type recoveryBenchRecord struct {
+	Records         int     `json:"records"`
+	Replayed        int     `json:"replayed"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	BudgetSeconds   float64 `json:"budget_seconds"`
+}
+
+// TestRecordRecoveryBench measures boot-time recovery over a 10k-record
+// journal and writes BENCH_recovery.json so the recovery-time
+// trajectory is recorded in CI. Gated on SENSEAID_BENCH_OUT (ci.sh sets
+// it); FAILS when recovery exceeds its wall-clock budget.
+func TestRecordRecoveryBench(t *testing.T) {
+	out := os.Getenv("SENSEAID_BENCH_OUT")
+	if out == "" {
+		t.Skip("SENSEAID_BENCH_OUT not set; benchmark recording runs from ci.sh")
+	}
+	dir := t.TempDir()
+	store, err := persist.Open(dir, "core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Commit(persistedState{}); err != nil {
+		t.Fatal(err)
+	}
+	const records = 10_000
+	dev := core.DeviceState{
+		ID: "bench-dev", Position: geo.CSDepartment, BatteryPct: 90,
+		LastComm: time.Now(), Sensors: []sensors.Type{sensors.Barometer},
+		Budget: power.DefaultBudget(), Responsive: true, Reliability: 1,
+	}
+	if err := store.Append(core.JournalRecord{Seq: 1, Op: "register", Device: &dev}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= records; i++ {
+		if err := store.Append(core.JournalRecord{Seq: uint64(i), Op: "energy", DeviceID: "bench-dev", Joules: 0.01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	s, err := Listen(Config{Addr: "127.0.0.1:0", StateDir: dir, SnapshotInterval: -1, TickPeriod: time.Hour})
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer func() { _ = s.Close() }()
+	rec := s.Recovery()
+	if rec.Replayed != records {
+		t.Fatalf("replayed %d of %d records", rec.Replayed, records)
+	}
+
+	payload := recoveryBenchRecord{
+		Records:         records,
+		Replayed:        rec.Replayed,
+		RecoverySeconds: elapsed,
+		BudgetSeconds:   recoveryBudgetSeconds,
+	}
+	blob, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recovered %d records in %.3fs -> %s", records, elapsed, out)
+	if elapsed > recoveryBudgetSeconds {
+		t.Fatalf("recovery took %.3fs for %d records, budget %.1fs", elapsed, records, recoveryBudgetSeconds)
+	}
+}

@@ -1,0 +1,423 @@
+// Package persist is the Sense-Aid durability layer: a versioned,
+// CRC-protected snapshot file plus an append-only journal of the
+// mutations applied since that snapshot. The package is deliberately
+// generic — it moves opaque JSON payloads to and from disk and knows
+// nothing about the orchestrator's types — so internal/core can define
+// the record grammar without a dependency cycle.
+//
+// On-disk layout inside one state directory, per named store:
+//
+//	<name>.snap          snapshot: header + CRC + JSON payload
+//	<name>.journal.<N>   journal epoch N: length/CRC-framed JSON records
+//
+// Commit writes the snapshot atomically (temp file, fsync, rename) and
+// rotates to a fresh journal epoch; the previous epoch's file is kept
+// until the next rotation so records racing a commit are never lost
+// (the caller deduplicates replayed records by sequence number). A torn
+// journal tail — the expected artifact of a crash mid-append — is
+// detected by the per-record CRC and truncated at the first corrupt
+// record. A corrupt snapshot is not silently skipped: Load returns a
+// *CorruptError and the operator decides (refuse to start, or move the
+// state aside with Reset and start fresh).
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	// snapMagic opens every snapshot file; 8 bytes.
+	snapMagic = "SAIDSNP1"
+	// SnapshotVersion is the current snapshot format version.
+	SnapshotVersion = 1
+	// MaxRecordBytes bounds one journal record. A record is one mutation
+	// (a task, a device record, a dispatch) — anything bigger is corrupt
+	// framing, and the bound keeps a bad length field from provoking a
+	// multi-gigabyte allocation.
+	MaxRecordBytes = 1 << 20
+	// maxSnapshotBytes bounds the snapshot payload (sanity check only).
+	maxSnapshotBytes = 1 << 30
+)
+
+// snapHeaderLen is magic(8) + version(4) + epoch(8) + crc(4).
+const snapHeaderLen = 8 + 4 + 8 + 4
+
+// CorruptError reports an unreadable state file. The server refuses to
+// start on one by default; -state-recover moves the files aside instead.
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("persist: %s: %s", e.Path, e.Reason)
+}
+
+// IsCorrupt reports whether err is (or wraps) a CorruptError.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// Store manages one named snapshot+journal pair inside a directory.
+// Safe for concurrent use.
+type Store struct {
+	dir  string
+	name string
+
+	mu      sync.Mutex
+	epoch   uint64
+	journal *os.File
+}
+
+// Open prepares a store under dir (created if missing). No files are
+// read or written until Load/Commit/Append.
+func Open(dir, name string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("persist: empty state directory")
+	}
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return nil, fmt.Errorf("persist: invalid store name %q", name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: create %s: %w", dir, err)
+	}
+	return &Store{dir: dir, name: name}, nil
+}
+
+// Name returns the store's name within its directory.
+func (s *Store) Name() string { return s.name }
+
+func (s *Store) snapPath() string { return filepath.Join(s.dir, s.name+".snap") }
+
+func (s *Store) journalPath(epoch uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s.journal.%d", s.name, epoch))
+}
+
+// journalEpochs lists existing journal files for this store, ascending.
+func (s *Store) journalEpochs() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := s.name + ".journal."
+	var epochs []uint64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		n, perr := strconv.ParseUint(strings.TrimPrefix(e.Name(), prefix), 10, 64)
+		if perr != nil {
+			continue // foreign file; not ours to touch
+		}
+		epochs = append(epochs, n)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs, nil
+}
+
+// LoadResult is what Load recovered from disk.
+type LoadResult struct {
+	// Snapshot is the last committed snapshot payload; nil if none.
+	Snapshot json.RawMessage
+	// Records are the journal records that survived CRC checking, in
+	// file-epoch then append order. The caller filters by its own
+	// sequence numbers (records may predate the snapshot or, across a
+	// crashed rotation, duplicate each other).
+	Records []json.RawMessage
+	// TruncatedBytes counts journal bytes discarded at the first corrupt
+	// record (the torn tail of a crash mid-append).
+	TruncatedBytes int64
+	// HadState reports whether any prior state existed on disk at all —
+	// the restart-vs-first-boot distinction.
+	HadState bool
+}
+
+// Load reads the snapshot and every journal file. A corrupt snapshot
+// returns a *CorruptError; a corrupt journal record truncates the replay
+// stream at that point (everything after the first bad record is
+// dropped, including later files — a gap in history is worse than a
+// lost tail).
+func (s *Store) Load() (*LoadResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := &LoadResult{}
+	raw, err := os.ReadFile(s.snapPath())
+	switch {
+	case err == nil:
+		res.HadState = true
+		payload, epoch, cerr := decodeSnapshot(s.snapPath(), raw)
+		if cerr != nil {
+			return nil, cerr
+		}
+		res.Snapshot = payload
+		s.epoch = epoch
+	case os.IsNotExist(err):
+		// fresh start
+	default:
+		return nil, fmt.Errorf("persist: read snapshot: %w", err)
+	}
+
+	epochs, err := s.journalEpochs()
+	if err != nil {
+		return nil, fmt.Errorf("persist: scan journals: %w", err)
+	}
+	for _, e := range epochs {
+		if e > s.epoch {
+			s.epoch = e
+		}
+		raw, err := os.ReadFile(s.journalPath(e))
+		if err != nil {
+			return nil, fmt.Errorf("persist: read journal: %w", err)
+		}
+		if len(raw) > 0 {
+			res.HadState = true
+		}
+		recs, truncated := decodeJournal(raw)
+		res.Records = append(res.Records, recs...)
+		res.TruncatedBytes += truncated
+		if truncated > 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// Commit atomically writes a new snapshot and rotates the journal: the
+// payload goes to a temp file, is fsynced, and renamed over the old
+// snapshot; a fresh journal epoch is opened and epochs older than the
+// previous one are pruned (the immediately-previous epoch is kept so
+// appends racing this commit survive until the next one). Returns the
+// snapshot size in bytes.
+func (s *Store) Commit(payload any) (int64, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return 0, fmt.Errorf("persist: encode snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.epoch + 1
+
+	buf := make([]byte, snapHeaderLen+len(raw))
+	copy(buf, snapMagic)
+	binary.BigEndian.PutUint32(buf[8:], SnapshotVersion)
+	binary.BigEndian.PutUint64(buf[12:], next)
+	binary.BigEndian.PutUint32(buf[20:], crc32.ChecksumIEEE(raw))
+	copy(buf[snapHeaderLen:], raw)
+
+	tmp := s.snapPath() + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, s.snapPath()); err != nil {
+		return 0, fmt.Errorf("persist: rename snapshot: %w", err)
+	}
+	syncDir(s.dir)
+
+	j, err := os.OpenFile(s.journalPath(next), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("persist: open journal: %w", err)
+	}
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
+	prev := s.epoch
+	s.journal = j
+	s.epoch = next
+
+	// Prune journals older than the previous epoch; its records are
+	// already inside the snapshot just written, and keeping one old epoch
+	// covers appends that raced the rotation.
+	epochs, err := s.journalEpochs()
+	if err == nil {
+		for _, e := range epochs {
+			if e < prev {
+				_ = os.Remove(s.journalPath(e))
+			}
+		}
+	}
+	return int64(len(buf)), nil
+}
+
+// Append frames one record (length, CRC32, JSON payload) onto the
+// current journal epoch in a single write. Commit must have run first
+// in this process — the journal always belongs to the epoch of the
+// snapshot it extends.
+func (s *Store) Append(payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("persist: encode record: %w", err)
+	}
+	if len(raw) > MaxRecordBytes {
+		return fmt.Errorf("persist: record of %d bytes exceeds limit", len(raw))
+	}
+	buf := make([]byte, 8+len(raw))
+	binary.BigEndian.PutUint32(buf, uint32(len(raw)))
+	binary.BigEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(raw))
+	copy(buf[8:], raw)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return fmt.Errorf("persist: no journal open (Commit first)")
+	}
+	if _, err := s.journal.Write(buf); err != nil {
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the journal to stable storage (graceful drain; routine
+// appends rely on the kernel page cache, which survives a process kill).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Sync()
+}
+
+// Close releases the journal file handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}
+
+// Reset moves every state file aside (suffix ".corrupt", replacing any
+// previous set-aside) so the next Load starts fresh. This is the
+// -state-recover path: the damaged files are preserved for post-mortem
+// instead of deleted.
+func (s *Store) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal != nil {
+		_ = s.journal.Close()
+		s.journal = nil
+	}
+	aside := func(path string) error {
+		err := os.Rename(path, path+".corrupt")
+		if err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	}
+	if err := aside(s.snapPath()); err != nil {
+		return fmt.Errorf("persist: reset: %w", err)
+	}
+	epochs, err := s.journalEpochs()
+	if err != nil {
+		return fmt.Errorf("persist: reset: %w", err)
+	}
+	for _, e := range epochs {
+		if err := aside(s.journalPath(e)); err != nil {
+			return fmt.Errorf("persist: reset: %w", err)
+		}
+	}
+	return nil
+}
+
+// decodeSnapshot validates a snapshot file image and returns its payload
+// and epoch. Every failure is a *CorruptError naming the file.
+func decodeSnapshot(path string, raw []byte) (json.RawMessage, uint64, *CorruptError) {
+	corrupt := func(reason string) (json.RawMessage, uint64, *CorruptError) {
+		return nil, 0, &CorruptError{Path: path, Reason: reason}
+	}
+	if len(raw) == 0 {
+		return corrupt("zero-length snapshot")
+	}
+	if len(raw) < snapHeaderLen {
+		return corrupt(fmt.Sprintf("truncated header (%d bytes)", len(raw)))
+	}
+	if string(raw[:8]) != snapMagic {
+		return corrupt("bad magic (not a Sense-Aid snapshot)")
+	}
+	if v := binary.BigEndian.Uint32(raw[8:]); v != SnapshotVersion {
+		return corrupt(fmt.Sprintf("unsupported snapshot version %d (want %d)", v, SnapshotVersion))
+	}
+	epoch := binary.BigEndian.Uint64(raw[12:])
+	payload := raw[snapHeaderLen:]
+	if len(payload) > maxSnapshotBytes {
+		return corrupt("snapshot payload exceeds size limit")
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(raw[20:]) {
+		return corrupt("snapshot CRC mismatch")
+	}
+	if !json.Valid(payload) {
+		return corrupt("snapshot payload is not valid JSON")
+	}
+	return json.RawMessage(payload), epoch, nil
+}
+
+// decodeJournal walks one journal file image, returning the CRC-valid
+// record prefix and how many bytes were discarded at the first corrupt
+// or torn record.
+func decodeJournal(raw []byte) (recs []json.RawMessage, truncated int64) {
+	off := 0
+	for off < len(raw) {
+		rest := len(raw) - off
+		if rest < 8 {
+			return recs, int64(rest)
+		}
+		n := int(binary.BigEndian.Uint32(raw[off:]))
+		if n <= 0 || n > MaxRecordBytes || rest-8 < n {
+			return recs, int64(rest)
+		}
+		payload := raw[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(raw[off+4:]) {
+			return recs, int64(rest)
+		}
+		if !json.Valid(payload) {
+			return recs, int64(rest)
+		}
+		recs = append(recs, json.RawMessage(payload))
+		off += 8 + n
+	}
+	return recs, 0
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: create %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("persist: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("persist: sync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+// Best effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Outcome classifies one upload event for scoring.
@@ -78,10 +79,13 @@ type Config struct {
 	Alpha float64
 }
 
-// Tracker keeps per-device reliability scores in [0,1]. Not safe for
-// concurrent use; the server serialises access.
+// Tracker keeps per-device reliability scores in [0,1]. Safe for
+// concurrent use: a sharded deployment may hand one tracker to every
+// shard, whose scheduling passes run concurrently.
 type Tracker struct {
-	cfg    Config
+	cfg Config
+
+	mu     sync.Mutex
 	scores map[string]float64
 	counts map[string]map[Outcome]int
 }
@@ -106,6 +110,8 @@ func (t *Tracker) Record(deviceID string, o Outcome) {
 	if deviceID == "" {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	cur, ok := t.scores[deviceID]
 	if !ok {
 		cur = t.cfg.Initial
@@ -122,6 +128,8 @@ func (t *Tracker) Record(deviceID string, o Outcome) {
 // Score returns a device's reliability in [0,1]; unknown devices get the
 // initial score.
 func (t *Tracker) Score(deviceID string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if s, ok := t.scores[deviceID]; ok {
 		return s
 	}
@@ -130,17 +138,95 @@ func (t *Tracker) Score(deviceID string) float64 {
 
 // Count returns how many times an outcome was recorded for a device.
 func (t *Tracker) Count(deviceID string, o Outcome) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.counts[deviceID][o]
 }
 
 // Devices returns the tracked device IDs, sorted.
 func (t *Tracker) Devices() []string {
+	t.mu.Lock()
 	out := make([]string, 0, len(t.scores))
 	for id := range t.scores {
 		out = append(out, id)
 	}
+	t.mu.Unlock()
 	sort.Strings(out)
 	return out
+}
+
+// State is a tracker's portable contents: per-device EWMA scores and
+// outcome tallies keyed by outcome name. It is what the orchestrator
+// snapshot persists so reputation survives a server restart.
+type State struct {
+	Scores map[string]float64        `json:"scores,omitempty"`
+	Counts map[string]map[string]int `json:"counts,omitempty"`
+}
+
+// Export snapshots the tracker's state.
+func (t *Tracker) Export() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := State{}
+	if len(t.scores) > 0 {
+		st.Scores = make(map[string]float64, len(t.scores))
+		for id, s := range t.scores {
+			st.Scores[id] = s
+		}
+	}
+	if len(t.counts) > 0 {
+		st.Counts = make(map[string]map[string]int, len(t.counts))
+		for id, byOutcome := range t.counts {
+			named := make(map[string]int, len(byOutcome))
+			for o, n := range byOutcome {
+				named[o.String()] = n
+			}
+			st.Counts[id] = named
+		}
+	}
+	return st
+}
+
+// Import merges exported state into the tracker, overwriting per-device
+// entries. Out-of-range scores and unknown outcome names are dropped —
+// snapshots are operator-readable JSON, so a hand-edited file must not
+// be able to poison the selector.
+func (t *Tracker) Import(st State) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, s := range st.Scores {
+		if id == "" || math.IsNaN(s) || s < 0 || s > 1 {
+			continue
+		}
+		t.scores[id] = s
+	}
+	for id, named := range st.Counts {
+		if id == "" {
+			continue
+		}
+		byOutcome := t.counts[id]
+		if byOutcome == nil {
+			byOutcome = make(map[Outcome]int, len(named))
+			t.counts[id] = byOutcome
+		}
+		for name, n := range named {
+			o, ok := outcomeFromName(name)
+			if !ok || n < 0 {
+				continue
+			}
+			byOutcome[o] = n
+		}
+	}
+}
+
+// outcomeFromName inverts Outcome.String for Import.
+func outcomeFromName(name string) (Outcome, bool) {
+	for _, o := range []Outcome{OutcomeAccepted, OutcomeOutlier, OutcomeRejected, OutcomeMissed} {
+		if o.String() == name {
+			return o, true
+		}
+	}
+	return 0, false
 }
 
 // FlagOutliers runs the round-level truth-discovery step: values whose

@@ -143,6 +143,11 @@ const (
 
 // TaskSpec is the CAS-facing task description (Table 1).
 type TaskSpec struct {
+	// ClientTaskID, when set, makes submission idempotent: resubmitting
+	// the same ClientTaskID with the same spec returns the existing
+	// task's ID instead of creating a twin, so a CAS that retries after
+	// a reconnect (or a server restart) cannot double-schedule.
+	ClientTaskID     string        `json:"client_task_id,omitempty"`
 	Sensor           sensors.Type  `json:"sensor_type"`
 	SamplingPeriod   time.Duration `json:"sampling_period"`
 	SamplingDuration time.Duration `json:"sampling_duration,omitempty"`
