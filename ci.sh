@@ -33,6 +33,13 @@ go test -race -count=1 \
     ./internal/netserver
 go test -count=1 -run '^TestCrashRestartBinaryEndToEnd$' .
 
+# Tracing benchmark record: measures span start/finish on the sampled
+# and unsampled paths, writes BENCH_obs.json, and FAILS when the
+# unsampled fast path allocates (the tracing tax on untraced requests
+# must stay zero-alloc; see TestRecordObsBench).
+SENSEAID_BENCH_OUT="$PWD/BENCH_obs.json" \
+    go test -run '^TestRecordObsBench$' -count=1 -v ./internal/obs
+
 # Recovery benchmark record: replays a 10k-record journal at boot,
 # writes BENCH_recovery.json, and FAILS when recovery exceeds its
 # wall-clock budget (see TestRecordRecoveryBench).

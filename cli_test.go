@@ -2,6 +2,7 @@ package senseaid
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -38,9 +39,9 @@ func TestBinariesEndToEnd(t *testing.T) {
 	addr := freeAddr(t)
 	metricsAddr := freeAddr(t)
 
-	// Start the server with its admin endpoint.
+	// Start the server with its admin endpoint and profiling enabled.
 	server := exec.Command(filepath.Join(bin, "senseaidd"),
-		"-addr", addr, "-metrics-addr", metricsAddr, "-tick", "50ms")
+		"-addr", addr, "-metrics-addr", metricsAddr, "-tick", "50ms", "-pprof")
 	serverOut := startCapture(t, server, "senseaidd")
 	defer stop(t, server)
 	waitForLine(t, serverOut, "listening", 10*time.Second)
@@ -48,6 +49,9 @@ func TestBinariesEndToEnd(t *testing.T) {
 
 	if code, _ := httpGet(t, "http://"+metricsAddr+"/healthz"); code != http.StatusOK {
 		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	if code, _ := httpGet(t, "http://"+metricsAddr+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200 after the listener is up", code)
 	}
 	_, baseline := httpGet(t, "http://"+metricsAddr+"/metrics")
 	tailBefore := sampleValue(baseline, `senseaid_uploads_total{path="tail"}`)
@@ -105,6 +109,115 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(status, "uptime_seconds") {
 		t.Fatalf("/statusz missing uptime:\n%s", status)
+	}
+
+	// Runtime gauges from the pprof/runtime satellite.
+	if v := sampleValue(body, "senseaid_go_goroutines"); v <= 0 {
+		t.Fatalf("senseaid_go_goroutines = %v, want > 0", v)
+	}
+	if v := sampleValue(body, "senseaid_go_heap_bytes"); v <= 0 {
+		t.Fatalf("senseaid_go_heap_bytes = %v, want > 0", v)
+	}
+
+	// Admin responses must defeat caches and declare their types.
+	for path, wantCT := range map[string]string{
+		"/metrics": "text/plain; version=0.0.4; charset=utf-8",
+		"/statusz": "application/json; charset=utf-8",
+		"/traces":  "application/json; charset=utf-8",
+	} {
+		_, hdr, _ := httpGetFull(t, "http://"+metricsAddr+path)
+		if cc := hdr.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", path, cc)
+		}
+		if ct := hdr.Get("Content-Type"); ct != wantCT {
+			t.Errorf("%s Content-Type = %q, want %q", path, ct, wantCT)
+		}
+	}
+
+	// -pprof mounted the profiling mux.
+	if code, _ := httpGet(t, "http://"+metricsAddr+"/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d, want 200 with -pprof", code)
+	}
+
+	// The campaign that just ran must have left a complete end-to-end
+	// trace in the ring with every stage timed...
+	_, tracesBody := httpGet(t, "http://"+metricsAddr+"/traces")
+	var traces []struct {
+		TraceID  string `json:"trace_id"`
+		Complete bool   `json:"complete"`
+		Spans    []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(tracesBody), &traces); err != nil {
+		t.Fatalf("decode /traces: %v\n%s", err, tracesBody)
+	}
+	wantStages := []string{"submit", "schedule", "select", "dispatch", "upload", "deliver"}
+	foundComplete := false
+	for _, tr := range traces {
+		if !tr.Complete {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, sp := range tr.Spans {
+			seen[sp.Name] = true
+		}
+		all := true
+		for _, st := range wantStages {
+			all = all && seen[st]
+		}
+		if all {
+			foundComplete = true
+			break
+		}
+	}
+	if !foundComplete {
+		t.Fatalf("/traces has no complete trace covering all stages %v:\n%s", wantStages, tracesBody)
+	}
+	for _, st := range wantStages {
+		if v := sampleValue(body, fmt.Sprintf(`senseaid_stage_seconds_count{stage=%q}`, st)); v <= 0 {
+			t.Fatalf("senseaid_stage_seconds_count{stage=%q} = %v, want > 0", st, v)
+		}
+	}
+
+	// ...and a full lifecycle timeline, in order, with monotone stamps.
+	_, tasksBody := httpGet(t, "http://"+metricsAddr+"/tasks")
+	var taskList struct {
+		Tasks []string `json:"tasks"`
+	}
+	if err := json.Unmarshal([]byte(tasksBody), &taskList); err != nil || len(taskList.Tasks) == 0 {
+		t.Fatalf("decode /tasks (err %v):\n%s", err, tasksBody)
+	}
+	_, tlBody := httpGet(t, "http://"+metricsAddr+"/tasks?id="+taskList.Tasks[0])
+	var tl struct {
+		TaskID  string `json:"task_id"`
+		TraceID string `json:"trace_id"`
+		Events  []struct {
+			Stage string    `json:"stage"`
+			At    time.Time `json:"at"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(tlBody), &tl); err != nil {
+		t.Fatalf("decode /tasks?id=%s: %v\n%s", taskList.Tasks[0], err, tlBody)
+	}
+	if tl.TraceID == "" {
+		t.Errorf("timeline for %s has no trace_id:\n%s", tl.TaskID, tlBody)
+	}
+	wantEvents := []string{"submitted", "scheduled", "selected", "dispatched", "uploaded", "delivered"}
+	idx := 0
+	var last time.Time
+	for _, ev := range tl.Events {
+		if ev.At.Before(last) {
+			t.Errorf("timeline event %s at %v precedes prior event at %v", ev.Stage, ev.At, last)
+		}
+		last = ev.At
+		if idx < len(wantEvents) && ev.Stage == wantEvents[idx] {
+			idx++
+		}
+	}
+	if idx != len(wantEvents) {
+		t.Fatalf("timeline missing lifecycle stages (matched %d/%d of %v):\n%s",
+			idx, len(wantEvents), wantEvents, tlBody)
 	}
 }
 
@@ -177,6 +290,75 @@ func TestShardedBinaryEndToEnd(t *testing.T) {
 	}
 	if v := sampleValue(body, `senseaid_registered_devices{shard="west"}`); v != 1 {
 		t.Fatalf("west shard devices = %v, want 1\n%s", v, body)
+	}
+
+	// Profiling endpoints stay dark unless -pprof asked for them.
+	if code, _ := httpGet(t, "http://"+metricsAddr+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ = %d without -pprof, want 404", code)
+	}
+}
+
+// TestLoadgenTraceSharded is the acceptance run for end-to-end tracing:
+// senseaid-loadgen drives a sharded senseaidd over real TCP with -trace,
+// which fails unless the server's /traces ring holds at least one
+// complete submit→delivery trace — a journey crossing the CAS
+// connection, a regional scheduling core, and a device connection — and
+// the per-stage histograms must have samples for every stage.
+func TestLoadgenTraceSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test builds and runs executables")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"senseaidd", "senseaid-loadgen"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	addr := freeAddr(t)
+	metricsAddr := freeAddr(t)
+	server := exec.Command(filepath.Join(bin, "senseaidd"),
+		"-addr", addr, "-metrics-addr", metricsAddr, "-tick", "50ms",
+		"-regions", "west@40.4274,-86.9169,3000",
+		"-regions", "east@40.4274,-86.8000,3000")
+	serverOut := startCapture(t, server, "senseaidd")
+	defer stop(t, server)
+	waitForLine(t, serverOut, "listening", 10*time.Second)
+	waitForLine(t, serverOut, "admin endpoint", 10*time.Second)
+
+	loadgen := exec.Command(filepath.Join(bin, "senseaid-loadgen"),
+		"-addr", addr, "-devices", "8", "-tasks", "1", "-density", "2",
+		"-period", "300ms", "-duration", "3s", "-spread", "500",
+		"-report", "500ms", "-min-selections", "1",
+		"-metrics-url", "http://"+metricsAddr+"/metrics", "-trace")
+	out, err := loadgen.CombinedOutput()
+	if err != nil {
+		// -trace makes loadgen exit nonzero when no complete trace landed.
+		t.Fatalf("senseaid-loadgen -trace: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "complete") {
+		t.Fatalf("loadgen trace summary missing completion count:\n%s", text)
+	}
+	for _, st := range []string{"submit", "schedule", "select", "dispatch", "upload", "deliver"} {
+		if !strings.Contains(text, "stage "+st) {
+			t.Errorf("loadgen trace summary missing stage %q:\n%s", st, text)
+		}
+	}
+
+	// Server-side: every stage histogram saw samples, and the sharded
+	// trace records carry the owning region.
+	_, body := httpGet(t, "http://"+metricsAddr+"/metrics")
+	for _, st := range []string{"submit", "schedule", "select", "dispatch", "upload", "deliver"} {
+		if v := sampleValue(body, fmt.Sprintf(`senseaid_stage_seconds_count{stage=%q}`, st)); v <= 0 {
+			t.Fatalf("senseaid_stage_seconds_count{stage=%q} = %v, want > 0\n%s", st, v, body)
+		}
+	}
+	_, tracesBody := httpGet(t, "http://"+metricsAddr+"/traces")
+	if !strings.Contains(tracesBody, `"region": "west"`) {
+		t.Errorf("/traces has no span tagged with the west region:\n%s", tracesBody)
 	}
 }
 
@@ -281,6 +463,13 @@ func TestCrashRestartBinaryEndToEnd(t *testing.T) {
 // httpGet fetches a URL and returns the status code and body.
 func httpGet(t *testing.T, url string) (int, string) {
 	t.Helper()
+	code, _, body := httpGetFull(t, url)
+	return code, body
+}
+
+// httpGetFull fetches a URL and also returns the response headers.
+func httpGetFull(t *testing.T, url string) (int, http.Header, string) {
+	t.Helper()
 	client := &http.Client{Timeout: 5 * time.Second}
 	resp, err := client.Get(url)
 	if err != nil {
@@ -291,7 +480,7 @@ func httpGet(t *testing.T, url string) (int, string) {
 	if err != nil {
 		t.Fatalf("read %s: %v", url, err)
 	}
-	return resp.StatusCode, string(body)
+	return resp.StatusCode, resp.Header, string(body)
 }
 
 // sampleValue extracts one sample's value from Prometheus text output;

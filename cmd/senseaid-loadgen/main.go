@@ -16,7 +16,14 @@
 //	senseaid-loadgen [-addr host:port] [-devices n] [-duration d]
 //	                 [-tasks n] [-density n] [-period d] [-radius m]
 //	                 [-center lat,lon] [-spread m] [-report d]
-//	                 [-min-selections n] [-metrics-url url] [-json]
+//	                 [-min-selections n] [-metrics-url url] [-trace] [-json]
+//
+// Devices echo the trace context each schedule carries, so with tracing
+// enabled server-side every upload joins its task's end-to-end trace.
+// -trace (requires -metrics-url) scrapes the server's /traces ring after
+// the run and prints per-stage p50/p99 latencies from the server's own
+// span clock — submit, schedule, select, dispatch, upload, deliver —
+// alongside the client-observed numbers.
 //
 // Exit status is nonzero when any device failed to register or the run
 // produced fewer schedules than -min-selections, so CI can use a short
@@ -112,6 +119,7 @@ func run() error {
 	report := flag.Duration("report", 2*time.Second, "state report period per device (0 disables)")
 	minSelections := flag.Int("min-selections", 1, "fail the run if fewer schedules were delivered")
 	metricsURL := flag.String("metrics-url", "", "senseaidd /metrics URL; prints the selection series after the run")
+	traceOut := flag.Bool("trace", false, "scrape the admin /traces ring after the run and print per-stage p50/p99 (requires -metrics-url)")
 	dialWorkers := flag.Int("dial-workers", 64, "concurrent connection setups")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
 	flag.Parse()
@@ -209,7 +217,7 @@ func run() error {
 					r.Sensor = sch.Sensor
 					r.Unit = sch.Sensor.Unit()
 					t0 := time.Now()
-					if err := d.c.SendSenseDataVia(sch.RequestID, r, wire.PathTail); err != nil {
+					if err := d.c.SendSenseDataTraced(sch.RequestID, r, wire.PathTail, sch.TraceID, sch.SpanID); err != nil {
 						uploadErrs.Add(1)
 						continue
 					}
@@ -343,6 +351,14 @@ func run() error {
 	if *metricsURL != "" {
 		printSelectionMetrics(*metricsURL)
 	}
+	if *traceOut {
+		if *metricsURL == "" {
+			return fmt.Errorf("-trace requires -metrics-url")
+		}
+		if err := printTraceSummary(*metricsURL); err != nil {
+			return err
+		}
+	}
 
 	if sum.RegisterFailed > 0 {
 		return fmt.Errorf("%d registrations failed", sum.RegisterFailed)
@@ -374,6 +390,66 @@ func printSelectionMetrics(url string) {
 			fmt.Println(line)
 		}
 	}
+}
+
+// printTraceSummary scrapes the admin /traces ring (the endpoint lives
+// next to /metrics) and prints per-stage latency quantiles computed from
+// the server's own span durations — the authoritative server-side view
+// of where task time went, as opposed to the client-observed latencies
+// above. Errors out when the ring holds no complete trace, so CI can use
+// -trace as an end-to-end tracing smoke test.
+func printTraceSummary(metricsURL string) error {
+	url := strings.TrimSuffix(metricsURL, "/metrics") + "/traces"
+	httpc := http.Client{Timeout: 5 * time.Second}
+	resp, err := httpc.Get(url)
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	var traces []struct {
+		TraceID  string `json:"trace_id"`
+		Complete bool   `json:"complete"`
+		Spans    []struct {
+			Name     string  `json:"name"`
+			Duration float64 `json:"duration_seconds"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &traces); err != nil {
+		return fmt.Errorf("decode %s: %w", url, err)
+	}
+	byStage := map[string]*latencies{}
+	complete := 0
+	for _, tr := range traces {
+		if tr.Complete {
+			complete++
+		}
+		for _, sp := range tr.Spans {
+			l := byStage[sp.Name]
+			if l == nil {
+				l = &latencies{}
+				byStage[sp.Name] = l
+			}
+			l.add(time.Duration(sp.Duration * float64(time.Second)))
+		}
+	}
+	if complete == 0 {
+		return fmt.Errorf("%s: no complete trace in the ring (is the server tracing?)", url)
+	}
+	fmt.Printf("traces: %d in ring, %d complete\n", len(traces), complete)
+	stages := make([]string, 0, len(byStage))
+	for s := range byStage {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		p50, p99 := byStage[s].quantiles()
+		fmt.Printf("  stage %-8s n=%-4d p50 %.2fms p99 %.2fms\n", s, len(byStage[s].ms), p50, p99)
+	}
+	return nil
 }
 
 // parseLatLon parses "lat,lon" into a validated point.

@@ -7,7 +7,8 @@
 //	senseaidd [-addr host:port] [-metrics-addr host:port] [-tick duration]
 //	          [-handshake-timeout duration] [-idle-timeout duration]
 //	          [-state-dir path] [-state-recover] [-snapshot-interval duration]
-//	          [-regions name@lat,lon,radiusM]... [-v] [-vv]
+//	          [-regions name@lat,lon,radiusM]... [-pprof]
+//	          [-trace-sample rate] [-trace-slow duration] [-v] [-vv]
 //
 // With -state-dir set, the server is durable: scheduling state is
 // snapshotted there and every mutation journaled between snapshots, so
@@ -18,7 +19,16 @@
 //
 // With -metrics-addr set, an HTTP admin endpoint serves /metrics
 // (Prometheus text format; ?format=json for the JSON snapshot),
-// /healthz, and /statusz.
+// /healthz, /readyz (503 until recovery has finished and the listener
+// is accepting), /statusz, /traces (recent completed task traces), and
+// /tasks?id= (per-task lifecycle timelines). -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ on the same mux.
+//
+// Every submitted task is traced end to end — CAS submit, scheduling,
+// selection, dispatch, device upload, CAS delivery — with per-stage
+// latency histograms (senseaid_stage_seconds). -trace-sample sets the
+// fraction of tasks retained in /traces (errors and slow operations are
+// always kept); -trace-slow sets the slow-operation threshold.
 //
 // Repeating -regions boots a sharded deployment: one scheduling core per
 // region (the paper's per-edge physical instantiation), devices homed to
@@ -34,6 +44,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -98,6 +109,9 @@ func run() error {
 	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "how often to fold the journal into a fresh snapshot (negative disables the periodic loop)")
 	var regions regionList
 	flag.Var(&regions, "regions", "edge region as name@lat,lon,radiusM (repeatable; two or more shard the deployment)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the admin endpoint")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of task traces retained in /traces (0 disables sampling; errors and slow ops are always kept)")
+	traceSlow := flag.Duration("trace-slow", 500*time.Millisecond, "log and retain any traced operation slower than this (negative disables)")
 	verbose := flag.Bool("v", false, "log lifecycle events to stderr")
 	debug := flag.Bool("vv", false, "log per-message traffic to stderr")
 	flag.Parse()
@@ -110,6 +124,50 @@ func run() error {
 			level = obs.LevelDebug
 		}
 	}
+
+	tracer := obs.NewTracer(obs.TracerConfig{
+		Registry:      obs.Default(),
+		SampleRate:    *traceSample,
+		SampleRateSet: true,
+		SlowThreshold: *traceSlow,
+		Logger:        obs.NewLogger(logger, level),
+	})
+	timeline := obs.NewTimelineStore(0, 0)
+	obs.RegisterRuntimeMetrics(obs.Default())
+
+	// The admin endpoint comes up before the listener so /readyz can
+	// honestly report "not yet" while recovery replays the journal; the
+	// readiness probe flips only once Listen has returned with the
+	// accept loop running.
+	var ready atomic.Bool
+	var srvPtr atomic.Pointer[netserver.Server]
+	if *metricsAddr != "" {
+		admin, err := obs.ServeAdmin(obs.AdminConfig{
+			Addr:     *metricsAddr,
+			Registry: obs.Default(),
+			Status: func() any {
+				if s := srvPtr.Load(); s != nil {
+					return s.Status()
+				}
+				return map[string]any{"state": "starting"}
+			},
+			Ready: func() error {
+				if !ready.Load() {
+					return fmt.Errorf("recovery or listener not up yet")
+				}
+				return nil
+			},
+			Tracer:   tracer,
+			Timeline: timeline,
+			Pprof:    *pprofOn,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = admin.Close() }()
+		fmt.Printf("admin endpoint on http://%s/metrics\n", admin.Addr())
+	}
+
 	srv, err := netserver.Listen(netserver.Config{
 		Addr:             *addr,
 		TickPeriod:       *tick,
@@ -122,10 +180,14 @@ func run() error {
 		StateDir:         *stateDir,
 		StateRecover:     *stateRecover,
 		SnapshotInterval: *snapshotInterval,
+		Tracer:           tracer,
+		Timeline:         timeline,
 	})
 	if err != nil {
 		return err
 	}
+	srvPtr.Store(srv)
+	ready.Store(true)
 	fmt.Printf("sense-aid server listening on %s\n", srv.Addr())
 	if *stateDir != "" {
 		rec := srv.Recovery()
@@ -134,20 +196,6 @@ func run() error {
 	}
 	for _, r := range regions {
 		fmt.Printf("edge region %s: center %s radius %.0fm\n", r.Name, r.Area.Center, r.Area.RadiusM)
-	}
-
-	if *metricsAddr != "" {
-		admin, err := obs.ServeAdmin(obs.AdminConfig{
-			Addr:     *metricsAddr,
-			Registry: obs.Default(),
-			Status:   func() any { return srv.Status() },
-		})
-		if err != nil {
-			_ = srv.Close()
-			return err
-		}
-		defer func() { _ = admin.Close() }()
-		fmt.Printf("admin endpoint on http://%s/metrics\n", admin.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"senseaid/internal/obs"
 	"senseaid/internal/wire"
 )
 
@@ -65,7 +66,18 @@ func (c *CAS) onPush(env wire.Envelope) {
 }
 
 // Task submits a crowdsensing task and returns its server-assigned ID.
+//
+// A CAS that traces its own requests may set spec.TraceID/SpanID: the
+// server adopts that identity for its end-to-end task trace, and every
+// delivered reading (wire.SensedData) comes back carrying the same
+// trace ID, so the application can correlate its submission with each
+// arriving value. Left empty, the server mints its own trace.
 func (c *CAS) Task(spec wire.TaskSpec) (string, error) {
+	if spec.TraceID != "" {
+		if _, ok := obs.ParseTraceID(spec.TraceID); !ok {
+			return "", fmt.Errorf("cas: malformed trace_id %q (want 32 hex digits)", spec.TraceID)
+		}
+	}
 	ack, err := c.conn.Call(wire.TypeSubmitTask, spec)
 	if err != nil {
 		return "", err

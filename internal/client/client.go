@@ -169,10 +169,21 @@ func (c *Client) SendSenseData(requestID string, r sensors.Reading) error {
 // when the radio was woken for it). The daemon uses this so the server's
 // senseaid_uploads_total series reflects the paper's energy mechanism.
 func (c *Client) SendSenseDataVia(requestID string, r sensors.Reading, path string) error {
+	return c.SendSenseDataTraced(requestID, r, path, "", "")
+}
+
+// SendSenseDataTraced uploads a reading echoing the trace context the
+// schedule arrived with (wire.Schedule.TraceID/SpanID), so the upload
+// joins the task's end-to-end trace. Empty context behaves exactly like
+// SendSenseDataVia — nothing extra appears on the wire.
+func (c *Client) SendSenseDataTraced(requestID string, r sensors.Reading, path, traceID, spanID string) error {
 	if requestID == "" {
 		return fmt.Errorf("client: empty request ID")
 	}
-	_, err := c.conn.Call(wire.TypeSenseData, wire.SenseData{RequestID: requestID, Reading: r, Path: path})
+	_, err := c.conn.Call(wire.TypeSenseData, wire.SenseData{
+		RequestID: requestID, Reading: r, Path: path,
+		TraceID: traceID, SpanID: spanID,
+	})
 	return err
 }
 

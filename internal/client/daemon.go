@@ -240,7 +240,7 @@ func (d *Daemon) onSchedule(sch wire.Schedule) {
 		if d.tail.InTail(time.Now()) {
 			path = wire.PathTail
 		}
-		if err := d.cl().SendSenseDataVia(sch.RequestID, reading, path); err != nil {
+		if err := d.cl().SendSenseDataTraced(sch.RequestID, reading, path, sch.TraceID, sch.SpanID); err != nil {
 			d.note(fmt.Errorf("upload %s: %w", sch.RequestID, err))
 			return
 		}

@@ -725,6 +725,11 @@ func specSig(t Task) string {
 	t.ID = ""
 	t.ClientID = ""
 	t.SpecSig = ""
+	// Trace context is per-submission, not part of the spec: a CAS
+	// retrying after a reconnect carries a fresh trace ID and must still
+	// match the stored task.
+	t.TraceID = ""
+	t.RootSpan = ""
 	b, err := json.Marshal(t)
 	if err != nil {
 		return ""

@@ -119,6 +119,18 @@ type ServerConfig struct {
 	// deployments: each shard persists to its own state files, keyed by
 	// region name. Ignored by NewServer; see NewShardedServer.
 	ShardJournal func(region string) JournalSink
+	// Tracer, when set, records schedule/select/upload spans for tasks
+	// that carry a trace context and feeds the senseaid_stage_seconds
+	// histograms. Nil disables tracing with no overhead beyond nil
+	// checks. Sharded deployments share one tracer across shards.
+	Tracer *obs.Tracer
+	// Timeline, when set, receives per-task lifecycle events
+	// (submitted/scheduled/selected/uploaded) for the admin /tasks
+	// endpoint. Nil disables timelines.
+	Timeline *obs.TimelineStore
+	// TraceRegion tags this server's spans (a shard's region name);
+	// empty for a single-region server. Set by NewShardedServer.
+	TraceRegion string
 }
 
 // DefaultServerConfig returns the stock configuration.
@@ -130,6 +142,9 @@ func DefaultServerConfig() ServerConfig {
 type pendingDispatch struct {
 	req      Request
 	deviceID string
+	// at is when the dispatch was decided — the start of the upload
+	// stage span recorded when the reading arrives.
+	at time.Time
 }
 
 // Server is the Sense-Aid server core: datastores, task handler (run and
@@ -194,6 +209,11 @@ type Server struct {
 	registry *obs.Registry
 	met      serverMetrics
 
+	// tracer and timeline record per-task observability; both are
+	// nil-safe, so the scheduling path calls them unconditionally.
+	tracer   *obs.Tracer
+	timeline *obs.TimelineStore
+
 	// statsMu guards stats and sellog: the one corner of the server that
 	// concurrent readers (admin endpoint, monitoring loops) may touch
 	// while a scheduling pass runs.
@@ -234,6 +254,8 @@ func NewServer(cfg ServerConfig, d Dispatcher) (*Server, error) {
 		registry:   reg,
 		met:        newServerMetrics(reg, cfg.MetricsLabels),
 		sellog:     newSelectionLog(cfg.SelectionLogSize),
+		tracer:     cfg.Tracer,
+		timeline:   cfg.Timeline,
 	}, nil
 }
 
@@ -412,6 +434,8 @@ func (s *Server) SubmitTask(t Task, now time.Time, sink DataSink) (TaskID, error
 	// UpdateTaskParams after the lock drops, racing the sink's marshal.
 	jt := stored
 	s.jlog(JournalRecord{Op: opSubmit, At: now, Task: &jt, NextTask: s.nextTask})
+	s.timeline.Note(string(stored.ID), "submitted", fmt.Sprintf("requests=%d", len(reqs)), now)
+	s.timeline.Bind(string(stored.ID), stored.TraceID)
 	s.met.tasksSubmitted.Inc()
 	s.met.reqGenerated.Add(uint64(len(reqs)))
 	s.statsMu.Lock()
@@ -571,6 +595,13 @@ func (s *Server) processDueLocked(now time.Time, out *[]outbound) {
 func (s *Server) schedule(r Request, now time.Time, out *[]outbound) {
 	var selected []DeviceState
 	var err error
+	// Spans join the trace the task was submitted under (inert for
+	// untraced tasks); select is a child of schedule so the trace tree
+	// shows the selector's share of the pass.
+	span := s.tracer.StartSpan(r.Task.TraceContext(), obs.StageSchedule, s.cfg.TraceRegion)
+	defer span.Finish()
+	s.timeline.Note(string(r.Task.ID), "scheduled", r.ID(), now)
+	selSpan := s.tracer.StartSpan(span.Context(), obs.StageSelect, s.cfg.TraceRegion)
 	selStart := time.Now()
 	// Candidates come from the datastore's spatial index: the scan is
 	// O(devices near the task area), not O(registered devices), and the
@@ -587,6 +618,10 @@ func (s *Server) schedule(r Request, now time.Time, out *[]outbound) {
 		selected, err = s.selector.SelectFrom(r, s.scr.cands, now, &s.scr.sel)
 	}
 	elapsed := time.Since(selStart)
+	// Waitlisting is an expected outcome, not a span failure: the select
+	// span closes cleanly either way so scarce-device periods don't
+	// flood the retained-trace ring with error promotions.
+	selSpan.Finish()
 	s.met.selectionSeconds.Observe(elapsed.Seconds())
 	s.met.selectionNS.Add(uint64(elapsed.Nanoseconds()))
 	s.met.selectionCands.Add(uint64(len(s.scr.cands)))
@@ -601,10 +636,11 @@ func (s *Server) schedule(r Request, now time.Time, out *[]outbound) {
 	sel := Selection{Request: r.ID(), At: now}
 	for _, d := range selected {
 		s.devices.NoteSelected(d.ID)
-		s.pending[r.ID()] = append(s.pending[r.ID()], pendingDispatch{req: r, deviceID: d.ID})
+		s.pending[r.ID()] = append(s.pending[r.ID()], pendingDispatch{req: r, deviceID: d.ID, at: now})
 		sel.Devices = append(sel.Devices, d.ID)
 		*out = append(*out, outbound{req: r, dev: d})
 	}
+	s.timeline.Note(string(r.Task.ID), "selected", fmt.Sprintf("%s devices=%d", r.ID(), len(selected)), now)
 	ref := refOf(r)
 	s.jlog(JournalRecord{Op: opDispatch, At: now, Req: &ref, Devices: sel.Devices})
 	s.statsMu.Lock()
@@ -706,7 +742,7 @@ func (s *Server) finishRound(reqID string) {
 // the reading path).
 func (s *Server) ReceiveData(reqID string, deviceID string, reading sensors.Reading, now time.Time) error {
 	s.mu.Lock()
-	sink, taskID, err := s.receiveDataLocked(reqID, deviceID, reading)
+	sink, taskID, err := s.receiveDataLocked(reqID, deviceID, reading, now)
 	recs := s.jtake()
 	s.mu.Unlock()
 	s.jemit(recs)
@@ -723,7 +759,7 @@ func (s *Server) ReceiveData(reqID string, deviceID string, reading sensors.Read
 // under the scheduling lock and returns the sink to invoke (with its task
 // ID) once the lock is dropped. Called with s.mu held; the caller drains
 // the journal batch after unlocking.
-func (s *Server) receiveDataLocked(reqID string, deviceID string, reading sensors.Reading) (DataSink, TaskID, error) {
+func (s *Server) receiveDataLocked(reqID string, deviceID string, reading sensors.Reading, now time.Time) (DataSink, TaskID, error) {
 	list := s.pending[reqID]
 	idx := -1
 	for i, p := range list {
@@ -754,6 +790,16 @@ func (s *Server) receiveDataLocked(reqID string, deviceID string, reading sensor
 	s.pending[reqID] = append(list[:idx], list[idx+1:]...)
 	s.devices.SetResponsive(deviceID, true)
 	s.bump(s.met.readingsAccepted, func(st *Stats) { st.ReadingsAccepted++ })
+
+	// The upload stage ran from the dispatch decision until this
+	// reading's arrival; it is recorded retroactively because its two
+	// endpoints live in different calls. Pending entries rebuilt by
+	// journal recovery have no dispatch time — their duration would be
+	// garbage, so they are not measured.
+	if !p.at.IsZero() {
+		s.tracer.RecordSpan(p.req.Task.TraceContext(), obs.StageUpload, s.cfg.TraceRegion, p.at, now, "")
+	}
+	s.timeline.Note(string(p.req.Task.ID), "uploaded", deviceID, now)
 
 	// Buffer the value for the round's truth-discovery check; the check
 	// (and the accepted/outlier outcomes) runs when the round completes.

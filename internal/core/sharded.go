@@ -90,6 +90,11 @@ func NewShardedServer(cfg ServerConfig, d Dispatcher, regions []Region) (*Sharde
 		seen[r.Name] = true
 		shardCfg := cfg
 		shardCfg.TaskIDPrefix = r.Name + "/"
+		// Spans carry the region tag instead of a metric label: the
+		// shared senseaid_stage_seconds family keeps one label set
+		// ({stage}) while the trace tree still shows which shard ran
+		// each stage.
+		shardCfg.TraceRegion = r.Name
 		// Each shard journals to its own per-region sink (its own state
 		// files); a plain Journal would interleave shards in one file.
 		shardCfg.Journal = nil

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"senseaid/internal/geo"
+	"senseaid/internal/obs"
 	"senseaid/internal/sensors"
 )
 
@@ -60,6 +61,21 @@ type Task struct {
 	SpatialDensity int `json:"spatial_density"`
 	// DeviceType optionally restricts to one device model.
 	DeviceType string `json:"device_type,omitempty"`
+
+	// TraceID and RootSpan carry the task's trace context (hex, see
+	// internal/obs) from submission through every scheduling pass, so
+	// spans recorded rounds later still join the submit trace. Set by
+	// the serving frontend; excluded from the idempotency signature,
+	// because a resubmit after a reconnect legitimately carries a fresh
+	// trace.
+	TraceID  string `json:"trace_id,omitempty"`
+	RootSpan string `json:"root_span,omitempty"`
+}
+
+// TraceContext rebuilds the task's trace context; the zero context when
+// the task was submitted without one (or restored from an old journal).
+func (t *Task) TraceContext() obs.TraceContext {
+	return obs.ParseTraceContext(t.TraceID, t.RootSpan)
 }
 
 // OneShot reports whether the task wants a single round of samples

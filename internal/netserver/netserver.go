@@ -91,6 +91,16 @@ type Config struct {
 	// into a fresh snapshot. Default 1 minute; negative disables the
 	// periodic loop (snapshots still happen at boot and clean shutdown).
 	SnapshotInterval time.Duration
+	// Tracer records request traces end to end: a root span per task
+	// submission, dispatch/deliver spans in the transport, and the
+	// core's schedule/select/upload spans, all joined by wire-propagated
+	// context. Nil builds a default tracer on Metrics (sample
+	// everything, 500ms slow threshold); production passes its own so
+	// the admin /traces endpoint shares it.
+	Tracer *obs.Tracer
+	// Timeline receives per-task lifecycle events for the admin /tasks
+	// endpoint. Nil builds a default store.
+	Timeline *obs.TimelineStore
 }
 
 // Server is a running networked Sense-Aid server. The scheduling core
@@ -114,12 +124,19 @@ type Server struct {
 	pers     *persister
 	recovery RecoveryInfo
 
+	tracer   *obs.Tracer
+	timeline *obs.TimelineStore
+
 	// connMu guards only the connection fan-out maps — pure transport
 	// bookkeeping, never held across a core call or a socket write.
 	connMu  sync.Mutex
 	conns   map[*conn]bool        // every accepted connection, for shutdown
 	devices map[string]*conn      // device ID -> connection
 	taskCAS map[core.TaskID]*conn // task -> submitting CAS connection
+	// taskTrace remembers each live task's trace context for the
+	// delivery path (the DataSink signature carries no context).
+	// Entries live and die with taskCAS entries.
+	taskTrace map[core.TaskID]obs.TraceContext
 
 	wg      sync.WaitGroup
 	done    chan struct{}
@@ -182,17 +199,31 @@ func Listen(cfg Config) (*Server, error) {
 		reg = obs.NewRegistry()
 	}
 	cfg.Core.Metrics = reg
+	logger := obs.NewLogger(cfg.Logger, cfg.LogLevel)
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer(obs.TracerConfig{Registry: reg, Logger: logger})
+	}
+	if cfg.Timeline == nil {
+		cfg.Timeline = obs.NewTimelineStore(0, 0)
+	}
+	// The core shares the frontend's tracer and timeline, so one trace
+	// spans both layers (sharded constructors add per-region tags).
+	cfg.Core.Tracer = cfg.Tracer
+	cfg.Core.Timeline = cfg.Timeline
 
 	s := &Server{
-		cfg:     cfg,
-		clock:   cfg.Clock,
-		log:     obs.NewLogger(cfg.Logger, cfg.LogLevel),
-		met:     newNetMetrics(reg),
-		started: time.Now(),
-		conns:   make(map[*conn]bool),
-		devices: make(map[string]*conn),
-		taskCAS: make(map[core.TaskID]*conn),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		log:       logger,
+		met:       newNetMetrics(reg),
+		started:   time.Now(),
+		tracer:    cfg.Tracer,
+		timeline:  cfg.Timeline,
+		conns:     make(map[*conn]bool),
+		devices:   make(map[string]*conn),
+		taskCAS:   make(map[core.TaskID]*conn),
+		taskTrace: make(map[core.TaskID]obs.TraceContext),
+		done:      make(chan struct{}),
 	}
 	if len(cfg.PseudonymSecret) > 0 {
 		p, err := privacy.NewPseudonymizer(cfg.PseudonymSecret)
@@ -271,6 +302,14 @@ func (s *Server) Orchestrator() core.Orchestrator { return s.core }
 
 // Metrics returns the registry carrying this server's series.
 func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// Tracer returns the server's request tracer (for the admin /traces
+// endpoint).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Timeline returns the server's task lifecycle store (for the admin
+// /tasks endpoint).
+func (s *Server) Timeline() *obs.TimelineStore { return s.timeline }
 
 // Status is a point-in-time operational summary for /statusz.
 type Status struct {
@@ -414,6 +453,7 @@ func (s *Server) tickLoop() {
 // concurrent per-shard goroutines); the conn lookup takes connMu only
 // for the map read, and the write serialises on the conn's own lock.
 func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
+	span := s.tracer.StartSpan(req.Task.TraceContext(), obs.StageDispatch, "")
 	s.connMu.Lock()
 	c, ok := s.devices[dev.ID]
 	s.connMu.Unlock()
@@ -424,14 +464,21 @@ func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
 		// the next round selects a replacement.
 		s.log.Debugf("dispatch %s: device %s not connected", req.ID(), dev.ID)
 		s.core.NoteDispatchFailure(req.ID(), dev.ID)
+		span.FinishErr(fmt.Errorf("device %s not connected", dev.ID))
 		return
 	}
+	// The schedule carries the dispatch span's context so the device's
+	// upload echoes it — the hop that joins the device connection into
+	// the trace.
+	spanCtx := span.Context()
 	err := c.send(wire.TypeSchedule, 0, wire.Schedule{
 		RequestID: req.ID(),
 		TaskID:    string(req.Task.ID),
 		Sensor:    req.Task.Sensor,
 		Due:       req.Due,
 		Deadline:  req.Deadline,
+		TraceID:   spanCtx.Trace.String(),
+		SpanID:    spanCtx.Span.String(),
 	})
 	if err != nil {
 		s.log.Errorf("dispatch %s to %s: %v", req.ID(), dev.ID, err)
@@ -440,7 +487,11 @@ func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
 		// entry is reclaimed, and the daemon's reconnect takes over.
 		_ = c.nc.Close()
 		s.core.NoteDispatchFailure(req.ID(), dev.ID)
+		span.FinishErr(err)
+		return
 	}
+	span.Finish()
+	s.timeline.Note(string(req.Task.ID), "dispatched", dev.ID, s.clock.Now())
 }
 
 // casSink builds the data sink for a task: deliver to whichever CAS
@@ -463,6 +514,7 @@ func (s *Server) casSink(core.TaskID) core.DataSink {
 func (s *Server) deliverToCAS(tid core.TaskID, dev string, r sensors.Reading) {
 	s.connMu.Lock()
 	c, ok := s.taskCAS[tid]
+	traceCtx := s.taskTrace[tid]
 	s.connMu.Unlock()
 	if !ok {
 		// No CAS claims the task: it was restored from the state dir and
@@ -479,8 +531,11 @@ func (s *Server) deliverToCAS(tid core.TaskID, dev string, r sensors.Reading) {
 			reported = p
 		}
 	}
+	span := s.tracer.StartSpan(traceCtx, obs.StageDeliver, "")
+	spanCtx := span.Context()
 	if e := c.send(wire.TypeSensedData, 0, wire.SensedData{
 		TaskID: string(tid), DeviceID: reported, Reading: r,
+		TraceID: spanCtx.Trace.String(), SpanID: spanCtx.Span.String(),
 	}); e != nil {
 		s.log.Errorf("deliver to CAS for %s: %v", tid, e)
 		// CAS connections have no idle timeout, so a dead CAS is detected
@@ -489,7 +544,16 @@ func (s *Server) deliverToCAS(tid core.TaskID, dev string, r sensors.Reading) {
 		// loop, which deletes the connection's tasks — no further
 		// dispatches burn device energy on data nobody will receive.
 		_ = c.nc.Close()
+		span.FinishErr(e)
+		return
 	}
+	span.Finish()
+	s.timeline.Note(string(tid), "delivered", reported, s.clock.Now())
+	// The first successful delivery closes the submit → delivery loop:
+	// the trace finalises into the retained ring. Later rounds' spans
+	// still feed the stage histograms (Complete on a finalised trace is
+	// a no-op).
+	s.tracer.Complete(traceCtx.Trace)
 }
 
 func (s *Server) serveConn(c *conn) {
@@ -723,6 +787,7 @@ func (s *Server) serveCAS(c *conn) {
 		for _, ot := range ownedTasks {
 			if s.taskCAS[ot.id] == c {
 				delete(s.taskCAS, ot.id)
+				delete(s.taskTrace, ot.id)
 				if !ot.reclaimable {
 					mine = append(mine, ot.id)
 				}
@@ -771,6 +836,14 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]ownedTask, env wire.Envelop
 		if err := wire.Decode(env, &spec); err != nil {
 			return err
 		}
+		// The trace starts here: a CAS that traces its own requests
+		// supplies the identity (trace_id/span_id on the spec); otherwise
+		// a fresh one is minted. The root span's context is stamped onto
+		// the task so every scheduling pass — possibly rounds later —
+		// joins the same trace.
+		span := s.tracer.StartTraceFrom(
+			obs.ParseTraceContext(spec.TraceID, spec.SpanID), obs.StageSubmit, "")
+		rootCtx := span.Context()
 		task := core.Task{
 			ClientID:         spec.ClientTaskID,
 			Sensor:           spec.Sensor,
@@ -781,6 +854,8 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]ownedTask, env wire.Envelop
 			Area:             geo.Circle{Center: spec.Center, RadiusM: spec.AreaRadiusM},
 			SpatialDensity:   spec.SpatialDensity,
 			DeviceType:       spec.DeviceType,
+			TraceID:          rootCtx.Trace.String(),
+			RootSpan:         rootCtx.Span.String(),
 		}
 		// The sink routes through the task->CAS map at delivery time
 		// rather than capturing this connection: a restored task's sink
@@ -789,11 +864,19 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]ownedTask, env wire.Envelop
 		// it by overwriting the map entry below.
 		id, err := s.core.SubmitTask(task, s.clock.Now(), s.casSink(""))
 		if err != nil {
+			span.FinishErr(err)
 			return err
 		}
 		s.connMu.Lock()
 		s.taskCAS[id] = c
+		// Deliveries join this submission's trace. On an idempotent
+		// reclaim the stored task keeps its original (pre-restart) trace
+		// for its scheduling spans, but deliveries follow the reclaim —
+		// the trace that is actually live — so a reclaimed campaign
+		// still produces a complete submit → delivery trace.
+		s.taskTrace[id] = rootCtx
 		s.connMu.Unlock()
+		span.Finish()
 		*ownedTasks = append(*ownedTasks, ownedTask{id: id, reclaimable: spec.ClientTaskID != ""})
 		s.log.Infof("task %s submitted (sensor=%s density=%d)", id, task.Sensor, task.SpatialDensity)
 		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: string(id)})
@@ -832,6 +915,7 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]ownedTask, env wire.Envelop
 		err := s.core.DeleteTask(core.TaskID(dt.TaskID))
 		s.connMu.Lock()
 		delete(s.taskCAS, core.TaskID(dt.TaskID))
+		delete(s.taskTrace, core.TaskID(dt.TaskID))
 		s.connMu.Unlock()
 		if s.pseudo != nil {
 			s.pseudo.Forget(dt.TaskID)

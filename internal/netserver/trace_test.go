@@ -1,0 +1,210 @@
+package netserver
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"senseaid/internal/cas"
+	"senseaid/internal/client"
+	"senseaid/internal/geo"
+	"senseaid/internal/obs"
+	"senseaid/internal/sensors"
+	"senseaid/internal/wire"
+)
+
+// tracedDevice is an autoDevice that echoes the schedule's trace
+// context on its uploads, as the daemon and loadgen do.
+func tracedDevice(t *testing.T, addr, id string) *client.Client {
+	t.Helper()
+	c, err := client.Dial(client.Config{
+		Addr:       addr,
+		DeviceID:   id,
+		Position:   geo.CSDepartment,
+		BatteryPct: 90,
+		Sensors:    []sensors.Type{sensors.Barometer},
+	})
+	if err != nil {
+		t.Fatalf("client.Dial: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	if err := c.Register(); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	err = c.StartSensing(func(sch wire.Schedule) {
+		reading := sensors.Reading{
+			Sensor: sch.Sensor,
+			Value:  1013.25,
+			Unit:   "hPa",
+			At:     time.Now(),
+			Where:  geo.CSDepartment,
+		}
+		go func() {
+			if err := c.SendSenseDataTraced(sch.RequestID, reading, wire.PathTail,
+				sch.TraceID, sch.SpanID); err != nil &&
+				!strings.Contains(err.Error(), "closed") {
+				t.Logf("SendSenseDataTraced: %v", err)
+			}
+		}()
+	})
+	if err != nil {
+		t.Fatalf("StartSensing: %v", err)
+	}
+	return c
+}
+
+// TestEndToEndTrace runs a real campaign over loopback TCP and asserts
+// the tracer assembled one complete trace spanning every stage — CAS
+// submit through delivery — and that the timeline saw the whole
+// lifecycle in order.
+func TestEndToEndTrace(t *testing.T) {
+	s := startServer(t)
+	tracedDevice(t, s.Addr(), "trace-dev-1")
+
+	app, err := cas.Dial(s.Addr())
+	if err != nil {
+		t.Fatalf("cas.Dial: %v", err)
+	}
+	defer func() { _ = app.Close() }()
+
+	var mu sync.Mutex
+	var got []wire.SensedData
+	if err := app.ReceiveSensedData(func(sd wire.SensedData) {
+		mu.Lock()
+		got = append(got, sd)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatalf("ReceiveSensedData: %v", err)
+	}
+
+	// The CAS seeds its own trace identity; the server must adopt it.
+	const casTrace = "feedfacecafebeef0011223344556677"
+	spec := barometerSpec(1)
+	spec.TraceID = casTrace
+	taskID, err := app.Task(spec)
+	if err != nil {
+		t.Fatalf("Task: %v", err)
+	}
+
+	// Wait for a delivery; the first one completes the trace.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery after 5s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The delivered reading must carry the CAS's trace ID on the wire.
+	mu.Lock()
+	first := got[0]
+	mu.Unlock()
+	if first.TraceID != casTrace {
+		t.Errorf("delivered TraceID = %q, want %q", first.TraceID, casTrace)
+	}
+	if first.SpanID == "" {
+		t.Error("delivered SensedData has no span_id")
+	}
+
+	// The tracer's ring must hold the completed trace with every stage.
+	wantStages := []string{
+		obs.StageSubmit, obs.StageSchedule, obs.StageSelect,
+		obs.StageDispatch, obs.StageUpload, obs.StageDeliver,
+	}
+	var trace *obs.TraceRecord
+	for time.Now().Before(deadline) {
+		for _, tr := range s.Tracer().Recent() {
+			if tr.TraceID == casTrace && tr.Complete {
+				trace = &tr
+				break
+			}
+		}
+		if trace != nil && len(trace.Spans) >= len(wantStages) {
+			break
+		}
+		trace = nil
+		time.Sleep(20 * time.Millisecond)
+	}
+	if trace == nil {
+		t.Fatalf("no complete trace %s in ring; have %+v", casTrace, s.Tracer().Recent())
+	}
+	seen := map[string]int{}
+	for _, sp := range trace.Spans {
+		seen[sp.Name]++
+		if sp.Duration < 0 {
+			t.Errorf("span %s has negative duration %v", sp.Name, sp.Duration)
+		}
+	}
+	for _, st := range wantStages {
+		if seen[st] == 0 {
+			t.Errorf("trace missing stage %q (have %v)", st, seen)
+		}
+	}
+	if trace.Root != obs.StageSubmit {
+		t.Errorf("trace root = %q, want %q", trace.Root, obs.StageSubmit)
+	}
+
+	// Parent links: every non-root span must reference another span in
+	// the trace (the dispatch→upload pair is recorded retroactively and
+	// parents on the root).
+	ids := map[string]bool{}
+	for _, sp := range trace.Spans {
+		ids[sp.SpanID] = true
+	}
+	for _, sp := range trace.Spans {
+		if sp.ParentID != "" && !ids[sp.ParentID] {
+			t.Errorf("span %s (%s) has parent %s outside the trace",
+				sp.SpanID, sp.Name, sp.ParentID)
+		}
+	}
+
+	// Timeline: the full lifecycle, in order, with monotone timestamps.
+	tl, ok := s.Timeline().Get(taskID)
+	if !ok {
+		t.Fatalf("no timeline for task %s", taskID)
+	}
+	if tl.TraceID != casTrace {
+		t.Errorf("timeline TraceID = %q, want %q", tl.TraceID, casTrace)
+	}
+	wantEvents := []string{"submitted", "scheduled", "selected", "dispatched", "uploaded", "delivered"}
+	idx := 0
+	var last time.Time
+	for _, ev := range tl.Events {
+		if ev.At.Before(last) {
+			t.Errorf("timeline event %s at %v precedes prior event at %v", ev.Stage, ev.At, last)
+		}
+		last = ev.At
+		if idx < len(wantEvents) && ev.Stage == wantEvents[idx] {
+			idx++
+		}
+	}
+	if idx != len(wantEvents) {
+		t.Errorf("timeline missing lifecycle stages: matched %d/%d of %v in %+v",
+			idx, len(wantEvents), wantEvents, tl.Events)
+	}
+
+	// The stage histograms must have observations for every stage.
+	stageCount := map[string]uint64{}
+	for _, fam := range s.Metrics().Snapshot() {
+		if fam.Name != "senseaid_stage_seconds" {
+			continue
+		}
+		for _, p := range fam.Series {
+			if p.Count != nil {
+				stageCount[p.Labels["stage"]] += *p.Count
+			}
+		}
+	}
+	for _, st := range wantStages {
+		if stageCount[st] == 0 {
+			t.Errorf("senseaid_stage_seconds{stage=%q} has no observations (have %v)", st, stageCount)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"runtime"
 	"time"
 )
@@ -16,22 +17,50 @@ type AdminConfig struct {
 	Addr string
 	// Registry backs /metrics; nil uses Default().
 	Registry *Registry
-	// Health, when set, is consulted by /healthz; a non-nil error turns
-	// the probe into a 503 carrying the error text.
+	// Health, when set, is consulted by /healthz (liveness); a non-nil
+	// error turns the probe into a 503 carrying the error text.
 	Health func() error
+	// Ready, when set, is consulted by /readyz (readiness): a serving
+	// layer returns an error until recovery has completed and its
+	// listener is open. Nil means always ready, preserving the old
+	// single-probe behaviour.
+	Ready func() error
 	// Status, when set, supplies the payload of /statusz (current tasks,
 	// device counts, selection summaries — whatever the serving layer
 	// wants operators to see). The value is rendered as JSON.
 	Status func() any
+	// Tracer, when set, backs /traces with its retained trace ring.
+	Tracer *Tracer
+	// Timeline, when set, backs /tasks with per-task lifecycles.
+	Timeline *TimelineStore
+	// Pprof mounts net/http/pprof under /debug/pprof/ (CPU and heap
+	// profiles, goroutine dumps). Off by default: profiling endpoints
+	// can stall the process and belong behind an operator flag.
+	Pprof bool
 }
 
 // AdminServer is a running admin endpoint: /metrics (Prometheus text, or
-// JSON with ?format=json), /healthz, and /statusz.
+// JSON with ?format=json), /healthz, /readyz, /statusz, /traces, /tasks,
+// and optionally /debug/pprof/.
 type AdminServer struct {
 	ln      net.Listener
 	srv     *http.Server
 	started time.Time
 }
+
+// adminHeaders stamps every admin response: probe and scrape output
+// must never be served stale by an intermediary, and each body names
+// its content type explicitly.
+func adminHeaders(w http.ResponseWriter, contentType string) {
+	h := w.Header()
+	h.Set("Cache-Control", "no-store")
+	h.Set("Content-Type", contentType)
+}
+
+const (
+	ctJSON = "application/json; charset=utf-8"
+	ctText = "text/plain; charset=utf-8"
+)
 
 // ServeAdmin binds the admin endpoint and serves it on a background
 // goroutine until Close.
@@ -48,23 +77,27 @@ func ServeAdmin(cfg AdminConfig) (*AdminServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" {
-			w.Header().Set("Content-Type", "application/json")
+			adminHeaders(w, ctJSON)
 			_ = json.NewEncoder(w).Encode(reg.Snapshot())
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		adminHeaders(w, "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WriteText(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if cfg.Health != nil {
-			if err := cfg.Health(); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
+	probe := func(check func() error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			adminHeaders(w, ctText)
+			if check != nil {
+				if err := check(); err != nil {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
 			}
+			fmt.Fprintln(w, "ok")
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	}
+	mux.HandleFunc("/healthz", probe(cfg.Health))
+	mux.HandleFunc("/readyz", probe(cfg.Ready))
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
 		body := map[string]any{
 			"uptime_seconds": time.Since(a.started).Seconds(),
@@ -74,11 +107,48 @@ func ServeAdmin(cfg AdminConfig) (*AdminServer, error) {
 		if cfg.Status != nil {
 			body["status"] = cfg.Status()
 		}
-		w.Header().Set("Content-Type", "application/json")
+		adminHeaders(w, ctJSON)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(body)
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		adminHeaders(w, ctJSON)
+		recent := cfg.Tracer.Recent()
+		if recent == nil {
+			recent = []TraceRecord{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(recent)
+	})
+	mux.HandleFunc("/tasks", func(w http.ResponseWriter, r *http.Request) {
+		adminHeaders(w, ctJSON)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id := r.URL.Query().Get("id"); id != "" {
+			tl, ok := cfg.Timeline.Get(id)
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				_ = enc.Encode(map[string]string{"error": "unknown task " + id})
+				return
+			}
+			_ = enc.Encode(tl)
+			return
+		}
+		ids := cfg.Timeline.Tasks()
+		if ids == nil {
+			ids = []string{}
+		}
+		_ = enc.Encode(map[string]any{"tasks": ids})
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func getBody(t *testing.T, url string) (int, string) {
@@ -97,5 +98,136 @@ func TestAdminEndpoints(t *testing.T) {
 func TestAdminRequiresAddr(t *testing.T) {
 	if _, err := ServeAdmin(AdminConfig{}); err == nil {
 		t.Fatal("empty addr accepted")
+	}
+}
+
+func getResp(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+func TestAdminTracesTasksReadyAndHeaders(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(TracerConfig{Registry: reg})
+	tl := NewTimelineStore(0, 0)
+
+	root := tr.StartTrace("submit", "")
+	tr.StartSpan(root.Context(), "schedule", "west").Finish()
+	root.Finish()
+	tr.Complete(root.Context().Trace)
+	tl.Note("task-1", "submitted", "", time.Now())
+	tl.Bind("task-1", root.Context().Trace.String())
+
+	ready := false
+	a, err := ServeAdmin(AdminConfig{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Ready: func() error {
+			if !ready {
+				return fmt.Errorf("recovery in progress")
+			}
+			return nil
+		},
+		Tracer:   tr,
+		Timeline: tl,
+		Pprof:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	base := "http://" + a.Addr()
+
+	// Every admin response is uncacheable and names its content type.
+	for path, wantCT := range map[string]string{
+		"/metrics": "text/plain; version=0.0.4; charset=utf-8",
+		"/statusz": "application/json; charset=utf-8",
+		"/traces":  "application/json; charset=utf-8",
+		"/tasks":   "application/json; charset=utf-8",
+		"/healthz": "text/plain; charset=utf-8",
+	} {
+		resp, _ := getResp(t, base+path)
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", path, cc)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != wantCT {
+			t.Errorf("%s Content-Type = %q, want %q", path, ct, wantCT)
+		}
+	}
+
+	// /readyz is 503 until the serving layer flips, while /healthz
+	// (liveness) stays 200 throughout.
+	resp, body := getResp(t, base+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "recovery in progress") {
+		t.Fatalf("/readyz before ready = %d %q", resp.StatusCode, body)
+	}
+	if code, _ := getBody(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz not 200 during recovery: %d", code)
+	}
+	ready = true
+	if code, body := getBody(t, base+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/readyz after ready = %d %q", code, body)
+	}
+
+	// /traces returns the retained trace with its spans.
+	_, body = getResp(t, base+"/traces")
+	var traces []TraceRecord
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/traces unparseable: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || traces[0].TraceID != root.Context().Trace.String() || !traces[0].Complete {
+		t.Fatalf("/traces = %+v", traces)
+	}
+
+	// /tasks lists tasks; /tasks?id= returns one timeline; unknown is 404.
+	_, body = getResp(t, base+"/tasks")
+	if !strings.Contains(body, "task-1") {
+		t.Fatalf("/tasks = %s", body)
+	}
+	resp, body = getResp(t, base+"/tasks?id=task-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/tasks?id= status %d", resp.StatusCode)
+	}
+	var timeline TaskTimeline
+	if err := json.Unmarshal([]byte(body), &timeline); err != nil {
+		t.Fatalf("/tasks?id= unparseable: %v", err)
+	}
+	if timeline.TraceID != root.Context().Trace.String() || len(timeline.Events) != 1 {
+		t.Fatalf("timeline = %+v", timeline)
+	}
+	if resp, _ := getResp(t, base+"/tasks?id=nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown task status = %d", resp.StatusCode)
+	}
+
+	// pprof is mounted when enabled.
+	if code, body := getBody(t, base+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d %q", code, body)
+	}
+}
+
+func TestAdminPprofOffByDefault(t *testing.T) {
+	a, err := ServeAdmin(AdminConfig{Addr: "127.0.0.1:0", Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	if code, _ := getBody(t, "http://"+a.Addr()+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without -pprof = %d, want 404", code)
+	}
+	// /traces and /tasks degrade gracefully with no tracer/timeline.
+	if code, body := getBody(t, "http://"+a.Addr()+"/traces"); code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("/traces without tracer = %d %q", code, body)
+	}
+	if code, _ := getBody(t, "http://"+a.Addr()+"/tasks"); code != http.StatusOK {
+		t.Fatalf("/tasks without timeline = %d", code)
 	}
 }

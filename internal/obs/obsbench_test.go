@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// benchTracer builds a tracer with metrics attached (the production
+// shape: every span finish feeds a stage histogram) at the given rate.
+func benchTracer(rate float64) *Tracer {
+	return NewTracer(TracerConfig{
+		Registry:      NewRegistry(),
+		SampleRate:    rate,
+		SampleRateSet: true,
+	})
+}
+
+// BenchmarkSpanUnsampled measures the fast path every request pays when
+// its trace lost the sampling coin flip: start a child span, finish it,
+// observe the stage histogram. The gate in TestRecordObsBench requires
+// this path to be allocation-free.
+func BenchmarkSpanUnsampled(b *testing.B) {
+	tr := benchTracer(0)
+	root := tr.StartTrace("submit", "")
+	ctx := root.Context()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.StartSpan(ctx, "schedule", "").Finish()
+	}
+}
+
+// BenchmarkSpanSampled measures the retained path: the span is appended
+// to its active trace under the tracer lock. Allocations are expected
+// here (span records, ID hex) — the bench exists to keep the cost in
+// view, not to forbid it.
+func BenchmarkSpanSampled(b *testing.B) {
+	tr := benchTracer(1)
+	root := tr.StartTrace("submit", "")
+	ctx := root.Context()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.StartSpan(ctx, "schedule", "").Finish()
+	}
+}
+
+// BenchmarkStartTraceUnsampled measures minting a trace that loses the
+// sampling decision — the per-submit cost at low sample rates.
+func BenchmarkStartTraceUnsampled(b *testing.B) {
+	tr := benchTracer(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.StartTrace("submit", "").Finish()
+	}
+}
+
+// obsBenchRecord is one measured case in BENCH_obs.json.
+type obsBenchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestRecordObsBench runs the span-path benchmarks and writes
+// BENCH_obs.json so the tracing overhead trajectory is recorded in CI.
+// Gated on SENSEAID_BENCH_OUT (ci.sh sets it); besides recording, it
+// FAILS when the unsampled span start/finish path allocates at all —
+// that path runs on every request at production sample rates, so any
+// allocation there is a regression.
+func TestRecordObsBench(t *testing.T) {
+	out := os.Getenv("SENSEAID_BENCH_OUT")
+	if out == "" {
+		t.Skip("SENSEAID_BENCH_OUT not set; benchmark recording runs from ci.sh")
+	}
+	cases := []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"span-unsampled", BenchmarkSpanUnsampled},
+		{"span-sampled", BenchmarkSpanSampled},
+		{"start-trace-unsampled", BenchmarkStartTraceUnsampled},
+	}
+	var records []obsBenchRecord
+	byName := make(map[string]obsBenchRecord)
+	for _, c := range cases {
+		res := testing.Benchmark(c.run)
+		rec := obsBenchRecord{
+			Name:        c.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		records = append(records, rec)
+		byName[rec.Name] = rec
+		t.Logf("%s: %.0f ns/op, %d allocs/op, %d B/op", rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp)
+	}
+
+	// Gate: the unsampled paths must not allocate.
+	for _, name := range []string{"span-unsampled", "start-trace-unsampled"} {
+		if rec := byName[name]; rec.AllocsPerOp != 0 {
+			t.Errorf("%s allocates %d/op (%d B/op), want 0 — the unsampled fast path regressed",
+				name, rec.AllocsPerOp, rec.BytesPerOp)
+		}
+	}
+
+	doc := struct {
+		Benchmark string           `json:"benchmark"`
+		Go        string           `json:"go"`
+		Gate      string           `json:"gate"`
+		Cases     []obsBenchRecord `json:"cases"`
+	}{
+		Benchmark: "BenchmarkSpan* (internal/obs)",
+		Go:        runtime.Version(),
+		Gate:      "span-unsampled and start-trace-unsampled must be 0 allocs/op",
+		Cases:     records,
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

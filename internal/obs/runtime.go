@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// memStatsCache amortises runtime.ReadMemStats across the runtime
+// gauges: one scrape evaluates several GaugeFuncs, and ReadMemStats
+// stops the world, so the reading is shared for a short TTL.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	ttl  time.Duration
+	stat runtime.MemStats
+}
+
+func (c *memStatsCache) get() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > c.ttl {
+		runtime.ReadMemStats(&c.stat)
+		c.at = time.Now()
+	}
+	return c.stat
+}
+
+// RegisterRuntimeMetrics installs process-health gauges on reg:
+//
+//	senseaid_go_goroutines         current goroutine count
+//	senseaid_go_heap_bytes         bytes of allocated heap objects
+//	senseaid_go_gc_pause_p99_seconds  p99 of recent GC stop-the-world pauses
+//
+// Values are read lazily at exposition time; heap and GC figures share
+// one cached MemStats read per scrape.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		reg = Default()
+	}
+	cache := &memStatsCache{ttl: time.Second}
+	reg.GaugeFunc("senseaid_go_goroutines",
+		"Number of live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("senseaid_go_heap_bytes",
+		"Bytes of allocated heap objects.", nil,
+		func() float64 { return float64(cache.get().HeapAlloc) })
+	reg.GaugeFunc("senseaid_go_gc_pause_p99_seconds",
+		"99th percentile of recent GC stop-the-world pauses.", nil,
+		func() float64 { return gcPauseP99(cache.get()) })
+}
+
+// gcPauseP99 estimates the p99 GC pause from the MemStats pause ring
+// (the most recent 256 pauses, or fewer early in the process's life).
+func gcPauseP99(m runtime.MemStats) float64 {
+	n := int(m.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(m.PauseNs) {
+		n = len(m.PauseNs)
+	}
+	pauses := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		pauses = append(pauses, m.PauseNs[i])
+	}
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (99*len(pauses) - 1) / 100
+	if idx < 0 {
+		idx = 0
+	}
+	return float64(pauses[idx]) / 1e9
+}

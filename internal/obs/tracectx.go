@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID names one end-to-end request journey: 128 bits, rendered as 32
+// lowercase hex digits on the wire and in logs (the W3C traceparent shape,
+// minus the version/flags framing the JSON protocol doesn't need).
+type TraceID [16]byte
+
+// SpanID names one operation within a trace: 64 bits, 16 hex digits.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is unset.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the ID is unset.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as lowercase hex. Zero IDs render as "".
+func (id TraceID) String() string {
+	if id.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(id[:])
+}
+
+// String renders the ID as lowercase hex. Zero IDs render as "".
+func (id SpanID) String() string {
+	if id.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(id[:])
+}
+
+// ParseTraceID decodes a 32-hex-digit trace ID. Returns false for "",
+// wrong lengths, or non-hex input — callers treat all three as "no
+// context supplied" rather than errors, so a buggy peer degrades to an
+// untraced request instead of a rejected one.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return id, !id.IsZero()
+}
+
+// ParseSpanID decodes a 16-hex-digit span ID.
+func ParseSpanID(s string) (SpanID, bool) {
+	var id SpanID
+	if len(s) != 2*len(id) {
+		return SpanID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, false
+	}
+	return id, !id.IsZero()
+}
+
+// TraceContext is the pair propagated across the wire and between
+// layers: which trace a message belongs to and which span caused it.
+type TraceContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context carries a trace (the span may be
+// zero: a trace ID alone still joins the request to its journey).
+func (c TraceContext) Valid() bool { return !c.Trace.IsZero() }
+
+// ParseTraceContext rebuilds a context from its wire form. A missing or
+// malformed trace ID yields an invalid (zero) context.
+func ParseTraceContext(traceID, spanID string) TraceContext {
+	t, ok := ParseTraceID(traceID)
+	if !ok {
+		return TraceContext{}
+	}
+	c := TraceContext{Trace: t}
+	c.Span, _ = ParseSpanID(spanID)
+	return c
+}
+
+// idGen mints IDs from a splitmix64 stream over an atomic counter: no
+// locks, no allocation, and unique-enough output for correlating traces
+// (this is an identifier generator, not a CSPRNG).
+type idGen struct {
+	state atomic.Uint64
+}
+
+func (g *idGen) seed(v uint64) { g.state.Store(v) }
+
+func (g *idGen) next() uint64 {
+	z := g.state.Add(0x9E3779B97F4A7C15)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (g *idGen) traceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:8], g.next())
+		binary.BigEndian.PutUint64(id[8:], g.next())
+	}
+	return id
+}
+
+func (g *idGen) spanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:], g.next())
+	}
+	return id
+}
+
+// seedFromClock derives a per-tracer seed; mixing the monotonic clock
+// reading keeps two tracers started in the same nanosecond apart.
+func seedFromClock() uint64 {
+	now := time.Now()
+	return uint64(now.UnixNano()) ^ uint64(now.Nanosecond())<<32 ^ 0xD1B54A32D192ED03
+}

@@ -24,6 +24,39 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'})
 	f.Add([]byte(`{"type":"ack"}`))
 
+	// Frames with and without trace-context fields: a schedule carrying
+	// trace_id/span_id, the same schedule without them (an old peer), a
+	// device upload echoing the context, and near-miss corruptions of
+	// the trace fields themselves (wrong length, non-hex, wrong type).
+	frame := func(t MsgType, payload interface{}) []byte {
+		env, err := Encode(t, 7, payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := WriteFrame(&b, env); err != nil {
+			f.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	traced := Schedule{
+		RequestID: "task-1#0",
+		TaskID:    "task-1",
+		TraceID:   "00112233445566778899aabbccddeeff",
+		SpanID:    "0123456789abcdef",
+	}
+	plain := traced
+	plain.TraceID, plain.SpanID = "", ""
+	f.Add(frame(TypeSchedule, traced))
+	f.Add(frame(TypeSchedule, plain))
+	f.Add(frame(TypeSenseData, SenseData{
+		RequestID: "task-1#0",
+		TraceID:   traced.TraceID,
+		SpanID:    traced.SpanID,
+	}))
+	f.Add(frame(TypeSubmitTask, TaskSpec{TraceID: "zz", SpanID: "tooshort"}))
+	f.Add([]byte(`{"type":"schedule","payload":{"trace_id":12345,"span_id":{}}}`))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {

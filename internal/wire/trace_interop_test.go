@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"senseaid/internal/sensors"
+)
+
+// oldSchedule is the pre-trace frame shape, as an old peer would encode
+// and decode it: no trace_id/span_id fields at all.
+type oldSchedule struct {
+	RequestID string       `json:"request_id"`
+	TaskID    string       `json:"task_id"`
+	Sensor    sensors.Type `json:"sensor"`
+}
+
+// TestTraceFieldInterop pins the compatibility contract for the trace
+// context fields: old frames decode into the new structs with empty
+// context, and new frames decode on old peers with the context silently
+// dropped — in both directions through the real frame codec.
+func TestTraceFieldInterop(t *testing.T) {
+	const (
+		traceID = "00112233445566778899aabbccddeeff"
+		spanID  = "0123456789abcdef"
+	)
+
+	// Old peer -> new decoder: no trace fields means empty context.
+	env, err := Encode(TypeSchedule, 1, oldSchedule{RequestID: "task-1#0", TaskID: "task-1", Sensor: sensors.Barometer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sch Schedule
+	if err := Decode(got, &sch); err != nil {
+		t.Fatalf("new decoder rejected old frame: %v", err)
+	}
+	if sch.RequestID != "task-1#0" || sch.TraceID != "" || sch.SpanID != "" {
+		t.Fatalf("old frame decoded as %+v", sch)
+	}
+
+	// New peer -> old decoder: trace fields are unknown keys, ignored.
+	env, err = Encode(TypeSchedule, 2, Schedule{
+		RequestID: "task-1#0", TaskID: "task-1", Sensor: sensors.Barometer,
+		TraceID: traceID, SpanID: spanID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old oldSchedule
+	if err := Decode(got, &old); err != nil {
+		t.Fatalf("old decoder rejected traced frame: %v", err)
+	}
+	if old.RequestID != "task-1#0" || old.TaskID != "task-1" {
+		t.Fatalf("traced frame decoded as %+v", old)
+	}
+
+	// New peer -> new decoder: context survives the round trip on every
+	// frame that carries it.
+	roundTrip := func(typ MsgType, in, out interface{}) {
+		t.Helper()
+		env, err := Encode(typ, 3, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := WriteFrame(&b, env); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(&b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Decode(got, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sch2 Schedule
+	roundTrip(TypeSchedule, Schedule{RequestID: "r", TraceID: traceID, SpanID: spanID}, &sch2)
+	if sch2.TraceID != traceID || sch2.SpanID != spanID {
+		t.Fatalf("Schedule context lost: %+v", sch2)
+	}
+	var sd SenseData
+	roundTrip(TypeSenseData, SenseData{RequestID: "r", TraceID: traceID, SpanID: spanID}, &sd)
+	if sd.TraceID != traceID || sd.SpanID != spanID {
+		t.Fatalf("SenseData context lost: %+v", sd)
+	}
+	var spec TaskSpec
+	roundTrip(TypeSubmitTask, TaskSpec{Sensor: sensors.Barometer, TraceID: traceID, SpanID: spanID}, &spec)
+	if spec.TraceID != traceID || spec.SpanID != spanID {
+		t.Fatalf("TaskSpec context lost: %+v", spec)
+	}
+	var out SensedData
+	roundTrip(TypeSensedData, SensedData{TaskID: "t", TraceID: traceID, SpanID: spanID}, &out)
+	if out.TraceID != traceID || out.SpanID != spanID {
+		t.Fatalf("SensedData context lost: %+v", out)
+	}
+
+	// Empty context never appears on the wire (omitempty keeps old
+	// parsers that are strict about unknown keys happy and frames small).
+	env, err = Encode(TypeSchedule, 4, Schedule{RequestID: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(env.Payload, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["trace_id"]; ok {
+		t.Fatal("empty trace_id serialized")
+	}
+	if _, ok := raw["span_id"]; ok {
+		t.Fatal("empty span_id serialized")
+	}
+}

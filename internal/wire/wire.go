@@ -117,12 +117,20 @@ type StateReport struct {
 }
 
 // Schedule asks a device to sense and upload for one request.
+//
+// TraceID/SpanID carry the task's trace context to the device; a
+// well-behaved client echoes them on the resulting SenseData so the
+// upload joins the trace. Both are optional — old peers that omit them
+// (and old servers that ignore them) interoperate unchanged, because
+// the JSON codec drops unknown fields and omits empty ones.
 type Schedule struct {
 	RequestID string       `json:"request_id"`
 	TaskID    string       `json:"task_id"`
 	Sensor    sensors.Type `json:"sensor"`
 	Due       time.Time    `json:"due"`
 	Deadline  time.Time    `json:"deadline"`
+	TraceID   string       `json:"trace_id,omitempty"`
+	SpanID    string       `json:"span_id,omitempty"`
 }
 
 // SenseData carries one reading from a device. Path records how the
@@ -133,6 +141,9 @@ type SenseData struct {
 	RequestID string          `json:"request_id"`
 	Reading   sensors.Reading `json:"reading"`
 	Path      string          `json:"path,omitempty"`
+	// TraceID/SpanID echo the Schedule's trace context (optional).
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // Upload path values for SenseData.Path.
@@ -157,6 +168,10 @@ type TaskSpec struct {
 	AreaRadiusM      float64       `json:"area_radius"`
 	SpatialDensity   int           `json:"spatial_density"`
 	DeviceType       string        `json:"device_type,omitempty"`
+	// TraceID/SpanID, when set by a CAS that traces its own requests,
+	// become the identity of the server-side trace (optional).
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // UpdateTask mutates an existing task's parameters; zero fields are left
@@ -179,6 +194,10 @@ type SensedData struct {
 	TaskID   string          `json:"task_id"`
 	DeviceID string          `json:"device_id"`
 	Reading  sensors.Reading `json:"reading"`
+	// TraceID/SpanID carry the delivery's trace context back to the
+	// CAS (optional), closing the submit → delivery loop.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // Encode marshals a payload into an envelope.
