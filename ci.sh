@@ -40,6 +40,14 @@ go test -count=1 -run '^TestCrashRestartBinaryEndToEnd$' .
 SENSEAID_BENCH_OUT="$PWD/BENCH_obs.json" \
     go test -run '^TestRecordObsBench$' -count=1 -v ./internal/obs
 
+# Wire benchmark record: measures encode+frame+read+decode for the hot
+# schedule/upload shapes under the JSON and binary codecs plus the write
+# coalescer's syscall batching, writes BENCH_wire.json, and FAILS when
+# binary loses its 2x frame-size edge, stops allocating less than JSON,
+# or coalescing stops halving write syscalls (see TestRecordWireBench).
+SENSEAID_BENCH_OUT="$PWD/BENCH_wire.json" \
+    go test -run '^TestRecordWireBench$' -count=1 -v ./internal/wire
+
 # Recovery benchmark record: replays a 10k-record journal at boot,
 # writes BENCH_recovery.json, and FAILS when recovery exceeds its
 # wall-clock budget (see TestRecordRecoveryBench).
@@ -63,4 +71,21 @@ done
 [ -n "$addr" ]
 "$tmp/senseaid-loadgen" -addr "$addr" -devices 1000 -duration 5s \
     -tasks 4 -density 5 -period 1s -min-selections 1
+kill $srv_pid 2>/dev/null || true
+
+# Wire v2 smoke: 5k device connections speaking the binary codec against
+# a server with write coalescing and a bounded RPC worker pool — the
+# production transport configuration at 5x the plain smoke's scale.
+"$tmp/senseaidd" -addr 127.0.0.1:0 -tick 100ms \
+    -codec binary -coalesce-interval 2ms -rpc-workers 64 > "$tmp/senseaidd2.out" &
+srv_pid=$!
+addr=
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^sense-aid server listening on //p' "$tmp/senseaidd2.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ]
+"$tmp/senseaid-loadgen" -addr "$addr" -devices 5000 -duration 5s \
+    -codec binary -tasks 4 -density 5 -period 1s -min-selections 1
 kill $srv_pid 2>/dev/null || true

@@ -122,7 +122,27 @@ func run() error {
 	traceOut := flag.Bool("trace", false, "scrape the admin /traces ring after the run and print per-stage p50/p99 (requires -metrics-url)")
 	dialWorkers := flag.Int("dial-workers", 64, "concurrent connection setups")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
+	codecName := flag.String("codec", "json", "wire codec devices request: json, binary, or mixed (every other device binary — exercises cross-codec interop)")
 	flag.Parse()
+
+	deviceCodec := func(i int) string {
+		switch *codecName {
+		case "json", "binary":
+			return *codecName
+		case "mixed":
+			if i%2 == 0 {
+				return "binary"
+			}
+			return "json"
+		default:
+			return ""
+		}
+	}
+	switch *codecName {
+	case "json", "binary", "mixed":
+	default:
+		return fmt.Errorf("unknown -codec %q (want json, binary, or mixed)", *codecName)
+	}
 
 	if *devices <= 0 || *tasks < 0 || *density <= 0 || *dialWorkers <= 0 {
 		return fmt.Errorf("devices, density and dial-workers must be positive")
@@ -169,6 +189,7 @@ func run() error {
 					Position:   positions[i],
 					BatteryPct: float64(30 + i%70),
 					Sensors:    []sensors.Type{sensors.Barometer},
+					Codec:      deviceCodec(i),
 				})
 				if err != nil {
 					regFailed.Add(1)
@@ -277,7 +298,13 @@ func run() error {
 	}
 
 	// Phase 4: the CAS side — submit the tasks and count deliveries.
-	appSrv, err := cas.Dial(*addr)
+	// The CAS connection follows the run's codec (mixed runs binary:
+	// the delivery fan-out is where the compact framing pays most).
+	casCodec := ""
+	if *codecName != "json" {
+		casCodec = "binary"
+	}
+	appSrv, err := cas.DialCodec(*addr, casCodec)
 	if err != nil {
 		return fmt.Errorf("cas dial: %w", err)
 	}

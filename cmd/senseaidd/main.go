@@ -7,8 +7,16 @@
 //	senseaidd [-addr host:port] [-metrics-addr host:port] [-tick duration]
 //	          [-handshake-timeout duration] [-idle-timeout duration]
 //	          [-state-dir path] [-state-recover] [-snapshot-interval duration]
+//	          [-codec binary|json] [-coalesce-interval duration] [-rpc-workers n]
 //	          [-regions name@lat,lon,radiusM]... [-pprof]
 //	          [-trace-sample rate] [-trace-slow duration] [-v] [-vv]
+//
+// -codec caps the wire encoding the server will negotiate: "binary"
+// (default) lets v2 clients use the compact binary framing while v1
+// clients keep speaking JSON; "json" pins every connection to v1.
+// -coalesce-interval batches schedule/delivery pushes per connection so
+// bursts share one write syscall; -rpc-workers bounds concurrent RPC
+// handling (overflow is shed with senseaid_rpc_shed_total).
 //
 // With -state-dir set, the server is durable: scheduling state is
 // snapshotted there and every mutation journaled between snapshots, so
@@ -52,6 +60,7 @@ import (
 	"senseaid/internal/geo"
 	"senseaid/internal/netserver"
 	"senseaid/internal/obs"
+	"senseaid/internal/wire"
 )
 
 // regionList collects repeated -regions flags of the form
@@ -107,6 +116,9 @@ func run() error {
 	stateDir := flag.String("state-dir", "", "directory for durable scheduling state; a restarted server resumes its campaigns (empty runs in-memory)")
 	stateRecover := flag.Bool("state-recover", false, "move corrupt state files aside and start fresh instead of refusing to start")
 	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "how often to fold the journal into a fresh snapshot (negative disables the periodic loop)")
+	codec := flag.String("codec", "binary", "newest wire codec to negotiate: binary (v2) or json (pins every connection to v1)")
+	coalesceInterval := flag.Duration("coalesce-interval", 2*time.Millisecond, "batch schedule/delivery pushes per connection for up to this long so bursts share one write syscall (0 disables)")
+	rpcWorkers := flag.Int("rpc-workers", 0, "max concurrent RPC handlers across all connections (0 sizes from CPU count, negative runs handlers inline)")
 	var regions regionList
 	flag.Var(&regions, "regions", "edge region as name@lat,lon,radiusM (repeatable; two or more shard the deployment)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the admin endpoint")
@@ -168,11 +180,19 @@ func run() error {
 		fmt.Printf("admin endpoint on http://%s/metrics\n", admin.Addr())
 	}
 
+	maxCodec, err := wire.CodecByName(*codec)
+	if err != nil {
+		return err
+	}
+
 	srv, err := netserver.Listen(netserver.Config{
 		Addr:             *addr,
 		TickPeriod:       *tick,
 		HandshakeTimeout: *handshakeTimeout,
 		IdleTimeout:      *idleTimeout,
+		MaxWireVersion:   maxCodec.Version(),
+		CoalesceInterval: *coalesceInterval,
+		RPCWorkers:       *rpcWorkers,
 		Logger:           logger,
 		LogLevel:         level,
 		Metrics:          obs.Default(),

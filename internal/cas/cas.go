@@ -27,17 +27,29 @@ type CAS struct {
 	backlog []wire.SensedData
 }
 
-// Dial connects a CAS to the Sense-Aid server.
+// Dial connects a CAS to the Sense-Aid server with the default v1 JSON
+// codec.
 func Dial(addr string) (*CAS, error) {
+	return DialCodec(addr, "")
+}
+
+// DialCodec connects requesting a named wire codec: "json" (the default
+// when empty) or "binary" (the compact v2 framing). A server capped at
+// v1 keeps the connection on JSON.
+func DialCodec(addr, codec string) (*CAS, error) {
 	if addr == "" {
 		return nil, fmt.Errorf("cas: empty server address")
+	}
+	cd, err := wire.CodecByName(codec)
+	if err != nil {
+		return nil, fmt.Errorf("cas: %w", err)
 	}
 	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("cas: dial %s: %w", addr, err)
 	}
 	c := &CAS{}
-	rc, err := wire.NewRPCConn(nc, wire.RoleCAS, c.onPush)
+	rc, err := wire.NewRPCConnCfg(nc, wire.RoleCAS, c.onPush, wire.ConnConfig{Codec: cd})
 	if err != nil {
 		_ = nc.Close()
 		return nil, err

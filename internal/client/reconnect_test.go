@@ -102,10 +102,10 @@ func TestDaemonSurvivesFlakyLink(t *testing.T) {
 			return nil, err
 		}
 		seed++
-		// Client writes per frame are header+body: hello = 1-2,
-		// register = 3-4, then state reports at 2 writes each — every
-		// connection dies on its second report.
-		return faultconn.Wrap(nc, faultconn.Policy{Seed: seed, DropAfterWrites: 7}), nil
+		// Client writes: the hello is raw header+body framing = 1-2,
+		// register is one coalesced flush = 3, then state reports at one
+		// write each — every connection dies on its second report.
+		return faultconn.Wrap(nc, faultconn.Policy{Seed: seed, DropAfterWrites: 5}), nil
 	}
 	d, err := StartDaemon(cfg)
 	if err != nil {

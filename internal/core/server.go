@@ -546,6 +546,15 @@ func (s *Server) ProcessDue(now time.Time) {
 	var out []outbound
 	s.mu.Lock()
 	s.processDueLocked(now, &out)
+	// Snapshot each outbound request's task while still under the lock:
+	// the dispatcher runs after release and may hold the request past a
+	// flush delay, while update_task_param rewrites the live *Task in
+	// place. Strings and times are immutable, so a shallow copy is a
+	// consistent read-only view.
+	for i := range out {
+		t := *out[i].req.Task
+		out[i].req.Task = &t
+	}
 	s.syncGauges()
 	recs := s.jtake()
 	s.mu.Unlock()

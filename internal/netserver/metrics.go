@@ -30,6 +30,7 @@ type netMetrics struct {
 
 	handshakeTimeouts *obs.Counter
 	idleDisconnects   *obs.Counter
+	rpcShed           *obs.Counter
 
 	// Durability series (all zero when no state directory is set).
 	restartsTotal         *obs.Counter
@@ -76,6 +77,8 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 			"Connections dropped for not completing the hello in time.", nil),
 		idleDisconnects: reg.Counter("senseaid_net_idle_disconnects_total",
 			"Device connections dropped after the idle timeout.", nil),
+		rpcShed: reg.Counter("senseaid_rpc_shed_total",
+			"Messages rejected because the RPC worker queue stayed full past the backpressure wait.", nil),
 		restartsTotal: reg.Counter("senseaid_restarts_total",
 			"Process starts against this state directory after the first.", nil),
 		recoveryLastUnix: reg.Gauge("senseaid_recovery_last_unix",

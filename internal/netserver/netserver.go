@@ -6,6 +6,7 @@
 package netserver
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"log"
@@ -58,6 +59,27 @@ type Config struct {
 	// surfaces as a send error instead of wedging the writer. Default
 	// 5 s.
 	WriteTimeout time.Duration
+	// MaxWireVersion caps the protocol revision the server will
+	// negotiate: 1 pins every connection to the v1 JSON codec, 2 (the
+	// default when zero) lets peers that ask for it use the v2 binary
+	// codec. Versions outside {1, 2} in a peer's Hello are rejected
+	// either way.
+	MaxWireVersion int
+	// CoalesceInterval batches server-initiated pushes (schedules,
+	// sensed-data deliveries) per connection for up to this long so a
+	// burst shares one write syscall. RPC responses always flush
+	// immediately. 0 disables coalescing.
+	CoalesceInterval time.Duration
+	// RPCWorkers bounds how many RPC handlers run concurrently across
+	// all connections (per-connection ordering is preserved). 0 sizes
+	// the pool from the CPU count; negative disables the pool and runs
+	// handlers inline in each connection's read loop.
+	RPCWorkers int
+	// RPCQueue is the pending-handler queue depth behind the worker
+	// pool; when it stays full past a short backpressure wait the
+	// message is shed with an error reply (senseaid_rpc_shed_total).
+	// 0 means 8x RPCWorkers.
+	RPCQueue int
 	// WrapConn, when set, wraps every accepted connection before the
 	// server reads from it — the fault-injection hook the resilience
 	// tests use (see internal/faultconn). Nil in production.
@@ -127,6 +149,10 @@ type Server struct {
 	tracer   *obs.Tracer
 	timeline *obs.TimelineStore
 
+	// pool bounds concurrent RPC handling; nil runs handlers inline
+	// (Config.RPCWorkers < 0).
+	pool *workerPool
+
 	// connMu guards only the connection fan-out maps — pure transport
 	// bookkeeping, never held across a core call or a socket write.
 	connMu  sync.Mutex
@@ -143,24 +169,48 @@ type Server struct {
 	closeMu sync.Once
 }
 
-// conn is one peer connection with serialized writes.
+// conn is one peer connection. Until the Hello exchange finishes it
+// writes raw v1 JSON frames under writeMu; once the codec is negotiated
+// all writes go through the coalescer, which serialises them and batches
+// pushes into shared syscalls.
 type conn struct {
 	nc           net.Conn
+	br           *bufio.Reader
+	codec        wire.Codec
+	co           *wire.Coalescer
 	writeTimeout time.Duration
 	writeMu      sync.Mutex
 }
 
+// send writes one frame that the peer is waiting on (a response): it
+// flushes immediately, carrying along any coalesced pushes.
 func (c *conn) send(t wire.MsgType, seq uint64, payload interface{}) error {
-	env, err := wire.Encode(t, seq, payload)
+	env, err := c.codec.Encode(t, seq, payload)
 	if err != nil {
 		return err
 	}
+	if c.co != nil {
+		return c.co.Send(env, true, nil)
+	}
+	// Pre-negotiation: the Hello exchange is always v1 JSON framing.
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	if err := c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
 		return fmt.Errorf("netserver: set deadline: %w", err)
 	}
 	return wire.WriteFrame(c.nc, env)
+}
+
+// notify queues one server-initiated push. done fires exactly once with
+// the frame's outcome — synchronously when coalescing is off, after the
+// flush tick (at most the coalesce interval later) when it is on.
+func (c *conn) notify(t wire.MsgType, payload interface{}, done func(error)) {
+	env, err := c.codec.Encode(t, 0, payload)
+	if err != nil {
+		done(err)
+		return
+	}
+	_ = c.co.Send(env, false, done)
 }
 
 func (c *conn) sendErr(seq uint64, err error) {
@@ -187,6 +237,9 @@ func Listen(cfg Config) (*Server, error) {
 	}
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 5 * time.Second
+	}
+	if cfg.MaxWireVersion == 0 {
+		cfg.MaxWireVersion = wire.ProtocolVersionBinary
 	}
 	if cfg.SnapshotInterval == 0 {
 		cfg.SnapshotInterval = time.Minute
@@ -278,6 +331,12 @@ func Listen(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("netserver: listen %s: %w", cfg.Addr, err)
 	}
 	s.ln = ln
+
+	// The pool starts only once nothing can fail anymore: its workers
+	// live until shutdown closes the queue.
+	if cfg.RPCWorkers >= 0 {
+		s.pool = newWorkerPool(cfg.RPCWorkers, cfg.RPCQueue, 0, s.met.rpcShed)
+	}
 
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -379,6 +438,11 @@ func (s *Server) shutdown(graceful bool) error {
 		}
 		s.connMu.Unlock()
 		s.wg.Wait()
+		// Every connection goroutine has exited, so nothing can submit to
+		// the pool anymore; drain the workers before touching state.
+		if s.pool != nil {
+			s.pool.close()
+		}
 		if s.pers != nil {
 			if graceful {
 				// All handlers have exited, so this snapshot is the complete
@@ -414,7 +478,12 @@ func (s *Server) acceptLoop() {
 		if s.cfg.WrapConn != nil {
 			nc = s.cfg.WrapConn(nc)
 		}
-		c := &conn{nc: nc, writeTimeout: s.cfg.WriteTimeout}
+		c := &conn{
+			nc:           nc,
+			br:           bufio.NewReaderSize(nc, 16<<10),
+			codec:        wire.JSON,
+			writeTimeout: s.cfg.WriteTimeout,
+		}
 		s.connMu.Lock()
 		s.conns[c] = true
 		s.connMu.Unlock()
@@ -471,27 +540,36 @@ func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
 	// upload echoes it — the hop that joins the device connection into
 	// the trace.
 	spanCtx := span.Context()
-	err := c.send(wire.TypeSchedule, 0, wire.Schedule{
-		RequestID: req.ID(),
-		TaskID:    string(req.Task.ID),
+	// The push may ride a coalesced flush, so the outcome arrives in a
+	// callback (at most the coalesce interval later). The failure path
+	// must still reach the core: without the report it would believe the
+	// request pending until its deadline. The callback captures plain
+	// strings, not req — req.Task aliases core state that an
+	// update_task_param may rewrite before the flush completes.
+	reqID, taskID, devID := req.ID(), string(req.Task.ID), dev.ID
+	c.notify(wire.TypeSchedule, wire.Schedule{
+		RequestID: reqID,
+		TaskID:    taskID,
 		Sensor:    req.Task.Sensor,
 		Due:       req.Due,
 		Deadline:  req.Deadline,
 		TraceID:   spanCtx.Trace.String(),
 		SpanID:    spanCtx.Span.String(),
+	}, func(err error) {
+		if err != nil {
+			s.log.Errorf("dispatch %s to %s: %v", reqID, devID, err)
+			// A failed or timed-out write leaves the stream unframeable;
+			// the coalescer already closed the conn, which unblocks the
+			// connection's read loop so the device entry is reclaimed, and
+			// the daemon's reconnect takes over.
+			_ = c.nc.Close()
+			s.core.NoteDispatchFailure(reqID, devID)
+			span.FinishErr(err)
+			return
+		}
+		span.Finish()
+		s.timeline.Note(taskID, "dispatched", devID, s.clock.Now())
 	})
-	if err != nil {
-		s.log.Errorf("dispatch %s to %s: %v", req.ID(), dev.ID, err)
-		// A failed or timed-out write leaves the stream unframeable;
-		// closing it unblocks the connection's read loop so the device
-		// entry is reclaimed, and the daemon's reconnect takes over.
-		_ = c.nc.Close()
-		s.core.NoteDispatchFailure(req.ID(), dev.ID)
-		span.FinishErr(err)
-		return
-	}
-	span.Finish()
-	s.timeline.Note(string(req.Task.ID), "dispatched", dev.ID, s.clock.Now())
 }
 
 // casSink builds the data sink for a task: deliver to whichever CAS
@@ -533,27 +611,32 @@ func (s *Server) deliverToCAS(tid core.TaskID, dev string, r sensors.Reading) {
 	}
 	span := s.tracer.StartSpan(traceCtx, obs.StageDeliver, "")
 	spanCtx := span.Context()
-	if e := c.send(wire.TypeSensedData, 0, wire.SensedData{
+	// Deliveries fan out in bursts (one reading per selected device per
+	// round), so they take the coalesced path; the outcome callback may
+	// run up to the coalesce interval later.
+	c.notify(wire.TypeSensedData, wire.SensedData{
 		TaskID: string(tid), DeviceID: reported, Reading: r,
 		TraceID: spanCtx.Trace.String(), SpanID: spanCtx.Span.String(),
-	}); e != nil {
-		s.log.Errorf("deliver to CAS for %s: %v", tid, e)
-		// CAS connections have no idle timeout, so a dead CAS is detected
-		// here, at delivery time. The failed write leaves the stream
-		// unframeable anyway; closing it kicks serveCAS out of its read
-		// loop, which deletes the connection's tasks — no further
-		// dispatches burn device energy on data nobody will receive.
-		_ = c.nc.Close()
-		span.FinishErr(e)
-		return
-	}
-	span.Finish()
-	s.timeline.Note(string(tid), "delivered", reported, s.clock.Now())
-	// The first successful delivery closes the submit → delivery loop:
-	// the trace finalises into the retained ring. Later rounds' spans
-	// still feed the stage histograms (Complete on a finalised trace is
-	// a no-op).
-	s.tracer.Complete(traceCtx.Trace)
+	}, func(e error) {
+		if e != nil {
+			s.log.Errorf("deliver to CAS for %s: %v", tid, e)
+			// CAS connections have no idle timeout, so a dead CAS is detected
+			// here, at delivery time. The failed write leaves the stream
+			// unframeable anyway; closing it kicks serveCAS out of its read
+			// loop, which deletes the connection's tasks — no further
+			// dispatches burn device energy on data nobody will receive.
+			_ = c.nc.Close()
+			span.FinishErr(e)
+			return
+		}
+		span.Finish()
+		s.timeline.Note(string(tid), "delivered", reported, s.clock.Now())
+		// The first successful delivery closes the submit → delivery loop:
+		// the trace finalises into the retained ring. Later rounds' spans
+		// still feed the stage histograms (Complete on a finalised trace is
+		// a no-op).
+		s.tracer.Complete(traceCtx.Trace)
+	})
 }
 
 func (s *Server) serveConn(c *conn) {
@@ -566,7 +649,7 @@ func (s *Server) serveConn(c *conn) {
 	if s.cfg.HandshakeTimeout > 0 {
 		_ = c.nc.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
 	}
-	env, err := wire.ReadFrame(c.nc)
+	env, err := wire.ReadFrame(c.br)
 	if err != nil {
 		if isTimeout(err) {
 			s.met.handshakeTimeouts.Inc()
@@ -584,13 +667,35 @@ func (s *Server) serveConn(c *conn) {
 		c.sendErr(env.Seq, err)
 		return
 	}
-	if hello.Version != wire.ProtocolVersion {
+	// Codec negotiation: the peer names the newest revision it speaks;
+	// the server grants min(peer, MaxWireVersion). A revision this build
+	// has never heard of is rejected outright — downgrading it silently
+	// would hide a misconfigured fleet.
+	if _, known := wire.CodecForVersion(hello.Version); !known {
 		c.sendErr(env.Seq, fmt.Errorf("netserver: protocol version %d unsupported", hello.Version))
 		return
 	}
-	if err := c.send(wire.TypeAck, env.Seq, wire.Ack{}); err != nil {
+	negotiated := hello.Version
+	if negotiated > s.cfg.MaxWireVersion {
+		negotiated = wire.ProtocolVersion
+	}
+	ack := wire.Ack{}
+	if negotiated != wire.ProtocolVersion {
+		// The v1 ack stays byte-identical for old clients; only an
+		// upgraded connection learns its granted revision.
+		ack.Version = negotiated
+	}
+	if err := c.send(wire.TypeAck, env.Seq, ack); err != nil {
 		return
 	}
+	// The ack was the last v1-framed write; everything after speaks the
+	// negotiated codec, batched through the coalescer.
+	c.codec, _ = wire.CodecForVersion(negotiated)
+	c.co = wire.NewCoalescer(c.nc, c.codec, wire.CoalescerConfig{
+		Interval:     s.cfg.CoalesceInterval,
+		WriteTimeout: s.cfg.WriteTimeout,
+	})
+	defer c.co.Close()
 
 	switch hello.Role {
 	case wire.RoleDevice:
@@ -633,7 +738,7 @@ func (s *Server) serveDevice(c *conn) {
 		if s.cfg.IdleTimeout > 0 {
 			_ = c.nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		env, err := wire.ReadFrame(c.nc)
+		env, err := c.codec.ReadFrame(c.br)
 		if err != nil {
 			if isTimeout(err) {
 				s.met.idleDisconnects.Inc()
@@ -642,8 +747,12 @@ func (s *Server) serveDevice(c *conn) {
 			return
 		}
 		start := time.Now()
-		closed, herr := s.handleDeviceMsg(c, &deviceID, env)
+		closed, herr, shed := s.runDeviceMsg(c, &deviceID, env)
 		s.met.observeRPC("device", env.Type, time.Since(start), herr != nil)
+		if shed {
+			c.sendErr(env.Seq, errOverloaded)
+			continue
+		}
 		if herr != nil {
 			c.sendErr(env.Seq, herr)
 		}
@@ -651,6 +760,35 @@ func (s *Server) serveDevice(c *conn) {
 			return
 		}
 	}
+}
+
+// errOverloaded is the shed reply: the worker queue stayed full past the
+// backpressure wait, so this message was never handled.
+var errOverloaded = errors.New("netserver: server overloaded, message dropped")
+
+// runDeviceMsg executes one device handler, through the worker pool when
+// one is configured. The read loop blocks on the result, so messages on
+// one connection stay ordered; what the pool bounds is how many
+// connections hit the core at once. The measured latency deliberately
+// includes queue wait — under overload that is the latency peers see.
+func (s *Server) runDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (closed bool, herr error, shed bool) {
+	if s.pool == nil {
+		closed, herr = s.handleDeviceMsg(c, deviceID, env)
+		return closed, herr, false
+	}
+	type result struct {
+		closed bool
+		err    error
+	}
+	resCh := make(chan result, 1)
+	if !s.pool.run(func() {
+		cl, e := s.handleDeviceMsg(c, deviceID, env)
+		resCh <- result{cl, e}
+	}) {
+		return false, errOverloaded, true
+	}
+	res := <-resCh
+	return res.closed, res.err, false
 }
 
 // isTimeout reports whether a read failed by deadline expiry.
@@ -814,17 +952,36 @@ func (s *Server) serveCAS(c *conn) {
 		}
 	}()
 	for {
-		env, err := wire.ReadFrame(c.nc)
+		env, err := c.codec.ReadFrame(c.br)
 		if err != nil {
 			return
 		}
 		start := time.Now()
-		herr := s.handleCASMsg(c, &ownedTasks, env)
+		herr, shed := s.runCASMsg(c, &ownedTasks, env)
 		s.met.observeRPC("cas", env.Type, time.Since(start), herr != nil)
+		if shed {
+			c.sendErr(env.Seq, errOverloaded)
+			continue
+		}
 		if herr != nil {
 			c.sendErr(env.Seq, herr)
 		}
 	}
+}
+
+// runCASMsg executes one CAS handler, through the worker pool when one
+// is configured (see runDeviceMsg for the ordering argument).
+func (s *Server) runCASMsg(c *conn, ownedTasks *[]ownedTask, env wire.Envelope) (herr error, shed bool) {
+	if s.pool == nil {
+		return s.handleCASMsg(c, ownedTasks, env), false
+	}
+	resCh := make(chan error, 1)
+	if !s.pool.run(func() {
+		resCh <- s.handleCASMsg(c, ownedTasks, env)
+	}) {
+		return errOverloaded, true
+	}
+	return <-resCh, false
 }
 
 // handleCASMsg processes one CAS message: acks on success, returns the

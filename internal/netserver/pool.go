@@ -1,0 +1,99 @@
+package netserver
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"senseaid/internal/obs"
+)
+
+// defaultShedWait is how long an overloaded submit exerts backpressure
+// on its connection's read loop before the message is shed. Blocking
+// briefly smooths bursts (the common overload is a registration or
+// upload spike measured in milliseconds); shedding makes a sustained
+// overload visible to the peer instead of letting latency grow without
+// bound.
+const defaultShedWait = time.Second
+
+// workerPool bounds how many RPC handlers run concurrently. Connection
+// read loops submit one handler job at a time and wait for its result,
+// so per-connection message ordering is untouched; what the pool bounds
+// is the cross-connection fan-in onto the core. Before the pool, 50k
+// connections could stack 50k goroutines onto the core mutex at once —
+// every handler eventually ran, but tail latency and scheduler pressure
+// grew with connection count instead of with configured capacity.
+type workerPool struct {
+	queue    chan func()
+	shedWait time.Duration
+	shed     *obs.Counter
+	wg       sync.WaitGroup
+}
+
+// defaultRPCWorkers sizes the pool when the operator does not: handlers
+// are short (a decode plus one core call), so a small multiple of the
+// CPU count keeps the core saturated without goroutine churn.
+func defaultRPCWorkers() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// newWorkerPool starts workers goroutines draining a queue of depth
+// jobs. shed counts messages rejected after the backpressure wait.
+func newWorkerPool(workers, depth int, shedWait time.Duration, shed *obs.Counter) *workerPool {
+	if workers <= 0 {
+		workers = defaultRPCWorkers()
+	}
+	if depth <= 0 {
+		depth = 8 * workers
+	}
+	if shedWait <= 0 {
+		shedWait = defaultShedWait
+	}
+	p := &workerPool{
+		queue:    make(chan func(), depth),
+		shedWait: shedWait,
+		shed:     shed,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.queue {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// run submits one job, blocking up to shedWait when the queue is full.
+// It reports false — and counts a shed — when the queue stayed full,
+// in which case f will never run.
+func (p *workerPool) run(f func()) bool {
+	select {
+	case p.queue <- f:
+		return true
+	default:
+	}
+	t := time.NewTimer(p.shedWait)
+	defer t.Stop()
+	select {
+	case p.queue <- f:
+		return true
+	case <-t.C:
+		p.shed.Inc()
+		return false
+	}
+}
+
+// close drains the pool. The caller must guarantee no further run calls
+// (the server closes the pool only after every connection goroutine has
+// exited).
+func (p *workerPool) close() {
+	close(p.queue)
+	p.wg.Wait()
+}

@@ -192,10 +192,11 @@ func TestDispatchWriteFailureMarksDeviceUnresponsive(t *testing.T) {
 			if accepted.Add(1) != 1 {
 				return nc // only the device conn (first) is faulty
 			}
-			// Server writes to the device: hello ack (frames are two
-			// writes: header+body) = 1-2, register ack = 3-4, schedule
-			// header = write 5, which stalls.
-			return faultconn.Wrap(nc, faultconn.Policy{Seed: 1, StallAfterWrites: 5})
+			// Server writes to the device: hello ack (pre-negotiation raw
+			// framing is two writes: header+body) = 1-2, register ack
+			// (one coalesced flush) = 3, schedule flush = write 4, which
+			// stalls.
+			return faultconn.Wrap(nc, faultconn.Policy{Seed: 1, StallAfterWrites: 4})
 		},
 	})
 	if err != nil {
@@ -249,9 +250,10 @@ func TestCASDeliveryFailureCleansTask(t *testing.T) {
 			if accepted.Add(1) != 2 {
 				return nc // only the CAS conn (second) is faulty
 			}
-			// Server writes to the CAS: hello ack = writes 1-2, task
-			// ack = 3-4, delivery header = write 5, which fails.
-			return faultconn.Wrap(nc, faultconn.Policy{Seed: 1, FailAfterWrites: 5})
+			// Server writes to the CAS: hello ack (raw framing) = writes
+			// 1-2, task ack (one coalesced flush) = 3, delivery flush =
+			// write 4, which fails.
+			return faultconn.Wrap(nc, faultconn.Policy{Seed: 1, FailAfterWrites: 4})
 		},
 	})
 	if err != nil {

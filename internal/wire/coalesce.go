@@ -1,0 +1,233 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// DefaultCoalesceMaxBytes is the pending-buffer size that forces a flush
+// before the tick: large enough to batch a fan-out burst, small enough to
+// keep per-connection memory bounded.
+const DefaultCoalesceMaxBytes = 64 << 10
+
+// Coalescer serialises and batches all writes on one connection. Frames
+// are appended to a reusable buffer; urgent frames (responses a peer is
+// blocked on) flush immediately — carrying along anything already
+// buffered — while non-urgent frames (schedule notifies, delivery
+// fan-out) wait for the flush tick or the size threshold, turning N
+// pushes into one write syscall.
+//
+// Delay contract: a non-urgent frame is delayed at most Interval (plus
+// one write). With Interval <= 0 every Send flushes immediately and the
+// coalescer degenerates to a locked writer — still one syscall per frame
+// instead of the v1 header+body pair.
+//
+// A write failure (including a deadline expiry against a stalled peer)
+// kills the connection: the peer may hold a partial frame, so nothing
+// sent afterwards could be framed. The underlying conn is closed, which
+// unblocks the connection's read loop, and every queued frame's callback
+// fires with the error.
+type Coalescer struct {
+	nc    net.Conn
+	codec Codec
+
+	mu           sync.Mutex
+	interval     time.Duration
+	maxBytes     int
+	writeTimeout time.Duration
+	buf          []byte
+	cbs          []func(error) // one per buffered frame; nil entries allowed
+	nframes      int
+	timer        *time.Timer
+	timerArmed   bool
+	dead         bool
+	deadErr      error
+}
+
+// CoalescerConfig parameterises a Coalescer.
+type CoalescerConfig struct {
+	// Interval is the maximum time a non-urgent frame may wait in the
+	// buffer; <= 0 flushes every Send immediately (coalescing off).
+	Interval time.Duration
+	// MaxBytes flushes the buffer early when it grows past this size.
+	// Default DefaultCoalesceMaxBytes.
+	MaxBytes int
+	// WriteTimeout bounds each flush's write; default DefaultWriteTimeout.
+	WriteTimeout time.Duration
+}
+
+// NewCoalescer wraps a connection with a batching writer for the given
+// codec.
+func NewCoalescer(nc net.Conn, codec Codec, cfg CoalescerConfig) *Coalescer {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultCoalesceMaxBytes
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	return &Coalescer{
+		nc:           nc,
+		codec:        codec,
+		interval:     cfg.Interval,
+		maxBytes:     cfg.MaxBytes,
+		writeTimeout: cfg.WriteTimeout,
+	}
+}
+
+// SetWriteTimeout adjusts the per-flush write deadline (tests tighten it).
+func (co *Coalescer) SetWriteTimeout(d time.Duration) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if d > 0 {
+		co.writeTimeout = d
+	}
+}
+
+// Send frames env into the pending buffer. Urgent frames flush
+// immediately and return the write error synchronously; non-urgent
+// frames return once buffered, and their flush outcome arrives later.
+// When done is non-nil it fires exactly once with the frame's outcome —
+// whether the frame flushed, failed, or was refused outright — so a
+// caller that handles errors in done can ignore the return value.
+func (co *Coalescer) Send(env Envelope, urgent bool, done func(error)) error {
+	co.mu.Lock()
+	if co.dead {
+		err := co.deadErr
+		co.mu.Unlock()
+		if done != nil {
+			done(err)
+		}
+		return err
+	}
+	var err error
+	co.buf, err = co.codec.AppendFrame(co.buf, env)
+	if err != nil {
+		// AppendFrame validates before appending, so the buffer (and the
+		// stream) are intact; only this frame is refused.
+		co.mu.Unlock()
+		if done != nil {
+			done(err)
+		}
+		return err
+	}
+	co.nframes++
+	co.cbs = append(co.cbs, done)
+	if urgent || co.interval <= 0 || len(co.buf) >= co.maxBytes {
+		cbs, ferr := co.flushLocked()
+		co.mu.Unlock()
+		runCallbacks(cbs, ferr)
+		return ferr
+	}
+	if !co.timerArmed {
+		co.timerArmed = true
+		if co.timer == nil {
+			co.timer = time.AfterFunc(co.interval, co.tick)
+		} else {
+			co.timer.Reset(co.interval)
+		}
+	}
+	co.mu.Unlock()
+	return nil
+}
+
+// Flush forces out everything buffered.
+func (co *Coalescer) Flush() error {
+	co.mu.Lock()
+	if co.dead {
+		err := co.deadErr
+		co.mu.Unlock()
+		return err
+	}
+	cbs, err := co.flushLocked()
+	co.mu.Unlock()
+	runCallbacks(cbs, err)
+	return err
+}
+
+// tick is the timer's flush.
+func (co *Coalescer) tick() {
+	co.mu.Lock()
+	if co.dead {
+		co.mu.Unlock()
+		return
+	}
+	cbs, err := co.flushLocked()
+	co.mu.Unlock()
+	runCallbacks(cbs, err)
+}
+
+// Close flushes best-effort and marks the coalescer dead; it does not
+// close the connection (the owner does that).
+func (co *Coalescer) Close() error {
+	co.mu.Lock()
+	if co.dead {
+		co.mu.Unlock()
+		return nil
+	}
+	cbs, err := co.flushLocked()
+	co.dead = true
+	co.deadErr = ErrClosed
+	if co.timer != nil {
+		co.timer.Stop()
+	}
+	co.mu.Unlock()
+	runCallbacks(cbs, err)
+	return err
+}
+
+// flushLocked writes the pending buffer as one syscall and returns the
+// callbacks to invoke (after the lock is released — a callback may call
+// back into a core that is mid-dispatch on another connection).
+func (co *Coalescer) flushLocked() ([]func(error), error) {
+	co.timerArmed = false
+	if co.timer != nil {
+		co.timer.Stop()
+	}
+	if co.nframes == 0 {
+		return nil, nil
+	}
+	cbs := co.cbs
+	n := co.nframes
+	_ = co.nc.SetWriteDeadline(time.Now().Add(co.writeTimeout))
+	_, werr := co.nc.Write(co.buf)
+	if werr != nil {
+		met.errIO.Inc()
+		co.dead = true
+		co.deadErr = fmt.Errorf("wire: write frame: %w", werr)
+		// Closing unblocks the owner's read loop, which tears the
+		// connection down; nothing written after a partial frame could be
+		// framed by the peer anyway.
+		_ = co.nc.Close()
+		co.buf, co.cbs, co.nframes = nil, nil, 0
+		return cbs, co.deadErr
+	}
+	met.bytesTx.Add(uint64(len(co.buf)))
+	met.flushes.Inc()
+	if n > 1 {
+		met.coalesced.Add(uint64(n))
+	}
+	// Keep the buffer for reuse unless a burst grew it far past the
+	// threshold; then let it go so one flash crowd does not pin memory
+	// on every connection forever.
+	if cap(co.buf) > 4*co.maxBytes {
+		co.buf = nil
+	} else {
+		co.buf = co.buf[:0]
+	}
+	// Hand the callback array off rather than truncating it for reuse:
+	// the caller iterates it after releasing the lock, so a concurrent
+	// Send appending into the same backing array would race with it.
+	co.cbs = nil
+	co.nframes = 0
+	return cbs, nil
+}
+
+func runCallbacks(cbs []func(error), err error) {
+	for _, cb := range cbs {
+		if cb != nil {
+			cb(err)
+		}
+	}
+}

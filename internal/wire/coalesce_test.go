@@ -1,0 +1,277 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countingConn is a net.Conn that records every Write as one "syscall"
+// and captures the bytes, optionally failing writes.
+type countingConn struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	writes int
+	failAt int // fail the Nth write (1-based); 0 = never
+	closed bool
+}
+
+func (c *countingConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writes++
+	if c.failAt > 0 && c.writes >= c.failAt {
+		return 0, errors.New("countingConn: write failed by policy")
+	}
+	return c.buf.Write(b)
+}
+
+func (c *countingConn) Read([]byte) (int, error) { select {} }
+func (c *countingConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+func (c *countingConn) LocalAddr() net.Addr              { return nil }
+func (c *countingConn) RemoteAddr() net.Addr             { return nil }
+func (c *countingConn) SetDeadline(time.Time) error      { return nil }
+func (c *countingConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *countingConn) SetWriteDeadline(time.Time) error { return nil }
+
+func (c *countingConn) stats() (writes int, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes, append([]byte(nil), c.buf.Bytes()...)
+}
+
+func mustEnv(t *testing.T, c Codec, mt MsgType, seq uint64, payload interface{}) Envelope {
+	t.Helper()
+	env, err := c.Encode(mt, seq, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// drainFrames parses every frame out of a captured byte stream.
+func drainFrames(t *testing.T, c Codec, data []byte) []Envelope {
+	t.Helper()
+	r := bytes.NewReader(data)
+	var out []Envelope
+	for r.Len() > 0 {
+		env, err := c.ReadFrame(r)
+		if err != nil {
+			t.Fatalf("parse captured stream after %d frames: %v", len(out), err)
+		}
+		out = append(out, env)
+	}
+	return out
+}
+
+// TestCoalescerBatchesNotifies: a burst of non-urgent frames shares one
+// write syscall, and every frame survives intact.
+func TestCoalescerBatchesNotifies(t *testing.T) {
+	nc := &countingConn{}
+	co := NewCoalescer(nc, Binary, CoalescerConfig{Interval: 20 * time.Millisecond})
+	const n = 25
+	var mu sync.Mutex
+	acked := 0
+	for i := 0; i < n; i++ {
+		env := mustEnv(t, Binary, TypeSchedule, 0, Schedule{RequestID: "r", TaskID: "t"})
+		if err := co.Send(env, false, func(err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				acked++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w, _ := nc.stats(); w != 0 {
+		t.Fatalf("flushed %d times before the tick", w)
+	}
+	if err := co.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	writes, data := nc.stats()
+	if writes != 1 {
+		t.Fatalf("%d frames took %d writes, want 1", n, writes)
+	}
+	if got := len(drainFrames(t, Binary, data)); got != n {
+		t.Fatalf("captured %d frames, want %d", got, n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if acked != n {
+		t.Fatalf("%d/%d callbacks fired with success", acked, n)
+	}
+}
+
+// TestCoalescerTickFlushes: without an explicit flush, the timer bounds
+// how long a notify may sit in the buffer.
+func TestCoalescerTickFlushes(t *testing.T) {
+	nc := &countingConn{}
+	co := NewCoalescer(nc, JSON, CoalescerConfig{Interval: 5 * time.Millisecond})
+	env := mustEnv(t, JSON, TypeSchedule, 0, Schedule{RequestID: "r"})
+	if err := co.Send(env, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if w, _ := nc.stats(); w == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tick never flushed the buffered frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalescerUrgentCarriesBuffered: an urgent frame flushes at once
+// and takes everything already buffered with it, preserving order.
+func TestCoalescerUrgentCarriesBuffered(t *testing.T) {
+	nc := &countingConn{}
+	co := NewCoalescer(nc, Binary, CoalescerConfig{Interval: time.Hour})
+	for i := 0; i < 3; i++ {
+		env := mustEnv(t, Binary, TypeSchedule, 0, Schedule{RequestID: "push"})
+		if err := co.Send(env, false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	urgent := mustEnv(t, Binary, TypeAck, 7, Ack{Ref: "resp"})
+	if err := co.Send(urgent, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	writes, data := nc.stats()
+	if writes != 1 {
+		t.Fatalf("urgent flush used %d writes, want 1", writes)
+	}
+	frames := drainFrames(t, Binary, data)
+	if len(frames) != 4 {
+		t.Fatalf("captured %d frames, want 4", len(frames))
+	}
+	if frames[3].Type != TypeAck || frames[3].Seq != 7 {
+		t.Fatalf("urgent frame out of order: %+v", frames[3])
+	}
+}
+
+// TestCoalescerSizeThresholdFlushes: the buffer cannot grow past
+// MaxBytes plus one frame even with a long interval.
+func TestCoalescerSizeThresholdFlushes(t *testing.T) {
+	nc := &countingConn{}
+	co := NewCoalescer(nc, Binary, CoalescerConfig{Interval: time.Hour, MaxBytes: 256})
+	for i := 0; i < 64; i++ {
+		env := mustEnv(t, Binary, TypeSchedule, 0, Schedule{RequestID: "request-id-padding", TaskID: "task"})
+		if err := co.Send(env, false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writes, _ := nc.stats()
+	if writes == 0 {
+		t.Fatal("size threshold never flushed")
+	}
+	// The batching still has to beat frame-per-write.
+	if writes >= 64 {
+		t.Fatalf("%d writes for 64 frames — no batching happened", writes)
+	}
+}
+
+// TestCoalescerWriteFailure: a failed flush kills the coalescer, closes
+// the conn, reports the error to every queued callback, and refuses
+// later sends with the original error.
+func TestCoalescerWriteFailure(t *testing.T) {
+	nc := &countingConn{failAt: 1}
+	co := NewCoalescer(nc, Binary, CoalescerConfig{Interval: time.Hour})
+	var cbErrs []error
+	var mu sync.Mutex
+	done := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		cbErrs = append(cbErrs, err)
+	}
+	for i := 0; i < 3; i++ {
+		env := mustEnv(t, Binary, TypeSchedule, 0, Schedule{RequestID: "r"})
+		if err := co.Send(env, false, done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := co.Flush(); err == nil {
+		t.Fatal("flush over a failing conn reported success")
+	}
+	mu.Lock()
+	if len(cbErrs) != 3 {
+		t.Fatalf("%d callbacks fired, want 3", len(cbErrs))
+	}
+	for _, e := range cbErrs {
+		if e == nil {
+			t.Fatal("callback got nil error on a failed flush")
+		}
+	}
+	mu.Unlock()
+	nc.mu.Lock()
+	closed := nc.closed
+	nc.mu.Unlock()
+	if !closed {
+		t.Fatal("failed flush left the conn open")
+	}
+	// Later sends are refused and their callbacks still fire with the error.
+	var lateErr error
+	env := mustEnv(t, Binary, TypeSchedule, 0, Schedule{RequestID: "late"})
+	if err := co.Send(env, false, func(e error) { lateErr = e }); err == nil {
+		t.Fatal("send on a dead coalescer succeeded")
+	}
+	if lateErr == nil {
+		t.Fatal("late send's callback never got the error")
+	}
+}
+
+// TestCoalescerIntervalZeroIsImmediate: coalescing off means every send
+// is its own write — the pre-coalescing behavior, still one syscall per
+// frame rather than two.
+func TestCoalescerIntervalZeroIsImmediate(t *testing.T) {
+	nc := &countingConn{}
+	co := NewCoalescer(nc, JSON, CoalescerConfig{})
+	for i := 0; i < 5; i++ {
+		env := mustEnv(t, JSON, TypeSchedule, 0, Schedule{RequestID: "r"})
+		if err := co.Send(env, false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if writes, _ := nc.stats(); writes != 5 {
+		t.Fatalf("interval 0: %d writes for 5 frames, want 5", writes)
+	}
+}
+
+// TestCoalescerEncodeErrorLeavesStreamIntact: a frame the codec refuses
+// (over the size limit) must not corrupt frames before or after it.
+func TestCoalescerEncodeErrorLeavesStreamIntact(t *testing.T) {
+	nc := &countingConn{}
+	co := NewCoalescer(nc, Binary, CoalescerConfig{Interval: time.Hour})
+	good := mustEnv(t, Binary, TypeAck, 1, Ack{Ref: "ok"})
+	if err := co.Send(good, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	big := Envelope{Type: TypeSenseData, Payload: bytes.Repeat([]byte{'x'}, MaxMessageBytes), binPayload: true}
+	var refuseErr error
+	if err := co.Send(big, false, func(e error) { refuseErr = e }); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if refuseErr == nil {
+		t.Fatal("refused frame's callback never fired")
+	}
+	good2 := mustEnv(t, Binary, TypeAck, 2, Ack{Ref: "still ok"})
+	if err := co.Send(good2, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, data := nc.stats()
+	frames := drainFrames(t, Binary, data)
+	if len(frames) != 2 || frames[0].Seq != 1 || frames[1].Seq != 2 {
+		t.Fatalf("stream corrupted around the refused frame: %+v", frames)
+	}
+}

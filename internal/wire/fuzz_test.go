@@ -3,6 +3,9 @@ package wire
 import (
 	"bytes"
 	"testing"
+	"time"
+
+	"senseaid/internal/sensors"
 )
 
 // FuzzReadFrame throws arbitrary bytes at the frame decoder: it must
@@ -64,6 +67,72 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if got.Type == "" {
 			t.Fatal("decoded envelope without a type")
+		}
+	})
+}
+
+// FuzzReadFrameBinary throws arbitrary bytes at the v2 binary frame
+// decoder — and, when a frame parses, at the payload decoder for its
+// type. Like the v1 target it must error or produce a well-formed
+// envelope, never panic, over-read, or allocate from a hostile length.
+func FuzzReadFrameBinary(f *testing.F) {
+	// Seed with binary encodings of the same corpus the v1 fuzzer uses,
+	// so both decoders are exercised on equivalent shapes.
+	frame := func(t MsgType, seq uint64, payload interface{}) []byte {
+		env, err := Binary.Encode(t, seq, payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		b, err := Binary.AppendFrame(nil, env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	valid := frame(TypeStateReport, 3, StateReport{BatteryPct: 50})
+	f.Add(valid)
+	f.Add(valid[:3])
+	f.Add([]byte{0})                            // zero-length frame
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // huge varint length
+	f.Add([]byte{2, binAck, 0})                 // header-only ack, truncated enc byte
+	f.Add([]byte{3, 99, 0, 0})                  // unknown type code
+	traced := Schedule{
+		RequestID: "task-1#0",
+		TaskID:    "task-1",
+		TraceID:   "00112233445566778899aabbccddeeff",
+		SpanID:    "0123456789abcdef",
+	}
+	plain := traced
+	plain.TraceID, plain.SpanID = "", ""
+	f.Add(frame(TypeSchedule, 7, traced))
+	f.Add(frame(TypeSchedule, 7, plain))
+	f.Add(frame(TypeSenseData, 7, SenseData{
+		RequestID: "task-1#0",
+		Reading: sensors.Reading{
+			Sensor: sensors.Barometer, Value: 1013.25, Unit: "hPa",
+			At: time.Unix(1754700000, 0).UTC(),
+		},
+		TraceID: traced.TraceID,
+		SpanID:  traced.SpanID,
+	}))
+	f.Add(frame(TypeSubmitTask, 7, TaskSpec{TraceID: "zz", SpanID: "tooshort"}))
+	f.Add(frame(TypeRegister, 1, Register{
+		DeviceID: "fuzz-dev",
+		Sensors:  []sensors.Type{sensors.Barometer, sensors.GPS},
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Binary.ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.Type == "" {
+			t.Fatal("decoded envelope without a type")
+		}
+		// The payload decoder must be as robust as the framer.
+		out := newOut(samplePayloads()[got.Type])
+		if out != nil && len(got.Payload) > 0 {
+			_ = Decode(got, out)
 		}
 	})
 }

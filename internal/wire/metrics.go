@@ -5,12 +5,20 @@ import "senseaid/internal/obs"
 // met counts protocol faults and framed traffic on the process-global
 // registry: wire has no injection point (Encode/ReadFrame are free
 // functions), and every serving binary exposes obs.Default() anyway.
+//
+// senseaid_wire_errors_total carries one stage label per failure class:
+// encode (marshalling a payload or envelope), decode (parsing bytes that
+// arrived intact), frame (malformed or oversized framing), and io (the
+// socket failed mid-frame).
 var met = struct {
 	errEncode *obs.Counter
 	errDecode *obs.Counter
 	errFrame  *obs.Counter
+	errIO     *obs.Counter
 	bytesTx   *obs.Counter
 	bytesRx   *obs.Counter
+	coalesced *obs.Counter
+	flushes   *obs.Counter
 }{
 	errEncode: obs.Default().Counter("senseaid_wire_errors_total",
 		"Wire protocol faults by stage.", obs.Labels{"stage": "encode"}),
@@ -18,8 +26,14 @@ var met = struct {
 		"Wire protocol faults by stage.", obs.Labels{"stage": "decode"}),
 	errFrame: obs.Default().Counter("senseaid_wire_errors_total",
 		"Wire protocol faults by stage.", obs.Labels{"stage": "frame"}),
+	errIO: obs.Default().Counter("senseaid_wire_errors_total",
+		"Wire protocol faults by stage.", obs.Labels{"stage": "io"}),
 	bytesTx: obs.Default().Counter("senseaid_wire_bytes_total",
 		"Framed bytes moved, including the length prefix.", obs.Labels{"dir": "tx"}),
 	bytesRx: obs.Default().Counter("senseaid_wire_bytes_total",
 		"Framed bytes moved, including the length prefix.", obs.Labels{"dir": "rx"}),
+	coalesced: obs.Default().Counter("senseaid_wire_frames_coalesced_total",
+		"Frames that shared a flush with at least one other frame.", nil),
+	flushes: obs.Default().Counter("senseaid_wire_flushes_total",
+		"Coalescer flushes (each is one write syscall).", nil),
 }

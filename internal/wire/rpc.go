@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -19,6 +20,26 @@ const DefaultCallTimeout = 10 * time.Second
 // as an error, never wedge the writer's goroutine permanently.
 const DefaultWriteTimeout = 5 * time.Second
 
+// readBufBytes sizes the per-connection buffered reader: big enough to
+// drain a coalesced flush from the peer in one syscall, small enough to
+// stay cheap across tens of thousands of connections.
+const readBufBytes = 16 << 10
+
+// ConnConfig tunes an RPCConn beyond the defaults.
+type ConnConfig struct {
+	// Codec is the encoding to request in the Hello exchange; nil means
+	// JSON (v1). If the server caps at v1 the connection transparently
+	// falls back to JSON — see the negotiation rules in DESIGN.md §13.
+	Codec Codec
+	// CoalesceInterval batches outbound notifies for up to this long so
+	// bursts share one write syscall; 0 disables coalescing (every frame
+	// flushes immediately). Calls always flush immediately.
+	CoalesceInterval time.Duration
+	// CoalesceMaxBytes flushes the batch early once it grows past this
+	// size; 0 means DefaultCoalesceMaxBytes.
+	CoalesceMaxBytes int
+}
+
 // RPCConn layers request/response and push-message handling over a framed
 // connection. The device client and the CAS library both build on it.
 //
@@ -28,11 +49,11 @@ const DefaultWriteTimeout = 5 * time.Second
 // recovery is a fresh connection. Done exposes the teardown to owners
 // that want to redial.
 type RPCConn struct {
-	nc           net.Conn
-	timeout      time.Duration
-	writeTimeout time.Duration
-
-	writeMu sync.Mutex
+	nc      net.Conn
+	br      *bufio.Reader
+	codec   Codec
+	co      *Coalescer
+	timeout time.Duration
 
 	mu      sync.Mutex
 	nextSeq uint64
@@ -48,31 +69,47 @@ type RPCConn struct {
 	wg sync.WaitGroup
 }
 
-// NewRPCConn wraps an established connection and performs the Hello
-// handshake for the given role. push receives server-initiated messages
-// and is called from the read loop (handlers must not block). The
-// handshake runs under read and write deadlines, so a stalled or silent
-// server fails the dial instead of hanging it.
+// NewRPCConn wraps an established connection with the default v1 JSON
+// codec and no write coalescing; see NewRPCConnCfg.
 func NewRPCConn(nc net.Conn, role Role, push func(Envelope)) (*RPCConn, error) {
-	c := &RPCConn{
-		nc:           nc,
-		timeout:      DefaultCallTimeout,
-		writeTimeout: DefaultWriteTimeout,
-		pending:      make(map[uint64]chan Envelope),
-		push:         push,
-		done:         make(chan struct{}),
+	return NewRPCConnCfg(nc, role, push, ConnConfig{})
+}
+
+// NewRPCConnCfg wraps an established connection and performs the Hello
+// handshake for the given role, negotiating the requested codec. push
+// receives server-initiated messages and is called from the read loop
+// (handlers must not block). The handshake runs under read and write
+// deadlines, so a stalled or silent server fails the dial instead of
+// hanging it.
+//
+// The Hello itself is always framed with the v1 JSON codec so any server
+// can read it. A server that accepts the binary codec echoes version 2
+// in its Ack; one that caps at v1 sends a plain Ack and the connection
+// stays on JSON — a v2-capable client never fails against a v1 server.
+func NewRPCConnCfg(nc net.Conn, role Role, push func(Envelope), cfg ConnConfig) (*RPCConn, error) {
+	if cfg.Codec == nil {
+		cfg.Codec = JSON
 	}
-	// Handshake synchronously, before the read loop starts.
-	env, err := Encode(TypeHello, 0, Hello{Role: role, Version: ProtocolVersion})
+	c := &RPCConn{
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, readBufBytes),
+		timeout: DefaultCallTimeout,
+		pending: make(map[uint64]chan Envelope),
+		push:    push,
+		done:    make(chan struct{}),
+	}
+	// Handshake synchronously, before the read loop starts. Always v1
+	// JSON framing, whatever codec is being requested.
+	env, err := Encode(TypeHello, 0, Hello{Role: role, Version: cfg.Codec.Version()})
 	if err != nil {
 		return nil, err
 	}
-	_ = nc.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	_ = nc.SetWriteDeadline(time.Now().Add(DefaultWriteTimeout))
 	if err := WriteFrame(nc, env); err != nil {
 		return nil, fmt.Errorf("wire: hello: %w", err)
 	}
 	_ = nc.SetReadDeadline(time.Now().Add(c.timeout))
-	resp, err := ReadFrame(nc)
+	resp, err := ReadFrame(c.br)
 	if err != nil {
 		return nil, fmt.Errorf("wire: hello response: %w", err)
 	}
@@ -85,22 +122,39 @@ func NewRPCConn(nc net.Conn, role Role, push func(Envelope)) (*RPCConn, error) {
 	if resp.Type != TypeAck {
 		return nil, fmt.Errorf("wire: unexpected hello response %s", resp.Type)
 	}
+	c.codec = JSON
+	if cfg.Codec.Version() != ProtocolVersion {
+		var ack Ack
+		if len(resp.Payload) > 0 {
+			_ = Decode(resp, &ack)
+		}
+		if neg, ok := CodecForVersion(ack.Version); ok {
+			c.codec = neg
+		}
+	}
+	c.co = NewCoalescer(nc, c.codec, CoalescerConfig{
+		Interval: cfg.CoalesceInterval,
+		MaxBytes: cfg.CoalesceMaxBytes,
+	})
 
 	c.wg.Add(1)
 	go c.readLoop()
 	return c, nil
 }
 
+// Codec reports the encoding the connection negotiated.
+func (c *RPCConn) Codec() Codec { return c.codec }
+
 // SetTimeouts adjusts the call-response and frame-write deadlines
 // (tests tighten them; zero leaves a value unchanged).
 func (c *RPCConn) SetTimeouts(call, write time.Duration) {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
+	c.mu.Lock()
 	if call > 0 {
 		c.timeout = call
 	}
+	c.mu.Unlock()
 	if write > 0 {
-		c.writeTimeout = write
+		c.co.SetWriteTimeout(write)
 	}
 }
 
@@ -108,24 +162,16 @@ func (c *RPCConn) SetTimeouts(call, write time.Duration) {
 // fault, or an explicit Close. Owners watch it to trigger a redial.
 func (c *RPCConn) Done() <-chan struct{} { return c.done }
 
-// writeFrame sends one envelope under the write deadline. A failed
-// write kills the connection: the peer may have received a partial
-// frame, so nothing sent afterwards could be framed correctly.
-func (c *RPCConn) writeFrame(env Envelope) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	_ = c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout))
-	if err := WriteFrame(c.nc, env); err != nil {
-		// Closing unblocks the read loop, which drains pending calls
-		// and closes Done.
-		_ = c.nc.Close()
-		return err
-	}
-	return nil
+// callTimeout reads the current call deadline under the lock.
+func (c *RPCConn) callTimeout() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timeout
 }
 
 // Call sends a request and waits for its Ack (returned) or Error
-// (converted to a Go error).
+// (converted to a Go error). Calls flush immediately — the caller is
+// blocked on the response, so there is nothing to coalesce with.
 func (c *RPCConn) Call(t MsgType, payload interface{}) (Ack, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -144,14 +190,15 @@ func (c *RPCConn) Call(t MsgType, payload interface{}) (Ack, error) {
 		c.mu.Unlock()
 	}()
 
-	env, err := Encode(t, seq, payload)
+	env, err := c.codec.Encode(t, seq, payload)
 	if err != nil {
 		return Ack{}, err
 	}
-	if err := c.writeFrame(env); err != nil {
+	if err := c.co.Send(env, true, nil); err != nil {
 		return Ack{}, fmt.Errorf("wire: send %s: %w", t, err)
 	}
 
+	timeout := c.callTimeout()
 	select {
 	case resp, ok := <-ch:
 		if !ok {
@@ -169,18 +216,20 @@ func (c *RPCConn) Call(t MsgType, payload interface{}) (Ack, error) {
 			}
 		}
 		return ack, nil
-	case <-time.After(c.timeout):
-		return Ack{}, fmt.Errorf("wire: %s: timeout after %v", t, c.timeout)
+	case <-time.After(timeout):
+		return Ack{}, fmt.Errorf("wire: %s: timeout after %v", t, timeout)
 	}
 }
 
-// Notify sends a message without waiting for a response.
+// Notify sends a message without waiting for a response. With coalescing
+// enabled the frame may ride the next flush (delayed at most the
+// coalesce interval); a later write failure surfaces through Done.
 func (c *RPCConn) Notify(t MsgType, payload interface{}) error {
-	env, err := Encode(t, 0, payload)
+	env, err := c.codec.Encode(t, 0, payload)
 	if err != nil {
 		return err
 	}
-	return c.writeFrame(env)
+	return c.co.Send(env, false, nil)
 }
 
 // Close tears the connection down and waits for the read loop.
@@ -193,6 +242,7 @@ func (c *RPCConn) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	_ = c.co.Close()
 	err := c.nc.Close()
 	c.wg.Wait()
 	return err
@@ -201,7 +251,7 @@ func (c *RPCConn) Close() error {
 func (c *RPCConn) readLoop() {
 	defer c.wg.Done()
 	for {
-		env, err := ReadFrame(c.nc)
+		env, err := c.codec.ReadFrame(c.br)
 		if err != nil {
 			// The error may be a protocol fault on a live socket, not
 			// just a peer disconnect: close the conn so it never leaks.

@@ -69,22 +69,41 @@ type Envelope struct {
 	Type    MsgType         `json:"type"`
 	Seq     uint64          `json:"seq,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+
+	// binPayload records that Payload holds the v2 wire-binary payload
+	// encoding rather than JSON. Envelopes remember how they were
+	// encoded so Decode works regardless of which codec framed them.
+	binPayload bool
 }
 
-// Hello opens every connection.
+// Hello opens every connection. It is always framed with the v1 JSON
+// codec, whatever Version asks for, so any server can read it; the
+// negotiated codec takes over after the Hello/Ack exchange (see
+// CodecForVersion).
 type Hello struct {
 	Role Role `json:"role"`
-	// Version guards against protocol drift.
+	// Version names the protocol revision — and thereby the codec — the
+	// peer wants to speak: 1 is the JSON envelope, 2 the binary framing.
 	Version int `json:"version"`
 }
 
-// ProtocolVersion is the current protocol revision.
+// ProtocolVersion is the v1 protocol revision: JSON envelopes behind a
+// 4-byte length prefix. Old peers speak only this.
 const ProtocolVersion = 1
 
+// ProtocolVersionBinary is the v2 protocol revision: compact binary
+// framing (varint length + type byte + binary payloads). Negotiated in
+// the Hello exchange; servers that cap at v1 answer a v2 Hello with a
+// plain Ack and the connection stays on JSON.
+const ProtocolVersionBinary = 2
+
 // Ack is a generic success response; Ref optionally names a created
-// resource (a task ID, a device ID).
+// resource (a task ID, a device ID). On the Hello ack, Version reports
+// the protocol revision the server accepted (omitted when v1, so the v1
+// ack stays byte-identical for old clients).
 type Ack struct {
-	Ref string `json:"ref,omitempty"`
+	Ref     string `json:"ref,omitempty"`
+	Version int    `json:"version,omitempty"`
 }
 
 // Error is a failure response.
@@ -214,11 +233,16 @@ func Encode(t MsgType, seq uint64, payload interface{}) (Envelope, error) {
 	return Envelope{Type: t, Seq: seq, Payload: raw}, nil
 }
 
-// Decode unmarshals an envelope payload into out.
+// Decode unmarshals an envelope payload into out, honouring the payload
+// encoding the envelope was framed with (JSON for v1 envelopes and
+// JSON-fallback binary frames, wire-binary for v2 envelopes).
 func Decode(env Envelope, out interface{}) error {
 	if len(env.Payload) == 0 {
 		met.errDecode.Inc()
 		return fmt.Errorf("wire: %s: empty payload", env.Type)
+	}
+	if env.binPayload {
+		return decodeBinaryPayload(env.Type, env.Payload, out)
 	}
 	if err := json.Unmarshal(env.Payload, out); err != nil {
 		met.errDecode.Inc()
@@ -228,8 +252,12 @@ func Decode(env Envelope, out interface{}) error {
 }
 
 // WriteFrame writes one envelope as a 4-byte big-endian length followed by
-// its JSON encoding.
+// its JSON encoding — the v1 framing.
 func WriteFrame(w io.Writer, env Envelope) error {
+	if env.binPayload {
+		met.errEncode.Inc()
+		return fmt.Errorf("wire: envelope holds a binary payload; re-encode for the json codec")
+	}
 	body, err := json.Marshal(env)
 	if err != nil {
 		met.errEncode.Inc()
@@ -242,18 +270,19 @@ func WriteFrame(w io.Writer, env Envelope) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
-		met.errFrame.Inc()
+		met.errIO.Inc()
 		return fmt.Errorf("wire: write header: %w", err)
 	}
 	if _, err := w.Write(body); err != nil {
-		met.errFrame.Inc()
+		met.errIO.Inc()
 		return fmt.Errorf("wire: write body: %w", err)
 	}
 	met.bytesTx.Add(uint64(len(hdr) + len(body)))
 	return nil
 }
 
-// ReadFrame reads one envelope.
+// ReadFrame reads one v1 envelope. The length prefix is validated
+// against MaxMessageBytes before the payload buffer is allocated.
 func ReadFrame(r io.Reader) (Envelope, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -266,7 +295,7 @@ func ReadFrame(r io.Reader) (Envelope, error) {
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		met.errFrame.Inc()
+		met.errIO.Inc()
 		return Envelope{}, fmt.Errorf("wire: read body: %w", err)
 	}
 	met.bytesRx.Add(uint64(len(hdr)) + uint64(n))
