@@ -54,6 +54,20 @@ SENSEAID_BENCH_OUT="$PWD/BENCH_wire.json" \
 SENSEAID_BENCH_OUT="$PWD/BENCH_recovery.json" \
     go test -run '^TestRecordRecoveryBench$' -count=1 -v ./internal/netserver
 
+# Cluster benchmark record: runs the same steady-state campaign against
+# a worker directly and through the router tier, writes
+# BENCH_cluster.json (delivery p99 both ways, selections/sec through the
+# router), and FAILS when the routed p99 costs more than 2x the direct
+# path's (see TestRecordClusterBench).
+SENSEAID_BENCH_OUT="$PWD/BENCH_cluster.json" \
+    go test -run '^TestRecordClusterBench$' -count=1 -v .
+
+# Multi-node failover smoke: a real router fronting a real primary with
+# a journal-shipping standby; the primary is SIGKILLed mid-campaign and
+# the standby must promote, re-enroll, and finish the campaign with zero
+# duplicate deliveries and every device session reconnected.
+go test -count=1 -run '^TestClusterFailoverEndToEnd$' .
+
 # Loadgen smoke: 1k real device connections against a freshly built
 # senseaidd over the wire protocol, bounded duration; fails if any
 # registration fails or no schedule is delivered.

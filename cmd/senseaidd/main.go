@@ -9,6 +9,8 @@
 //	          [-state-dir path] [-state-recover] [-snapshot-interval duration]
 //	          [-codec binary|json] [-coalesce-interval duration] [-rpc-workers n]
 //	          [-regions name@lat,lon,radiusM]... [-pprof]
+//	          [-enroll host:port] [-node-id name] [-advertise host:port]
+//	          [-standby-of host:port]
 //	          [-trace-sample rate] [-trace-slow duration] [-v] [-vv]
 //
 // -codec caps the wire encoding the server will negotiate: "binary"
@@ -42,6 +44,15 @@
 // region (the paper's per-edge physical instantiation), devices homed to
 // the shard covering their position, tasks routed to the shard covering
 // their area, and per-shard series (shard="name") on /metrics.
+//
+// With -enroll (and exactly one -regions), the server joins a
+// senseaid-router as that region's primary: devices and CASes dial the
+// router, which relays their sessions here. -node-id names the node,
+// -advertise overrides the dial-back address. With -standby-of, the
+// server instead runs as the region's warm standby: it replicates the
+// named primary's snapshots and journal into its own -state-dir and,
+// when the router promotes it, boots a full server on the replicated
+// state and enrolls as the new primary.
 package main
 
 import (
@@ -121,6 +132,10 @@ func run() error {
 	rpcWorkers := flag.Int("rpc-workers", 0, "max concurrent RPC handlers across all connections (0 sizes from CPU count, negative runs handlers inline)")
 	var regions regionList
 	flag.Var(&regions, "regions", "edge region as name@lat,lon,radiusM (repeatable; two or more shard the deployment)")
+	enroll := flag.String("enroll", "", "router address to enroll this node with (requires exactly one -regions)")
+	nodeID := flag.String("node-id", "", "cluster node name (default <region>-primary or <region>-standby)")
+	advertise := flag.String("advertise", "", "address the router should dial for client sessions (default the bound listen address)")
+	standbyOf := flag.String("standby-of", "", "run as a warm standby replicating from this primary's address; promotes to a full server when the router says so (requires -state-dir and one -regions)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the admin endpoint")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of task traces retained in /traces (0 disables sampling; errors and slow ops are always kept)")
 	traceSlow := flag.Duration("trace-slow", 500*time.Millisecond, "log and retain any traced operation slower than this (negative disables)")
@@ -185,6 +200,49 @@ func run() error {
 		return err
 	}
 
+	if (*enroll != "" || *standbyOf != "") && len(regions) != 1 {
+		return fmt.Errorf("cluster modes (-enroll, -standby-of) require exactly one -regions, have %d", len(regions))
+	}
+
+	// Standby mode: replicate the primary's state until the router
+	// promotes this node, then fall through and boot the full server on
+	// the replicated directory — the ordinary crash-recovery path.
+	if *standbyOf != "" {
+		if *stateDir == "" {
+			return fmt.Errorf("-standby-of requires -state-dir (the replica needs somewhere to write)")
+		}
+		id := *nodeID
+		if id == "" {
+			id = regions[0].Name + "-standby"
+		}
+		sb, err := netserver.RunStandby(netserver.StandbyConfig{
+			PrimaryAddr: *standbyOf,
+			RouterAddr:  *enroll,
+			NodeID:      id,
+			Region:      regions[0],
+			Advertise:   *advertise,
+			StateDir:    *stateDir,
+			Logger:      obs.NewLogger(logger, level),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("standby %s replicating region %s from %s\n", id, regions[0].Name, *standbyOf)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			return sb.Close()
+		case <-sb.Promoted():
+			signal.Stop(sig)
+			fmt.Printf("promoted: taking over region %s\n", regions[0].Name)
+			_ = sb.Close()
+			// Fall through to the normal server boot below; recovery
+			// replays the replicated snapshot+journal.
+		}
+	}
+
 	srv, err := netserver.Listen(netserver.Config{
 		Addr:             *addr,
 		TickPeriod:       *tick,
@@ -216,6 +274,20 @@ func run() error {
 	}
 	for _, r := range regions {
 		fmt.Printf("edge region %s: center %s radius %.0fm\n", r.Name, r.Area.Center, r.Area.RadiusM)
+	}
+
+	if *enroll != "" {
+		id := *nodeID
+		if id == "" {
+			id = regions[0].Name + "-primary"
+		}
+		trunk, err := srv.Enroll(*enroll, id, *advertise)
+		if err != nil {
+			_ = srv.Close()
+			return err
+		}
+		defer func() { _ = trunk.Close() }()
+		fmt.Printf("enrolled with router %s as %s (region %s)\n", *enroll, id, regions[0].Name)
 	}
 
 	sig := make(chan os.Signal, 1)

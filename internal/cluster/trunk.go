@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"senseaid/internal/wire"
+)
+
+// trunk is the router's end of one enrolled node's control connection.
+// The router originates requests (ping, export/import, promote) with
+// its own sequence numbers; the node's replies — whatever their type —
+// are matched back by sequence alone, because a reply to export_device
+// echoes the export_device type, not Ack.
+type trunk struct {
+	sc    *sconn
+	hello wire.NodeHello
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan wire.Envelope
+	closed  bool
+	dead    chan struct{}
+}
+
+func newTrunk(sc *sconn, hello wire.NodeHello) *trunk {
+	return &trunk{
+		sc:      sc,
+		hello:   hello,
+		pending: make(map[uint64]chan wire.Envelope),
+		dead:    make(chan struct{}),
+	}
+}
+
+// call sends one request down the trunk and waits for the reply frame
+// carrying the same sequence number.
+func (t *trunk) call(typ wire.MsgType, payload interface{}, timeout time.Duration) (wire.Envelope, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return wire.Envelope{}, wire.ErrClosed
+	}
+	t.seq++
+	seq := t.seq
+	ch := make(chan wire.Envelope, 1)
+	t.pending[seq] = ch
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.pending, seq)
+		t.mu.Unlock()
+	}()
+
+	env, err := t.sc.codec.Encode(typ, seq, payload)
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	if err := t.sc.co.Send(env, true, nil); err != nil {
+		return wire.Envelope{}, fmt.Errorf("cluster: send %s to %s: %w", typ, t.hello.NodeID, err)
+	}
+	select {
+	case resp := <-ch:
+		if resp.Type == wire.TypeError {
+			var e wire.Error
+			_ = wire.Decode(resp, &e)
+			return wire.Envelope{}, fmt.Errorf("cluster: %s on %s: %s", typ, t.hello.NodeID, e.Message)
+		}
+		return resp, nil
+	case <-t.dead:
+		return wire.Envelope{}, wire.ErrClosed
+	case <-time.After(timeout):
+		return wire.Envelope{}, fmt.Errorf("cluster: %s on %s: timeout after %v", typ, t.hello.NodeID, timeout)
+	}
+}
+
+// readLoop drains the trunk, delivering replies to waiting calls.
+// Returns when the connection dies; the caller deregisters the trunk
+// and runs promotion.
+func (t *trunk) readLoop() {
+	for {
+		env, err := t.sc.codec.ReadFrame(t.sc.br)
+		if err != nil {
+			break
+		}
+		t.mu.Lock()
+		ch, ok := t.pending[env.Seq]
+		t.mu.Unlock()
+		if ok {
+			ch <- env
+		}
+		// Unsolicited frames from a node are dropped: the trunk carries
+		// only router-originated request/response traffic.
+	}
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	close(t.dead)
+}
+
+// close tears down the trunk's connection, unblocking its readLoop.
+func (t *trunk) close() {
+	_ = t.sc.nc.Close()
+}

@@ -692,6 +692,22 @@ func (s *Server) removePendingLocked(reqID, deviceID string) bool {
 	return true
 }
 
+// ExportDevice removes a device and returns its full record — the
+// sending half of re-homing a device to another node. The journal sees
+// a plain deregister here and a restore on the importing side, so after
+// the move each node's state files hold the device exactly once. The
+// caller (the router tier) serialises the device's traffic around the
+// export, so a report racing the move is its concern, not ours — the
+// same contract as the sharded in-process crossing.
+func (s *Server) ExportDevice(id string) (DeviceState, error) {
+	rec, ok := s.devices.Get(id)
+	if !ok {
+		return DeviceState{}, fmt.Errorf("core: export: unknown device %s", id)
+	}
+	s.DeregisterDevice(id)
+	return rec, nil
+}
+
 // RestoreDevice stores a device record verbatim — the sharded re-homing
 // path — journaling the move like any other device mutation so the
 // record lands in the receiving shard's state files.

@@ -38,6 +38,15 @@ type Orchestrator interface {
 	// NoteDeviceEnergy feeds back crowdsensing energy spent by a device
 	// (the selector's E_i fairness term).
 	NoteDeviceEnergy(id string, joules float64)
+	// ExportDevice removes a device and returns its record — the sending
+	// half of cross-node re-homing. The record preserves liveness,
+	// fairness counters, and reputation, so RestoreDevice on the
+	// destination node continues the device's history instead of
+	// restarting it.
+	ExportDevice(id string) (DeviceState, error)
+	// RestoreDevice stores an exported record verbatim — the receiving
+	// half of cross-node re-homing (and the recovery replay path).
+	RestoreDevice(rec DeviceState) error
 
 	// Task operations (the CAS face).
 

@@ -245,6 +245,44 @@ func (s *ShardedServer) NoteDeviceEnergy(id string, joules float64) {
 	}
 }
 
+// ExportDevice removes a device from its home shard and returns the
+// record — the sending half of cross-node re-homing. The write lock is
+// held across the shard call so a concurrent in-process re-home cannot
+// move the record between the lookup and the removal.
+func (s *ShardedServer) ExportDevice(id string) (DeviceState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	home, ok := s.deviceHome[id]
+	if !ok {
+		return DeviceState{}, fmt.Errorf("core: export: unknown device %s", id)
+	}
+	rec, err := s.shards[home].server.ExportDevice(id)
+	if err != nil {
+		return DeviceState{}, err
+	}
+	delete(s.deviceHome, id)
+	return rec, nil
+}
+
+// RestoreDevice homes an exported record to the shard covering its
+// position — the receiving half of cross-node re-homing. Like the
+// in-process crossing, the device is visible to at most one shard at
+// every instant: it enters the routing index only after the shard has
+// stored it.
+func (s *ShardedServer) RestoreDevice(rec DeviceState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := s.ShardFor(rec.Position)
+	if target < 0 {
+		return fmt.Errorf("core: restore %s: no region covers %s", rec.ID, rec.Position)
+	}
+	if err := s.shards[target].server.RestoreDevice(rec); err != nil {
+		return err
+	}
+	s.deviceHome[rec.ID] = target
+	return nil
+}
+
 // SubmitTask routes a task to the shard covering its area center. The
 // returned ID carries the owning region ("west/task-3") and is the only
 // name the task answers to — per-shard counters restart at task-1, so a

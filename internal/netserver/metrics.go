@@ -24,9 +24,16 @@ type netMetrics struct {
 
 	connsDevice    *obs.Gauge
 	connsCAS       *obs.Gauge
+	connsNode      *obs.Gauge
 	acceptedDevice *obs.Counter
 	acceptedCAS    *obs.Counter
+	acceptedNode   *obs.Counter
 	casDisconnects *obs.Counter
+
+	// dispatchRetries counts schedules re-sent on a device's fresh
+	// connection after the first write landed on a connection the device
+	// had already replaced (redial racing a dispatch).
+	dispatchRetries *obs.Counter
 
 	handshakeTimeouts *obs.Counter
 	idleDisconnects   *obs.Counter
@@ -48,6 +55,10 @@ type netMetrics struct {
 	journalErrors         *obs.Counter
 	journalTruncatedBytes *obs.Counter
 	deliveriesUnroutable  *obs.Counter
+
+	// Replication series (journal shipping to standby nodes).
+	replicaLinks   *obs.Gauge
+	replShipErrors *obs.Counter
 
 	uploadTail     *obs.Counter
 	uploadPromoted *obs.Counter
@@ -71,8 +82,14 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 			"Accepted peer connections by role.", role("device")),
 		acceptedCAS: reg.Counter("senseaid_net_connections_total",
 			"Accepted peer connections by role.", role("cas")),
+		connsNode: reg.Gauge("senseaid_net_connections",
+			"Open peer connections by role.", role("node")),
+		acceptedNode: reg.Counter("senseaid_net_connections_total",
+			"Accepted peer connections by role.", role("node")),
 		casDisconnects: reg.Counter("senseaid_cas_disconnects_total",
 			"CAS connections lost with live tasks still registered.", nil),
+		dispatchRetries: reg.Counter("senseaid_dispatch_retries_total",
+			"Schedules re-sent on a device's replacement connection after a redial raced the dispatch.", nil),
 		handshakeTimeouts: reg.Counter("senseaid_net_handshake_timeouts_total",
 			"Connections dropped for not completing the hello in time.", nil),
 		idleDisconnects: reg.Counter("senseaid_net_idle_disconnects_total",
@@ -109,6 +126,10 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 			"Torn journal tail bytes discarded during recovery.", nil),
 		deliveriesUnroutable: reg.Counter("senseaid_deliveries_unroutable_total",
 			"Validated readings dropped because no CAS connection claims the task.", nil),
+		replicaLinks: reg.Gauge("senseaid_replica_links",
+			"Standby replicas currently attached for journal shipping.", nil),
+		replShipErrors: reg.Counter("senseaid_repl_ship_errors_total",
+			"Snapshot or journal frames that failed to reach a replica (link dropped).", nil),
 		uploadTail: reg.Counter("senseaid_uploads_total",
 			"Crowdsensing uploads by radio path.", path(wire.PathTail)),
 		uploadPromoted: reg.Counter("senseaid_uploads_total",
@@ -165,6 +186,8 @@ var knownTypes = map[wire.MsgType]bool{
 	wire.TypeSenseData: true, wire.TypeSchedule: true,
 	wire.TypeSubmitTask: true, wire.TypeUpdateTask: true,
 	wire.TypeDeleteTask: true, wire.TypeSensedData: true,
+	wire.TypeAttachDevice: true, wire.TypeNodeHello: true,
+	wire.TypeNodePing: true,
 }
 
 // observeRPC records one handled message: latency into senseaid_rpc_seconds

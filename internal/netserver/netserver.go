@@ -156,8 +156,14 @@ type Server struct {
 	// connMu guards only the connection fan-out maps — pure transport
 	// bookkeeping, never held across a core call or a socket write.
 	connMu  sync.Mutex
-	conns   map[*conn]bool        // every accepted connection, for shutdown
-	devices map[string]*conn      // device ID -> connection
+	conns   map[*conn]bool   // every accepted connection, for shutdown
+	devices map[string]*conn // device ID -> connection
+	// devGen counts connection bindings per device ID. The dispatch path
+	// captures the (conn, generation) pair in one connMu hold; a failure
+	// callback that later finds a *different* generation knows the device
+	// redialed mid-dispatch and retries on the live connection instead of
+	// reporting a healthy device as unresponsive.
+	devGen  map[string]uint64
 	taskCAS map[core.TaskID]*conn // task -> submitting CAS connection
 	// taskTrace remembers each live task's trace context for the
 	// delivery path (the DataSink signature carries no context).
@@ -274,6 +280,7 @@ func Listen(cfg Config) (*Server, error) {
 		timeline:  cfg.Timeline,
 		conns:     make(map[*conn]bool),
 		devices:   make(map[string]*conn),
+		devGen:    make(map[string]uint64),
 		taskCAS:   make(map[core.TaskID]*conn),
 		taskTrace: make(map[core.TaskID]obs.TraceContext),
 		done:      make(chan struct{}),
@@ -500,18 +507,31 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// tickLoop drives the core's scheduling over real (or injected) time.
-// The core locks internally, so a long scheduling pass never blocks RPC
-// handling at the transport layer.
+// tickLoop drives the core's scheduling over the injected clock. Both
+// the timestamps *and* the sleeps come from Config.Clock — a wall-time
+// ticker here would stamp simulated time onto wall-paced ticks, so a
+// test advancing a simulated clock by an hour would still wait real
+// seconds for the next tick to notice. Between passes the loop sleeps
+// to the core's own NextWake when that is sooner than the tick period,
+// so a request due in 20 ms is processed in 20 ms, not up to a full
+// period late. The core locks internally, so a long scheduling pass
+// never blocks RPC handling at the transport layer.
 func (s *Server) tickLoop() {
 	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.TickPeriod)
-	defer ticker.Stop()
 	for {
+		d := s.cfg.TickPeriod
+		if next, ok := s.core.NextWake(); ok {
+			if until := next.Sub(s.clock.Now()); until < d {
+				d = until
+				if d < time.Millisecond {
+					d = time.Millisecond
+				}
+			}
+		}
 		select {
 		case <-s.done:
 			return
-		case <-ticker.C:
+		case <-simclock.After(s.clock, d):
 			s.core.ProcessDue(s.clock.Now())
 		}
 	}
@@ -525,6 +545,7 @@ func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
 	span := s.tracer.StartSpan(req.Task.TraceContext(), obs.StageDispatch, "")
 	s.connMu.Lock()
 	c, ok := s.devices[dev.ID]
+	gen := s.devGen[dev.ID]
 	s.connMu.Unlock()
 	if !ok {
 		// The core selected a device whose connection is gone. Without
@@ -540,14 +561,11 @@ func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
 	// upload echoes it — the hop that joins the device connection into
 	// the trace.
 	spanCtx := span.Context()
-	// The push may ride a coalesced flush, so the outcome arrives in a
-	// callback (at most the coalesce interval later). The failure path
-	// must still reach the core: without the report it would believe the
-	// request pending until its deadline. The callback captures plain
-	// strings, not req — req.Task aliases core state that an
-	// update_task_param may rewrite before the flush completes.
+	// The callback captures plain strings, not req — req.Task aliases
+	// core state that an update_task_param may rewrite before the flush
+	// completes.
 	reqID, taskID, devID := req.ID(), string(req.Task.ID), dev.ID
-	c.notify(wire.TypeSchedule, wire.Schedule{
+	s.sendSchedule(c, gen, wire.Schedule{
 		RequestID: reqID,
 		TaskID:    taskID,
 		Sensor:    req.Task.Sensor,
@@ -555,20 +573,46 @@ func (s *Server) dispatch(req core.Request, dev core.DeviceState) {
 		Deadline:  req.Deadline,
 		TraceID:   spanCtx.Trace.String(),
 		SpanID:    spanCtx.Span.String(),
-	}, func(err error) {
-		if err != nil {
-			s.log.Errorf("dispatch %s to %s: %v", reqID, devID, err)
-			// A failed or timed-out write leaves the stream unframeable;
-			// the coalescer already closed the conn, which unblocks the
-			// connection's read loop so the device entry is reclaimed, and
-			// the daemon's reconnect takes over.
-			_ = c.nc.Close()
-			s.core.NoteDispatchFailure(reqID, devID)
-			span.FinishErr(err)
+	}, span, reqID, taskID, devID, true)
+}
+
+// sendSchedule pushes one schedule to the device connection captured at
+// generation gen. The push may ride a coalesced flush, so the outcome
+// arrives in a callback (at most the coalesce interval later); the
+// failure path must reach the core either way — without the report it
+// would believe the request pending until its deadline.
+//
+// The lookup in dispatch and the write here are not atomic: the device
+// may redial in between, leaving this write aimed at the dying old
+// connection while a healthy new one sits in the map. The generation
+// check below detects exactly that case — the map now binds the device
+// at a *newer* generation — and retries once on the live connection
+// instead of closing it and marking a responsive device unresponsive.
+func (s *Server) sendSchedule(c *conn, gen uint64, sched wire.Schedule, span obs.Span, reqID, taskID, devID string, mayRetry bool) {
+	c.notify(wire.TypeSchedule, sched, func(err error) {
+		if err == nil {
+			span.Finish()
+			s.timeline.Note(taskID, "dispatched", devID, s.clock.Now())
 			return
 		}
-		span.Finish()
-		s.timeline.Note(taskID, "dispatched", devID, s.clock.Now())
+		// A failed or timed-out write leaves this stream unframeable; the
+		// coalescer already closed the conn, which unblocks its read loop
+		// so the stale device entry is reclaimed. Close again here for the
+		// paths that fail before the coalescer touches the socket.
+		_ = c.nc.Close()
+		s.connMu.Lock()
+		cur, connected := s.devices[devID]
+		curGen := s.devGen[devID]
+		s.connMu.Unlock()
+		if mayRetry && connected && cur != c && curGen != gen {
+			s.met.dispatchRetries.Inc()
+			s.log.Infof("dispatch %s to %s: connection replaced mid-dispatch, retrying on the live one", reqID, devID)
+			s.sendSchedule(cur, curGen, sched, span, reqID, taskID, devID, false)
+			return
+		}
+		s.log.Errorf("dispatch %s to %s: %v", reqID, devID, err)
+		s.core.NoteDispatchFailure(reqID, devID)
+		span.FinishErr(err)
 	})
 }
 
@@ -710,6 +754,12 @@ func (s *Server) serveConn(c *conn) {
 		s.log.Debugf("CAS connection from %s", c.nc.RemoteAddr())
 		s.serveCAS(c)
 		s.met.connsCAS.Add(-1)
+	case wire.RoleNode:
+		s.met.acceptedNode.Inc()
+		s.met.connsNode.Add(1)
+		s.log.Debugf("node connection from %s", c.nc.RemoteAddr())
+		s.serveNode(c)
+		s.met.connsNode.Add(-1)
 	default:
 		c.sendErr(env.Seq, fmt.Errorf("netserver: unknown role %q", hello.Role))
 	}
@@ -829,10 +879,36 @@ func (s *Server) handleDeviceMsg(c *conn, deviceID *string, env wire.Envelope) (
 		}
 		s.connMu.Lock()
 		s.devices[reg.DeviceID] = c
+		s.devGen[reg.DeviceID]++
 		s.connMu.Unlock()
 		*deviceID = reg.DeviceID
 		s.log.Infof("device %s registered", reg.DeviceID)
 		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: reg.DeviceID})
+		return false, nil
+
+	case wire.TypeAttachDevice:
+		var at wire.AttachDevice
+		if err := wire.Decode(env, &at); err != nil {
+			return false, err
+		}
+		if at.DeviceID == "" {
+			return false, fmt.Errorf("netserver: attach_device without a device id")
+		}
+		if *deviceID != "" && *deviceID != at.DeviceID {
+			return false, fmt.Errorf("netserver: connection already registered as %s", *deviceID)
+		}
+		// Attach binds the connection to a device record that already
+		// lives in the core — the record a cross-node re-home just
+		// imported through RestoreDevice. A plain register here would
+		// clobber the imported fairness counters and liveness with
+		// registration defaults; attach touches only the transport map.
+		s.connMu.Lock()
+		s.devices[at.DeviceID] = c
+		s.devGen[at.DeviceID]++
+		s.connMu.Unlock()
+		*deviceID = at.DeviceID
+		s.log.Infof("device %s attached (cross-node re-home)", at.DeviceID)
+		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: at.DeviceID})
 		return false, nil
 
 	case wire.TypeDeregister:

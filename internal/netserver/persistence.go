@@ -11,11 +11,13 @@ package netserver
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"senseaid/internal/core"
 	"senseaid/internal/persist"
+	"senseaid/internal/wire"
 )
 
 // storeNameSingle names the single-region deployment's state files.
@@ -40,13 +42,30 @@ type journalGate struct {
 	srv   *Server
 	store *persist.Store
 	armed atomic.Bool
+	// shipMu orders this store's writes with their replica shipments:
+	// a snapshot and the journal records numbered after it must reach a
+	// replica in store-write order, or the replica could append a record
+	// and then rotate it into a stale epoch when the older snapshot
+	// lands. Appends and snapshot commits on one store already serialise
+	// inside persist.Store; this mutex extends that ordering to the tee.
+	shipMu sync.Mutex
 }
 
 func (g *journalGate) Append(rec core.JournalRecord) {
 	if !g.armed.Load() {
 		return
 	}
-	if err := g.store.Append(rec); err != nil {
+	raw, err := json.Marshal(rec)
+	if err == nil {
+		g.shipMu.Lock()
+		err = g.store.AppendRaw(raw)
+		if err == nil {
+			g.srv.pers.ship(wire.TypeJournalShip,
+				wire.JournalShip{Store: g.store.Name(), Record: raw})
+		}
+		g.shipMu.Unlock()
+	}
+	if err != nil {
 		// An append failure (disk full, fd gone) loses this mutation from
 		// the journal; the next periodic snapshot re-establishes a
 		// consistent cut. Count it loudly rather than crash the server —
@@ -71,6 +90,65 @@ type persistedCore struct {
 type persister struct {
 	srv    *Server
 	stores []*persistedCore
+
+	// replMu guards links: standby replicas attached for journal
+	// shipping (DESIGN.md §14). Every store write tees its exact bytes
+	// to every link, so a replica's state directory converges on a
+	// byte-identical copy of the primary's.
+	replMu sync.Mutex
+	links  []*conn
+}
+
+// attachReplica registers a replica connection and immediately ships a
+// fresh snapshot of every store through it, so the replica's files hold
+// a consistent cut before any journal record arrives. snapshotAll runs
+// outside replMu (commitOne takes each store's ship mutex, and ship
+// re-takes replMu) and ships to every link — re-snapshotting an
+// already-attached replica is harmless.
+func (p *persister) attachReplica(c *conn) {
+	p.replMu.Lock()
+	p.links = append(p.links, c)
+	n := len(p.links)
+	p.replMu.Unlock()
+	p.srv.met.replicaLinks.Set(float64(n))
+	p.snapshotAll()
+}
+
+func (p *persister) detachReplica(c *conn) {
+	p.replMu.Lock()
+	for i, l := range p.links {
+		if l == c {
+			p.links = append(p.links[:i], p.links[i+1:]...)
+			break
+		}
+	}
+	n := len(p.links)
+	p.replMu.Unlock()
+	p.srv.met.replicaLinks.Set(float64(n))
+}
+
+// ship tees one store write to every attached replica. Frames ride the
+// replica connection's coalescer, so shipping never blocks the caller;
+// a send failure closes the link's connection — serveNode's read loop
+// notices and detaches it — because a dead or wedged standby must never
+// stall the primary's mutation path.
+func (p *persister) ship(t wire.MsgType, payload interface{}) {
+	p.replMu.Lock()
+	if len(p.links) == 0 {
+		p.replMu.Unlock()
+		return
+	}
+	links := append([]*conn(nil), p.links...)
+	p.replMu.Unlock()
+	for _, c := range links {
+		cc := c
+		cc.notify(t, payload, func(err error) {
+			if err != nil {
+				p.srv.met.replShipErrors.Inc()
+				_ = cc.nc.Close()
+			}
+		})
+	}
 }
 
 // RecoveryInfo summarizes what Listen recovered from the state
@@ -249,14 +327,26 @@ func (p *persister) recover() (RecoveryInfo, error) {
 }
 
 // commitOne snapshots one core into its store, recording the snapshot
-// metrics.
+// metrics. The capture, the commit, and the replica shipment all happen
+// under the store's ship mutex: any journal record numbered after this
+// snapshot is therefore also shipped after it (its Append is queued
+// behind the mutex), so a replica never rotates a needed record away.
 func (p *persister) commitOne(ps *persistedCore, restarts int) error {
 	start := time.Now()
-	n, err := ps.store.Commit(persistedState{
+	ps.gate.shipMu.Lock()
+	raw, err := json.Marshal(persistedState{
 		Restarts: restarts,
 		SavedAt:  start,
 		Core:     ps.core.Snapshot(),
 	})
+	var n int64
+	if err == nil {
+		n, err = ps.store.CommitRaw(raw)
+	}
+	if err == nil {
+		p.ship(wire.TypeSnapshotShip, wire.SnapshotShip{Store: ps.name, Payload: raw})
+	}
+	ps.gate.shipMu.Unlock()
 	if err != nil {
 		p.srv.met.snapshotsErr.Inc()
 		return fmt.Errorf("netserver: snapshot %s: %w", ps.name, err)

@@ -204,6 +204,16 @@ func (s *Store) Commit(payload any) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("persist: encode snapshot: %w", err)
 	}
+	return s.CommitRaw(raw)
+}
+
+// CommitRaw is Commit for a payload that is already JSON — the standby
+// side of journal shipping, which must write the primary's exact bytes
+// so a later recovery on the replicated files sees an identical state.
+func (s *Store) CommitRaw(raw json.RawMessage) (int64, error) {
+	if !json.Valid(raw) {
+		return 0, fmt.Errorf("persist: snapshot payload is not valid JSON")
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	next := s.epoch + 1
@@ -258,6 +268,15 @@ func (s *Store) Append(payload any) error {
 	if err != nil {
 		return fmt.Errorf("persist: encode record: %w", err)
 	}
+	return s.AppendRaw(raw)
+}
+
+// AppendRaw is Append for a record that is already JSON (a shipped
+// journal record, written byte-for-byte as the primary journaled it).
+func (s *Store) AppendRaw(raw json.RawMessage) error {
+	if !json.Valid(raw) {
+		return fmt.Errorf("persist: record is not valid JSON")
+	}
 	if len(raw) > MaxRecordBytes {
 		return fmt.Errorf("persist: record of %d bytes exceeds limit", len(raw))
 	}
@@ -274,6 +293,15 @@ func (s *Store) Append(payload any) error {
 		return fmt.Errorf("persist: append: %w", err)
 	}
 	return nil
+}
+
+// Epoch reports the journal epoch currently open (0 before the first
+// Load/Commit). A replica includes it in its hello so an operator can
+// see how far behind a standby's shipped state is.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // Sync flushes the journal to stable storage (graceful drain; routine

@@ -1,0 +1,94 @@
+package persist
+
+// The raw byte-level API (CommitRaw/AppendRaw) is what journal shipping
+// rides: a replica writes the primary's exact bytes into its own store,
+// so the two directories stay recovery-equivalent. These tests pin the
+// raw path's contract — verbatim round-trip, JSON validation at the
+// boundary, and the journal gate.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRawRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, "core")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := json.RawMessage(`{"seq":7,"devices":["a","b"]}`)
+	if _, err := st.CommitRaw(snap); err != nil {
+		t.Fatalf("CommitRaw: %v", err)
+	}
+	recs := []string{`{"op":"register","seq":8}`, `{"op":"dispatch","seq":9}`}
+	for _, r := range recs {
+		if err := st.AppendRaw(json.RawMessage(r)); err != nil {
+			t.Fatalf("AppendRaw: %v", err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, "core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st2.Close() }()
+	res, err := st2.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if string(res.Snapshot) != string(snap) {
+		t.Fatalf("snapshot round-trip changed bytes: %s", res.Snapshot)
+	}
+	if len(res.Records) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(res.Records), len(recs))
+	}
+	for i, r := range res.Records {
+		if string(r) != recs[i] {
+			t.Fatalf("record %d round-trip changed bytes: %s", i, r)
+		}
+	}
+}
+
+func TestRawRejectsInvalidJSON(t *testing.T) {
+	st, err := Open(t.TempDir(), "core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+	if _, err := st.CommitRaw(json.RawMessage(`{"trunc`)); err == nil {
+		t.Fatal("CommitRaw accepted invalid JSON")
+	}
+	if _, err := st.CommitRaw(json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendRaw(json.RawMessage(`not json`)); err == nil {
+		t.Fatal("AppendRaw accepted invalid JSON")
+	}
+}
+
+func TestAppendRawRequiresOpenJournal(t *testing.T) {
+	st, err := Open(t.TempDir(), "core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+	err = st.AppendRaw(json.RawMessage(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "no journal open") {
+		t.Fatalf("AppendRaw before any commit = %v, want a no-journal error", err)
+	}
+	if _, err := st.CommitRaw(json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendRaw(json.RawMessage(`{}`)); err != nil {
+		t.Fatalf("AppendRaw after commit: %v", err)
+	}
+	if st.Epoch() == 0 {
+		t.Fatal("Epoch() = 0 after a commit")
+	}
+}

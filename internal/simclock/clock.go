@@ -18,13 +18,35 @@ type Clock interface {
 	Now() time.Time
 }
 
+// Waiter is a Clock that can also sleep: After returns a channel that
+// fires once d of (virtual or real) time has passed. Loops that must be
+// deterministic under an injected clock — the networked server's
+// scheduler tick — sleep through the clock instead of the wall timer,
+// so a test clock controls both what time it is and when the loop runs.
+type Waiter interface {
+	Clock
+	After(d time.Duration) <-chan time.Time
+}
+
+// After sleeps d on clock: virtual time when the clock implements
+// Waiter (RealClock and FakeClock both do), wall time otherwise.
+func After(clock Clock, d time.Duration) <-chan time.Time {
+	if w, ok := clock.(Waiter); ok {
+		return w.After(d)
+	}
+	return time.After(d)
+}
+
 // RealClock is a Clock backed by the system clock.
 type RealClock struct{}
 
-var _ Clock = RealClock{}
+var _ Waiter = RealClock{}
 
 // Now returns the current wall-clock time.
 func (RealClock) Now() time.Time { return time.Now() }
+
+// After waits on the wall timer.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
 // Epoch is the instant virtual time starts at. An arbitrary fixed instant
 // keeps simulations reproducible regardless of when they run.

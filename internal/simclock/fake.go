@@ -1,0 +1,111 @@
+package simclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// FakeClock is a concurrency-safe test clock: time stands still until
+// Advance moves it, and After channels fire exactly when the virtual
+// clock passes their deadline. Unlike Scheduler — the single-threaded
+// discrete-event engine the simulator owns — FakeClock is built for
+// code with its own goroutines (the networked server's tick loop):
+// many goroutines may call Now and After while the test advances time.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+	// afterCalls and nowCalls count API hits; tests assert on them to
+	// prove a loop is driven by the injected clock rather than a wall
+	// timer (a wall-driven loop keeps polling Now while virtual time
+	// stands still).
+	nowCalls   int
+	afterCalls int
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock starts a fake clock at start (Epoch when zero).
+func NewFakeClock(start time.Time) *FakeClock {
+	if start.IsZero() {
+		start = Epoch
+	}
+	return &FakeClock{now: start}
+}
+
+var _ Waiter = (*FakeClock)(nil)
+
+// Now returns the current virtual time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nowCalls++
+	return c.now
+}
+
+// After returns a channel that fires when the virtual clock reaches
+// now+d. A non-positive d fires immediately.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.afterCalls++
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the virtual clock forward by d, firing every waiter
+// whose deadline passes, in deadline order. It does not wait for the
+// woken goroutines to run — callers that need to observe an effect
+// poll for it, exactly as they would against a real server.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var due []fakeWaiter
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			due = append(due, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+	now := c.now
+	c.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// Waiters reports how many After channels are pending — a test's way to
+// wait until the loop under test has gone to sleep before advancing.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// NowCalls and AfterCalls report how often the clock has been read and
+// slept on.
+func (c *FakeClock) NowCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nowCalls
+}
+
+// AfterCalls reports how many After sleeps have been requested.
+func (c *FakeClock) AfterCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.afterCalls
+}

@@ -1,0 +1,80 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeClockAfterFiresOnAdvance(t *testing.T) {
+	c := NewFakeClock(time.Time{})
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired before any advance")
+	default:
+	}
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired 1s early")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if want := Epoch.Add(10 * time.Second); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("did not fire at its deadline")
+	}
+	if c.Waiters() != 0 {
+		t.Fatalf("waiter leaked: %d", c.Waiters())
+	}
+}
+
+func TestFakeClockImmediateAndOrdering(t *testing.T) {
+	c := NewFakeClock(time.Time{})
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) must fire immediately")
+	}
+	late := c.After(2 * time.Second)
+	early := c.After(1 * time.Second)
+	c.Advance(5 * time.Second)
+	e := <-early
+	l := <-late
+	if !e.Equal(l) || !e.Equal(Epoch.Add(5*time.Second)) {
+		t.Fatalf("woke at %v and %v, want both at now", e, l)
+	}
+}
+
+func TestFakeClockConcurrentUse(t *testing.T) {
+	c := NewFakeClock(time.Time{})
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				_ = c.Now()
+				<-c.After(time.Millisecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	fin := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-fin:
+				return
+			default:
+				c.Advance(time.Millisecond)
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	close(fin)
+}

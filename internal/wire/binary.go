@@ -48,6 +48,16 @@ const (
 	binUpdateTask
 	binDeleteTask
 	binSensedData
+	// Node-to-node messages (PR 8). Their payloads have no hand-rolled
+	// binary encoders, so they always ride the JSON fallback byte.
+	binNodeHello
+	binNodePing
+	binExportDevice
+	binImportDevice
+	binAttachDevice
+	binPromote
+	binSnapshotShip
+	binJournalShip
 )
 
 var typeToCode = map[MsgType]byte{
@@ -64,6 +74,15 @@ var typeToCode = map[MsgType]byte{
 	TypeUpdateTask:  binUpdateTask,
 	TypeDeleteTask:  binDeleteTask,
 	TypeSensedData:  binSensedData,
+
+	TypeNodeHello:    binNodeHello,
+	TypeNodePing:     binNodePing,
+	TypeExportDevice: binExportDevice,
+	TypeImportDevice: binImportDevice,
+	TypeAttachDevice: binAttachDevice,
+	TypePromote:      binPromote,
+	TypeSnapshotShip: binSnapshotShip,
+	TypeJournalShip:  binJournalShip,
 }
 
 var codeToType = func() map[byte]MsgType {

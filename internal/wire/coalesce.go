@@ -42,8 +42,15 @@ type Coalescer struct {
 	nframes      int
 	timer        *time.Timer
 	timerArmed   bool
-	dead         bool
-	deadErr      error
+	// armGen counts timer arms. A tick captured its arm's generation;
+	// one that wakes up holding a stale generation — its flush already
+	// happened via the size threshold, an urgent frame, or Close before
+	// the tick could take the lock — returns without flushing, so a
+	// frame buffered after that flush is never pushed out early (or, on
+	// a closed coalescer, at all).
+	armGen  uint64
+	dead    bool
+	deadErr error
 }
 
 // CoalescerConfig parameterises a Coalescer.
@@ -122,11 +129,15 @@ func (co *Coalescer) Send(env Envelope, urgent bool, done func(error)) error {
 	}
 	if !co.timerArmed {
 		co.timerArmed = true
-		if co.timer == nil {
-			co.timer = time.AfterFunc(co.interval, co.tick)
-		} else {
-			co.timer.Reset(co.interval)
-		}
+		// A fresh AfterFunc per arm, never Reset: a disarm's Stop can
+		// lose the race with a timer that already fired (its tick is
+		// blocked on co.mu), and resetting a firing timer would make
+		// both the stale fire and the new one run. Each arm instead
+		// captures its own generation and the tick validates it under
+		// the lock, so a stale fire is a no-op.
+		co.armGen++
+		gen := co.armGen
+		co.timer = time.AfterFunc(co.interval, func() { co.tick(gen) })
 	}
 	co.mu.Unlock()
 	return nil
@@ -146,10 +157,13 @@ func (co *Coalescer) Flush() error {
 	return err
 }
 
-// tick is the timer's flush.
-func (co *Coalescer) tick() {
+// tick is the timer's flush. gen is the arm that scheduled it: a tick
+// whose arm was already flushed (or that fired after Close) must not
+// touch the buffer — whatever is in it belongs to a newer arm whose
+// interval has not elapsed.
+func (co *Coalescer) tick(gen uint64) {
 	co.mu.Lock()
-	if co.dead {
+	if co.dead || !co.timerArmed || gen != co.armGen {
 		co.mu.Unlock()
 		return
 	}
@@ -183,7 +197,10 @@ func (co *Coalescer) Close() error {
 func (co *Coalescer) flushLocked() ([]func(error), error) {
 	co.timerArmed = false
 	if co.timer != nil {
+		// Stop is best-effort: a timer that already fired runs tick
+		// anyway, which the generation check turns into a no-op.
 		co.timer.Stop()
+		co.timer = nil
 	}
 	if co.nframes == 0 {
 		return nil, nil

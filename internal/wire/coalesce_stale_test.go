@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+// The regression scenario for the stale tick: a timer arms for frame A,
+// A flushes early (size threshold or urgent), frame B arrives and
+// re-arms — and only then does A's timer fire. Before the generation
+// guard, the stale fire flushed B immediately, cutting its coalescing
+// interval to nearly zero; with it, the stale tick must leave B in the
+// buffer until B's own timer (or threshold) flushes it. The test drives
+// tick directly with a captured stale generation, which is exactly the
+// state a lost Stop race leaves behind.
+func TestCoalescerStaleTickDoesNotFlushNewFrames(t *testing.T) {
+	nc := &countingConn{}
+	co := NewCoalescer(nc, JSON, CoalescerConfig{Interval: time.Hour})
+
+	// Frame A arms the timer (generation 1), then an urgent frame
+	// flushes everything, disarming it.
+	if err := co.Send(mustEnv(t, JSON, TypeSchedule, 0, Schedule{RequestID: "a"}), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Send(mustEnv(t, JSON, TypeAck, 1, Ack{}), true, nil); err != nil {
+		t.Fatal(err)
+	}
+	writes, _ := nc.stats()
+	if writes != 1 {
+		t.Fatalf("urgent flush: got %d writes, want 1", writes)
+	}
+
+	// Frame B arrives and re-arms (generation 2).
+	if err := co.Send(mustEnv(t, JSON, TypeSchedule, 0, Schedule{RequestID: "b"}), false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 1's fire arrives late — the Stop in the urgent flush
+	// lost the race. It must not flush B.
+	co.tick(1)
+	if writes, _ := nc.stats(); writes != 1 {
+		t.Fatalf("stale tick flushed: got %d writes, want 1", writes)
+	}
+	co.mu.Lock()
+	buffered := co.nframes
+	co.mu.Unlock()
+	if buffered != 1 {
+		t.Fatalf("stale tick consumed the buffer: %d frames left, want 1", buffered)
+	}
+
+	// Generation 2's own fire flushes B exactly once.
+	co.tick(2)
+	writes, data := nc.stats()
+	if writes != 2 {
+		t.Fatalf("current tick: got %d writes, want 2", writes)
+	}
+	frames := drainFrames(t, JSON, data)
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 3", len(frames))
+	}
+	var sch Schedule
+	if err := Decode(frames[2], &sch); err != nil || sch.RequestID != "b" {
+		t.Fatalf("last frame = %v (err %v), want schedule b", frames[2].Type, err)
+	}
+}
+
+// A tick that fires after Close must be a no-op: no write syscall, no
+// callback, no send-after-poison panic.
+func TestCoalescerTickAfterCloseIsNoop(t *testing.T) {
+	nc := &countingConn{}
+	co := NewCoalescer(nc, JSON, CoalescerConfig{Interval: time.Hour})
+	fired := 0
+	if err := co.Send(mustEnv(t, JSON, TypeSchedule, 0, Schedule{RequestID: "a"}), false, func(error) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	_ = co.Close() // flushes a, stops the timer
+	if fired != 1 {
+		t.Fatalf("close flush: callback fired %d times, want 1", fired)
+	}
+	writesBefore, _ := nc.stats()
+	co.tick(1) // the armed generation, firing after Close lost the Stop race
+	writes, _ := nc.stats()
+	if writes != writesBefore {
+		t.Fatalf("tick after close wrote: %d -> %d", writesBefore, writes)
+	}
+	if fired != 1 {
+		t.Fatalf("tick after close re-ran callbacks: fired %d times", fired)
+	}
+}
+
+// An empty-buffer tick must not issue a write syscall (the leftover
+// AfterFunc after a threshold flush used to reach flushLocked; even now
+// the nframes==0 early return is what keeps a legitimate current-gen
+// fire with nothing buffered from costing a syscall).
+func TestCoalescerEmptyTickNoSyscall(t *testing.T) {
+	nc := &countingConn{}
+	co := NewCoalescer(nc, JSON, CoalescerConfig{Interval: time.Millisecond})
+	if err := co.Send(mustEnv(t, JSON, TypeSchedule, 0, Schedule{RequestID: "a"}), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let any leftover timer fire
+	writes, _ := nc.stats()
+	if writes != 1 {
+		t.Fatalf("got %d writes, want 1 (empty tick must not write)", writes)
+	}
+}

@@ -221,6 +221,18 @@ func (c *RPCConn) Call(t MsgType, payload interface{}) (Ack, error) {
 	}
 }
 
+// Reply sends a response frame echoing a peer-assigned seq — the worker
+// side of a node RPC, where the remote end (the router) picked the
+// sequence number and matches the reply by it. Replies flush
+// immediately: the router is blocked on them.
+func (c *RPCConn) Reply(t MsgType, seq uint64, payload interface{}) error {
+	env, err := c.codec.Encode(t, seq, payload)
+	if err != nil {
+		return err
+	}
+	return c.co.Send(env, true, nil)
+}
+
 // Notify sends a message without waiting for a response. With coalescing
 // enabled the frame may ride the next flush (delayed at most the
 // coalesce interval); a later write failure surfaces through Done.

@@ -76,6 +76,13 @@ type Envelope struct {
 	binPayload bool
 }
 
+// BinaryPayload reports whether the envelope's payload is in the v2
+// wire-binary encoding. A relay (the router tier) uses it to decide
+// whether a frame read from one connection can be re-framed verbatim
+// for another: a JSON payload fits either codec, a binary payload must
+// be decoded and re-encoded before it can ride a v1 connection.
+func (e Envelope) BinaryPayload() bool { return e.binPayload }
+
 // Hello opens every connection. It is always framed with the v1 JSON
 // codec, whatever Version asks for, so any server can read it; the
 // negotiated codec takes over after the Hello/Ack exchange (see
