@@ -62,6 +62,19 @@ SENSEAID_BENCH_OUT="$PWD/BENCH_recovery.json" \
 SENSEAID_BENCH_OUT="$PWD/BENCH_cluster.json" \
     go test -run '^TestRecordClusterBench$' -count=1 -v .
 
+# Aggregation benchmark record: drives the streaming tier through the
+# core's delivery tap, writes BENCH_agg.json, and FAILS below 1M
+# uploads/min, on any per-upload allocation on the hot tap, on
+# unbounded series memory, or when push lag p99 reaches one window
+# (see TestRecordAggBench).
+SENSEAID_BENCH_OUT="$PWD/BENCH_agg.json" \
+    go test -run '^TestRecordAggBench$' -count=1 -v ./internal/agg
+
+# Shared-tier scenario: 100 concurrent campaigns on one cohort and one
+# aggregation tier; every campaign's streamed windows must match the
+# post-hoc batch computation exactly.
+go test -count=1 -run '^TestHundredCampaignSharedAggregationTier$' ./internal/sim
+
 # Multi-node failover smoke: a real router fronting a real primary with
 # a journal-shipping standby; the primary is SIGKILLed mid-campaign and
 # the standby must promote, re-enroll, and finish the campaign with zero
@@ -102,4 +115,25 @@ done
 [ -n "$addr" ]
 "$tmp/senseaid-loadgen" -addr "$addr" -devices 5000 -duration 5s \
     -codec binary -tasks 4 -density 5 -period 1s -min-selections 1
+kill $srv_pid 2>/dev/null || true
+
+# Shared-tier smoke: a real senseaid-cas subscribes to its own
+# campaign's live aggregation windows against a server under loadgen
+# traffic, and exits success only after a closed window actually
+# arrives (senseaid-cas -subscribe fails on a windowless deadline).
+go build -o "$tmp/senseaid-cas" ./cmd/senseaid-cas
+"$tmp/senseaidd" -addr 127.0.0.1:0 -tick 100ms -agg-window 2s > "$tmp/senseaidd3.out" &
+srv_pid=$!
+addr=
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^sense-aid server listening on //p' "$tmp/senseaidd3.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ]
+"$tmp/senseaid-loadgen" -addr "$addr" -devices 50 -duration 15s \
+    -tasks 1 -density 2 -period 1s -min-selections 1 &
+load_pid=$!
+"$tmp/senseaid-cas" -addr "$addr" -period 1s -duration 15s -density 2 -subscribe
+wait $load_pid
 kill $srv_pid 2>/dev/null || true

@@ -7,7 +7,15 @@
 //
 //	senseaid-cas [-addr host:port] [-sensor barometer] [-period 5m]
 //	             [-duration 30m] [-radius 500] [-density 2] [-map]
-//	             [-retry-reconnect]
+//	             [-subscribe] [-retry-reconnect]
+//
+// With -subscribe, the CAS additionally opens a live-aggregation
+// subscription for its task: the server streams a rollup (count, mean,
+// min/max, p50/p99, freshness) every time a window closes, and the
+// command exits successfully once the first window arrives — the
+// smallest end-to-end proof that the shared aggregation tier is live.
+// Reaching the task deadline without a single window is an error, so
+// CI can use the exit code as a gate.
 //
 // With -retry-reconnect, the task is submitted under a generated
 // client task ID and, if the server connection drops (a server restart,
@@ -59,6 +67,7 @@ func run() error {
 	density := flag.Int("density", 2, "spatial density (devices per round)")
 	renderMap := flag.Bool("map", false, "render a fused hyperlocal map at the end")
 	retry := flag.Bool("retry-reconnect", false, "on a dropped server connection, redial once and resubmit the task (idempotent via a client task ID)")
+	subscribe := flag.Bool("subscribe", false, "subscribe to the task's live aggregation windows and exit after the first closed window")
 	flag.Parse()
 
 	sensor, err := sensorByName(*sensorName)
@@ -110,6 +119,9 @@ func run() error {
 		spec.ClientTaskID = fmt.Sprintf("senseaid-cas-%d-%d", os.Getpid(), time.Now().UnixNano())
 	}
 
+	// Window pushes arrive on the connection's push goroutine; the main
+	// loop drains them so printing and exit logic stay single-threaded.
+	windows := make(chan wire.AggWindow, 64)
 	connect := func() (*cas.CAS, string, error) {
 		app, err := cas.Dial(*addr)
 		if err != nil {
@@ -123,6 +135,17 @@ func run() error {
 		if err != nil {
 			_ = app.Close()
 			return nil, "", err
+		}
+		if *subscribe {
+			if _, err := app.SubscribeAgg(wire.SubscribeAgg{Task: id}, func(w wire.AggWindow) {
+				select {
+				case windows <- w:
+				default:
+				}
+			}); err != nil {
+				_ = app.Close()
+				return nil, "", err
+			}
 		}
 		return app, id, nil
 	}
@@ -142,7 +165,16 @@ func run() error {
 wait:
 	for {
 		select {
+		case w := <-windows:
+			fmt.Printf("window [%s %s) %-12s count=%d mean=%.2f min=%.2f max=%.2f p50=%.2f p99=%.2f fresh=%dms\n",
+				w.Start.Format("15:04:05"), w.End.Format("15:04:05"), w.TaskID,
+				w.Count, w.Mean, w.Min, w.Max, w.P50, w.P99, w.FreshnessMS)
+			fmt.Println("aggregation tier live; exiting")
+			break wait
 		case <-deadline:
+			if *subscribe {
+				return fmt.Errorf("task deadline reached without a single aggregation window")
+			}
 			break wait
 		case <-sig:
 			fmt.Println("interrupted; deleting task")

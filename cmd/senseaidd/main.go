@@ -8,6 +8,7 @@
 //	          [-handshake-timeout duration] [-idle-timeout duration]
 //	          [-state-dir path] [-state-recover] [-snapshot-interval duration]
 //	          [-codec binary|json] [-coalesce-interval duration] [-rpc-workers n]
+//	          [-agg-window duration] [-agg-retention n]
 //	          [-regions name@lat,lon,radiusM]... [-pprof]
 //	          [-enroll host:port] [-node-id name] [-advertise host:port]
 //	          [-standby-of host:port]
@@ -19,6 +20,14 @@
 // -coalesce-interval batches schedule/delivery pushes per connection so
 // bursts share one write syscall; -rpc-workers bounds concurrent RPC
 // handling (overflow is shed with senseaid_rpc_shed_total).
+//
+// The server aggregates every validated upload into per-task/per-cell
+// rollup windows (count, mean, min/max, p50/p99, freshness) that CASes
+// subscribe to instead of consuming the raw delivery stream.
+// -agg-window sets the window length (negative disables the tier),
+// -agg-retention how many closed windows each series keeps for sliding
+// subscriptions. With -state-dir, open windows spill into the state
+// directory so a restart or standby promotion keeps them.
 //
 // With -state-dir set, the server is durable: scheduling state is
 // snapshotted there and every mutation journaled between snapshots, so
@@ -130,6 +139,8 @@ func run() error {
 	codec := flag.String("codec", "binary", "newest wire codec to negotiate: binary (v2) or json (pins every connection to v1)")
 	coalesceInterval := flag.Duration("coalesce-interval", 2*time.Millisecond, "batch schedule/delivery pushes per connection for up to this long so bursts share one write syscall (0 disables)")
 	rpcWorkers := flag.Int("rpc-workers", 0, "max concurrent RPC handlers across all connections (0 sizes from CPU count, negative runs handlers inline)")
+	aggWindow := flag.Duration("agg-window", 0, "live-aggregation window length (0 uses the 1m default, negative disables the tier)")
+	aggRetention := flag.Int("agg-retention", 0, "closed windows retained per series for sliding subscriptions (0 uses the default)")
 	var regions regionList
 	flag.Var(&regions, "regions", "edge region as name@lat,lon,radiusM (repeatable; two or more shard the deployment)")
 	enroll := flag.String("enroll", "", "router address to enroll this node with (requires exactly one -regions)")
@@ -251,6 +262,8 @@ func run() error {
 		MaxWireVersion:   maxCodec.Version(),
 		CoalesceInterval: *coalesceInterval,
 		RPCWorkers:       *rpcWorkers,
+		AggWindow:        *aggWindow,
+		AggRetention:     *aggRetention,
 		Logger:           logger,
 		LogLevel:         level,
 		Metrics:          obs.Default(),

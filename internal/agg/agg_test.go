@@ -1,0 +1,335 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+func reading(at time.Time, v float64, p geo.Point) sensors.Reading {
+	return sensors.Reading{Sensor: sensors.Barometer, Value: v, Unit: "hPa", At: at, Where: p}
+}
+
+// collect subscribes with f and returns the sink slice windows land in.
+func collect(t *Tier, f Filter) *[]Window {
+	var got []Window
+	t.Subscribe(f, func(p Push) { got = append(got, p.Windows...) })
+	return &got
+}
+
+// driveSamples feeds samples in timestamp order, advancing the tier's
+// clock past each sample so windows close on the tick cadence the real
+// server uses.
+func driveSamples(tier *Tier, clk *simclock.FakeClock, samples []Sample) {
+	for _, s := range samples {
+		if d := s.Reading.At.Sub(clk.Now()); d > 0 {
+			clk.Advance(d)
+			tier.Advance(clk.Now())
+		}
+		tier.Ingest(s.Task, s.Region, s.Reading)
+	}
+	// Flush the final windows.
+	for i := 0; i < 8; i++ {
+		clk.Advance(tier.Window())
+		tier.Advance(clk.Now())
+	}
+}
+
+func TestTumblingWindowsMatchBatch(t *testing.T) {
+	cfg := Config{Window: time.Minute, Retention: 5, CellSizeM: 500}
+	clk := simclock.NewFakeClock(simclock.Epoch)
+	cfg.Clock = clk
+	tier := New(cfg)
+	got := collect(tier, Filter{})
+
+	rng := rand.New(rand.NewSource(7))
+	var samples []Sample
+	at := simclock.Epoch
+	for i := 0; i < 2000; i++ {
+		at = at.Add(time.Duration(rng.Intn(2000)) * time.Millisecond)
+		task := []string{"west/task-1", "west/task-2", "east/task-1"}[rng.Intn(3)]
+		region := task[:4]
+		p := geo.Point{Lat: 40 + rng.Float64()*0.02, Lon: -86 - rng.Float64()*0.02}
+		samples = append(samples, Sample{
+			Task:    task,
+			Region:  region,
+			Reading: reading(at, 950+rng.Float64()*100, p),
+		})
+	}
+	driveSamples(tier, clk, samples)
+
+	want := Batch(samples, cfg)
+	SortWindows(*got)
+	if len(*got) != len(want) {
+		t.Fatalf("streamed %d windows, batch computed %d", len(*got), len(want))
+	}
+	for i := range want {
+		g, w := (*got)[i], want[i]
+		if g.Key != w.Key || !g.Start.Equal(w.Start) || !g.End.Equal(w.End) {
+			t.Fatalf("window %d: streamed %+v != batch %+v", i, g.Key, w.Key)
+		}
+		if g.Count != w.Count || g.Min != w.Min || g.Max != w.Max ||
+			math.Abs(g.Sum-w.Sum) > 1e-9 || g.P50 != w.P50 || g.P99 != w.P99 ||
+			g.Freshness != w.Freshness {
+			t.Fatalf("window %d %v: streamed %+v != batch %+v", i, g.Key, g, w)
+		}
+	}
+}
+
+func TestSlidingWindowMergesSpan(t *testing.T) {
+	cfg := Config{Window: time.Minute, Retention: 5, CellSizeM: 500}
+	clk := simclock.NewFakeClock(simclock.Epoch)
+	cfg.Clock = clk
+	tier := New(cfg)
+	got := collect(tier, Filter{Span: 3, Every: 1})
+
+	p := geo.Point{Lat: 40, Lon: -86}
+	// One sample per minute-window, values 1, 2, 3, 4.
+	for i := 0; i < 4; i++ {
+		at := simclock.Epoch.Add(time.Duration(i)*time.Minute + 10*time.Second)
+		for clk.Now().Before(at) {
+			clk.Advance(15 * time.Second)
+			tier.Advance(clk.Now())
+		}
+		tier.Ingest("t1", "west", reading(at, float64(i+1), p))
+	}
+	clk.Advance(2 * time.Minute)
+	tier.Advance(clk.Now())
+
+	// Five emissions: one per closed window 0..4 (the span keeps data in
+	// view for one window past the last sample).
+	if len(*got) != 5 {
+		t.Fatalf("want 5 sliding emissions, got %d: %+v", len(*got), *got)
+	}
+	// The emission at window 3 merges the windows holding values {2,3,4}.
+	full := (*got)[3]
+	if full.Count != 3 || full.Min != 2 || full.Max != 4 || full.Sum != 9 {
+		t.Fatalf("sliding merge wrong: %+v", full)
+	}
+	if got := full.End.Sub(full.Start); got != 3*time.Minute {
+		t.Fatalf("sliding span = %v, want 3m", got)
+	}
+	// The final emission has only {3,4} left in view.
+	if last := (*got)[4]; last.Count != 2 || last.Sum != 7 {
+		t.Fatalf("trailing sliding merge wrong: %+v", last)
+	}
+	// First emission covers only the first window (span clipped by data).
+	if (*got)[0].Count != 1 || (*got)[0].Sum != 1 {
+		t.Fatalf("first sliding emission wrong: %+v", (*got)[0])
+	}
+}
+
+func TestCoarseTumblingEveryEqualsSpan(t *testing.T) {
+	cfg := Config{Window: time.Minute, Retention: 5, CellSizeM: 500}
+	clk := simclock.NewFakeClock(simclock.Epoch)
+	cfg.Clock = clk
+	tier := New(cfg)
+	got := collect(tier, Filter{Span: 2, Every: 2})
+
+	p := geo.Point{Lat: 40, Lon: -86}
+	for i := 0; i < 4; i++ {
+		at := simclock.Epoch.Add(time.Duration(i)*time.Minute + 5*time.Second)
+		for clk.Now().Before(at) {
+			clk.Advance(15 * time.Second)
+			tier.Advance(clk.Now())
+		}
+		tier.Ingest("t1", "west", reading(at, float64(i+1), p))
+	}
+	clk.Advance(3 * time.Minute)
+	tier.Advance(clk.Now())
+
+	// Epoch-aligned 2-window cadence: emissions after windows {0,1} and {2,3}.
+	if len(*got) != 2 {
+		t.Fatalf("want 2 coarse emissions, got %d: %+v", len(*got), *got)
+	}
+	if (*got)[0].Count != 2 || (*got)[0].Sum != 3 || (*got)[1].Count != 2 || (*got)[1].Sum != 7 {
+		t.Fatalf("coarse windows wrong: %+v", *got)
+	}
+}
+
+func TestFilterScopesTaskAndRegion(t *testing.T) {
+	cfg := Config{Window: time.Minute, CellSizeM: 500}
+	clk := simclock.NewFakeClock(simclock.Epoch)
+	cfg.Clock = clk
+	tier := New(cfg)
+	all := collect(tier, Filter{})
+	westOnly := collect(tier, Filter{Region: "west"})
+	t2Only := collect(tier, Filter{Task: "t2"})
+
+	p := geo.Point{Lat: 40, Lon: -86}
+	at := simclock.Epoch.Add(5 * time.Second)
+	tier.Ingest("t1", "west", reading(at, 1, p))
+	tier.Ingest("t2", "east", reading(at, 2, p))
+	clk.Advance(2 * time.Minute)
+	tier.Advance(clk.Now())
+
+	if len(*all) != 2 {
+		t.Fatalf("unfiltered sub: want 2 windows, got %d", len(*all))
+	}
+	if len(*westOnly) != 1 || (*westOnly)[0].Key.Region != "west" {
+		t.Fatalf("region filter: got %+v", *westOnly)
+	}
+	if len(*t2Only) != 1 || (*t2Only)[0].Key.Task != "t2" {
+		t.Fatalf("task filter: got %+v", *t2Only)
+	}
+}
+
+func TestLateSamplesDroppedAndCounted(t *testing.T) {
+	cfg := Config{Window: time.Minute, CellSizeM: 500}
+	clk := simclock.NewFakeClock(simclock.Epoch)
+	cfg.Clock = clk
+	tier := New(cfg)
+	got := collect(tier, Filter{})
+
+	p := geo.Point{Lat: 40, Lon: -86}
+	tier.Ingest("t1", "w", reading(simclock.Epoch.Add(61*time.Second), 5, p))
+	// A full window older than the open one: dropped, not folded in.
+	tier.Ingest("t1", "w", reading(simclock.Epoch.Add(1*time.Second), 1000, p))
+	clk.Advance(3 * time.Minute)
+	tier.Advance(clk.Now())
+
+	if st := tier.Stats(); st.LateSamples != 1 {
+		t.Fatalf("LateSamples = %d, want 1", st.LateSamples)
+	}
+	if len(*got) != 1 || (*got)[0].Count != 1 || (*got)[0].Max != 5 {
+		t.Fatalf("late sample leaked into a window: %+v", *got)
+	}
+}
+
+func TestMaxSeriesEvictsStalest(t *testing.T) {
+	cfg := Config{Window: time.Minute, CellSizeM: 500, MaxSeries: 4}
+	clk := simclock.NewFakeClock(simclock.Epoch)
+	cfg.Clock = clk
+	tier := New(cfg)
+
+	at := simclock.Epoch
+	for i := 0; i < 10; i++ {
+		at = at.Add(time.Second)
+		p := geo.Point{Lat: 40 + float64(i)*0.1, Lon: -86}
+		tier.Ingest("t1", "w", reading(at, 1, p))
+	}
+	st := tier.Stats()
+	if st.Series > 4 {
+		t.Fatalf("series cap breached: %d > 4", st.Series)
+	}
+	if st.Evicted != 6 {
+		t.Fatalf("Evicted = %d, want 6", st.Evicted)
+	}
+}
+
+func TestIdleSeriesExpire(t *testing.T) {
+	cfg := Config{Window: time.Minute, Retention: 3, CellSizeM: 500}
+	clk := simclock.NewFakeClock(simclock.Epoch)
+	cfg.Clock = clk
+	tier := New(cfg)
+
+	tier.Ingest("t1", "w", reading(simclock.Epoch.Add(time.Second), 1, geo.Point{Lat: 40, Lon: -86}))
+	if tier.Stats().Series != 1 {
+		t.Fatal("series not created")
+	}
+	clk.Advance(10 * time.Minute) // far past the retention horizon
+	tier.Advance(clk.Now())
+	if st := tier.Stats(); st.Series != 0 || st.Evicted != 1 {
+		t.Fatalf("idle series not expired: %+v", st)
+	}
+}
+
+func TestSnapshotRestoreKeepsRecentWindows(t *testing.T) {
+	cfg := Config{Window: time.Minute, Retention: 5, CellSizeM: 500}
+	clk := simclock.NewFakeClock(simclock.Epoch)
+	cfg.Clock = clk
+	tier := New(cfg)
+
+	p := geo.Point{Lat: 40, Lon: -86}
+	// Two closed windows and one open.
+	for i := 0; i < 3; i++ {
+		at := simclock.Epoch.Add(time.Duration(i)*time.Minute + 10*time.Second)
+		clk.Advance(at.Sub(clk.Now()))
+		tier.Advance(clk.Now())
+		tier.Ingest("t1", "west", reading(at, float64(i+1)*10, p))
+	}
+
+	blob, err := tier.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh tier (a restarted server, or a promoted standby) restores
+	// and picks up exactly where the snapshot left off — including the
+	// open window, which the next samples keep extending.
+	cfg2 := cfg
+	clk2 := simclock.NewFakeClock(clk.Now())
+	cfg2.Clock = clk2
+	tier2 := New(cfg2)
+	if err := tier2.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(tier2, Filter{Span: 3})
+	tier2.Ingest("t1", "west", reading(clk2.Now(), 40, p))
+	clk2.Advance(2 * time.Minute)
+	tier2.Advance(clk2.Now())
+
+	if len(*got) == 0 {
+		t.Fatal("no windows after restore")
+	}
+	last := (*got)[len(*got)-1]
+	// The final span-3 merge sees the pre-snapshot window (20), and the
+	// open window that accumulated 30 before and 40 after the restore.
+	if last.Count != 3 || last.Min != 20 || last.Max != 40 {
+		t.Fatalf("restored merge wrong: %+v", last)
+	}
+
+	// A snapshot from a different window size is refused.
+	tier3 := New(Config{Window: 30 * time.Second, Clock: clk2})
+	if err := tier3.Restore(blob); err == nil {
+		t.Fatal("restore accepted a snapshot with a mismatched window")
+	}
+}
+
+func TestQuantileEstimatorAccuracy(t *testing.T) {
+	// Uniform values across a couple of binades: the estimator must land
+	// within its documented 12.5% relative error, clamped to [min, max].
+	var h [histSize]uint32
+	var min, max float64 = math.Inf(1), math.Inf(-1)
+	var n uint64
+	vals := make([]float64, 0, 10000)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := 900 + rng.Float64()*200 // hPa-ish
+		vals = append(vals, v)
+		h[bucketOf(v)]++
+		n++
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.5, 0.99} {
+		got := histQuantile(&h, n, q, min, max)
+		want := sorted[int(q*float64(n-1))] // exact nearest-rank
+		if rel := math.Abs(got-want) / want; rel > 0.125 {
+			t.Fatalf("q%v: estimate %v vs exact %v (rel err %.3f)", q, got, want, rel)
+		}
+	}
+	// Negative and zero values round-trip through their buckets.
+	for _, v := range []float64{-42.5, -0.01, 0, 0.25, 3.9e6} {
+		b := bucketOf(v)
+		m := bucketMid(b)
+		if v == 0 && m != 0 {
+			t.Fatalf("zero bucket mid = %v", m)
+		}
+		if v != 0 && math.Signbit(m) != math.Signbit(v) {
+			t.Fatalf("bucket mid sign flipped for %v: %v", v, m)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package agg
+
+import "math"
+
+// The per-window value histogram behind p50/p99. Buckets are fixed at
+// compile time so the hot ingest path is a pure array increment: no
+// allocation, no resizing, no per-series bucket ladders. The layout is
+// log-scaled with two mantissa bits per binade, which bounds the
+// relative quantile error at one eighth of a binade (~12.5%) across the
+// covered range — plenty for "is the p99 pressure in this cell drifting"
+// while keeping a histogram at one kilobyte.
+//
+// Layout (histSize = 257 buckets of uint32):
+//
+//	0         zero (and NaN, which validation upstream already rejects)
+//	1..128    positive values: 32 binades, exponents [-8, 24), four
+//	          sub-buckets per binade; covers [2^-9, 2^23) ≈ [0.002, 8.4e6]
+//	129..256  negative values, mirrored
+//
+// Out-of-range magnitudes clamp into the edge buckets; min/max are
+// tracked exactly alongside, and quantiles are clamped into [min, max],
+// so single-sample and extreme windows still report exact values.
+const (
+	histSize   = 257
+	histMinExp = -8
+	histMaxExp = 24
+)
+
+// bucketOf maps a sample value to its histogram bucket.
+func bucketOf(v float64) int {
+	if v == 0 || math.IsNaN(v) {
+		return 0
+	}
+	neg := math.Signbit(v)
+	if neg {
+		v = -v
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	if exp < histMinExp {
+		exp, frac = histMinExp, 0.5
+	} else if exp >= histMaxExp {
+		exp, frac = histMaxExp-1, 0.9999
+	}
+	b := (exp-histMinExp)<<2 + int((frac-0.5)*8) + 1
+	if neg {
+		b += 128
+	}
+	return b
+}
+
+// bucketMid is the representative value reported for a bucket: the
+// arithmetic midpoint of its bounds.
+func bucketMid(b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	neg := b > 128
+	if neg {
+		b -= 128
+	}
+	b--
+	exp := histMinExp + b>>2
+	frac := 0.5 + (float64(b&3)+0.5)/8
+	v := math.Ldexp(frac, exp)
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// histQuantile reads quantile q (0..1) from a histogram holding n
+// samples, clamped into the window's exact [min, max] envelope.
+func histQuantile(h *[histSize]uint32, n uint64, q float64, min, max float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(n-1)) + 1 // 1-based nearest-rank
+	var cum uint64
+	clamp := func(v float64) float64 {
+		if v < min {
+			return min
+		}
+		if v > max {
+			return max
+		}
+		return v
+	}
+	// Ascending value order: negatives from largest magnitude (bucket
+	// 256) toward zero (129), then the zero bucket, then positives.
+	for b := 256; b >= 129; b-- {
+		if cum += uint64(h[b]); cum >= rank {
+			return clamp(bucketMid(b))
+		}
+	}
+	if cum += uint64(h[0]); cum >= rank {
+		return clamp(0)
+	}
+	for b := 1; b <= 128; b++ {
+		if cum += uint64(h[b]); cum >= rank {
+			return clamp(bucketMid(b))
+		}
+	}
+	return clamp(max)
+}

@@ -8,6 +8,7 @@ package cas
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,13 +19,22 @@ import (
 // DataHandler receives validated readings for this CAS's tasks.
 type DataHandler func(wire.SensedData)
 
+// AggHandler receives closed aggregation windows for one subscription.
+type AggHandler func(wire.AggWindow)
+
+// aggBacklogCap bounds pushes held for subscription ids we have not seen
+// an ack for yet (a routed push can outrun the router's fan-out ack).
+const aggBacklogCap = 256
+
 // CAS is a connected crowdsensing application server.
 type CAS struct {
 	conn *wire.RPCConn
 
-	mu      sync.Mutex
-	handler DataHandler
-	backlog []wire.SensedData
+	mu         sync.Mutex
+	handler    DataHandler
+	backlog    []wire.SensedData
+	aggSubs    map[string]AggHandler
+	aggBacklog []wire.AggPush
 }
 
 // Dial connects a CAS to the Sense-Aid server with the default v1 JSON
@@ -59,22 +69,43 @@ func DialCodec(addr, codec string) (*CAS, error) {
 }
 
 func (c *CAS) onPush(env wire.Envelope) {
-	if env.Type != wire.TypeSensedData {
-		return
-	}
-	var sd wire.SensedData
-	if err := wire.Decode(env, &sd); err != nil {
-		return
-	}
-	c.mu.Lock()
-	h := c.handler
-	if h == nil {
-		c.backlog = append(c.backlog, sd)
+	switch env.Type {
+	case wire.TypeSensedData:
+		var sd wire.SensedData
+		if err := wire.Decode(env, &sd); err != nil {
+			return
+		}
+		c.mu.Lock()
+		h := c.handler
+		if h == nil {
+			c.backlog = append(c.backlog, sd)
+			c.mu.Unlock()
+			return
+		}
 		c.mu.Unlock()
-		return
+		h(sd)
+	case wire.TypeAggPush:
+		var p wire.AggPush
+		if err := wire.Decode(env, &p); err != nil {
+			return
+		}
+		c.mu.Lock()
+		h, ok := c.aggSubs[p.Sub]
+		if !ok {
+			// The subscription ack has not landed yet (possible when a
+			// router's fan-out races a worker's first window). Hold the
+			// push; SubscribeAgg replays it once the id is known.
+			if len(c.aggBacklog) < aggBacklogCap {
+				c.aggBacklog = append(c.aggBacklog, p)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		for _, w := range p.Windows {
+			h(w)
+		}
 	}
-	c.mu.Unlock()
-	h(sd)
 }
 
 // Task submits a crowdsensing task and returns its server-assigned ID.
@@ -134,6 +165,52 @@ func (c *CAS) ReceiveSensedData(h DataHandler) error {
 		h(sd)
 	}
 	return nil
+}
+
+// SubscribeAgg opens a live aggregation subscription: every time the
+// server closes a window matching the filter (a task id, a region, or
+// everything when both are empty), the handler receives that window's
+// rollup — count, mean, min/max, p50/p99, and freshness — without the
+// CAS having to consume or re-aggregate the raw delivery stream. The
+// returned id names the subscription; across a router it joins the
+// per-region ids the fan-out produced ("agg-1,agg-2"), and pushes from
+// every region are dispatched to this handler. Handlers run on the
+// connection's push goroutine and must not block.
+func (c *CAS) SubscribeAgg(sub wire.SubscribeAgg, h AggHandler) (string, error) {
+	if h == nil {
+		return "", fmt.Errorf("cas: nil aggregate handler")
+	}
+	ack, err := c.conn.Call(wire.TypeSubscribeAgg, sub)
+	if err != nil {
+		return "", err
+	}
+	if ack.Ref == "" {
+		return "", fmt.Errorf("cas: server returned no subscription id")
+	}
+	c.mu.Lock()
+	if c.aggSubs == nil {
+		c.aggSubs = make(map[string]AggHandler)
+	}
+	for _, id := range strings.Split(ack.Ref, ",") {
+		c.aggSubs[id] = h
+	}
+	var replay []wire.AggPush
+	kept := c.aggBacklog[:0]
+	for _, p := range c.aggBacklog {
+		if _, ok := c.aggSubs[p.Sub]; ok {
+			replay = append(replay, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	c.aggBacklog = kept
+	c.mu.Unlock()
+	for _, p := range replay {
+		for _, w := range p.Windows {
+			h(w)
+		}
+	}
+	return ack.Ref, nil
 }
 
 // Done is closed when the connection to the server dies — a read or

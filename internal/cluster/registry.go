@@ -155,6 +155,27 @@ func (g *registry) primaryForRegion(name string) (*nodeEntry, error) {
 	return re.primary, nil
 }
 
+// regionPrimary pairs a region name with its primary node.
+type regionPrimary struct {
+	region string
+	node   *nodeEntry
+}
+
+// primaries snapshots every region's primary in name order — the
+// subscription fan-out path (an unscoped subscribe_agg must reach every
+// region's aggregation tier).
+func (g *registry) primaries() []regionPrimary {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []regionPrimary
+	for _, name := range g.sortedNamesLocked() {
+		if re := g.regions[name]; re.primary != nil {
+			out = append(out, regionPrimary{region: name, node: re.primary})
+		}
+	}
+	return out
+}
+
 // trunks snapshots every enrolled trunk (the health-check sweep).
 func (g *registry) trunks() []*trunk {
 	g.mu.Lock()

@@ -53,6 +53,7 @@ type routerMetrics struct {
 	rehomeErrors *obs.Counter
 	promotions   *obs.Counter
 	relayErrors  *obs.Counter
+	swapRetries  *obs.Counter
 	pingFailures *obs.Counter
 	noRoute      *obs.Counter
 }
@@ -75,6 +76,8 @@ func newRouterMetrics(reg *obs.Registry) *routerMetrics {
 			"Standby nodes promoted after a primary's death.", nil),
 		relayErrors: reg.Counter("senseaid_router_relay_errors_total",
 			"Frames dropped because relaying them failed.", nil),
+		swapRetries: reg.Counter("senseaid_router_swap_retries_total",
+			"Client frames re-sent on a session's fresh upstream after a send raced a re-home or promotion swap.", nil),
 		pingFailures: reg.Counter("senseaid_router_ping_failures_total",
 			"Trunk health checks that failed or timed out.", nil),
 		noRoute: reg.Counter("senseaid_router_unroutable_total",

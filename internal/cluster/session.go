@@ -69,6 +69,8 @@ var payloadProto = map[wire.MsgType]func() interface{}{
 	wire.TypeDeleteTask:   func() interface{} { return &wire.DeleteTask{} },
 	wire.TypeSensedData:   func() interface{} { return &wire.SensedData{} },
 	wire.TypeAttachDevice: func() interface{} { return &wire.AttachDevice{} },
+	wire.TypeSubscribeAgg: func() interface{} { return &wire.SubscribeAgg{} },
+	wire.TypeAggPush:      func() interface{} { return &wire.AggPush{} },
 }
 
 // transcode rebuilds a binary-payload envelope as a JSON-payload one.
@@ -346,6 +348,17 @@ func (ds *deviceSession) handleStateReport(env wire.Envelope) error {
 }
 
 // forward relays one client frame to the device's upstream.
+//
+// The upstream read and the send are not atomic: a re-home (or a
+// promotion-driven redial) may swap ds.up in between, leaving this send
+// aimed at an upstream whose close() already poisoned its coalescer. A
+// closed coalescer refuses the frame *without writing it* — so on a
+// send error the frame has landed on no upstream, and if the session
+// meanwhile points at a different live upstream, retrying there
+// delivers it exactly once. Retrying on the *same* upstream would risk
+// a duplicate (a flush error after partial progress still poisons the
+// stream, but the peer may have read the frame), so the retry fires
+// only when the upstream actually changed.
 func (ds *deviceSession) forward(env wire.Envelope) error {
 	ds.mu.Lock()
 	up := ds.up
@@ -353,7 +366,19 @@ func (ds *deviceSession) forward(env wire.Envelope) error {
 	if up == nil {
 		return fmt.Errorf("cluster: not registered (no upstream)")
 	}
-	return up.sc.send(env, true)
+	err := up.sc.send(env, true)
+	if err == nil {
+		return nil
+	}
+	ds.mu.Lock()
+	cur := ds.up
+	ds.mu.Unlock()
+	if cur != nil && cur != up {
+		ds.r.met.swapRetries.Inc()
+		ds.r.log.Debugf("forward for %s raced an upstream swap; retrying on the current upstream", ds.deviceID)
+		return cur.sc.send(env, true)
+	}
+	return err
 }
 
 // relayUpstream pumps worker frames back to the device. Internal
@@ -544,6 +569,12 @@ func (cs *casSession) route(env wire.Envelope) error {
 			return err
 		}
 		region, addr = taskID[:i], node.addr
+	case wire.TypeSubscribeAgg:
+		var sa wire.SubscribeAgg
+		if err := wire.Decode(env, &sa); err != nil {
+			return err
+		}
+		return cs.routeSubscribeAgg(env, sa)
 	default:
 		return fmt.Errorf("cluster: unexpected %s from a cas", env.Type)
 	}
@@ -552,6 +583,57 @@ func (cs *casSession) route(env wire.Envelope) error {
 		return err
 	}
 	return up.sc.send(env, true)
+}
+
+// routeSubscribeAgg relays a window subscription. A scoped subscription
+// (an explicit region, or a task id carrying its region prefix) goes to
+// one region's primary like any other CAS request, and that worker's
+// ack relays back verbatim. An unscoped subscription fans out to every
+// enrolled region primary via router-internal calls; the single ack
+// returned to the client joins the per-worker subscription ids
+// ("agg-1,agg-2"), and each worker's agg_push frames then relay through
+// the per-region upstreams exactly like sensed-data deliveries — the
+// client merges them by subscription id.
+func (cs *casSession) routeSubscribeAgg(env wire.Envelope, sa wire.SubscribeAgg) error {
+	region := sa.Region
+	if region == "" {
+		if i := strings.IndexByte(sa.Task, '/'); i > 0 {
+			region = sa.Task[:i]
+		}
+	}
+	if region != "" {
+		node, err := cs.r.reg.primaryForRegion(region)
+		if err != nil {
+			return err
+		}
+		up, err := cs.upstreamFor(region, node.addr)
+		if err != nil {
+			return err
+		}
+		return up.sc.send(env, true)
+	}
+	prims := cs.r.reg.primaries()
+	if len(prims) == 0 {
+		return fmt.Errorf("cluster: no region primaries enrolled")
+	}
+	refs := make([]string, 0, len(prims))
+	for _, pr := range prims {
+		up, err := cs.upstreamFor(pr.region, pr.node.addr)
+		if err != nil {
+			return err
+		}
+		resp, err := up.call(wire.TypeSubscribeAgg, sa, cs.r.cfg.CallTimeout)
+		if err != nil {
+			return fmt.Errorf("cluster: subscribe in %s: %w", pr.region, err)
+		}
+		var ack wire.Ack
+		if err := wire.Decode(resp, &ack); err != nil {
+			return err
+		}
+		refs = append(refs, ack.Ref)
+	}
+	return cs.client.send(mustEncode(cs.client.codec, wire.TypeAck, env.Seq,
+		wire.Ack{Ref: strings.Join(refs, ",")}), true)
 }
 
 // upstreamFor lazily opens this session's relay to one region.

@@ -131,6 +131,14 @@ type ServerConfig struct {
 	// TraceRegion tags this server's spans (a shard's region name);
 	// empty for a single-region server. Set by NewShardedServer.
 	TraceRegion string
+	// AggTap, when set, receives every validated reading right after the
+	// scheduling lock is released — the live-aggregation tier's feed
+	// (internal/agg). It runs on the delivery path of every accepted
+	// upload, so it must be fast and allocation-free in steady state; it
+	// may call back into the server. Sharded deployments inherit the tap
+	// on every shard, with TraceRegion naming the shard's region. Nil
+	// disables the tap with no overhead beyond a nil check.
+	AggTap func(task TaskID, region string, deviceID string, reading sensors.Reading)
 }
 
 // DefaultServerConfig returns the stock configuration.
@@ -757,6 +765,9 @@ func (s *Server) ReceiveData(reqID string, deviceID string, reading sensors.Read
 	s.jemit(recs)
 	if err != nil {
 		return err
+	}
+	if s.cfg.AggTap != nil {
+		s.cfg.AggTap(taskID, s.cfg.TraceRegion, deviceID, reading)
 	}
 	if sink != nil {
 		sink(taskID, deviceID, reading)

@@ -216,6 +216,65 @@ func TestReceiveDataFlowsToSink(t *testing.T) {
 	_ = id
 }
 
+// TestAggTapSeesAcceptedReadings pins the live-aggregation tap contract:
+// every accepted upload reaches the tap (with the shard's region), rejected
+// uploads never do, and the tap fires before the task's own sink.
+func TestAggTapSeesAcceptedReadings(t *testing.T) {
+	type tapped struct {
+		task   TaskID
+		region string
+		dev    string
+		value  float64
+	}
+	var taps []tapped
+	var sinkSeen int
+	cfg := DefaultServerConfig()
+	cfg.TraceRegion = "west"
+	cfg.AggTap = func(task TaskID, region string, deviceID string, r sensors.Reading) {
+		if sinkSeen != 0 {
+			t.Error("sink ran before the agg tap")
+		}
+		taps = append(taps, tapped{task, region, deviceID, r.Value})
+	}
+	d := &recordingDispatcher{}
+	s, err := NewServer(cfg, d)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	registerFresh(t, s, "a", "b")
+	id := submitValid(t, s, 1, func(TaskID, string, sensors.Reading) { sinkSeen++ })
+	s.ProcessDue(simclock.Epoch)
+	req := d.calls[0].req
+	dev := d.calls[0].dev
+
+	reading := sensors.Reading{
+		Sensor: sensors.Barometer, Value: 1013, Unit: "hPa",
+		At: simclock.Epoch.Add(time.Second), Where: geo.CSDepartment,
+	}
+	if err := s.ReceiveData(req.ID(), dev.ID, reading, reading.At); err != nil {
+		t.Fatalf("ReceiveData: %v", err)
+	}
+	if len(taps) != 1 {
+		t.Fatalf("tap saw %d readings, want 1", len(taps))
+	}
+	if got := taps[0]; got.task != id || got.region != "west" || got.dev != dev.ID || got.value != 1013 {
+		t.Fatalf("tap saw %+v", got)
+	}
+	if sinkSeen != 1 {
+		t.Fatalf("sink ran %d times, want 1", sinkSeen)
+	}
+
+	// A rejected upload (wrong sensor) must not reach the tap.
+	bad := reading
+	bad.Sensor = sensors.Gyroscope
+	if s.ReceiveData(req.ID(), dev.ID, bad, bad.At) == nil {
+		t.Fatal("wrong-sensor data accepted")
+	}
+	if len(taps) != 1 {
+		t.Fatalf("tap saw rejected reading: %+v", taps)
+	}
+}
+
 func TestReceiveDataRejections(t *testing.T) {
 	s, d := newTestServer(t)
 	registerFresh(t, s, "a", "b")

@@ -37,6 +37,12 @@ type Config struct {
 	MaxAge time.Duration
 	// IDWPower is the inverse-distance weighting exponent (default 2).
 	IDWPower float64
+	// MaxSamples soft-caps the stored sample count. Past the cap, Add
+	// prunes samples that were already stale relative to the incoming
+	// sample's timestamp; if everything is still fresh, the oldest
+	// sample is evicted. 0 uses the default (65536); negative disables
+	// the cap (the caller owns pruning).
+	MaxSamples int
 }
 
 // Map is an aggregating hyperlocal map. Not safe for concurrent use.
@@ -62,12 +68,31 @@ func NewMap(cfg Config) (*Map, error) {
 	if cfg.IDWPower <= 0 {
 		cfg.IDWPower = 2
 	}
+	if cfg.MaxSamples == 0 {
+		cfg.MaxSamples = 1 << 16
+	}
 	return &Map{cfg: cfg}, nil
 }
 
 // Add ingests one sample. Samples outside the map area are kept — they
-// still inform interpolation near the edges.
+// still inform interpolation near the edges. A write-only map used to
+// grow without bound (pruning happened only inside queries); past the
+// soft cap, Add now prunes stale samples using the incoming sample's
+// own timestamp as "now", falling back to evicting the oldest sample
+// when everything is still fresh, so ingest-heavy maps hold memory
+// flat.
 func (m *Map) Add(s Sample) {
+	if m.cfg.MaxSamples > 0 && len(m.samples) >= m.cfg.MaxSamples {
+		if m.Prune(s.At) == 0 {
+			oldest := 0
+			for i := 1; i < len(m.samples); i++ {
+				if m.samples[i].At.Before(m.samples[oldest].At) {
+					oldest = i
+				}
+			}
+			m.samples = append(m.samples[:oldest], m.samples[oldest+1:]...)
+		}
+	}
 	m.samples = append(m.samples, s)
 }
 

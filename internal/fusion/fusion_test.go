@@ -188,3 +188,53 @@ func TestIDWBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAddHoldsMemoryFlatUnderWriteOnlyLoad pins the write-path pruning:
+// a map that is only ever written (no queries, so no query-side Prune)
+// must stay bounded by MaxSamples, with stale samples pruned against
+// each incoming sample's timestamp.
+func TestAddHoldsMemoryFlatUnderWriteOnlyLoad(t *testing.T) {
+	m, err := NewMap(Config{
+		Center:     geo.CampusCenter(),
+		SpanM:      2000,
+		Cells:      10,
+		MaxAge:     15 * time.Minute,
+		MaxSamples: 128,
+	})
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	// 10k writes spread over hours: far more than MaxSamples, with every
+	// batch going stale long before the load ends.
+	at := simclock.Epoch
+	for i := 0; i < 10000; i++ {
+		m.Add(Sample{Where: geo.CampusCenter(), Value: float64(i), At: at})
+		at = at.Add(3 * time.Second)
+		if m.Len() > 128 {
+			t.Fatalf("write-only map grew to %d samples (cap 128) after %d adds", m.Len(), i+1)
+		}
+	}
+	// The retained set is the fresh tail (the newest <=128 samples),
+	// still queryable.
+	if v, ok := m.ValueAt(geo.CampusCenter(), at); !ok || v < 9999-128 {
+		t.Fatalf("ValueAt after load = %v, %v; want a sample from the fresh tail", v, ok)
+	}
+
+	// Same-timestamp flood (nothing ever goes stale): oldest-out eviction
+	// must keep the cap instead of growing.
+	m2, err := NewMap(Config{
+		Center:     geo.CampusCenter(),
+		SpanM:      2000,
+		Cells:      10,
+		MaxSamples: 64,
+	})
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		m2.Add(Sample{Where: geo.CampusCenter(), Value: float64(i), At: simclock.Epoch})
+	}
+	if m2.Len() != 64 {
+		t.Fatalf("fresh-only flood kept %d samples, want exactly 64", m2.Len())
+	}
+}

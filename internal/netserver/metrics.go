@@ -16,6 +16,11 @@ var rpcSecondsBuckets = obs.ExponentialBuckets(1e-5, 4, 10)
 // walk plus a JSON encode, an fsync, and a rename.
 var snapshotSecondsBuckets = obs.ExponentialBuckets(1e-4, 4, 9)
 
+// aggPushLagBuckets spans 1 ms – 16 s: push lag is bounded by the agg
+// tick (a quarter window) plus the coalesce interval, so the healthy
+// range sits near the bottom and a full window of lag is an outlier.
+var aggPushLagBuckets = obs.ExponentialBuckets(1e-3, 4, 8)
+
 // netMetrics is the transport layer's slice of the metric vocabulary.
 // RPC series are created lazily per message type (the type set is fixed
 // by the protocol, so cardinality stays bounded).
@@ -55,6 +60,7 @@ type netMetrics struct {
 	journalErrors         *obs.Counter
 	journalTruncatedBytes *obs.Counter
 	deliveriesUnroutable  *obs.Counter
+	deliveriesReplayed    *obs.Counter
 
 	// Replication series (journal shipping to standby nodes).
 	replicaLinks   *obs.Gauge
@@ -63,6 +69,11 @@ type netMetrics struct {
 	uploadTail     *obs.Counter
 	uploadPromoted *obs.Counter
 	uploadUnknown  *obs.Counter
+
+	// Live-aggregation tier series (DESIGN.md §15).
+	aggWindows     *obs.Counter
+	aggSubscribers *obs.Gauge
+	aggPushLag     *obs.Histogram
 
 	mu      sync.Mutex
 	rpcHist map[string]*obs.Histogram
@@ -125,7 +136,9 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 		journalTruncatedBytes: reg.Counter("senseaid_journal_truncated_bytes_total",
 			"Torn journal tail bytes discarded during recovery.", nil),
 		deliveriesUnroutable: reg.Counter("senseaid_deliveries_unroutable_total",
-			"Validated readings dropped because no CAS connection claims the task.", nil),
+			"Validated readings with no CAS connection claiming the task (buffered for reclaim, or dropped at the buffer caps).", nil),
+		deliveriesReplayed: reg.Counter("senseaid_deliveries_replayed_total",
+			"Buffered unroutable readings delivered when a CAS reclaimed the task.", nil),
 		replicaLinks: reg.Gauge("senseaid_replica_links",
 			"Standby replicas currently attached for journal shipping.", nil),
 		replShipErrors: reg.Counter("senseaid_repl_ship_errors_total",
@@ -136,6 +149,13 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 			"Crowdsensing uploads by radio path.", path(wire.PathPromoted)),
 		uploadUnknown: reg.Counter("senseaid_uploads_total",
 			"Crowdsensing uploads by radio path.", path("unknown")),
+		aggWindows: reg.Counter("senseaid_agg_windows_total",
+			"Base aggregation windows closed by the live-aggregation tier.", nil),
+		aggSubscribers: reg.Gauge("senseaid_agg_subscribers",
+			"Live agg_push subscriptions.", nil),
+		aggPushLag: reg.Histogram("senseaid_agg_push_lag_seconds",
+			"Window end to agg_push flush completion, per push.",
+			aggPushLagBuckets, nil),
 		rpcHist: make(map[string]*obs.Histogram),
 		rpcErrs: make(map[string]*obs.Counter),
 	}
@@ -187,7 +207,8 @@ var knownTypes = map[wire.MsgType]bool{
 	wire.TypeSubmitTask: true, wire.TypeUpdateTask: true,
 	wire.TypeDeleteTask: true, wire.TypeSensedData: true,
 	wire.TypeAttachDevice: true, wire.TypeNodeHello: true,
-	wire.TypeNodePing: true,
+	wire.TypeNodePing: true, wire.TypeSubscribeAgg: true,
+	wire.TypeAggPush: true,
 }
 
 // observeRPC records one handled message: latency into senseaid_rpc_seconds

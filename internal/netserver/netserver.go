@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"senseaid/internal/agg"
 	"senseaid/internal/core"
 	"senseaid/internal/geo"
 	"senseaid/internal/obs"
@@ -123,6 +124,16 @@ type Config struct {
 	// Timeline receives per-task lifecycle events for the admin /tasks
 	// endpoint. Nil builds a default store.
 	Timeline *obs.TimelineStore
+	// AggWindow is the live-aggregation tier's base window (DESIGN.md
+	// §15): validated uploads are folded into per-(task, region, cell)
+	// rollups that stream to subscribe_agg subscribers as windows close.
+	// 0 uses the default (one minute); negative disables the tier.
+	AggWindow time.Duration
+	// AggRetention is how many closed base windows each aggregation
+	// series retains — the cap on a subscription's Span and on how much
+	// window history survives a restart via the state directory. 0 uses
+	// the default (5).
+	AggRetention int
 }
 
 // Server is a running networked Sense-Aid server. The scheduling core
@@ -152,6 +163,23 @@ type Server struct {
 	// pool bounds concurrent RPC handling; nil runs handlers inline
 	// (Config.RPCWorkers < 0).
 	pool *workerPool
+
+	// agg is the live-aggregation tier, fed from the core's delivery tap;
+	// nil when Config.AggWindow is negative. aggSubs maps each subscribed
+	// connection to its tier subscription ids so a disconnect drops them.
+	// aggMu guards only the map — never held across a tier call or a
+	// socket write.
+	agg     *agg.Tier
+	aggMu   sync.Mutex
+	aggSubs map[*conn][]uint64
+
+	// replayBuf holds the last few undeliverable readings per task so a
+	// CAS reclaiming the task after a reconnect receives what it missed
+	// (see replay.go). Guarded by replayMu; bounded per task and
+	// globally.
+	replayMu    sync.Mutex
+	replayBuf   map[core.TaskID][]replayEntry
+	replayTotal int
 
 	// connMu guards only the connection fan-out maps — pure transport
 	// bookkeeping, never held across a core call or a socket write.
@@ -283,6 +311,7 @@ func Listen(cfg Config) (*Server, error) {
 		devGen:    make(map[string]uint64),
 		taskCAS:   make(map[core.TaskID]*conn),
 		taskTrace: make(map[core.TaskID]obs.TraceContext),
+		replayBuf: make(map[core.TaskID][]replayEntry),
 		done:      make(chan struct{}),
 	}
 	if len(cfg.PseudonymSecret) > 0 {
@@ -291,6 +320,21 @@ func Listen(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.pseudo = p
+	}
+	if cfg.AggWindow >= 0 {
+		s.agg = agg.New(agg.Config{
+			Window:    cfg.AggWindow,
+			Retention: cfg.AggRetention,
+			Clock:     cfg.Clock,
+		})
+		s.aggSubs = make(map[*conn][]uint64)
+		// The tap runs on every accepted upload, after the core's
+		// scheduling lock is released; Ingest is allocation-free in steady
+		// state, so the hot path cost is one map probe and scalar updates.
+		tier := s.agg
+		s.cfg.Core.AggTap = func(task core.TaskID, region, _ string, r sensors.Reading) {
+			tier.Ingest(string(task), region, r)
+		}
 	}
 	if cfg.StateDir != "" {
 		// Stores open before the core exists: the sharded constructor
@@ -348,6 +392,10 @@ func Listen(cfg Config) (*Server, error) {
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.tickLoop()
+	if s.agg != nil {
+		s.wg.Add(1)
+		go s.aggLoop()
+	}
 	if s.pers != nil && s.cfg.SnapshotInterval > 0 {
 		s.wg.Add(1)
 		go s.snapshotLoop()
@@ -640,11 +688,12 @@ func (s *Server) deliverToCAS(tid core.TaskID, dev string, r sensors.Reading) {
 	s.connMu.Unlock()
 	if !ok {
 		// No CAS claims the task: it was restored from the state dir and
-		// its owner has not reconnected yet. The reading is dropped (the
-		// core already counted it accepted); the metric makes a silently
-		// unclaimed task visible.
+		// its owner has not reconnected yet. The reading is buffered for
+		// the reclaim to replay (bounded — see replay.go); the metric makes
+		// a silently unclaimed task visible either way.
 		s.met.deliveriesUnroutable.Inc()
-		s.log.Debugf("no CAS connection for %s; reading from %s dropped", tid, dev)
+		s.bufferUnroutable(tid, dev, r)
+		s.log.Debugf("no CAS connection for %s; reading from %s buffered", tid, dev)
 		return
 	}
 	reported := dev
@@ -993,6 +1042,7 @@ type ownedTask struct {
 // the campaign across the restart.
 func (s *Server) serveCAS(c *conn) {
 	var ownedTasks []ownedTask
+	defer s.dropAggSubs(c)
 	defer func() {
 		// Claim this connection's tasks under connMu, then delete them
 		// through the core without holding any transport lock.
@@ -1019,6 +1069,7 @@ func (s *Server) serveCAS(c *conn) {
 				orphaned++
 				s.log.Infof("CAS disconnected; task %s deleted", id)
 			}
+			s.dropReplay(id)
 			if s.pseudo != nil {
 				s.pseudo.Forget(string(id))
 			}
@@ -1113,6 +1164,10 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]ownedTask, env wire.Envelop
 		*ownedTasks = append(*ownedTasks, ownedTask{id: id, reclaimable: spec.ClientTaskID != ""})
 		s.log.Infof("task %s submitted (sensor=%s density=%d)", id, task.Sensor, task.SpatialDensity)
 		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{Ref: string(id)})
+		// A reclaim (idempotent ClientTaskID resubmit) now owns the task:
+		// deliver whatever arrived while no connection claimed it. Fresh
+		// tasks have no buffer; this is a no-op for them.
+		s.replayBuffered(id)
 		return nil
 
 	case wire.TypeUpdateTask:
@@ -1150,6 +1205,7 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]ownedTask, env wire.Envelop
 		delete(s.taskCAS, core.TaskID(dt.TaskID))
 		delete(s.taskTrace, core.TaskID(dt.TaskID))
 		s.connMu.Unlock()
+		s.dropReplay(core.TaskID(dt.TaskID))
 		if s.pseudo != nil {
 			s.pseudo.Forget(dt.TaskID)
 		}
@@ -1158,6 +1214,9 @@ func (s *Server) handleCASMsg(c *conn, ownedTasks *[]ownedTask, env wire.Envelop
 		}
 		_ = c.send(wire.TypeAck, env.Seq, wire.Ack{})
 		return nil
+
+	case wire.TypeSubscribeAgg:
+		return s.handleSubscribeAgg(c, env)
 
 	default:
 		return fmt.Errorf("netserver: unexpected %s from CAS", env.Type)

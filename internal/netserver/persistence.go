@@ -23,6 +23,12 @@ import (
 // storeNameSingle names the single-region deployment's state files.
 const storeNameSingle = "core"
 
+// storeNameAgg names the live-aggregation tier's spill store. The tier's
+// recent windows are soft state (they can be rebuilt from a few minutes
+// of traffic), so the store holds snapshots only — no journal records —
+// and a load failure resets it instead of refusing to boot.
+const storeNameAgg = "agg"
+
 // persistedState is the snapshot payload as written to disk: the core's
 // state plus the netserver-level restart bookkeeping that must survive
 // alongside it (a restart is only observable as a restart if the counter
@@ -90,6 +96,11 @@ type persistedCore struct {
 type persister struct {
 	srv    *Server
 	stores []*persistedCore
+
+	// aggStore spills the live-aggregation tier's retained windows; nil
+	// when the tier is disabled. It ships to replicas like every other
+	// store, so a promoted standby keeps recent windows too.
+	aggStore *persist.Store
 
 	// replMu guards links: standby replicas attached for journal
 	// shipping (DESIGN.md §14). Every store write tees its exact bytes
@@ -198,8 +209,63 @@ func (s *Server) initPersistence() error {
 	} else {
 		s.cfg.Core.Journal = gates[storeNameSingle]
 	}
+	if s.agg != nil {
+		for _, name := range names {
+			if name == storeNameAgg {
+				return fmt.Errorf("netserver: region name %q collides with the aggregation spill store", storeNameAgg)
+			}
+		}
+		st, err := persist.Open(s.cfg.StateDir, storeNameAgg)
+		if err != nil {
+			return fmt.Errorf("netserver: %w", err)
+		}
+		p.aggStore = st
+	}
 	s.pers = p
 	return nil
+}
+
+// recoverAgg restores the aggregation tier's retained windows from the
+// spill store. Every failure path resets the store and carries on: the
+// windows are a cache of the last few minutes of traffic, never worth
+// refusing to boot over.
+func (p *persister) recoverAgg() {
+	if p.aggStore == nil {
+		return
+	}
+	res, err := p.aggStore.Load()
+	if err != nil {
+		p.srv.log.Errorf("agg spill store: %v; resetting", err)
+		_ = p.aggStore.Reset()
+		return
+	}
+	if res.Snapshot == nil {
+		return
+	}
+	if err := p.srv.agg.Restore(res.Snapshot); err != nil {
+		// Typically a window-length change across the restart.
+		p.srv.log.Errorf("agg spill store: %v; starting empty", err)
+		return
+	}
+	p.srv.log.Infof("agg tier restored %d retained window bytes", len(res.Snapshot))
+}
+
+// commitAgg spills the tier's retained windows and ships them to any
+// replicas. No journal records follow (the tier is snapshot-only), so
+// no ship-ordering mutex is needed.
+func (p *persister) commitAgg() {
+	if p.aggStore == nil {
+		return
+	}
+	raw, err := p.srv.agg.SnapshotState()
+	if err == nil {
+		_, err = p.aggStore.CommitRaw(raw)
+	}
+	if err != nil {
+		p.srv.log.Errorf("agg snapshot: %v", err)
+		return
+	}
+	p.ship(wire.TypeSnapshotShip, wire.SnapshotShip{Store: storeNameAgg, Payload: raw})
 }
 
 // bindCores attaches each store to its scheduling core once the
@@ -323,6 +389,7 @@ func (p *persister) recover() (RecoveryInfo, error) {
 		}
 		ps.gate.armed.Store(true)
 	}
+	p.recoverAgg()
 	return info, nil
 }
 
@@ -366,6 +433,7 @@ func (p *persister) snapshotAll() {
 			p.srv.log.Errorf("%v", err)
 		}
 	}
+	p.commitAgg()
 }
 
 // closeStores releases the journal file handles. sync flushes them to
@@ -379,6 +447,14 @@ func (p *persister) closeStores(sync bool) {
 			}
 		}
 		_ = ps.store.Close()
+	}
+	if p.aggStore != nil {
+		if sync {
+			if err := p.aggStore.Sync(); err != nil {
+				p.srv.log.Errorf("sync %s: %v", storeNameAgg, err)
+			}
+		}
+		_ = p.aggStore.Close()
 	}
 }
 

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"senseaid/internal/agg"
+	"senseaid/internal/core"
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+// TestHundredCampaignSharedAggregationTier runs 100 concurrent
+// campaigns through the full middleware with one shared streaming
+// aggregation tier hanging off the core's delivery tap — the
+// multi-tenant shape the tier exists for — and checks that every
+// campaign's streamed windows match the post-hoc batch computation over
+// the same delivered readings exactly. Windows advance while the run is
+// live (lagging two windows behind the newest delivery, covering the
+// tail-upload delay), so the equivalence covers mid-run emission, not
+// just a final flush.
+func TestHundredCampaignSharedAggregationTier(t *testing.T) {
+	const window = 10 * time.Minute
+	aggCfg := agg.Config{Window: window}
+	tier := agg.New(aggCfg)
+
+	streamed := make(map[string][]agg.Window)
+	subscribed := make(map[string]bool)
+	var samples []agg.Sample
+	var newest time.Time
+
+	cfg := core.DefaultServerConfig()
+	cfg.AggTap = func(task core.TaskID, region, _ string, r sensors.Reading) {
+		id := string(task)
+		if !subscribed[id] {
+			// Per-campaign subscription, opened on the campaign's first
+			// delivery — before any window holding its data can close.
+			subscribed[id] = true
+			tier.Subscribe(agg.Filter{Task: id}, func(p agg.Push) {
+				streamed[id] = append(streamed[id], p.Windows...)
+			})
+		}
+		tier.Ingest(id, region, r)
+		samples = append(samples, agg.Sample{Task: id, Region: region, Reading: r})
+		if r.At.After(newest) {
+			newest = r.At
+			tier.Advance(newest.Add(-2 * window))
+		}
+	}
+
+	// 100 campaigns over the campus, varied in start, footprint, cadence,
+	// and density, all sharing the one cohort and the one tier.
+	var tasks []core.Task
+	for i := 0; i < 100; i++ {
+		start := simclock.Epoch.Add(time.Duration(i%3) * 5 * time.Minute)
+		tasks = append(tasks, core.Task{
+			Sensor:         sensors.Barometer,
+			SamplingPeriod: 10 * time.Minute,
+			Start:          start,
+			End:            start.Add(30 * time.Minute),
+			Area: geo.Circle{
+				Center:  geo.Offset(geo.CampusCenter(), float64((i%5)-2)*100, float64((i%7)-3)*100),
+				RadiusM: 500 + float64(i%4)*250,
+			},
+			SpatialDensity: 1 + i%2,
+		})
+	}
+
+	w, err := NewWorld(WorldConfig{NumDevices: 40, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	res, err := SenseAid{Server: cfg}.Run(w, tasks)
+	if err != nil {
+		t.Fatalf("SenseAid.Run: %v", err)
+	}
+	if res.Readings == 0 {
+		t.Fatal("the study delivered no readings")
+	}
+	// Close every remaining window.
+	tier.Advance(newest.Add(2 * window))
+
+	if late := tier.Stats().LateSamples; late != 0 {
+		t.Fatalf("%d samples arrived late for the 2-window advance lag; the equivalence below would be vacuous", late)
+	}
+	if len(samples) != res.Readings {
+		t.Fatalf("tap saw %d readings, run delivered %d", len(samples), res.Readings)
+	}
+
+	// Ground truth: the same samples, grouped and folded post hoc.
+	batch := make(map[string][]agg.Window)
+	for _, bw := range agg.Batch(samples, aggCfg) {
+		batch[bw.Key.Task] = append(batch[bw.Key.Task], bw)
+	}
+
+	activeCampaigns := 0
+	for id, want := range batch {
+		got := append([]agg.Window(nil), streamed[id]...)
+		agg.SortWindows(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("campaign %s: streamed windows diverge from batch\nstreamed: %+v\nbatch:    %+v", id, got, want)
+		}
+		activeCampaigns++
+	}
+	// And no campaign streamed windows that batch does not know about.
+	for id, ws := range streamed {
+		if len(ws) > 0 && len(batch[id]) == 0 {
+			t.Fatalf("campaign %s streamed %d windows absent from the batch ground truth", id, len(ws))
+		}
+	}
+	// Multi-tenancy must be real: the shared cohort cannot serve all 100
+	// campaigns every round (budgets, density), but a healthy majority
+	// must have produced aggregates.
+	if activeCampaigns < 50 {
+		t.Fatalf("only %d/100 campaigns produced aggregate windows", activeCampaigns)
+	}
+	t.Logf("100 campaigns: %d active, %d readings, %d streamed window emissions, %d series",
+		activeCampaigns, res.Readings, len(samples), tier.Stats().Series)
+}

@@ -58,6 +58,9 @@ const (
 	binPromote
 	binSnapshotShip
 	binJournalShip
+	// Live-aggregation subscription channel (PR 9).
+	binSubscribeAgg
+	binAggPush
 )
 
 var typeToCode = map[MsgType]byte{
@@ -83,6 +86,9 @@ var typeToCode = map[MsgType]byte{
 	TypePromote:      binPromote,
 	TypeSnapshotShip: binSnapshotShip,
 	TypeJournalShip:  binJournalShip,
+
+	TypeSubscribeAgg: binSubscribeAgg,
+	TypeAggPush:      binAggPush,
 }
 
 var codeToType = func() map[byte]MsgType {
@@ -275,6 +281,22 @@ func appendReading(dst []byte, r sensors.Reading) []byte {
 	return appendPoint(dst, r.Where)
 }
 
+func appendAggWindow(dst []byte, w *AggWindow) []byte {
+	dst = appendString(dst, w.TaskID)
+	dst = appendString(dst, w.Region)
+	dst = binary.AppendVarint(dst, int64(w.CellLat))
+	dst = binary.AppendVarint(dst, int64(w.CellLon))
+	dst = appendTime(dst, w.Start)
+	dst = appendTime(dst, w.End)
+	dst = binary.AppendUvarint(dst, w.Count)
+	dst = appendF64(dst, w.Mean)
+	dst = appendF64(dst, w.Min)
+	dst = appendF64(dst, w.Max)
+	dst = appendF64(dst, w.P50)
+	dst = appendF64(dst, w.P99)
+	return binary.AppendVarint(dst, w.FreshnessMS)
+}
+
 // --- primitive decoder ---
 
 // binReader walks a binary payload. The first malformed field poisons the
@@ -388,6 +410,24 @@ func (r *binReader) reading() sensors.Reading {
 	}
 }
 
+func (r *binReader) aggWindow() AggWindow {
+	return AggWindow{
+		TaskID:      r.str(),
+		Region:      r.str(),
+		CellLat:     int32(r.varint()),
+		CellLon:     int32(r.varint()),
+		Start:       r.time(),
+		End:         r.time(),
+		Count:       r.uvarint(),
+		Mean:        r.f64(),
+		Min:         r.f64(),
+		Max:         r.f64(),
+		P50:         r.f64(),
+		P99:         r.f64(),
+		FreshnessMS: r.varint(),
+	}
+}
+
 // --- payload struct codecs ---
 
 // appendBinaryPayload encodes a known payload struct; ok is false for
@@ -460,6 +500,17 @@ func appendBinaryPayload(dst []byte, payload interface{}) (_ []byte, ok bool) {
 		dst = appendReading(dst, p.Reading)
 		dst = appendString(dst, p.TraceID)
 		dst = appendString(dst, p.SpanID)
+	case SubscribeAgg:
+		dst = appendString(dst, p.Task)
+		dst = appendString(dst, p.Region)
+		dst = binary.AppendVarint(dst, int64(p.Every))
+		dst = binary.AppendVarint(dst, int64(p.Span))
+	case AggPush:
+		dst = appendString(dst, p.Sub)
+		dst = binary.AppendUvarint(dst, uint64(len(p.Windows)))
+		for i := range p.Windows {
+			dst = appendAggWindow(dst, &p.Windows[i])
+		}
 	default:
 		return dst, false
 	}
@@ -543,6 +594,23 @@ func decodeBinaryPayload(t MsgType, payload []byte, out interface{}) error {
 		p.Reading = r.reading()
 		p.TraceID = r.str()
 		p.SpanID = r.str()
+	case *SubscribeAgg:
+		p.Task = r.str()
+		p.Region = r.str()
+		p.Every = int(r.varint())
+		p.Span = int(r.varint())
+	case *AggPush:
+		p.Sub = r.str()
+		n := r.uvarint()
+		if r.err == nil && n > uint64(len(r.b)) {
+			r.fail("window list")
+		}
+		if r.err == nil && n > 0 {
+			p.Windows = make([]AggWindow, 0, n)
+			for i := uint64(0); i < n; i++ {
+				p.Windows = append(p.Windows, r.aggWindow())
+			}
+		}
 	default:
 		met.errDecode.Inc()
 		return fmt.Errorf("wire: no binary payload decoder for %T", out)

@@ -95,6 +95,26 @@ func samplePayloads() map[MsgType]interface{} {
 			TraceID:  "00112233445566778899aabbccddeeff",
 			SpanID:   "89abcdef01234567",
 		},
+		TypeSubscribeAgg: SubscribeAgg{Task: "west/task-1", Region: "west", Every: 1, Span: 3},
+		TypeAggPush: AggPush{
+			Sub: "agg-4",
+			Windows: []AggWindow{
+				{
+					TaskID: "west/task-1", Region: "west",
+					CellLat: 8995, CellLon: -19338,
+					Start: wireTime(1754700000, 0), End: wireTime(1754700060, 0),
+					Count: 17, Mean: 1012.4, Min: 1009.1, Max: 1016.8,
+					P50: 1012.1, P99: 1016.5, FreshnessMS: 2150,
+				},
+				{
+					TaskID: "west/task-2", Region: "west",
+					CellLat: 8996, CellLon: -19337,
+					Start: wireTime(1754700000, 0), End: wireTime(1754700060, 0),
+					Count: 4, Mean: -3.25, Min: -7.5, Max: 0,
+					P50: -3.1, P99: -0.1, FreshnessMS: 480,
+				},
+			},
+		},
 	}
 }
 
@@ -125,6 +145,10 @@ func newOut(payload interface{}) interface{} {
 		return &DeleteTask{}
 	case SensedData:
 		return &SensedData{}
+	case SubscribeAgg:
+		return &SubscribeAgg{}
+	case AggPush:
+		return &AggPush{}
 	}
 	return nil
 }

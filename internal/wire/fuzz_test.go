@@ -120,6 +120,11 @@ func FuzzReadFrameBinary(f *testing.F) {
 		DeviceID: "fuzz-dev",
 		Sensors:  []sensors.Type{sensors.Barometer, sensors.GPS},
 	}))
+	// Aggregation subscription channel: a subscribe, a push with a
+	// windows list (slice length guard), and an empty push.
+	f.Add(frame(TypeSubscribeAgg, 2, SubscribeAgg{Task: "west/task-1", Region: "west", Every: 1, Span: 3}))
+	f.Add(frame(TypeAggPush, 0, samplePayloads()[TypeAggPush]))
+	f.Add(frame(TypeAggPush, 0, AggPush{Sub: "agg-1"}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Binary.ReadFrame(bytes.NewReader(data))
