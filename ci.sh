@@ -70,6 +70,23 @@ SENSEAID_BENCH_OUT="$PWD/BENCH_cluster.json" \
 SENSEAID_BENCH_OUT="$PWD/BENCH_agg.json" \
     go test -run '^TestRecordAggBench$' -count=1 -v ./internal/agg
 
+# City-scale chaos soak: the seeded city-wide campaign (tower outage
+# waves, primary SIGKILL + journal recovery, byzantine and clock-skewed
+# reporters, a flash crowd, CAS storms) against the real sharded core,
+# with the shared invariant suite checked at the quiesce point — any
+# violation FAILS the gate and the message carries the scenario seed, so
+# a red soak reproduces from one integer. Records steady-state
+# selections/sec and dispatch p99 into BENCH_city.json. The pre-push
+# default runs 10k simulated devices (time-boxed); SENSEAID_CHAOS=full
+# runs the 100k acceptance soak. SENSEAID_CHAOS_DEVICES overrides both.
+chaos_devices=10000
+if [ "${SENSEAID_CHAOS:-}" = "full" ]; then
+    chaos_devices=100000
+fi
+SENSEAID_BENCH_OUT="$PWD/BENCH_city.json" \
+    SENSEAID_CHAOS_DEVICES="${SENSEAID_CHAOS_DEVICES:-$chaos_devices}" \
+    go test -run '^TestRecordCityBench$' -count=1 -v -timeout 30m ./internal/chaos
+
 # Shared-tier scenario: 100 concurrent campaigns on one cohort and one
 # aggregation tier; every campaign's streamed windows must match the
 # post-hoc batch computation exactly.
@@ -103,6 +120,10 @@ kill $srv_pid 2>/dev/null || true
 # Wire v2 smoke: 5k device connections speaking the binary codec against
 # a server with write coalescing and a bounded RPC worker pool — the
 # production transport configuration at 5x the plain smoke's scale.
+# A tenth of the fleet rides faulty links (staggered mid-run connection
+# kills plus added latency) and 5% answers with wrong-sensor garbage:
+# the run fails if the server accepts a single garbage upload or a
+# healthy-link registration fails.
 "$tmp/senseaidd" -addr 127.0.0.1:0 -tick 100ms \
     -codec binary -coalesce-interval 2ms -rpc-workers 64 > "$tmp/senseaidd2.out" &
 srv_pid=$!
@@ -114,7 +135,8 @@ for _ in $(seq 1 50); do
 done
 [ -n "$addr" ]
 "$tmp/senseaid-loadgen" -addr "$addr" -devices 5000 -duration 5s \
-    -codec binary -tasks 4 -density 5 -period 1s -min-selections 1
+    -codec binary -tasks 4 -density 5 -period 1s -min-selections 1 \
+    -chaos-fraction 0.1 -chaos-drop-writes 20 -chaos-delay 1ms -byzantine 0.05
 kill $srv_pid 2>/dev/null || true
 
 # Shared-tier smoke: a real senseaid-cas subscribes to its own

@@ -17,6 +17,18 @@
 //	                 [-tasks n] [-density n] [-period d] [-radius m]
 //	                 [-center lat,lon] [-spread m] [-report d]
 //	                 [-min-selections n] [-metrics-url url] [-trace] [-json]
+//	                 [-chaos-fraction f] [-chaos-drop-writes n]
+//	                 [-chaos-partition-writes n] [-chaos-stall-writes n]
+//	                 [-chaos-corrupt p] [-chaos-delay d] [-byzantine f]
+//
+// The -chaos-* flags turn a fraction of the fleet into devices on bad
+// links: their connections dial through a seeded faultconn policy that
+// kills, stalls, asymmetrically partitions, delays, or byte-corrupts
+// the stream mid-run — the server must shed them without stalling the
+// healthy majority. -byzantine makes a fraction of devices answer every
+// schedule with wrong-sensor garbage; the run FAILS if the server
+// accepts a single such upload, so a loadgen run doubles as an
+// end-to-end validation-boundary check.
 //
 // Devices echo the trace context each schedule carries, so with tracing
 // enabled server-side every upload joins its task's end-to-end trace.
@@ -36,6 +48,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"sort"
@@ -46,6 +59,7 @@ import (
 
 	"senseaid/internal/cas"
 	"senseaid/internal/client"
+	"senseaid/internal/faultconn"
 	"senseaid/internal/geo"
 	"senseaid/internal/sensors"
 	"senseaid/internal/wire"
@@ -104,6 +118,10 @@ type summary struct {
 	StateReports     int64   `json:"state_reports"`
 	ReportErrors     int64   `json:"report_errors"`
 	CASDeliveries    int64   `json:"cas_deliveries"`
+	ChaoticDevices   int     `json:"chaotic_devices,omitempty"`
+	ByzantineDevices int     `json:"byzantine_devices,omitempty"`
+	ByzRejected      int64   `json:"byz_rejected,omitempty"`
+	ByzAccepted      int64   `json:"byz_accepted,omitempty"`
 }
 
 func run() error {
@@ -123,6 +141,13 @@ func run() error {
 	dialWorkers := flag.Int("dial-workers", 64, "concurrent connection setups")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
 	codecName := flag.String("codec", "json", "wire codec devices request: json, binary, or mixed (every other device binary — exercises cross-codec interop)")
+	chaosFraction := flag.Float64("chaos-fraction", 0, "fraction of devices dialing through a fault-injecting link")
+	chaosDropWrites := flag.Int("chaos-drop-writes", 0, "kill a chaotic device's connection around the Nth write (0 disables; staggered per device so deaths spread over the run)")
+	chaosPartitionWrites := flag.Int("chaos-partition-writes", 0, "asymmetrically partition a chaotic device around the Nth write: its writes black-hole while reads keep flowing (0 disables)")
+	chaosStallWrites := flag.Int("chaos-stall-writes", 0, "stall a chaotic device's writes from around the Nth until the deadline (0 disables)")
+	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "per-write probability of flipping one payload byte on chaotic links (the wire layer must reject the frame, not hang; may fail that device's registration)")
+	chaosDelay := flag.Duration("chaos-delay", 0, "latency added to every read and write on chaotic links")
+	byzantine := flag.Float64("byzantine", 0, "fraction of devices answering schedules with wrong-sensor garbage; the run fails if the server accepts any")
 	flag.Parse()
 
 	deviceCodec := func(i int) string {
@@ -147,6 +172,16 @@ func run() error {
 	if *devices <= 0 || *tasks < 0 || *density <= 0 || *dialWorkers <= 0 {
 		return fmt.Errorf("devices, density and dial-workers must be positive")
 	}
+	if *chaosFraction < 0 || *chaosFraction > 1 || *chaosCorrupt < 0 || *chaosCorrupt > 1 ||
+		*byzantine < 0 || *byzantine > 1 {
+		return fmt.Errorf("-chaos-fraction, -chaos-corrupt and -byzantine must be in [0,1]")
+	}
+	// Chaotic devices are picked by a full-period stride over the index
+	// space so bad links spread across the whole fleet (and its dial
+	// batches) instead of clustering; byzantine devices come off the top
+	// of the index space, independent of link health.
+	chaotic := func(i int) bool { return float64(i*31%1000) < *chaosFraction*1000 }
+	byz := func(i int) bool { return i >= *devices-int(*byzantine*float64(*devices)) }
 	base := geo.CSDepartment
 	if *center != "" {
 		var err error
@@ -157,9 +192,11 @@ func run() error {
 
 	var (
 		registered, regFailed          atomic.Int64
+		regFailedChaotic               atomic.Int64
 		schedules, uploads, uploadErrs atomic.Int64
 		reports, reportErrs            atomic.Int64
 		casDeliveries                  atomic.Int64
+		byzRejected, byzAccepted       atomic.Int64
 		dispatchLat, ackLat            latencies
 	)
 
@@ -167,8 +204,10 @@ func run() error {
 	// from a fixed seed so runs are comparable.
 	rng := rand.New(rand.NewSource(1))
 	type device struct {
-		c   *client.Client
-		pos geo.Point
+		c       *client.Client
+		pos     geo.Point
+		chaotic bool
+		byz     bool
 	}
 	positions := make([]geo.Point, *devices)
 	for i := range positions {
@@ -183,25 +222,54 @@ func run() error {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				c, err := client.Dial(client.Config{
+				cfg := client.Config{
 					Addr:       *addr,
 					DeviceID:   fmt.Sprintf("loadgen-%05d", i),
 					Position:   positions[i],
 					BatteryPct: float64(30 + i%70),
 					Sensors:    []sensors.Type{sensors.Barometer},
 					Codec:      deviceCodec(i),
-				})
+				}
+				if chaotic(i) {
+					p := faultconn.Policy{
+						Seed:        int64(i) + 1,
+						CorruptProb: *chaosCorrupt,
+						Delay:       *chaosDelay,
+					}
+					// Stagger each device's trigger point so the fault
+					// wave rolls across the run instead of every bad link
+					// dying on the same write.
+					if *chaosDropWrites > 0 {
+						p.DropAfterWrites = *chaosDropWrites + i%(*chaosDropWrites+1)
+					}
+					if *chaosPartitionWrites > 0 {
+						p.PartitionAfterWrites = *chaosPartitionWrites + i%(*chaosPartitionWrites+1)
+					}
+					if *chaosStallWrites > 0 {
+						p.StallAfterWrites = *chaosStallWrites + i%(*chaosStallWrites+1)
+					}
+					cfg.Dialer = func(addr string) (net.Conn, error) {
+						return faultconn.Dial(addr, p)
+					}
+				}
+				c, err := client.Dial(cfg)
 				if err != nil {
 					regFailed.Add(1)
+					if chaotic(i) {
+						regFailedChaotic.Add(1)
+					}
 					continue
 				}
 				if err := c.Register(); err != nil {
 					regFailed.Add(1)
+					if chaotic(i) {
+						regFailedChaotic.Add(1)
+					}
 					_ = c.Close()
 					continue
 				}
 				registered.Add(1)
-				conns[i] = device{c: c, pos: positions[i]}
+				conns[i] = device{c: c, pos: positions[i], chaotic: chaotic(i), byz: byz(i)}
 			}
 		}()
 	}
@@ -237,8 +305,25 @@ func run() error {
 					r := field.Sample(d.pos, time.Now())
 					r.Sensor = sch.Sensor
 					r.Unit = sch.Sensor.Unit()
+					if d.byz {
+						// Wrong sensor entirely, absurd magnitude. The
+						// server-side validation boundary must hold: every
+						// one of these has to come back rejected.
+						r.Sensor = wrongSensor(sch.Sensor)
+						r.Unit = r.Sensor.Unit()
+						r.Value = 1e9
+					}
 					t0 := time.Now()
-					if err := d.c.SendSenseDataTraced(sch.RequestID, r, wire.PathTail, sch.TraceID, sch.SpanID); err != nil {
+					err := d.c.SendSenseDataTraced(sch.RequestID, r, wire.PathTail, sch.TraceID, sch.SpanID)
+					if d.byz {
+						if err != nil {
+							byzRejected.Add(1)
+						} else {
+							byzAccepted.Add(1)
+						}
+						continue
+					}
+					if err != nil {
 						uploadErrs.Add(1)
 						continue
 					}
@@ -258,6 +343,10 @@ func run() error {
 			}
 		})
 		if err != nil {
+			if d.chaotic {
+				// Its link already died; the healthy fleet carries on.
+				continue
+			}
 			return err
 		}
 	}
@@ -359,6 +448,16 @@ func run() error {
 		StateReports:     reports.Load(),
 		ReportErrors:     reportErrs.Load(),
 		CASDeliveries:    casDeliveries.Load(),
+		ByzRejected:      byzRejected.Load(),
+		ByzAccepted:      byzAccepted.Load(),
+	}
+	for i := 0; i < *devices; i++ {
+		if chaotic(i) {
+			sum.ChaoticDevices++
+		}
+		if byz(i) {
+			sum.ByzantineDevices++
+		}
 	}
 	if *jsonOut {
 		blob, err := json.MarshalIndent(sum, "", "  ")
@@ -374,6 +473,11 @@ func run() error {
 			sum.Uploads, sum.UploadErrors, ap50, ap99)
 		fmt.Printf("state reports: %d ok, %d errors; CAS deliveries: %d\n",
 			sum.StateReports, sum.ReportErrors, sum.CASDeliveries)
+		if sum.ChaoticDevices > 0 || sum.ByzantineDevices > 0 {
+			fmt.Printf("chaos: %d devices on faulty links (%d registrations lost to them); %d byzantine devices, %d garbage uploads rejected, %d accepted\n",
+				sum.ChaoticDevices, regFailedChaotic.Load(),
+				sum.ByzantineDevices, sum.ByzRejected, sum.ByzAccepted)
+		}
 	}
 	if *metricsURL != "" {
 		printSelectionMetrics(*metricsURL)
@@ -387,13 +491,27 @@ func run() error {
 		}
 	}
 
-	if sum.RegisterFailed > 0 {
-		return fmt.Errorf("%d registrations failed", sum.RegisterFailed)
+	// Registrations lost to deliberately-faulty links are the chaos
+	// working as intended; failures on healthy links still fail the run.
+	if clean := sum.RegisterFailed - regFailedChaotic.Load(); clean > 0 {
+		return fmt.Errorf("%d registrations failed on healthy links", clean)
+	}
+	if sum.ByzAccepted > 0 {
+		return fmt.Errorf("server accepted %d wrong-sensor uploads from byzantine devices", sum.ByzAccepted)
 	}
 	if sum.Schedules < int64(*minSelections) {
 		return fmt.Errorf("only %d schedules delivered, want >= %d", sum.Schedules, *minSelections)
 	}
 	return nil
+}
+
+// wrongSensor returns a sensor type that differs from the schedule's —
+// the byzantine payload the server must bounce at validation.
+func wrongSensor(want sensors.Type) sensors.Type {
+	if want == sensors.Gyroscope {
+		return sensors.Barometer
+	}
+	return sensors.Gyroscope
 }
 
 // printSelectionMetrics scrapes the server's /metrics endpoint and echoes

@@ -54,6 +54,10 @@ type Network struct {
 	crowdsensing map[string]bool
 	// serverUp mirrors Sense-Aid server health for path fail-safe.
 	serverUp bool
+	// down marks dead towers (see SetTowerDown in city.go); loss records
+	// per-tower degradation probabilities for the chaos layer.
+	down map[string]bool
+	loss map[string]float64
 }
 
 // New builds a network over the given towers.
@@ -153,10 +157,20 @@ func (n *Network) TowerFor(id string) (Tower, bool) {
 	if !ok {
 		return Tower{}, false
 	}
-	pos := p.Position()
+	return n.TowerAt(p.Position())
+}
+
+// TowerAt returns the nearest live in-range tower for an arbitrary
+// position — coverage lookup without an attached phone. Chaos campaigns
+// use it to ask whether a simulated device can reach the network at all
+// while towers are being failed out from under it.
+func (n *Network) TowerAt(pos geo.Point) (Tower, bool) {
 	best := -1
 	bestD := 0.0
 	for i, t := range n.towers {
+		if n.down[t.ID] {
+			continue
+		}
 		d := geo.DistanceM(t.Location, pos)
 		if d > t.RangeM {
 			continue
@@ -215,6 +229,9 @@ func (n *Network) DevicesInRegion(c geo.Circle) []*phone.Phone {
 func (n *Network) TowersInRegion(c geo.Circle) []Tower {
 	var out []Tower
 	for _, t := range n.towers {
+		if n.down[t.ID] {
+			continue
+		}
 		if geo.DistanceM(t.Location, c.Center) <= t.RangeM+c.RadiusM {
 			out = append(out, t)
 		}

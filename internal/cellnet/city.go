@@ -1,0 +1,174 @@
+package cellnet
+
+import (
+	"fmt"
+	"math"
+
+	"senseaid/internal/geo"
+)
+
+// City-scale tower grids and tower health. The campus network above is
+// four towers that never fail; a city-scale chaos scenario needs a
+// realistic grid — rings of macro cells with a densified downtown core —
+// whose towers can be knocked out or degraded mid-run. Tower health
+// lives on the Network so every attachment-derived observable (TowerFor,
+// CoarseLocation, DevicesViaTowers) sees an outage the instant it lands:
+// devices served by a dead tower fall to the next in-range neighbor, or
+// out of coverage entirely when the outage opens a hole.
+
+// CityGridConfig shapes a generated city tower grid.
+type CityGridConfig struct {
+	// Center is the city center (downtown core).
+	Center geo.Point
+	// Rows and Cols size the macro grid (default 8x8).
+	Rows, Cols int
+	// SpacingM is the distance between neighboring macro towers
+	// (default 2000 m, a suburban macro-cell pitch).
+	SpacingM float64
+	// RangeM is each macro tower's coverage radius. The default
+	// (1.25 * SpacingM) overlaps neighbors so a single outage degrades
+	// service instead of opening a hole; tighter ranges make outages
+	// strand devices — exactly the scenario knob a chaos campaign wants.
+	RangeM float64
+	// DowntownRadiusM bounds the densified core around Center: inside
+	// it an extra tower is placed between every macro pair (default
+	// 1.5 * SpacingM; 0 keeps the pure macro grid... negative disables).
+	DowntownRadiusM float64
+}
+
+// CityGrid generates the tower list for a city. Towers are named
+// "city-r<row>c<col>" (macros) and "city-dt<n>" (downtown infill), so a
+// scenario can target outages by district. The grid is deterministic:
+// the same config always yields the same towers.
+func CityGrid(cfg CityGridConfig) ([]Tower, error) {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 8
+	}
+	if cfg.Cols <= 0 {
+		cfg.Cols = 8
+	}
+	if cfg.SpacingM <= 0 {
+		cfg.SpacingM = 2000
+	}
+	if cfg.RangeM <= 0 {
+		cfg.RangeM = 1.25 * cfg.SpacingM
+	}
+	if cfg.DowntownRadiusM == 0 {
+		cfg.DowntownRadiusM = 1.5 * cfg.SpacingM
+	}
+	if !cfg.Center.Valid() {
+		return nil, fmt.Errorf("cellnet: city center %v invalid", cfg.Center)
+	}
+	var towers []Tower
+	halfR := float64(cfg.Rows-1) / 2
+	halfC := float64(cfg.Cols-1) / 2
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			// Offset odd rows by half a pitch: a hex-ish packing, so
+			// coverage holes from an outage are lens-shaped like real
+			// grids, not square.
+			east := (float64(c) - halfC) * cfg.SpacingM
+			if r%2 == 1 {
+				east += cfg.SpacingM / 2
+			}
+			north := (float64(r) - halfR) * cfg.SpacingM
+			towers = append(towers, Tower{
+				ID:       fmt.Sprintf("city-r%dc%d", r, c),
+				Location: geo.Offset(cfg.Center, north, east),
+				RangeM:   cfg.RangeM,
+			})
+		}
+	}
+	// Downtown densification: one infill tower per macro inside the
+	// core, offset toward the center — double capacity where the
+	// commute model parks the daytime population.
+	if cfg.DowntownRadiusM > 0 {
+		n := 0
+		for _, t := range towers {
+			d := geo.DistanceM(t.Location, cfg.Center)
+			if d > cfg.DowntownRadiusM {
+				continue
+			}
+			n++
+			towers = append(towers, Tower{
+				ID:       fmt.Sprintf("city-dt%d", n),
+				Location: midpoint(t.Location, cfg.Center),
+				RangeM:   cfg.RangeM / 2,
+			})
+		}
+	}
+	return towers, nil
+}
+
+func midpoint(a, b geo.Point) geo.Point {
+	return geo.Point{Lat: (a.Lat + b.Lat) / 2, Lon: (a.Lon + b.Lon) / 2}
+}
+
+// CityExtentM returns the radius (from the grid center) that encloses
+// every tower's coverage — the bound scenario generators use to place
+// homes, venues, and region circles so nothing spawns outside the RAN.
+func CityExtentM(cfg CityGridConfig) float64 {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 8
+	}
+	if cfg.Cols <= 0 {
+		cfg.Cols = 8
+	}
+	if cfg.SpacingM <= 0 {
+		cfg.SpacingM = 2000
+	}
+	if cfg.RangeM <= 0 {
+		cfg.RangeM = 1.25 * cfg.SpacingM
+	}
+	halfDiag := math.Hypot(float64(cfg.Rows-1)/2, float64(cfg.Cols)/2) * cfg.SpacingM
+	return halfDiag + cfg.RangeM
+}
+
+// SetTowerDown marks a tower dead or restores it. A dead tower serves
+// nobody: TowerFor skips it, so its devices re-attach to the next
+// in-range tower or drop out of coverage. Unknown IDs are ignored (a
+// scenario may script outages for towers a smaller grid doesn't have).
+func (n *Network) SetTowerDown(towerID string, down bool) {
+	if n.down == nil {
+		n.down = make(map[string]bool)
+	}
+	if down {
+		n.down[towerID] = true
+	} else {
+		delete(n.down, towerID)
+	}
+}
+
+// TowerDown reports whether the tower is currently dead.
+func (n *Network) TowerDown(towerID string) bool { return n.down[towerID] }
+
+// SetTowerLoss degrades a tower: loss is the probability (0..1) that an
+// operation through this tower fails. The network itself stays
+// declarative — it only records the figure; the chaos layer maps it
+// onto faultconn policies for the connections it governs.
+func (n *Network) SetTowerLoss(towerID string, loss float64) {
+	if n.loss == nil {
+		n.loss = make(map[string]float64)
+	}
+	if loss <= 0 {
+		delete(n.loss, towerID)
+		return
+	}
+	if loss > 1 {
+		loss = 1
+	}
+	n.loss[towerID] = loss
+}
+
+// TowerLoss returns the tower's configured loss probability (0 = healthy).
+func (n *Network) TowerLoss(towerID string) float64 { return n.loss[towerID] }
+
+// Towers returns a copy of the tower list.
+func (n *Network) Towers() []Tower {
+	out := make([]Tower, len(n.towers))
+	copy(out, n.towers)
+	return out
+}
+
+// OutageCount reports how many towers are currently down.
+func (n *Network) OutageCount() int { return len(n.down) }

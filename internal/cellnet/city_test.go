@@ -1,0 +1,179 @@
+package cellnet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/phone"
+	"senseaid/internal/simclock"
+)
+
+var cityCenter = geo.Point{Lat: 40.0, Lon: -86.9}
+
+func TestCityGridShape(t *testing.T) {
+	cfg := CityGridConfig{Center: cityCenter, Rows: 6, Cols: 6, SpacingM: 2000}
+	towers, err := CityGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(towers) <= 36 {
+		t.Fatalf("got %d towers, want 36 macros plus downtown infill", len(towers))
+	}
+	macros, infill := 0, 0
+	seen := make(map[string]bool)
+	for _, tw := range towers {
+		if seen[tw.ID] {
+			t.Fatalf("duplicate tower ID %q", tw.ID)
+		}
+		seen[tw.ID] = true
+		if strings.HasPrefix(tw.ID, "city-dt") {
+			infill++
+			if d := geo.DistanceM(tw.Location, cityCenter); d > cfg.SpacingM*1.5 {
+				t.Fatalf("infill tower %q %.0f m from center, want inside downtown", tw.ID, d)
+			}
+		} else {
+			macros++
+		}
+	}
+	if macros != 36 {
+		t.Fatalf("macros = %d, want 36", macros)
+	}
+	if infill == 0 {
+		t.Fatal("no downtown infill towers generated")
+	}
+	// The grid must build a valid Network and fit inside the stated extent.
+	n, err := New(towers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := CityExtentM(cfg)
+	for _, tw := range n.Towers() {
+		if d := geo.DistanceM(tw.Location, cityCenter); d+tw.RangeM > ext+1 {
+			t.Fatalf("tower %q coverage reaches %.0f m, extent says %.0f m", tw.ID, d+tw.RangeM, ext)
+		}
+	}
+	// Deterministic: same config, same grid.
+	again, _ := CityGrid(cfg)
+	for i := range towers {
+		if towers[i] != again[i] {
+			t.Fatalf("grid not deterministic at index %d: %+v vs %+v", i, towers[i], again[i])
+		}
+	}
+}
+
+func TestCityGridRejectsInvalidCenter(t *testing.T) {
+	if _, err := CityGrid(CityGridConfig{Center: geo.Point{Lat: 999}}); err == nil {
+		t.Fatal("invalid center accepted")
+	}
+}
+
+// TestTowerOutageReattachesOrStrands is the RAN half of a chaos tower
+// outage: devices near a neighboring tower re-attach to it; devices only
+// the dead tower covered drop out of coverage (and out of every
+// attachment-derived observable).
+func TestTowerOutageReattachesOrStrands(t *testing.T) {
+	// Range (1200 m) is below the pitch (2000 m): towers only overlap at
+	// midpoints, so a device sitting on a dead tower has no fallback.
+	towers, err := CityGrid(CityGridConfig{
+		Center: cityCenter, Rows: 2, Cols: 2,
+		SpacingM: 2000, RangeM: 1200, DowntownRadiusM: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(towers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One device on top of tower r0c0, one in the overlap between r0c0
+	// and r0c1.
+	s := simclock.NewScheduler()
+	stranded := newPhoneAt(t, s, "dev-stranded", towers[0].Location)
+	overlap := newPhoneAt(t, s, "dev-overlap", midpoint(towers[0].Location, towers[1].Location))
+	for _, p := range []*phone.Phone{stranded, overlap} {
+		if err := n.Attach(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tw, ok := n.TowerFor("dev-stranded"); !ok || tw.ID != towers[0].ID {
+		t.Fatalf("pre-outage serving tower = %v/%v, want %s", tw.ID, ok, towers[0].ID)
+	}
+
+	n.SetTowerDown(towers[0].ID, true)
+	if !n.TowerDown(towers[0].ID) {
+		t.Fatal("TowerDown false after SetTowerDown")
+	}
+	if n.OutageCount() != 1 {
+		t.Fatalf("OutageCount = %d, want 1", n.OutageCount())
+	}
+	// The overlap device re-attaches to a surviving neighbor...
+	tw, ok := n.TowerFor("dev-overlap")
+	if !ok || tw.ID == towers[0].ID {
+		t.Fatalf("overlap device on %v/%v after outage, want live neighbor", tw.ID, ok)
+	}
+	// ...the stranded one falls out of coverage entirely.
+	if _, ok := n.TowerFor("dev-stranded"); ok {
+		t.Fatal("stranded device still in coverage after its only tower died")
+	}
+	if _, ok := n.CoarseLocation("dev-stranded"); ok {
+		t.Fatal("CoarseLocation still served for stranded device")
+	}
+	// Dead towers also disappear from region qualification.
+	region := geo.Circle{Center: towers[0].Location, RadiusM: 100}
+	for _, rt := range n.TowersInRegion(region) {
+		if rt.ID == towers[0].ID {
+			t.Fatal("dead tower still listed in TowersInRegion")
+		}
+	}
+
+	// Restore: both devices come back.
+	n.SetTowerDown(towers[0].ID, false)
+	if _, ok := n.TowerFor("dev-stranded"); !ok {
+		t.Fatal("device not re-served after tower restore")
+	}
+	if n.OutageCount() != 0 {
+		t.Fatalf("OutageCount = %d after restore, want 0", n.OutageCount())
+	}
+}
+
+func TestTowerLossDegradation(t *testing.T) {
+	n := CampusNetwork()
+	id := n.Towers()[0].ID
+	if n.TowerLoss(id) != 0 {
+		t.Fatal("healthy tower reports loss")
+	}
+	n.SetTowerLoss(id, 0.25)
+	if got := n.TowerLoss(id); got != 0.25 {
+		t.Fatalf("TowerLoss = %v, want 0.25", got)
+	}
+	n.SetTowerLoss(id, 7) // clamped
+	if got := n.TowerLoss(id); got != 1 {
+		t.Fatalf("TowerLoss = %v, want clamp to 1", got)
+	}
+	n.SetTowerLoss(id, 0)
+	if n.TowerLoss(id) != 0 {
+		t.Fatal("loss not cleared")
+	}
+}
+
+func TestCityGridScalesTowardMillionDevices(t *testing.T) {
+	// A 16x16 grid (the 1M-device footprint) still generates instantly
+	// and uniquely.
+	towers, err := CityGrid(CityGridConfig{Center: cityCenter, Rows: 16, Cols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(towers))
+	for _, tw := range towers {
+		if seen[tw.ID] {
+			t.Fatalf("duplicate tower %q", tw.ID)
+		}
+		seen[tw.ID] = true
+	}
+	if len(towers) < 256 {
+		t.Fatalf("%d towers, want >= 256", len(towers))
+	}
+	_ = fmt.Sprintf("%d", len(towers))
+}

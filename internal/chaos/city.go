@@ -1,0 +1,314 @@
+// Package chaos drives city-scale fault campaigns against the sharded
+// Sense-Aid core and checks the invariants every run must preserve. A
+// campaign is deterministic end to end: a scenario seed fixes the tower
+// grid, the fleet (who commutes where, who flaps, who lies), the fault
+// schedule (outages, primary crashes, CAS storms), and the device
+// behavior each tick — so a failing run is reproducible from the one
+// integer printed in its failure message.
+//
+// The campaign runs the real core.ShardedServer, not a mock: real
+// selection, re-homing, journaling, reputation, and the live
+// aggregation tap, with faults injected at the same joints production
+// faults arrive through (tower health in cellnet, crash-recovery via
+// snapshot+journal Recover, byzantine payloads via ReceiveData).
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"senseaid/internal/cellnet"
+	"senseaid/internal/core"
+	"senseaid/internal/geo"
+	"senseaid/internal/mobility"
+	"senseaid/internal/power"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+// Behavior tags a device's failure mode. Mobility is orthogonal: a
+// byzantine device still commutes; a clock-skewed one may flap.
+type Behavior int
+
+const (
+	// Honest devices report truthfully and answer every schedule they
+	// can reach the network for.
+	Honest Behavior = iota
+	// Byzantine devices alternate valid uploads with garbage (wrong
+	// sensor payloads) and lie about their battery on some reports —
+	// the reputation tier must bleed them out of selection.
+	Byzantine
+	// ClockSkewed devices stamp readings with a skewed clock; skews
+	// beyond the server's staleness window must be rejected, not
+	// silently aggregated.
+	ClockSkewed
+)
+
+func (b Behavior) String() string {
+	switch b {
+	case Byzantine:
+		return "byzantine"
+	case ClockSkewed:
+		return "clock-skewed"
+	default:
+		return "honest"
+	}
+}
+
+// Device is one fleet member: a mobility trajectory plus a behavior.
+type Device struct {
+	ID       string
+	Model    mobility.Model
+	Behavior Behavior
+	// Skew is the clock error applied to reading timestamps
+	// (ClockSkewed only).
+	Skew time.Duration
+}
+
+// FleetMix apportions the fleet. Fractions need not sum to 1; the
+// remainder is honest commuters.
+type FleetMix struct {
+	// Stationary devices never move (home-bound phones, fixed sensors).
+	Stationary float64
+	// Flappers square-wave across the region boundary — the re-homing
+	// storm generator.
+	Flappers float64
+	// Byzantine and ClockSkewed are the lying fractions.
+	Byzantine   float64
+	ClockSkewed float64
+}
+
+// DefaultFleetMix is the standing city population: mostly commuters,
+// a stationary quarter, a few percent of boundary flappers and liars.
+func DefaultFleetMix() FleetMix {
+	return FleetMix{Stationary: 0.25, Flappers: 0.03, Byzantine: 0.02, ClockSkewed: 0.02}
+}
+
+// CityConfig sizes a generated city.
+type CityConfig struct {
+	// Seed fixes every random draw in generation.
+	Seed int64
+	// Devices is the fleet size.
+	Devices int
+	// Grid shapes the tower grid (zero value: the 8x8 default city).
+	Grid cellnet.CityGridConfig
+	// Mix apportions device behaviors (zero value: DefaultFleetMix).
+	Mix FleetMix
+	// Start anchors diurnal cycles and ping-pong phases.
+	Start time.Time
+	// CrowdEvents are flash-crowd windows baked into every commuter's
+	// mobility model (a fraction of the fleet is attracted per event).
+	CrowdEvents []mobility.CrowdEvent
+	// CrowdFraction is the share of commuters pulled by crowd events
+	// (default 0.3 when events are present).
+	CrowdFraction float64
+}
+
+// City is a generated city: the RAN, the region split, and the fleet.
+type City struct {
+	Cfg     CityConfig
+	Net     *cellnet.Network
+	Regions []core.Region
+	Fleet   []Device
+	// ExtentM is the radius enclosing all tower coverage.
+	ExtentM float64
+
+	cov *coverage
+}
+
+// GenerateCity builds a deterministic city: a tower grid split into a
+// west and an east region (the boundary runs through downtown, so
+// commuters and flappers cross it — the re-homing load is structural,
+// not accidental), and a fleet whose homes scatter across the grid and
+// whose workplaces cluster downtown.
+func GenerateCity(cfg CityConfig) (*City, error) {
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("chaos: city needs devices, got %d", cfg.Devices)
+	}
+	if !cfg.Grid.Center.Valid() {
+		cfg.Grid.Center = geo.CSDepartment
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = simclock.Epoch
+	}
+	if cfg.Mix == (FleetMix{}) {
+		cfg.Mix = DefaultFleetMix()
+	}
+	if cfg.CrowdFraction <= 0 {
+		cfg.CrowdFraction = 0.3
+	}
+	towers, err := cellnet.CityGrid(cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+	net, err := cellnet.New(towers)
+	if err != nil {
+		return nil, err
+	}
+	extent := cellnet.CityExtentM(cfg.Grid)
+	center := cfg.Grid.Center
+	// Two region circles. ShardFor picks the first containing region, so
+	// a point belongs to east exactly when it leaves west's circle — the
+	// shard boundary is west's eastern edge, placed through downtown:
+	// west is a circle of radius extent whose edge passes through the
+	// city center, east a larger circle covering the entire RAN (so the
+	// union covers everything and no device is ever outside all regions).
+	regions := []core.Region{
+		{Name: "west", Area: geo.Circle{Center: geo.Offset(center, 0, -extent), RadiusM: extent}},
+		{Name: "east", Area: geo.Circle{Center: geo.Offset(center, 0, extent/4), RadiusM: 1.5 * extent}},
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Homes scatter uniformly over a disc bounded by the macro grid (not
+	// the full coverage extent, so nobody spawns on the coverage fringe
+	// where a single outage would orphan them from the start).
+	homeRadius := 0.8 * extent
+
+	nStationary := int(cfg.Mix.Stationary * float64(cfg.Devices))
+	nFlap := int(cfg.Mix.Flappers * float64(cfg.Devices))
+	nByz := int(cfg.Mix.Byzantine * float64(cfg.Devices))
+	nSkew := int(cfg.Mix.ClockSkewed * float64(cfg.Devices))
+
+	fleet := make([]Device, 0, cfg.Devices)
+	for i := 0; i < cfg.Devices; i++ {
+		id := fmt.Sprintf("city-%06d", i)
+		// Uniform disc sample for home.
+		ang := rng.Float64() * 2 * math.Pi
+		r := homeRadius * math.Sqrt(rng.Float64())
+		home := geo.Offset(center, r*math.Sin(ang), r*math.Cos(ang))
+
+		var model mobility.Model
+		switch {
+		case i < nFlap:
+			// Flappers ping-pong across the shard boundary (west's edge,
+			// which passes through downtown) — each crossing re-homes them.
+			a := geo.Offset(center, (rng.Float64()-0.5)*2000, -1500)
+			b := geo.Offset(center, (rng.Float64()-0.5)*2000, 1500)
+			model = mobility.NewPingPong(a, b, cfg.Start,
+				time.Duration(20+rng.Intn(20))*time.Minute, cfg.Seed+int64(i))
+		case i < nFlap+nStationary:
+			model = mobility.Stationary{P: home}
+		default:
+			// Commuters: work clusters downtown with scatter.
+			work := geo.Offset(center, rng.NormFloat64()*800, rng.NormFloat64()*800)
+			model = mobility.NewCommute(mobility.CommuteConfig{
+				Home: home, Work: work, DayStart: cfg.Start.Add(-9 * time.Hour),
+				Seed: cfg.Seed + int64(i),
+			})
+			if len(cfg.CrowdEvents) > 0 && rng.Float64() < cfg.CrowdFraction {
+				model = mobility.NewAttractor(model, cfg.Seed+int64(i), cfg.CrowdEvents)
+			}
+		}
+
+		d := Device{ID: id, Model: model}
+		// Behavior assignment is independent of mobility class, drawn
+		// from the tail of the index space so counts are exact.
+		switch {
+		case i >= cfg.Devices-nByz:
+			d.Behavior = Byzantine
+		case i >= cfg.Devices-nByz-nSkew:
+			d.Behavior = ClockSkewed
+			// Half skew far beyond the 1-minute staleness window (their
+			// readings must be rejected), half inside it (must pass).
+			if i%2 == 0 {
+				d.Skew = -time.Duration(5+rng.Intn(30)) * time.Minute
+			} else {
+				d.Skew = -time.Duration(rng.Intn(40)) * time.Second
+			}
+		}
+		fleet = append(fleet, d)
+	}
+
+	return &City{
+		Cfg:     cfg,
+		Net:     net,
+		Regions: regions,
+		Fleet:   fleet,
+		ExtentM: extent,
+		cov:     newCoverage(towers),
+	}, nil
+}
+
+// DeviceState converts a fleet member to its registration record at t.
+func (c *City) DeviceState(d Device, t time.Time) core.DeviceState {
+	return core.DeviceState{
+		ID:         d.ID,
+		Position:   d.Model.PositionAt(t),
+		BatteryPct: 90,
+		LastComm:   t,
+		Sensors:    []sensors.Type{sensors.Barometer},
+		Budget:     power.DefaultBudget(),
+		Responsive: true,
+	}
+}
+
+// Covered reports whether pos can reach any live tower, and the loss
+// probability of the serving tower when it can. Geometry comes from a
+// bucketed index (O(towers in the 3x3 neighborhood), not O(all
+// towers)); liveness and loss come from the Network, so scenario
+// events (SetTowerDown, SetTowerLoss) apply instantly.
+func (c *City) Covered(pos geo.Point) (loss float64, ok bool) {
+	return c.cov.lookup(c.Net, pos)
+}
+
+// coverage is a spatial bucket index over the tower list: geo.Grid
+// cells sized at the largest tower range, so any tower that could cover
+// a point lives within one cell of the point's (two, east-west, since
+// longitude cells narrow by cos(lat)). The tower list is immutable;
+// only liveness (on the Network) changes, so lookups re-check it live.
+type coverage struct {
+	towers []cellnet.Tower
+	grid   geo.Grid
+	cells  map[geo.Cell][]int
+}
+
+func newCoverage(towers []cellnet.Tower) *coverage {
+	maxRange := 0.0
+	for _, t := range towers {
+		if t.RangeM > maxRange {
+			maxRange = t.RangeM
+		}
+	}
+	if maxRange <= 0 {
+		maxRange = 1
+	}
+	cov := &coverage{
+		towers: towers,
+		grid:   geo.Grid{SizeM: maxRange},
+		cells:  make(map[geo.Cell][]int),
+	}
+	for i, t := range towers {
+		c := cov.grid.CellOf(t.Location)
+		cov.cells[c] = append(cov.cells[c], i)
+	}
+	return cov
+}
+
+func (c *coverage) lookup(net *cellnet.Network, pos geo.Point) (loss float64, ok bool) {
+	cell := c.grid.CellOf(pos)
+	best := -1
+	bestD := 0.0
+	for dLat := int32(-1); dLat <= 1; dLat++ {
+		for dLon := int32(-2); dLon <= 2; dLon++ {
+			for _, i := range c.cells[geo.Cell{Lat: cell.Lat + dLat, Lon: cell.Lon + dLon}] {
+				t := &c.towers[i]
+				if net.TowerDown(t.ID) {
+					continue
+				}
+				d := geo.DistanceM(t.Location, pos)
+				if d > t.RangeM {
+					continue
+				}
+				if best == -1 || d < bestD {
+					best, bestD = i, d
+				}
+			}
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return net.TowerLoss(c.towers[best].ID), true
+}

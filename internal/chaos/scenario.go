@@ -1,0 +1,228 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/mobility"
+	"senseaid/internal/simclock"
+)
+
+// EventKind names one fault-injection action.
+type EventKind int
+
+const (
+	// EvTowerOutage kills Count randomly chosen towers.
+	EvTowerOutage EventKind = iota
+	// EvTowerRestore revives every dead tower.
+	EvTowerRestore
+	// EvTowerDegrade sets a Loss probability on Count random towers.
+	EvTowerDegrade
+	// EvCrashPrimaries SIGKILLs the whole sharded deployment: the live
+	// incarnation is abandoned where it stands (no flush, no snapshot)
+	// and a fresh one recovers from the last snapshots plus the shipped
+	// journals, then rebuilds routing.
+	EvCrashPrimaries
+	// EvSnapshot captures per-shard snapshots and rotates the journals —
+	// the background snapshotter's cadence, which bounds replay work.
+	EvSnapshot
+	// EvCASStorm is a campaign-administration storm: Count tasks
+	// submitted in one burst (with idempotent resubmits, modeling a CAS
+	// reconnecting and reclaiming), and half of the previous storm's
+	// tasks deleted.
+	EvCASStorm
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvTowerOutage:
+		return "tower-outage"
+	case EvTowerRestore:
+		return "tower-restore"
+	case EvTowerDegrade:
+		return "tower-degrade"
+	case EvCrashPrimaries:
+		return "crash-primaries"
+	case EvSnapshot:
+		return "snapshot"
+	case EvCASStorm:
+		return "cas-storm"
+	default:
+		return fmt.Sprintf("event-%d", int(k))
+	}
+}
+
+// Event is one scheduled fault. Targets are drawn with the scenario's
+// seeded RNG at fire time, so the same seed always hits the same towers.
+type Event struct {
+	// At is the offset into the run when the event fires.
+	At time.Duration
+	// Kind selects the action.
+	Kind EventKind
+	// Count sizes the action (towers to fail/degrade, tasks to storm).
+	Count int
+	// Loss is the drop probability EvTowerDegrade installs.
+	Loss float64
+}
+
+// Scenario is one reproducible chaos campaign: the city to build, the
+// steady-state load to run, and the fault schedule to inject.
+type Scenario struct {
+	Name string
+	// Seed fixes every random draw in the run (fleet behavior, tower
+	// picks, reading noise). The city uses City.Seed, normally derived
+	// from this one.
+	Seed int64
+	City CityConfig
+	// Duration and Tick bound the virtual soak: Duration/Tick steps.
+	Duration time.Duration
+	Tick     time.Duration
+	// ReportEvery staggers state reports: a device reports every
+	// ReportEvery ticks (default 4), offset by its index.
+	ReportEvery int
+	// TasksPerRegion and Density shape the steady-state sensing load.
+	TasksPerRegion int
+	Density        int
+	// Events is the fault schedule, fired in At order.
+	Events []Event
+}
+
+func (sc *Scenario) fill() {
+	if sc.Tick <= 0 {
+		sc.Tick = 30 * time.Second
+	}
+	if sc.Duration <= 0 {
+		sc.Duration = 30 * time.Minute
+	}
+	if sc.ReportEvery <= 0 {
+		sc.ReportEvery = 4
+	}
+	if sc.TasksPerRegion <= 0 {
+		sc.TasksPerRegion = 2
+	}
+	if sc.Density <= 0 {
+		sc.Density = 3
+	}
+	if sc.City.Seed == 0 {
+		sc.City.Seed = sc.Seed + 1
+	}
+	if sc.City.Start.IsZero() {
+		sc.City.Start = simclock.Epoch
+	}
+}
+
+// TowerOutageScenario is a rolling-outage campaign: a wave of tower
+// kills opens coverage holes mid-run, a degradation wave follows, and
+// everything is restored before the drain so stranded devices re-attach.
+func TowerOutageScenario(seed int64, devices int) Scenario {
+	return Scenario{
+		Name: "tower-outage-wave",
+		Seed: seed,
+		City: CityConfig{Devices: devices},
+		Events: []Event{
+			{At: 2 * time.Minute, Kind: EvSnapshot},
+			{At: 6 * time.Minute, Kind: EvTowerOutage, Count: 8},
+			{At: 10 * time.Minute, Kind: EvTowerDegrade, Count: 12, Loss: 0.4},
+			{At: 16 * time.Minute, Kind: EvTowerOutage, Count: 6},
+			{At: 22 * time.Minute, Kind: EvTowerRestore},
+		},
+	}
+}
+
+// CrashScenario SIGKILLs the primaries twice: once against a warm
+// snapshot, once against a journal that has grown since — proving
+// recovery is not a one-shot trick.
+func CrashScenario(seed int64, devices int) Scenario {
+	return Scenario{
+		Name: "primary-crash-loop",
+		Seed: seed,
+		City: CityConfig{Devices: devices},
+		Events: []Event{
+			{At: 3 * time.Minute, Kind: EvSnapshot},
+			{At: 8 * time.Minute, Kind: EvCrashPrimaries},
+			{At: 14 * time.Minute, Kind: EvSnapshot},
+			{At: 20 * time.Minute, Kind: EvCrashPrimaries},
+		},
+	}
+}
+
+// ByzantineScenario concentrates liars in a small fleet with dense
+// tasks, so byzantine devices are selected repeatedly and the
+// reputation bleed-out is observable within the soak.
+func ByzantineScenario(seed int64, devices int) Scenario {
+	return Scenario{
+		Name: "byzantine-flood",
+		Seed: seed,
+		City: CityConfig{
+			Devices: devices,
+			Mix:     FleetMix{Stationary: 0.6, Byzantine: 0.15, ClockSkewed: 0.1},
+		},
+		Density: 8,
+		Events: []Event{
+			{At: 2 * time.Minute, Kind: EvSnapshot},
+			{At: 12 * time.Minute, Kind: EvCASStorm, Count: 6},
+		},
+	}
+}
+
+// FlashCrowdScenario pulls a third of the commuters to a stadium on the
+// east side mid-run — a load spike on one shard and a re-homing wave as
+// the crowd crosses the boundary — then kills the venue's towers at
+// peak attendance.
+func FlashCrowdScenario(seed int64, devices int) Scenario {
+	start := simclock.Epoch
+	venue := geo.Offset(geo.CSDepartment, 1200, 3000)
+	return Scenario{
+		Name: "flash-crowd",
+		Seed: seed,
+		City: CityConfig{
+			Devices: devices,
+			Start:   start,
+			CrowdEvents: []mobility.CrowdEvent{{
+				Venue: venue,
+				Start: start.Add(8 * time.Minute),
+				End:   start.Add(22 * time.Minute),
+			}},
+		},
+		Events: []Event{
+			{At: 2 * time.Minute, Kind: EvSnapshot},
+			{At: 14 * time.Minute, Kind: EvTowerOutage, Count: 4},
+			{At: 20 * time.Minute, Kind: EvTowerRestore},
+		},
+	}
+}
+
+// CityWideScenario is the acceptance soak: tower outages, primary
+// SIGKILLs, byzantine and clock-skewed reporters, a flash crowd, and a
+// CAS storm in one seeded run. This is what ci.sh time-boxes.
+func CityWideScenario(seed int64, devices int) Scenario {
+	start := simclock.Epoch
+	venue := geo.Offset(geo.CSDepartment, 800, 2500)
+	return Scenario{
+		Name:     "city-wide",
+		Seed:     seed,
+		Duration: 40 * time.Minute,
+		City: CityConfig{
+			Devices: devices,
+			Start:   start,
+			CrowdEvents: []mobility.CrowdEvent{{
+				Venue: venue,
+				Start: start.Add(18 * time.Minute),
+				End:   start.Add(30 * time.Minute),
+			}},
+		},
+		Events: []Event{
+			{At: 2 * time.Minute, Kind: EvSnapshot},
+			{At: 5 * time.Minute, Kind: EvTowerOutage, Count: 6},
+			{At: 9 * time.Minute, Kind: EvCASStorm, Count: 8},
+			{At: 12 * time.Minute, Kind: EvCrashPrimaries},
+			{At: 16 * time.Minute, Kind: EvTowerDegrade, Count: 10, Loss: 0.3},
+			{At: 20 * time.Minute, Kind: EvSnapshot},
+			{At: 24 * time.Minute, Kind: EvTowerOutage, Count: 5},
+			{At: 26 * time.Minute, Kind: EvCrashPrimaries},
+			{At: 30 * time.Minute, Kind: EvTowerRestore},
+			{At: 33 * time.Minute, Kind: EvCASStorm, Count: 4},
+		},
+	}
+}

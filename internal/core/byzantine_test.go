@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+	"senseaid/internal/sensors"
+	"senseaid/internal/simclock"
+)
+
+// Byzantine-input hardening: state reports at the validation boundary
+// must land exactly on the documented limits, and a reporter that
+// alternates good and garbage uploads must lose the selector's trust —
+// the score-inflation path a symmetric reputation fold left open.
+
+func TestStateUpdateBatteryBoundaries(t *testing.T) {
+	s, _ := newTestServer(t)
+	registerFresh(t, s, "d")
+	at := simclock.Epoch
+	// Inclusive limits are valid: a phone at exactly 0% or 100% is real.
+	for _, pct := range []float64{0, 100, 50} {
+		if err := s.UpdateDeviceState("d", geo.CSDepartment, pct, at); err != nil {
+			t.Fatalf("battery %v rejected: %v", pct, err)
+		}
+	}
+	// Just past the limits — and the NaN a battery-lying client sends —
+	// must be rejected without touching stored state.
+	if err := s.UpdateDeviceState("d", geo.CSDepartment, 73, at); err != nil {
+		t.Fatal(err)
+	}
+	for _, pct := range []float64{math.Nextafter(100, 101), 100.01, -0.01, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := s.UpdateDeviceState("d", geo.CSDepartment, pct, at); err == nil {
+			t.Fatalf("battery %v accepted", pct)
+		}
+	}
+	if d, _ := s.Devices().Get("d"); d.BatteryPct != 73 {
+		t.Fatalf("rejected updates leaked: battery %v, want 73", d.BatteryPct)
+	}
+}
+
+func TestStateUpdatePositionBoundaries(t *testing.T) {
+	s, _ := newTestServer(t)
+	registerFresh(t, s, "d")
+	at := simclock.Epoch
+	for _, p := range []geo.Point{
+		{Lat: 90, Lon: 0}, {Lat: -90, Lon: 0}, {Lat: 0, Lon: 180}, {Lat: 0, Lon: -180},
+	} {
+		if err := s.UpdateDeviceState("d", p, 50, at); err != nil {
+			t.Fatalf("boundary position %v rejected: %v", p, err)
+		}
+	}
+	for _, p := range []geo.Point{
+		{Lat: 90.0001, Lon: 0}, {Lat: -91, Lon: 0}, {Lat: 0, Lon: 180.0001},
+		{Lat: math.NaN(), Lon: 0}, {Lat: 0, Lon: math.NaN()},
+	} {
+		if err := s.UpdateDeviceState("d", p, 50, at); err == nil {
+			t.Fatalf("invalid position %v accepted", p)
+		}
+	}
+}
+
+// TestAlternatingByzantineReporterExcluded runs the full loop: a device
+// alternating valid uploads with wrong-sensor garbage, against three
+// honest peers, until the asymmetric reputation fold pushes it under
+// MinReliability and the selector stops dispatching to it.
+func TestAlternatingByzantineReporterExcluded(t *testing.T) {
+	s, d, tr := newReputationServer(t)
+	// The chaos cutoff: half-trust is not enough to be selected.
+	s.cfg.Selector.MinReliability = 0.5
+	sel, err := NewSelector(s.cfg.Selector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.selector = sel
+	registerFresh(t, s, "good1", "good2", "good3", "byz")
+
+	respond := func(round int, reqID string, dev string, at time.Time) {
+		reading := sensors.Reading{
+			Sensor: sensors.Barometer, Value: 1013.0, Unit: "hPa",
+			At: at, Where: geo.CSDepartment,
+		}
+		wantErr := false
+		if dev == "byz" && round%2 == 1 {
+			reading.Sensor = sensors.Gyroscope // garbage round
+			wantErr = true
+		}
+		err := s.ReceiveData(reqID, dev, reading, at)
+		if wantErr && err == nil {
+			t.Fatalf("round %d: garbage reading from byz accepted", round)
+		}
+		if !wantErr && err != nil {
+			t.Fatalf("round %d: valid reading from %s rejected: %v", round, dev, err)
+		}
+	}
+
+	// Each round asks for exactly the currently-trusted population (the
+	// selector holds a request back rather than under-fill it), so the
+	// byzantine device is selected precisely while its score lasts.
+	const rounds = 6
+	byzSelected := 0
+	for round := 0; round < rounds; round++ {
+		at := simclock.Epoch.Add(time.Duration(round) * time.Minute)
+		density := 3
+		if byz, _ := s.Devices().Get("byz"); byz.Reliability >= 0.5 {
+			density = 4
+		}
+		tk := validTask()
+		tk.SpatialDensity = density
+		tk.Start, tk.End = at, at.Add(time.Hour)
+		if _, err := s.SubmitTask(tk, at, func(TaskID, string, sensors.Reading) {}); err != nil {
+			t.Fatal(err)
+		}
+		before := len(d.calls)
+		s.ProcessDue(at)
+		batch := d.calls[before:]
+		if len(batch) != density {
+			t.Fatalf("round %d dispatched %d, want %d", round, len(batch), density)
+		}
+		for _, c := range batch {
+			if c.dev.ID == "byz" {
+				byzSelected++
+				if density == 3 {
+					t.Fatalf("round %d: byzantine device selected below the cutoff", round)
+				}
+			}
+			respond(round, c.req.ID(), c.dev.ID, at.Add(time.Second))
+		}
+	}
+
+	// Round 0's good upload was not enough to survive round 1's garbage:
+	// one alternation cycle and the device is out for the rest of the run.
+	if byzSelected != 2 {
+		t.Fatalf("byzantine device selected in %d rounds, want 2 (rounds 0 and 1 only)", byzSelected)
+	}
+	byz, _ := s.Devices().Get("byz")
+	if byz.Reliability >= 0.5 {
+		t.Fatalf("alternating byzantine reporter kept reliability %.3f, want < 0.5", byz.Reliability)
+	}
+	if tr.Score("byz") >= 0.5 {
+		t.Fatalf("tracker score %.3f, want < 0.5", tr.Score("byz"))
+	}
+}

@@ -45,6 +45,16 @@ type Policy struct {
 	// StallReads makes every read block until the read deadline expires
 	// or the connection closes — a peer that connects and says nothing.
 	StallReads bool
+	// PartitionAfterWrites makes the Nth and later writes report success
+	// while silently discarding the bytes; reads keep flowing (0 = never).
+	// This is the asymmetric partition: the peer's traffic arrives, ours
+	// black-holes, and nothing errors — only deadlines notice.
+	PartitionAfterWrites int
+	// CorruptProb is a per-write probability (0..1) of flipping one
+	// random byte of the payload before it hits the socket — a radio
+	// link whose integrity checks are lying. Which byte flips is drawn
+	// from Seed, so corrupted streams replay identically.
+	CorruptProb float64
 	// Delay is added before every read and write.
 	Delay time.Duration
 }
@@ -67,6 +77,7 @@ type Conn struct {
 	mu            sync.Mutex
 	rng           *rand.Rand
 	reads, writes int
+	partitioned   int
 	killed        bool
 	readDeadline  time.Time
 	writeDeadline time.Time
@@ -176,12 +187,31 @@ func (c *Conn) Write(b []byte) (int, error) {
 	}
 	failed := c.policy.FailAfterWrites > 0 && n >= c.policy.FailAfterWrites
 	stalled := c.policy.StallAfterWrites > 0 && n >= c.policy.StallAfterWrites
+	partitioned := c.policy.PartitionAfterWrites > 0 && n >= c.policy.PartitionAfterWrites
+	corrupt := -1
+	if c.policy.CorruptProb > 0 && len(b) > 0 && c.rng.Float64() < c.policy.CorruptProb {
+		corrupt = c.rng.Intn(len(b))
+	}
+	if partitioned {
+		c.partitioned++
+	}
 	c.mu.Unlock()
 	if failed {
 		return 0, fmt.Errorf("faultconn: write %d failed by policy", n)
 	}
 	if stalled {
 		return 0, c.stall("write", deadline)
+	}
+	if partitioned {
+		// Report success without transmitting: the caller believes the
+		// bytes went out, exactly like a black-holed route.
+		return len(b), nil
+	}
+	if corrupt >= 0 {
+		mangled := make([]byte, len(b))
+		copy(mangled, b)
+		mangled[corrupt] ^= 0xFF
+		return c.Conn.Write(mangled)
 	}
 	return c.Conn.Write(b)
 }
@@ -229,6 +259,14 @@ func (c *Conn) Reads() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.reads
+}
+
+// BlackholedWrites reports how many writes the partition policy
+// swallowed while claiming success.
+func (c *Conn) BlackholedWrites() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.partitioned
 }
 
 // Dropped reports whether the policy killed the connection.

@@ -1,0 +1,102 @@
+package faultconn
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPartitionAfterWritesBlackholes(t *testing.T) {
+	c, srv := pipe(t, Policy{PartitionAfterWrites: 2})
+
+	// Write 1 crosses normally.
+	if _, err := c.Write([]byte("pre")); err != nil {
+		t.Fatalf("pre-partition write: %v", err)
+	}
+	buf := make([]byte, 3)
+	if _, err := srv.Read(buf); err != nil || string(buf) != "pre" {
+		t.Fatalf("server read %q, %v", buf, err)
+	}
+
+	// Writes 2+ claim success but nothing arrives.
+	n, err := c.Write([]byte("lost"))
+	if err != nil || n != 4 {
+		t.Fatalf("partitioned write reported (%d, %v), want silent success", n, err)
+	}
+	if got := c.BlackholedWrites(); got != 1 {
+		t.Fatalf("BlackholedWrites = %d, want 1", got)
+	}
+	if err := srv.SetReadDeadline(time.Now().Add(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Read(buf); err == nil {
+		t.Fatal("server received bytes through an asymmetric partition")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("server read error %v, want deadline timeout", err)
+	}
+
+	// The asymmetry: the reverse direction still flows.
+	if _, err := srv.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	reply := make([]byte, 4)
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(reply); err != nil || string(reply) != "back" {
+		t.Fatalf("read through partition's healthy direction: %q, %v", reply, err)
+	}
+	if c.Dropped() {
+		t.Fatal("partition must not kill the connection")
+	}
+}
+
+func TestCorruptProbFlipsOneByte(t *testing.T) {
+	c, srv := pipe(t, Policy{Seed: 11, CorruptProb: 1})
+	payload := []byte("hello, tower")
+	if _, err := c.Write(payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := srv.Read(got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	diffs := 0
+	for i := range payload {
+		if got[i] != payload[i] {
+			diffs++
+			if got[i] != payload[i]^0xFF {
+				t.Fatalf("byte %d mangled to %x, want %x^FF", i, got[i], payload[i])
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diffs)
+	}
+	// The caller's buffer must not be touched — the flip happens on a copy.
+	if !bytes.Equal(payload, []byte("hello, tower")) {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+}
+
+func TestCorruptProbDeterministic(t *testing.T) {
+	read := func(seed int64) []byte {
+		c, srv := pipe(t, Policy{Seed: seed, CorruptProb: 1})
+		if _, err := c.Write([]byte("abcdefgh")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 8)
+		if _, err := srv.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a, b := read(5), read(5)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed corrupted differently: %x vs %x", a, b)
+	}
+	if c := read(6); bytes.Equal(a, c) {
+		t.Fatalf("different seeds corrupted identically: %x", a)
+	}
+}

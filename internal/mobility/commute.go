@@ -1,0 +1,286 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"senseaid/internal/geo"
+)
+
+// City-scale mobility. The campus models above move a device around a
+// few buildings; a city-scale chaos scenario needs the patterns that
+// actually stress a tower grid — commuters draining residential cells
+// into downtown every morning and refilling them every evening, flash
+// crowds collapsing onto one venue, and boundary-flapping devices that
+// hammer the sharded layer's re-homing path. All models here remain
+// pure functions of time given their seed, so a chaos campaign replays
+// identically from its scenario seed.
+
+// CommuteConfig parameterises a commuter.
+type CommuteConfig struct {
+	// Home and Work are the two dwell points.
+	Home, Work geo.Point
+	// DayStart anchors the diurnal cycle: departures are offsets from
+	// each midnight-relative day boundary at or after DayStart.
+	DayStart time.Time
+	// Seed draws the per-device departure jitter and travel speed.
+	Seed int64
+	// MorningDepart/EveningDepart are mean departure offsets from the
+	// day boundary (defaults 8h and 17h30m).
+	MorningDepart, EveningDepart time.Duration
+	// DepartJitter spreads departures (uniform ±jitter, default 45 min)
+	// so a million commuters do not teleport at the same instant.
+	DepartJitter time.Duration
+	// SpeedMS is travel speed (default 8 m/s — a bus-and-walk mix).
+	SpeedMS float64
+}
+
+// Commute is a home↔work diurnal mobility model: at home overnight,
+// travels to work in the morning, back in the evening, every day. The
+// position is computed directly from the cycle (no lazily grown legs),
+// so PositionAt costs O(1) regardless of how far t is from DayStart —
+// the property that lets a 1M-device city tick cheaply.
+type Commute struct {
+	home, work geo.Point
+	dayStart   time.Time
+	morning    time.Duration // departure offset into the day
+	evening    time.Duration
+	travel     time.Duration // home->work travel time
+	distM      float64
+	speed      float64
+}
+
+var _ Model = (*Commute)(nil)
+
+// NewCommute builds a commuter.
+func NewCommute(cfg CommuteConfig) *Commute {
+	if cfg.MorningDepart <= 0 {
+		cfg.MorningDepart = 8 * time.Hour
+	}
+	if cfg.EveningDepart <= 0 {
+		cfg.EveningDepart = 17*time.Hour + 30*time.Minute
+	}
+	if cfg.DepartJitter < 0 {
+		cfg.DepartJitter = 0
+	} else if cfg.DepartJitter == 0 {
+		cfg.DepartJitter = 45 * time.Minute
+	}
+	if cfg.SpeedMS <= 0 {
+		cfg.SpeedMS = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jitter := func() time.Duration {
+		if cfg.DepartJitter == 0 {
+			return 0
+		}
+		return time.Duration(rng.Int63n(int64(2*cfg.DepartJitter))) - cfg.DepartJitter
+	}
+	c := &Commute{
+		home:     cfg.Home,
+		work:     cfg.Work,
+		dayStart: cfg.DayStart,
+		morning:  cfg.MorningDepart + jitter(),
+		evening:  cfg.EveningDepart + jitter(),
+		distM:    geo.DistanceM(cfg.Home, cfg.Work),
+		speed:    cfg.SpeedMS,
+	}
+	c.travel = time.Duration(c.distM / c.speed * float64(time.Second))
+	if c.travel < time.Minute {
+		c.travel = time.Minute
+	}
+	// Keep the cycle well-formed even under extreme jitter: the evening
+	// departure must come after the morning arrival.
+	if c.evening < c.morning+c.travel {
+		c.evening = c.morning + c.travel + time.Hour
+	}
+	return c
+}
+
+// PositionAt returns the commuter's position at t.
+func (c *Commute) PositionAt(t time.Time) geo.Point {
+	if t.Before(c.dayStart) {
+		return c.home
+	}
+	intoDay := t.Sub(c.dayStart) % (24 * time.Hour)
+	switch {
+	case intoDay < c.morning:
+		return c.home
+	case intoDay < c.morning+c.travel:
+		return lerp(c.home, c.work, float64(intoDay-c.morning)/float64(c.travel))
+	case intoDay < c.evening:
+		return c.work
+	case intoDay < c.evening+c.travel:
+		return lerp(c.work, c.home, float64(intoDay-c.evening)/float64(c.travel))
+	default:
+		return c.home
+	}
+}
+
+// AtWork reports whether the commuter is dwelling at work at t — the
+// population half of the diurnal traffic curve (see Diurnal).
+func (c *Commute) AtWork(t time.Time) bool {
+	if t.Before(c.dayStart) {
+		return false
+	}
+	intoDay := t.Sub(c.dayStart) % (24 * time.Hour)
+	return intoDay >= c.morning+c.travel && intoDay < c.evening
+}
+
+func lerp(a, b geo.Point, frac float64) geo.Point {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return geo.Point{
+		Lat: a.Lat + (b.Lat-a.Lat)*frac,
+		Lon: a.Lon + (b.Lon-a.Lon)*frac,
+	}
+}
+
+// Diurnal returns a [0,1] activity weight for the instant: near zero in
+// the small hours, ramping through the morning commute to a daytime
+// plateau and back down after the evening peak. Chaos scenarios scale
+// report rates and traffic by it so tower load follows the city's day.
+func Diurnal(t, dayStart time.Time) float64 {
+	intoDay := t.Sub(dayStart) % (24 * time.Hour)
+	if intoDay < 0 {
+		intoDay += 24 * time.Hour
+	}
+	h := intoDay.Hours()
+	// A raised cosine centered on 14:00 with a floor of 0.05: quiet
+	// nights, busy afternoons. Simple, smooth, and monotone over each
+	// commute shoulder — enough shape to make load diurnal without
+	// pretending to be a traffic study.
+	w := 0.05 + 0.95*0.5*(1+math.Cos((h-14)/24*2*math.Pi))
+	if w < 0 {
+		w = 0
+	}
+	if w > 1 {
+		w = 1
+	}
+	return w
+}
+
+// CrowdEvent is one flash-crowd window: devices under an Attractor are
+// pulled to the venue between Start and End, with a linear ramp in and
+// out so the surge looks like a crowd walking in, not teleporting.
+type CrowdEvent struct {
+	Venue      geo.Point
+	Start, End time.Time
+	// RampIn/RampOut are how long the pull takes to reach full strength
+	// and to release (defaults 5 min each).
+	RampIn, RampOut time.Duration
+	// JitterM spreads the crowd around the venue (default 150 m — a
+	// stadium bowl, not a point).
+	JitterM float64
+}
+
+// Attractor overlays flash-crowd events on a base model: outside every
+// event window the device follows its base trajectory; inside one it is
+// pulled toward the venue (plus a per-device seeded offset). Events are
+// fixed at construction — a chaos scenario knows its schedule up front —
+// so the model stays a pure function of time.
+type Attractor struct {
+	base   Model
+	events []CrowdEvent
+	dN, dE float64 // per-device venue offset
+}
+
+var _ Model = (*Attractor)(nil)
+
+// NewAttractor wraps base with the given crowd events.
+func NewAttractor(base Model, seed int64, events []CrowdEvent) *Attractor {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]CrowdEvent, len(events))
+	copy(evs, events)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Start.Before(evs[j].Start) })
+	jitter := 150.0
+	for i := range evs {
+		if evs[i].RampIn <= 0 {
+			evs[i].RampIn = 5 * time.Minute
+		}
+		if evs[i].RampOut <= 0 {
+			evs[i].RampOut = 5 * time.Minute
+		}
+		if evs[i].JitterM > 0 {
+			jitter = evs[i].JitterM
+		}
+	}
+	return &Attractor{
+		base:   base,
+		events: evs,
+		dN:     rng.NormFloat64() * jitter,
+		dE:     rng.NormFloat64() * jitter,
+	}
+}
+
+// PositionAt blends the base position toward the active event's venue.
+func (a *Attractor) PositionAt(t time.Time) geo.Point {
+	base := a.base.PositionAt(t)
+	for i := range a.events {
+		ev := &a.events[i]
+		if t.Before(ev.Start) {
+			break // events sorted; none later is active
+		}
+		if !t.Before(ev.End.Add(ev.RampOut)) {
+			continue
+		}
+		pull := 1.0
+		if in := t.Sub(ev.Start); in < ev.RampIn {
+			pull = float64(in) / float64(ev.RampIn)
+		}
+		if t.After(ev.End) {
+			pull = 1 - float64(t.Sub(ev.End))/float64(ev.RampOut)
+		}
+		if pull <= 0 {
+			continue
+		}
+		target := geo.Offset(ev.Venue, a.dN, a.dE)
+		return lerp(base, target, pull)
+	}
+	return base
+}
+
+// PingPong oscillates between two points with a square wave: Period at A,
+// then Period at B, forever — the adversarial trajectory for shard- and
+// node-boundary re-homing (a device that flaps across the line every
+// period). Phase offsets devices so a fleet of ping-pongers doesn't cross
+// in lockstep.
+type PingPong struct {
+	a, b   geo.Point
+	start  time.Time
+	period time.Duration
+	phase  time.Duration
+}
+
+var _ Model = PingPong{}
+
+// NewPingPong builds a flapping model; seed draws the phase offset.
+func NewPingPong(a, b geo.Point, start time.Time, period time.Duration, seed int64) PingPong {
+	if period <= 0 {
+		period = time.Minute
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return PingPong{
+		a: a, b: b,
+		start:  start,
+		period: period,
+		phase:  time.Duration(rng.Int63n(int64(period))),
+	}
+}
+
+// PositionAt returns A or B depending on the half-cycle.
+func (p PingPong) PositionAt(t time.Time) geo.Point {
+	if t.Before(p.start) {
+		return p.a
+	}
+	cycle := (t.Sub(p.start) + p.phase) / p.period
+	if cycle%2 == 0 {
+		return p.a
+	}
+	return p.b
+}

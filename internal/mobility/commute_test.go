@@ -1,0 +1,150 @@
+package mobility
+
+import (
+	"testing"
+	"time"
+
+	"senseaid/internal/geo"
+)
+
+var (
+	homePt = geo.Point{Lat: 40.0, Lon: -86.95}
+	workPt = geo.Point{Lat: 40.04, Lon: -86.90}
+)
+
+func TestCommuteDiurnalCycle(t *testing.T) {
+	day0 := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	c := NewCommute(CommuteConfig{
+		Home: homePt, Work: workPt, DayStart: day0, Seed: 7,
+		DepartJitter: -1, // disable jitter for exact-phase assertions
+	})
+	at := func(h time.Duration) geo.Point { return c.PositionAt(day0.Add(h)) }
+
+	if got := at(3 * time.Hour); got != homePt {
+		t.Fatalf("3am position = %v, want home %v", got, homePt)
+	}
+	if got := at(12 * time.Hour); got != workPt {
+		t.Fatalf("noon position = %v, want work %v", got, workPt)
+	}
+	if got := at(23 * time.Hour); got != homePt {
+		t.Fatalf("11pm position = %v, want home %v", got, homePt)
+	}
+	// Same phase next day: the cycle repeats.
+	if got := c.PositionAt(day0.Add(24*time.Hour + 12*time.Hour)); got != workPt {
+		t.Fatalf("next-day noon position = %v, want work", got)
+	}
+	if !c.AtWork(day0.Add(12 * time.Hour)) {
+		t.Fatal("AtWork false at noon")
+	}
+	if c.AtWork(day0.Add(3 * time.Hour)) {
+		t.Fatal("AtWork true at 3am")
+	}
+	// Mid-commute the position is strictly between the endpoints.
+	mid := c.PositionAt(day0.Add(8*time.Hour + c.travel/2))
+	if mid == homePt || mid == workPt {
+		t.Fatalf("mid-commute position %v pinned to an endpoint", mid)
+	}
+	// Before the model starts: home.
+	if got := c.PositionAt(day0.Add(-time.Hour)); got != homePt {
+		t.Fatalf("pre-start position = %v, want home", got)
+	}
+}
+
+func TestCommuteDeterministicAndJittered(t *testing.T) {
+	day0 := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	mk := func(seed int64) *Commute {
+		return NewCommute(CommuteConfig{Home: homePt, Work: workPt, DayStart: day0, Seed: seed})
+	}
+	a1, a2, b := mk(1), mk(1), mk(2)
+	probe := day0.Add(8*time.Hour + 20*time.Minute)
+	if a1.PositionAt(probe) != a2.PositionAt(probe) {
+		t.Fatal("same seed, different trajectory")
+	}
+	if a1.morning == b.morning && a1.evening == b.evening {
+		t.Fatal("different seeds drew identical departure jitter")
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	day0 := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	night := Diurnal(day0.Add(3*time.Hour), day0)
+	noon := Diurnal(day0.Add(14*time.Hour), day0)
+	if night >= noon {
+		t.Fatalf("night weight %v >= peak weight %v", night, noon)
+	}
+	if night <= 0 || noon > 1 {
+		t.Fatalf("weights out of range: night=%v noon=%v", night, noon)
+	}
+	// Periodic: the same hour tomorrow weighs the same.
+	if d1, d2 := Diurnal(day0.Add(9*time.Hour), day0), Diurnal(day0.Add(33*time.Hour), day0); d1 != d2 {
+		t.Fatalf("diurnal not day-periodic: %v vs %v", d1, d2)
+	}
+}
+
+func TestAttractorPullsAndReleases(t *testing.T) {
+	day0 := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	venue := geo.Offset(homePt, 5000, 5000)
+	base := Stationary{P: homePt}
+	ev := CrowdEvent{
+		Venue: venue,
+		Start: day0.Add(time.Hour), End: day0.Add(2 * time.Hour),
+		RampIn: 10 * time.Minute, RampOut: 10 * time.Minute,
+		JitterM: 50,
+	}
+	a := NewAttractor(base, 42, []CrowdEvent{ev})
+
+	if got := a.PositionAt(day0); got != homePt {
+		t.Fatalf("pre-event position %v, want base %v", got, homePt)
+	}
+	during := a.PositionAt(day0.Add(90 * time.Minute))
+	if d := geo.DistanceM(during, venue); d > 500 {
+		t.Fatalf("mid-event position %.0f m from venue, want crowded in", d)
+	}
+	// Ramp-in: partway pulled, strictly between base and venue.
+	ramp := a.PositionAt(day0.Add(time.Hour + 5*time.Minute))
+	if dBase, dVenue := geo.DistanceM(ramp, homePt), geo.DistanceM(ramp, venue); dBase < 100 || dVenue < 100 {
+		t.Fatalf("ramp-in position pinned (%.0f m from base, %.0f m from venue)", dBase, dVenue)
+	}
+	after := a.PositionAt(day0.Add(2*time.Hour + 11*time.Minute))
+	if after != homePt {
+		t.Fatalf("post-event position %v, want released to base", after)
+	}
+	// Two devices with different seeds land at different spots in the crowd.
+	b := NewAttractor(base, 43, []CrowdEvent{ev})
+	if a.PositionAt(during0(day0)) == b.PositionAt(during0(day0)) {
+		t.Fatal("crowd jitter identical across seeds")
+	}
+}
+
+func during0(day0 time.Time) time.Time { return day0.Add(90 * time.Minute) }
+
+func TestPingPongFlaps(t *testing.T) {
+	start := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	a, b := homePt, workPt
+	p := NewPingPong(a, b, start, time.Minute, 0)
+	sawA, sawB, flips := false, false, 0
+	prev := p.PositionAt(start)
+	for i := 0; i < 20; i++ {
+		pos := p.PositionAt(start.Add(time.Duration(i) * 30 * time.Second))
+		if pos != a && pos != b {
+			t.Fatalf("position %v is neither endpoint", pos)
+		}
+		if pos == a {
+			sawA = true
+		} else {
+			sawB = true
+		}
+		if pos != prev {
+			flips++
+		}
+		prev = pos
+	}
+	if !sawA || !sawB || flips < 5 {
+		t.Fatalf("not flapping: sawA=%v sawB=%v flips=%d", sawA, sawB, flips)
+	}
+	// Different seeds give different phases so fleets don't cross in step.
+	q := NewPingPong(a, b, start, time.Minute, 99)
+	if p.phase == q.phase {
+		t.Fatal("phase identical across seeds")
+	}
+}

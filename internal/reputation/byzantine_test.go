@@ -1,0 +1,110 @@
+package reputation
+
+import (
+	"testing"
+)
+
+// The byzantine reporter the chaos campaigns model: alternate a good
+// upload with a garbage one, forever. With a symmetric EWMA this
+// pattern parks the score near the midpoint of the two rewards and the
+// device keeps getting selected; the asymmetric BadAlpha fold must sink
+// it below any sane MinReliability cutoff instead.
+
+func TestAlternatingReporterSinksBelowCutoff(t *testing.T) {
+	for _, first := range []Outcome{OutcomeAccepted, OutcomeRejected} {
+		tr := NewTracker(Config{})
+		outcomes := [2]Outcome{first, OutcomeRejected}
+		if first == OutcomeRejected {
+			outcomes[1] = OutcomeAccepted
+		}
+		for i := 0; i < 40; i++ {
+			tr.Record("byz", outcomes[i%2])
+		}
+		if got := tr.Score("byz"); got >= 0.5 {
+			t.Fatalf("alternating reporter (starting %v) holds score %.3f, want < 0.5", first, got)
+		}
+	}
+}
+
+func TestAlternatingWithMissedSinksFurther(t *testing.T) {
+	rej, missed := NewTracker(Config{}), NewTracker(Config{})
+	for i := 0; i < 40; i++ {
+		o := OutcomeAccepted
+		if i%2 == 1 {
+			o = OutcomeRejected
+		}
+		rej.Record("d", o)
+		if i%2 == 1 {
+			o = OutcomeMissed
+		}
+		missed.Record("d", o)
+	}
+	if missed.Score("d") >= rej.Score("d") {
+		t.Fatalf("missed-alternator %.3f not below rejected-alternator %.3f",
+			missed.Score("d"), rej.Score("d"))
+	}
+}
+
+func TestBadNewsTravelsFaster(t *testing.T) {
+	up, down := NewTracker(Config{}), NewTracker(Config{})
+	up.Record("d", OutcomeAccepted)
+	down.Record("d", OutcomeRejected)
+	rise := up.Score("d") - 0.8
+	drop := 0.8 - down.Score("d")
+	if drop <= rise {
+		t.Fatalf("one rejection drops %.3f, one accept rises %.3f — bad news must weigh more", drop, rise)
+	}
+}
+
+func TestConsistentGoodStaysHigh(t *testing.T) {
+	tr := NewTracker(Config{})
+	for i := 0; i < 20; i++ {
+		tr.Record("good", OutcomeAccepted)
+	}
+	if got := tr.Score("good"); got < 0.95 {
+		t.Fatalf("consistently good reporter scores %.3f, want >= 0.95", got)
+	}
+}
+
+func TestBadAlphaConfigurable(t *testing.T) {
+	// An explicitly symmetric tracker (BadAlpha == Alpha) reproduces the
+	// old midpoint behavior — the knob exists for experiments that need it.
+	// 41 records so the cycle ends on its post-accept peak: symmetric
+	// keeps that peak above the 0.5 cutoff (the inflation the default
+	// asymmetric fold eliminates — its peak converges near 0.46).
+	sym := NewTracker(Config{Alpha: 0.25, BadAlpha: 0.25})
+	for i := 0; i < 41; i++ {
+		o := OutcomeAccepted
+		if i%2 == 1 {
+			o = OutcomeRejected
+		}
+		sym.Record("byz", o)
+	}
+	if got := sym.Score("byz"); got < 0.5 {
+		t.Fatalf("symmetric tracker sank alternator to %.3f; BadAlpha override not honoured", got)
+	}
+	// Out-of-range BadAlpha falls back to the 2*Alpha default.
+	def := NewTracker(Config{Alpha: 0.25, BadAlpha: 7})
+	def.Record("d", OutcomeMissed)
+	if got := def.Score("d"); got != 0.8*0.5 {
+		t.Fatalf("defaulted BadAlpha score = %.3f, want %.3f", got, 0.8*0.5)
+	}
+}
+
+func TestRecoveryStillPossibleUnderAsymmetry(t *testing.T) {
+	// Asymmetric decay must not make reputation a one-way trapdoor: a
+	// device that genuinely reforms climbs back over the cutoff.
+	tr := NewTracker(Config{})
+	for i := 0; i < 10; i++ {
+		tr.Record("reformed", OutcomeMissed)
+	}
+	if tr.Score("reformed") > 0.1 {
+		t.Fatalf("ten misses left score %.3f, want near zero", tr.Score("reformed"))
+	}
+	for i := 0; i < 15; i++ {
+		tr.Record("reformed", OutcomeAccepted)
+	}
+	if got := tr.Score("reformed"); got < 0.9 {
+		t.Fatalf("reformed device stuck at %.3f, want >= 0.9", got)
+	}
+}

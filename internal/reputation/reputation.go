@@ -77,6 +77,15 @@ type Config struct {
 	Initial float64
 	// Alpha is the EWMA weight of the newest outcome (default 0.25).
 	Alpha float64
+	// BadAlpha is the EWMA weight applied when the outcome pulls the
+	// score DOWN (default 2*Alpha, capped at 1). Reputation must fall
+	// faster than it rises: with a symmetric alpha, a byzantine reporter
+	// alternating good and garbage uploads holds its score near the
+	// midpoint (~0.55 at the defaults) and stays above typical
+	// MinReliability cutoffs forever. Asymmetric decay drops the same
+	// alternating pattern below 0.5, where the selector's hard cutoff
+	// removes it.
+	BadAlpha float64
 }
 
 // Tracker keeps per-device reliability scores in [0,1]. Safe for
@@ -98,6 +107,9 @@ func NewTracker(cfg Config) *Tracker {
 	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
 		cfg.Alpha = 0.25
 	}
+	if cfg.BadAlpha <= 0 || cfg.BadAlpha > 1 {
+		cfg.BadAlpha = math.Min(1, 2*cfg.Alpha)
+	}
 	return &Tracker{
 		cfg:    cfg,
 		scores: make(map[string]float64),
@@ -116,7 +128,12 @@ func (t *Tracker) Record(deviceID string, o Outcome) {
 	if !ok {
 		cur = t.cfg.Initial
 	}
-	t.scores[deviceID] = (1-t.cfg.Alpha)*cur + t.cfg.Alpha*o.reward()
+	// Asymmetric EWMA: bad news weighs more than good (see Config.BadAlpha).
+	alpha := t.cfg.Alpha
+	if o.reward() < cur {
+		alpha = t.cfg.BadAlpha
+	}
+	t.scores[deviceID] = (1-alpha)*cur + alpha*o.reward()
 	byOutcome, ok := t.counts[deviceID]
 	if !ok {
 		byOutcome = make(map[Outcome]int)
